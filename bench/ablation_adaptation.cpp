@@ -1,0 +1,115 @@
+// Ablation bench for the Section 6 threshold adaptation: starting from a
+// far-too-low and a far-too-high threshold, print the per-interval
+// threshold and memory usage trajectory for both algorithms and show
+// that both converge to the target usage without overflowing.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "core/adaptive_device.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "eval/table.hpp"
+#include "packet/flow_definition.hpp"
+#include "trace/presets.hpp"
+#include "trace/synthesizer.hpp"
+
+using namespace nd;
+
+namespace {
+
+void trajectory(const char* label,
+                std::unique_ptr<core::MeasurementDevice> device,
+                const core::ThresholdAdaptorConfig& adaptor_config,
+                const trace::TraceConfig& config, std::size_t capacity) {
+  core::AdaptiveDevice adaptive(std::move(device), adaptor_config);
+  trace::TraceSynthesizer synth(config);
+  const auto definition = packet::FlowDefinition::five_tuple();
+
+  std::printf("%s\n", label);
+  eval::TextTable table({"Interval", "Threshold (% of link)",
+                         "Entries used", "Usage"});
+  for (std::uint32_t interval = 0;; ++interval) {
+    const auto packets = synth.next_interval();
+    if (packets.empty()) break;
+    for (const auto& packet : packets) {
+      if (const auto key = definition.classify(packet)) {
+        adaptive.observe(*key, packet.size_bytes);
+      }
+    }
+    const common::ByteCount threshold_used = adaptive.threshold();
+    const auto report = adaptive.end_interval();
+    table.add_row(
+        {std::to_string(interval),
+         common::format_percent(
+             static_cast<double>(threshold_used) /
+                 static_cast<double>(config.link_capacity_per_interval),
+             4),
+         common::format_count(report.entries_used),
+         common::format_percent(static_cast<double>(report.entries_used) /
+                                    static_cast<double>(capacity),
+                                1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options =
+      bench::parse_options(argc, argv, bench::Options{0.05, 42, 1, 14});
+  bench::print_header("Ablation: dynamic threshold adaptation (Figure 5)",
+                      options);
+
+  auto config = trace::Presets::mag(options.seed);
+  config.num_intervals = options.intervals;
+  if (options.scale < 1.0) config = trace::scaled(config, options.scale);
+  const std::size_t capacity = 1024;
+
+  for (const bool start_low : {true, false}) {
+    const common::ByteCount initial =
+        start_low ? config.link_capacity_per_interval / 100'000
+                  : config.link_capacity_per_interval / 10;
+    char label[160];
+    std::snprintf(label, sizeof(label),
+                  "--- Sample and hold, initial threshold %s of link ---",
+                  common::format_percent(
+                      static_cast<double>(initial) /
+                          static_cast<double>(
+                              config.link_capacity_per_interval),
+                      4)
+                      .c_str());
+
+    core::SampleAndHoldConfig sh;
+    sh.flow_memory_entries = capacity;
+    sh.threshold = initial;
+    sh.oversampling = 4.0;
+    sh.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+    sh.early_removal_fraction = 0.15;
+    sh.seed = options.seed;
+    trajectory(label, std::make_unique<core::SampleAndHold>(sh),
+               core::sample_and_hold_adaptor(), config, capacity);
+  }
+
+  {
+    core::MultistageFilterConfig msf;
+    msf.flow_memory_entries = capacity * 5 / 8;
+    msf.buckets_per_stage = static_cast<std::uint32_t>(capacity);
+    msf.depth = 4;
+    msf.threshold = config.link_capacity_per_interval / 10;
+    msf.conservative_update = true;
+    msf.shielding = true;
+    msf.preserve = flowmem::PreservePolicy::kPreserve;
+    msf.seed = options.seed;
+    trajectory("--- Multistage filter, initial threshold 10% of link ---",
+               std::make_unique<core::MultistageFilter>(msf),
+               core::multistage_adaptor(), config, capacity * 5 / 8);
+  }
+
+  std::printf(
+      "Expected: thresholds converge within a few intervals toward the "
+      "90%% target usage\nwithout filling the memory (the paper ignores "
+      "the first 10 intervals for exactly this reason).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the table/figure regeneration binaries.
+//
+// Every bench accepts:
+//   --scale S      trace scale factor in (0,1]   (default per bench)
+//   --seed N       master seed                    (default 42)
+//   --runs N       independent runs to average    (default per bench)
+//   --intervals N  measurement intervals          (default per bench)
+// Unknown flags abort with a usage message. Defaults are sized so the
+// whole bench suite runs in well under a minute; pass --scale 1 (and
+// more runs/intervals) to reproduce at the paper's full trace sizes.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace nd::bench {
+
+struct Options {
+  double scale{0.05};
+  std::uint64_t seed{42};
+  std::uint32_t runs{3};
+  std::uint32_t intervals{12};
+};
+
+inline Options parse_options(int argc, char** argv, Options defaults) {
+  Options options = defaults;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      options.scale = std::atof(need_value("--scale"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = static_cast<std::uint64_t>(
+          std::strtoull(need_value("--seed"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      options.runs = static_cast<std::uint32_t>(
+          std::atoi(need_value("--runs")));
+    } else if (std::strcmp(argv[i], "--intervals") == 0) {
+      options.intervals = static_cast<std::uint32_t>(
+          std::atoi(need_value("--intervals")));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--scale S] [--seed N] [--runs N] [--intervals N]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+inline void print_header(const char* title, const Options& options) {
+  std::printf("=== %s ===\n", title);
+  std::printf("(scale=%.3g seed=%llu runs=%u intervals=%u)\n\n",
+              options.scale,
+              static_cast<unsigned long long>(options.seed), options.runs,
+              options.intervals);
+}
+
+}  // namespace nd::bench

@@ -1,0 +1,125 @@
+// Collection overhead (Section 2 and Section 5.2 advantage iv): bytes of
+// per-interval export each device ships to the management station, and
+// what survives a constrained collection channel.
+//
+// Basic NetFlow (divisor 1) on the MAG trace generates an export record
+// per active flow; our devices export only the heavy hitters — orders of
+// magnitude less data — so nothing of theirs is lost even on a thin
+// channel, while basic NetFlow suffers the paper's "up to 90%" losses.
+#include <cstdio>
+#include <memory>
+
+#include "baseline/sampled_netflow.hpp"
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "eval/table.hpp"
+#include "packet/flow_definition.hpp"
+#include "reporting/collector.hpp"
+#include "reporting/record_codec.hpp"
+#include "trace/presets.hpp"
+#include "trace/synthesizer.hpp"
+
+using namespace nd;
+
+int main(int argc, char** argv) {
+  const auto options =
+      bench::parse_options(argc, argv, bench::Options{0.1, 42, 1, 6});
+  bench::print_header(
+      "Collection overhead: export volume and survival on a thin channel",
+      options);
+
+  auto config = trace::Presets::mag(options.seed);
+  config.num_intervals = options.intervals;
+  if (options.scale < 1.0) config = trace::scaled(config, options.scale);
+  const common::ByteCount threshold =
+      config.link_capacity_per_interval / 2000;
+
+  core::SampleAndHoldConfig sh;
+  sh.flow_memory_entries = 4096;
+  sh.threshold = threshold;
+  sh.oversampling = 4.0;
+  sh.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+  sh.seed = options.seed;
+  core::SampleAndHold sample_and_hold(sh);
+
+  core::MultistageFilterConfig msf;
+  msf.flow_memory_entries = 4096;
+  msf.depth = 4;
+  msf.buckets_per_stage = 4096;
+  msf.threshold = threshold;
+  msf.seed = options.seed;
+  core::MultistageFilter multistage(msf);
+
+  baseline::SampledNetFlowConfig basic;
+  basic.sampling_divisor = 1;  // basic NetFlow: every packet logged
+  basic.seed = options.seed;
+  baseline::SampledNetFlow basic_netflow(basic);
+
+  baseline::SampledNetFlowConfig sampled;
+  sampled.sampling_divisor = 16;
+  sampled.seed = options.seed + 1;
+  baseline::SampledNetFlow sampled_netflow(sampled);
+
+  struct Row {
+    const char* label;
+    core::MeasurementDevice* device;
+    reporting::CollectionChannel channel;
+    std::uint64_t records{0};
+    std::uint64_t bytes{0};
+    std::uint32_t intervals{0};
+  };
+  // Channel: room for ~500 records per interval.
+  const std::uint64_t channel_budget =
+      reporting::kHeaderBytes + 500 * reporting::kRecordBytes;
+  Row rows[] = {
+      {"sample and hold", &sample_and_hold,
+       reporting::CollectionChannel(channel_budget)},
+      {"multistage filter", &multistage,
+       reporting::CollectionChannel(channel_budget)},
+      {"sampled netflow (1/16)", &sampled_netflow,
+       reporting::CollectionChannel(channel_budget)},
+      {"basic netflow (1/1)", &basic_netflow,
+       reporting::CollectionChannel(channel_budget)},
+  };
+
+  const auto definition = packet::FlowDefinition::five_tuple();
+  trace::TraceSynthesizer synth(config);
+  for (;;) {
+    const auto packets = synth.next_interval();
+    if (packets.empty()) break;
+    for (auto& row : rows) {
+      for (const auto& packet : packets) {
+        if (const auto key = definition.classify(packet)) {
+          row.device->observe(*key, packet.size_bytes);
+        }
+      }
+      auto report = row.device->end_interval();
+      core::sort_by_size(report);  // heavy hitters first on the wire
+      row.records += report.flows.size();
+      row.bytes += reporting::encoded_size(report);
+      (void)row.channel.deliver(report);
+      ++row.intervals;
+    }
+  }
+
+  eval::TextTable table({"Device", "Records/interval", "Export/interval",
+                         "Channel loss"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.label,
+         common::format_count(row.records / row.intervals),
+         common::format_bytes(row.bytes / row.intervals),
+         common::format_percent(row.channel.stats().record_loss_rate(),
+                                1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nChannel capacity: %s per interval (~500 records). Expected: our "
+      "devices export only heavy\nhitters and lose nothing; basic "
+      "NetFlow's per-flow export loses the vast majority of records\n"
+      "(the paper cites loss rates up to 90%% in deployment).\n",
+      common::format_bytes(channel_budget).c_str());
+  return 0;
+}

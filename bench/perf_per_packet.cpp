@@ -1,0 +1,227 @@
+// Per-packet processing cost microbenchmarks (google-benchmark) — the
+// wall-clock companion to the memory-access counts of Tables 1 and 2,
+// and to the Section 8 feasibility discussion.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/ordinary_sampling.hpp"
+#include "flowmem/cam_flow_memory.hpp"
+#include "reporting/record_codec.hpp"
+#include "trace/zipf.hpp"
+#include "baseline/sampled_netflow.hpp"
+#include "common/rng.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "flowmem/flow_memory.hpp"
+#include "hash/hash.hpp"
+
+namespace {
+
+using namespace nd;
+
+/// Pre-generated skewed packet stream shared by the device benches.
+std::vector<std::pair<packet::FlowKey, std::uint32_t>> make_stream(
+    std::size_t flows, std::size_t packets) {
+  common::Rng rng(7);
+  std::vector<std::pair<packet::FlowKey, std::uint32_t>> stream;
+  stream.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    // Skew toward low flow ids (elephants).
+    const auto raw = rng.uniform(flows);
+    const auto id = static_cast<std::uint32_t>(rng.uniform(raw + 1));
+    stream.emplace_back(packet::FlowKey::destination_ip(id),
+                        static_cast<std::uint32_t>(40 + rng.uniform(1460)));
+  }
+  return stream;
+}
+
+const auto& stream() {
+  static const auto s = make_stream(10'000, 1 << 16);
+  return s;
+}
+
+template <typename Device>
+void run_device(benchmark::State& state, Device& device) {
+  std::size_t i = 0;
+  const auto& packets = stream();
+  for (auto _ : state) {
+    const auto& [key, size] = packets[i];
+    device.observe(key, size);
+    i = (i + 1) & (packets.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SampleAndHold(benchmark::State& state) {
+  core::SampleAndHoldConfig config;
+  config.flow_memory_entries = 8192;
+  config.threshold = 1'000'000;
+  config.oversampling = 4.0;
+  core::SampleAndHold device(config);
+  run_device(state, device);
+}
+BENCHMARK(BM_SampleAndHold);
+
+void BM_MultistageParallel(benchmark::State& state) {
+  core::MultistageFilterConfig config;
+  config.flow_memory_entries = 8192;
+  config.depth = static_cast<std::uint32_t>(state.range(0));
+  config.buckets_per_stage = 4096;
+  config.threshold = 1'000'000;
+  config.conservative_update = false;
+  config.shielding = false;
+  core::MultistageFilter device(config);
+  run_device(state, device);
+}
+BENCHMARK(BM_MultistageParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MultistageConservative(benchmark::State& state) {
+  core::MultistageFilterConfig config;
+  config.flow_memory_entries = 8192;
+  config.depth = 4;
+  config.buckets_per_stage = 4096;
+  config.threshold = 1'000'000;
+  config.conservative_update = true;
+  config.shielding = true;
+  core::MultistageFilter device(config);
+  run_device(state, device);
+}
+BENCHMARK(BM_MultistageConservative);
+
+void BM_MultistageSerial(benchmark::State& state) {
+  core::MultistageFilterConfig config;
+  config.flow_memory_entries = 8192;
+  config.depth = 4;
+  config.buckets_per_stage = 4096;
+  config.threshold = 1'000'000;
+  config.serial = true;
+  core::MultistageFilter device(config);
+  run_device(state, device);
+}
+BENCHMARK(BM_MultistageSerial);
+
+void BM_SampledNetFlow(benchmark::State& state) {
+  baseline::SampledNetFlowConfig config;
+  config.sampling_divisor = 16;
+  baseline::SampledNetFlow device(config);
+  run_device(state, device);
+}
+BENCHMARK(BM_SampledNetFlow);
+
+void BM_OrdinarySampling(benchmark::State& state) {
+  baseline::OrdinarySamplingConfig config;
+  config.flow_memory_entries = 8192;
+  config.byte_sampling_probability = 1e-5;
+  baseline::OrdinarySampling device(config);
+  run_device(state, device);
+}
+BENCHMARK(BM_OrdinarySampling);
+
+void BM_FlowMemoryFindHit(benchmark::State& state) {
+  flowmem::FlowMemory memory(4096, 1);
+  std::vector<packet::FlowKey> keys;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    keys.push_back(packet::FlowKey::destination_ip(i));
+    (void)memory.insert(keys.back(), 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.find(keys[i]));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_FlowMemoryFindHit);
+
+void BM_FlowMemoryFindMiss(benchmark::State& state) {
+  flowmem::FlowMemory memory(4096, 1);
+  for (std::uint32_t i = 0; i < 2048; ++i) {
+    (void)memory.insert(packet::FlowKey::destination_ip(i), 0);
+  }
+  std::uint32_t i = 1 << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memory.find(packet::FlowKey::destination_ip(i++)));
+  }
+}
+BENCHMARK(BM_FlowMemoryFindMiss);
+
+void BM_CamFlowMemoryFindHit(benchmark::State& state) {
+  flowmem::CamFlowMemoryConfig config;
+  config.hash_slots = 8192;
+  config.max_probe = 4;
+  config.cam_entries = 64;
+  flowmem::CamFlowMemory memory(config);
+  std::vector<packet::FlowKey> keys;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    keys.push_back(packet::FlowKey::destination_ip(i));
+    (void)memory.insert(keys.back(), 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.find(keys[i]));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_CamFlowMemoryFindHit);
+
+void BM_ReportEncode(benchmark::State& state) {
+  core::Report report;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    report.flows.push_back(core::ReportedFlow{
+        packet::FlowKey::destination_ip(i), i * 1000ULL, false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reporting::encode(report, packet::FlowKeyKind::kDestinationIp));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ReportEncode);
+
+void BM_ReportDecode(benchmark::State& state) {
+  core::Report report;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    report.flows.push_back(core::ReportedFlow{
+        packet::FlowKey::destination_ip(i), i * 1000ULL, false});
+  }
+  const auto encoded =
+      reporting::encode(report, packet::FlowKeyKind::kDestinationIp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reporting::decode(encoded));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ReportDecode);
+
+void BM_ZipfSampler(benchmark::State& state) {
+  const trace::ZipfSampler sampler(100'000, 1.1);
+  common::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSampler);
+
+void BM_TabulationHash(benchmark::State& state) {
+  common::Rng rng(3);
+  hash::TabulationHash h(rng);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(key++));
+  }
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_MultiplyShiftHash(benchmark::State& state) {
+  common::Rng rng(3);
+  hash::MultiplyShiftHash h(rng);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(key++));
+  }
+}
+BENCHMARK(BM_MultiplyShiftHash);
+
+}  // namespace

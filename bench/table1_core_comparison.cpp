@@ -1,0 +1,106 @@
+// Regenerates Table 1: comparison of the core algorithms constrained to
+// the same memory M — relative error and memory accesses per packet —
+// plus the worked numeric examples of Sections 3 and 4.
+#include <cstdio>
+
+#include "analysis/core_comparison.hpp"
+#include "analysis/multistage_bounds.hpp"
+#include "analysis/sample_hold_bounds.hpp"
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "eval/table.hpp"
+
+using namespace nd;
+
+namespace {
+
+void print_table1(double memory, double z, double flows) {
+  analysis::Table1Params params;
+  params.memory_entries = memory;
+  params.flow_fraction = z;
+  params.flows = flows;
+
+  eval::TextTable table({"Measure", "Sample and hold", "Multistage filters",
+                         "Sampling"});
+  const auto rows = analysis::table1(params);
+  table.add_row({"Relative error (formula)", rows[0].relative_error_formula,
+                 rows[1].relative_error_formula,
+                 rows[2].relative_error_formula});
+  table.add_row({"Relative error",
+                 common::format_percent(rows[0].relative_error, 3),
+                 common::format_percent(rows[1].relative_error, 3),
+                 common::format_percent(rows[2].relative_error, 3)});
+  table.add_row({"Memory accesses (formula)",
+                 rows[0].memory_accesses_formula,
+                 rows[1].memory_accesses_formula,
+                 rows[2].memory_accesses_formula});
+  table.add_row({"Memory accesses",
+                 common::format_fixed(rows[0].memory_accesses, 2),
+                 common::format_fixed(rows[1].memory_accesses, 2),
+                 common::format_fixed(rows[2].memory_accesses, 2)});
+  std::printf("M = %.0f entries, z = %.4f (flow at %s of link), n = %.0f\n%s\n",
+              memory, z, common::format_percent(z, 2).c_str(), flows,
+              table.to_string().c_str());
+}
+
+void print_worked_examples() {
+  std::printf("--- Worked examples (Sections 3.1, 3.2, 4.1, 4.2) ---\n\n");
+
+  analysis::SampleHoldParams sh;
+  sh.oversampling = 20.0;
+  sh.threshold = 1'000'000;
+  sh.capacity = 100'000'000;
+  std::printf("Sample and hold, O=20, T=1MB, C=100MB/s x 1s:\n");
+  std::printf("  byte sampling probability p       = 1 in %.0f bytes\n",
+              1.0 / analysis::byte_sampling_probability(sh));
+  std::printf("  P[miss flow at threshold]         = %s  (paper: ~2e-9)\n",
+              common::format_scientific(
+                  analysis::miss_probability(sh, sh.threshold))
+                  .c_str());
+  std::printf("  relative error at threshold       = %s  (paper: 7%%)\n",
+              common::format_percent(
+                  analysis::relative_error_at_threshold(sh), 2)
+                  .c_str());
+  std::printf("  expected entries                  = %.0f  (paper: 2,000)\n",
+              analysis::expected_entries(sh));
+  std::printf("  entries @99.9%%                    = %.0f  (paper: 2,147)\n",
+              analysis::entries_bound(sh, 0.001));
+  std::printf("  entries, preserved @99.9%%         = %.0f  (paper: 4,207)\n",
+              analysis::entries_bound_preserved(sh, 0.001));
+  std::printf("  entries, early removal R=0.2T     = %.0f  (paper: 2,647)\n",
+              analysis::entries_bound_early_removal(sh, 200'000, 0.001));
+
+  analysis::MultistageParams msf;
+  msf.buckets = 1000;
+  msf.depth = 4;
+  msf.flows = 100'000;
+  msf.capacity = 100'000'000;
+  msf.threshold = 1'000'000;
+  std::printf("\nMultistage filter, d=4, b=1000, k=10, n=100,000:\n");
+  std::printf("  P[100KB flow passes] (Lemma 1)    = %s  (paper: 1.52e-4)\n",
+              common::format_scientific(
+                  analysis::pass_probability_bound(msf, 100'000))
+                  .c_str());
+  std::printf("  E[flows passing] (Theorem 3)      = %.1f  (paper: 121.2)\n",
+              analysis::expected_flows_passing(msf));
+  msf.depth = 5;
+  std::printf("  ... with 5 stages                 = %.1f  (paper: 112.1)\n",
+              analysis::expected_flows_passing(msf));
+  msf.depth = 4;
+  std::printf("  flows passing @99.9%%              = %.0f  (paper: 185)\n",
+              analysis::flows_passing_bound(msf, 0.001));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options =
+      bench::parse_options(argc, argv, bench::Options{1.0, 42, 1, 1});
+  bench::print_header(
+      "Table 1: comparison of the core algorithms (analytical)", options);
+
+  print_table1(10'000, 0.01, 100'000);
+  print_table1(100'000, 0.001, 1'000'000);
+  print_worked_examples();
+  return 0;
+}

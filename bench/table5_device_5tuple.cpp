@@ -1,0 +1,9 @@
+// Regenerates Table 5: comparison of complete traffic measurement
+// devices with flow IDs defined by the 5-tuple (MAG+ trace).
+#include "device_comparison.hpp"
+
+int main(int argc, char** argv) {
+  return nd::bench::run_device_comparison(
+      "Table 5: device comparison, 5-tuple flows (MAG+)",
+      nd::packet::FlowKeyKind::kFiveTuple, argc, argv);
+}

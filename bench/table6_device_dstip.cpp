@@ -1,0 +1,9 @@
+// Regenerates Table 6: comparison of complete traffic measurement
+// devices with flow IDs defined by destination IP (MAG+ trace).
+#include "device_comparison.hpp"
+
+int main(int argc, char** argv) {
+  return nd::bench::run_device_comparison(
+      "Table 6: device comparison, destination-IP flows (MAG+)",
+      nd::packet::FlowKeyKind::kDestinationIp, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates Table 7: comparison of complete traffic measurement
+// devices with flow IDs defined by the source/destination AS pair
+// (MAG+ trace). With few active AS-pair flows relative to the memory,
+// both of our devices measure essentially everything exactly (the
+// paper's "graceful degradation" discussion).
+#include "device_comparison.hpp"
+
+int main(int argc, char** argv) {
+  return nd::bench::run_device_comparison(
+      "Table 7: device comparison, AS-pair flows (MAG+)",
+      nd::packet::FlowKeyKind::kAsPair, argc, argv);
+}

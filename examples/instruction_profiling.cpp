@@ -1,0 +1,79 @@
+// Dynamic instruction profiling with multistage filters — the paper's
+// Section 9 cross-domain extension: identify a program's hot basic
+// blocks (for later optimization) with the same heavy-hitter machinery,
+// and compare against the 1-in-x sampled-profiling strategy of [19].
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "profiling/instruction_profiler.hpp"
+
+using namespace nd;
+
+int main() {
+  profiling::SyntheticProgramConfig program_config;
+  program_config.basic_blocks = 20'000;
+  program_config.heat_alpha = 1.1;
+  program_config.seed = 17;
+  profiling::SyntheticProgram program(program_config);
+
+  profiling::ProfilerConfig profiler_config;
+  profiler_config.filter_depth = 4;
+  profiler_config.filter_buckets = 2048;
+  profiler_config.table_entries = 512;
+  // Comfortably below the top-20 blocks' ~50k instructions per epoch.
+  profiler_config.hot_threshold = 20'000;
+  profiler_config.seed = 17;
+  profiling::HotSpotProfiler filter_profiler(profiler_config);
+  profiling::SampledProfiler sampled_profiler(/*sampling_divisor=*/1000,
+                                              17);
+
+  constexpr int kEpochs = 3;
+  constexpr int kStepsPerEpoch = 400'000;
+  std::vector<profiling::HotSpot> filter_profile;
+  std::vector<profiling::HotSpot> sampled_profile;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    program.clear_counts();
+    for (int i = 0; i < kStepsPerEpoch; ++i) {
+      const auto execution = program.next();
+      filter_profiler.observe(execution);
+      sampled_profiler.observe(execution);
+    }
+    filter_profile = filter_profiler.end_epoch();
+    sampled_profile = sampled_profiler.end_epoch();
+  }
+
+  std::printf("Program: %u basic blocks, %s instructions in the last "
+              "epoch.\n\n",
+              program_config.basic_blocks,
+              common::format_count(program.total_instructions()).c_str());
+
+  std::printf("Hot blocks found by the multistage-filter profiler "
+              "(top 10):\n");
+  std::printf("  %-12s %16s %s\n", "block", "instructions", "");
+  for (std::size_t i = 0; i < filter_profile.size() && i < 10; ++i) {
+    const auto& hot = filter_profile[i];
+    std::printf("  0x%08X %16s %s\n", hot.block_address,
+                common::format_count(hot.instructions).c_str(),
+                hot.exact ? "(exact)" : "(lower bound)");
+  }
+
+  const auto filter_quality = profiling::evaluate_profile(
+      filter_profile, program.exact_counts(), 20);
+  const auto sampled_quality = profiling::evaluate_profile(
+      sampled_profile, program.exact_counts(), 20);
+  std::printf(
+      "\nTop-20 hot-block quality (last epoch):\n"
+      "  multistage filter + conservative update: recall %s, relative "
+      "error %s\n"
+      "  1-in-1000 sampled profiling [19]:        recall %s, relative "
+      "error %s\n",
+      common::format_percent(filter_quality.top_n_recall, 0).c_str(),
+      common::format_percent(filter_quality.relative_error, 2).c_str(),
+      common::format_percent(sampled_quality.top_n_recall, 0).c_str(),
+      common::format_percent(sampled_quality.relative_error, 2).c_str());
+  std::printf(
+      "\nPreserved entries make the filter's hot-block counts exact "
+      "from the second epoch on;\nsampled profiles keep their sampling "
+      "noise no matter how long they run.\n");
+  return 0;
+}

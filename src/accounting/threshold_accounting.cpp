@@ -1,0 +1,70 @@
+#include "accounting/threshold_accounting.hpp"
+
+#include <cmath>
+
+namespace nd::accounting {
+
+ThresholdAccountant::ThresholdAccountant(Tariff tariff,
+                                         common::ByteCount link_capacity)
+    : tariff_(tariff),
+      threshold_bytes_(static_cast<common::ByteCount>(
+          tariff.usage_threshold_fraction *
+          static_cast<double>(link_capacity))) {}
+
+IntervalBill ThresholdAccountant::bill(const core::Report& report,
+                                       std::size_t total_customers) const {
+  IntervalBill bill;
+  bill.interval = report.interval;
+  for (const auto& flow : report.flows) {
+    // With z = 0 (threshold 0 bytes) every reported aggregate is usage
+    // billed; unreported customers have no measured usage and pay the
+    // duration fee either way.
+    if (flow.estimated_bytes < threshold_bytes_) continue;
+    Invoice invoice;
+    invoice.customer = flow.key;
+    invoice.billed_bytes = flow.estimated_bytes;
+    invoice.usage_billed = true;
+    invoice.amount = static_cast<double>(flow.estimated_bytes) / 1e6 *
+                     tariff_.price_per_megabyte;
+    bill.usage_revenue += invoice.amount;
+    ++bill.usage_customers;
+    bill.invoices.push_back(invoice);
+  }
+  bill.duration_customers =
+      total_customers > bill.usage_customers
+          ? total_customers - bill.usage_customers
+          : 0;
+  bill.duration_revenue =
+      static_cast<double>(bill.duration_customers) * tariff_.duration_fee;
+  return bill;
+}
+
+common::ByteCount overcharged_bytes(
+    const IntervalBill& bill,
+    const std::unordered_map<packet::FlowKey, common::ByteCount,
+                             packet::FlowKeyHasher>& truth) {
+  common::ByteCount total = 0;
+  for (const auto& invoice : bill.invoices) {
+    if (!invoice.usage_billed) continue;
+    const auto it = truth.find(invoice.customer);
+    const common::ByteCount actual = it == truth.end() ? 0 : it->second;
+    if (invoice.billed_bytes > actual) {
+      total += invoice.billed_bytes - actual;
+    }
+  }
+  return total;
+}
+
+void BillingLedger::observe(const IntervalBill& bill,
+                            double exact_revenue) {
+  revenue_ += bill.total_revenue();
+  exact_revenue_ += exact_revenue;
+  abs_error_ += std::abs(bill.total_revenue() - exact_revenue);
+  ++intervals_;
+}
+
+double BillingLedger::revenue_error() const {
+  return exact_revenue_ == 0.0 ? 0.0 : abs_error_ / exact_revenue_;
+}
+
+}  // namespace nd::accounting

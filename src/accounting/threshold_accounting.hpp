@@ -1,0 +1,104 @@
+// Scalable threshold accounting (Section 1.2).
+//
+// "We suggest a scheme where we measure all aggregates that are above z%
+// of the link; such traffic is subject to usage based pricing, while the
+// remaining traffic is subject to duration based pricing. By varying z
+// from 0 to 100, we can move from usage based pricing to duration based
+// pricing."
+//
+// ThresholdAccountant turns a device's per-interval report into customer
+// invoices under such a tariff. Because sample-and-hold estimates are
+// lower bounds, usage charges computed from them can never exceed what
+// the customer actually sent (the paper's billing-safety argument,
+// Section 5.2 iii) — verify_no_overcharge() checks exactly that against
+// ground truth.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/device.hpp"
+
+namespace nd::accounting {
+
+struct Tariff {
+  /// z — aggregates at/above this fraction of link capacity are billed
+  /// by usage; z=0 is pure usage pricing, z=1 pure duration pricing.
+  double usage_threshold_fraction{0.001};
+  /// Usage price per megabyte (decimal MB, paper footnote 2).
+  double price_per_megabyte{0.04};
+  /// Flat duration fee per measurement interval for everyone else.
+  double duration_fee{0.25};
+};
+
+struct Invoice {
+  packet::FlowKey customer;
+  /// Bytes billed by usage (0 when duration-billed).
+  common::ByteCount billed_bytes{0};
+  bool usage_billed{false};
+  double amount{0.0};
+};
+
+struct IntervalBill {
+  common::IntervalIndex interval{0};
+  std::vector<Invoice> invoices;
+  std::size_t usage_customers{0};
+  std::size_t duration_customers{0};
+  double usage_revenue{0.0};
+  double duration_revenue{0.0};
+
+  [[nodiscard]] double total_revenue() const {
+    return usage_revenue + duration_revenue;
+  }
+};
+
+class ThresholdAccountant {
+ public:
+  ThresholdAccountant(Tariff tariff, common::ByteCount link_capacity);
+
+  /// Bill one interval. `total_customers` is the number of active
+  /// customer aggregates (the device only reports the heavy ones; the
+  /// rest pay the duration fee).
+  [[nodiscard]] IntervalBill bill(const core::Report& report,
+                                  std::size_t total_customers) const;
+
+  [[nodiscard]] common::ByteCount usage_threshold_bytes() const {
+    return threshold_bytes_;
+  }
+  [[nodiscard]] const Tariff& tariff() const { return tariff_; }
+
+ private:
+  Tariff tariff_;
+  common::ByteCount threshold_bytes_;
+};
+
+/// Total bytes by which any customer was billed above their actual
+/// usage. Zero for lower-bound estimators (sample and hold, multistage
+/// filters); can be positive for NetFlow-style scaled estimates.
+[[nodiscard]] common::ByteCount overcharged_bytes(
+    const IntervalBill& bill,
+    const std::unordered_map<packet::FlowKey, common::ByteCount,
+                             packet::FlowKeyHasher>& truth);
+
+/// Accumulates revenue and billing-accuracy statistics over a run, for
+/// the z-sweep experiment (usage-based <-> duration-based continuum).
+class BillingLedger {
+ public:
+  void observe(const IntervalBill& bill, double exact_revenue);
+
+  [[nodiscard]] double total_revenue() const { return revenue_; }
+  [[nodiscard]] double total_exact_revenue() const {
+    return exact_revenue_;
+  }
+  /// |billed - exact| / exact, summed over intervals.
+  [[nodiscard]] double revenue_error() const;
+  [[nodiscard]] std::uint64_t intervals() const { return intervals_; }
+
+ private:
+  double revenue_{0.0};
+  double exact_revenue_{0.0};
+  double abs_error_{0.0};
+  std::uint64_t intervals_{0};
+};
+
+}  // namespace nd::accounting

@@ -1,0 +1,70 @@
+#include "analysis/core_comparison.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nd::analysis {
+
+std::vector<Table1Row> table1(const Table1Params& params) {
+  const double mz = params.memory_entries * params.flow_fraction;
+  const double log_n = std::log10(std::max(params.flows, 10.0));
+
+  std::vector<Table1Row> rows;
+  rows.push_back(Table1Row{
+      "sample and hold",
+      "sqrt(2) / (M z)",
+      std::sqrt(2.0) / mz,
+      "1",
+      1.0,
+  });
+  rows.push_back(Table1Row{
+      "multistage filters",
+      "(1 + 10 r log10 n) / (M z)",
+      (1.0 + 10.0 * params.counter_cost_ratio * log_n) / mz,
+      "1 + log10 n",
+      1.0 + log_n,
+  });
+  rows.push_back(Table1Row{
+      "ordinary sampling",
+      "1 / sqrt(M z)",
+      1.0 / std::sqrt(mz),
+      "1 / x",
+      1.0 / params.netflow_divisor,
+  });
+  return rows;
+}
+
+std::vector<Table2Row> table2(const Table2Params& params) {
+  const double z = params.flow_fraction;
+  const double log_n = std::log10(std::max(params.flows, 10.0));
+
+  std::vector<Table2Row> rows;
+  rows.push_back(Table2Row{
+      "sample and hold",
+      params.long_lived_fraction,
+      1.41 / params.oversampling,
+      2.0 * params.oversampling / z,
+      1.0,
+  });
+  rows.push_back(Table2Row{
+      "multistage filters",
+      params.long_lived_fraction,
+      1.0 / params.threshold_ratio,
+      2.0 / z + log_n / z,
+      1.0 + log_n,
+  });
+  rows.push_back(Table2Row{
+      "sampled netflow",
+      0.0,
+      0.0088 / std::sqrt(z * params.interval_seconds),
+      std::min(params.flows, 486'000.0 * params.interval_seconds),
+      1.0 / params.netflow_divisor,
+  });
+  return rows;
+}
+
+double netflow_minimum_divisor(double dram_ns, double sram_ns) {
+  return dram_ns / sram_ns;
+}
+
+}  // namespace nd::analysis

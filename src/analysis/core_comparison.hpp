@@ -1,0 +1,85 @@
+// The analytical comparisons of Section 5: Table 1 (core algorithms
+// constrained to the same memory M) and Table 2 (complete measurement
+// devices, accounting for DRAM vs SRAM technology).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nd::analysis {
+
+// ---------------------------------------------------------------- Table 1
+
+struct Table1Params {
+  /// M — memory entries available to every algorithm.
+  double memory_entries{10'000};
+  /// z — the measured flow's share of link capacity (0.01 = 1%).
+  double flow_fraction{0.01};
+  /// n — number of active flows (drives the multistage stage count).
+  double flows{100'000};
+  /// r — cost of a filter counter relative to a flow-memory entry
+  /// (the paper assumes an entry is worth 10 counters: r = 0.1).
+  double counter_cost_ratio{0.1};
+  /// x — NetFlow's packet sampling divisor.
+  double netflow_divisor{16.0};
+};
+
+struct Table1Row {
+  std::string algorithm;
+  std::string relative_error_formula;
+  double relative_error{0.0};
+  std::string memory_accesses_formula;
+  double memory_accesses{0.0};
+};
+
+/// Rows: sample and hold, multistage filters, ordinary sampling.
+///   relative errors: sqrt(2)/(Mz), (1 + 10 r log10 n)/(Mz), 1/sqrt(Mz)
+///   accesses:        1,            1 + log10 n,             1/x
+[[nodiscard]] std::vector<Table1Row> table1(const Table1Params& params);
+
+// ---------------------------------------------------------------- Table 2
+
+struct Table2Params {
+  /// O — sample-and-hold oversampling.
+  double oversampling{4.0};
+  /// z — flow share of link capacity being measured.
+  double flow_fraction{0.001};
+  /// u = zC/T — how much larger the flows of interest are than the
+  /// multistage filter threshold.
+  double threshold_ratio{5.0};
+  /// t — measurement interval in seconds (NetFlow error improves with t).
+  double interval_seconds{5.0};
+  /// n — active flows.
+  double flows{100'000};
+  /// Fraction of large flows that are long lived (measured exactly by
+  /// entry preservation).
+  double long_lived_fraction{0.7};
+  /// x — NetFlow divisor.
+  double netflow_divisor{16.0};
+};
+
+struct Table2Row {
+  std::string algorithm;
+  double exact_measurement_fraction{0.0};  // row 1
+  double relative_error{0.0};              // row 2
+  double memory_bound_entries{0.0};        // row 3
+  double memory_accesses{0.0};             // row 4
+};
+
+/// Rows: sample and hold, multistage filters, sampled NetFlow, with the
+/// paper's entries:
+///   exact:    longlived%, longlived%, 0
+///   error:    1.41/O,     1/u,        0.0088/sqrt(z t)
+///   memory:   2O/z,       2/z + log10(n)/z, min(n, 486000 t)
+///   accesses: 1,          1 + log10 n,      1/x
+[[nodiscard]] std::vector<Table2Row> table2(const Table2Params& params);
+
+/// Minimum NetFlow sampling divisor imposed by technology: the ratio of
+/// DRAM to SRAM access time (the paper uses 60 ns / 5 ns = 12; with
+/// per-packet processing this makes x = 16 realistic for OC-48).
+[[nodiscard]] double netflow_minimum_divisor(double dram_ns = 60.0,
+                                             double sram_ns = 5.0);
+
+}  // namespace nd::analysis

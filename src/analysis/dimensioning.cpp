@@ -1,0 +1,74 @@
+#include "analysis/dimensioning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwmodel/chip_model.hpp"
+
+namespace nd::analysis {
+
+common::ByteCount initial_threshold(const DimensioningInput& input,
+                                    std::size_t flow_entries,
+                                    double oversampling) {
+  const double usable =
+      std::max(1.0, input.target_usage * static_cast<double>(flow_entries));
+  const double threshold =
+      2.0 * oversampling *
+      static_cast<double>(input.traffic_per_interval) / usable;
+  return std::max<common::ByteCount>(
+      static_cast<common::ByteCount>(threshold), 1);
+}
+
+core::SampleAndHoldConfig dimension_sample_and_hold(
+    const DimensioningInput& input) {
+  core::SampleAndHoldConfig config;
+  config.flow_memory_entries = std::max<std::size_t>(input.total_entries, 1);
+  config.oversampling = input.oversampling;
+  config.threshold =
+      initial_threshold(input, config.flow_memory_entries,
+                        input.oversampling);
+  config.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+  config.early_removal_fraction = 0.15;
+  return config;
+}
+
+core::MultistageFilterConfig dimension_multistage(
+    const DimensioningInput& input) {
+  core::MultistageFilterConfig config;
+
+  // Stage count: the Section 3.2 log rule at stage strength ~10,
+  // clamped by the access budget.
+  config.depth = std::clamp<std::uint32_t>(
+      hwmodel::stages_for_flow_count(input.expected_flows, 10.0, 16.0), 2,
+      std::max<std::uint32_t>(input.max_stages, 2));
+
+  // Split the budget: a `counter_budget_fraction` slice buys counters
+  // (cheaper than entries by counter_cost_ratio), the rest is flow
+  // memory.
+  const double total = static_cast<double>(
+      std::max<std::size_t>(input.total_entries, 4));
+  const double counter_entries =
+      std::clamp(input.counter_budget_fraction, 0.05, 0.95) * total;
+  config.flow_memory_entries = std::max<std::size_t>(
+      static_cast<std::size_t>(total - counter_entries), 2);
+  const double counters_total =
+      counter_entries / std::max(input.counter_cost_ratio, 1e-3);
+  config.buckets_per_stage = std::max<std::uint32_t>(
+      static_cast<std::uint32_t>(counters_total /
+                                 static_cast<double>(config.depth)),
+      8);
+
+  // Shielding and preserved entries double the effective stage strength
+  // (Section 4.2.3), so the same usage-driven threshold works; the
+  // filter's lower false-positive rate just leaves extra headroom for
+  // the adaptor to lower it.
+  config.threshold =
+      initial_threshold(input, config.flow_memory_entries,
+                        input.oversampling);
+  config.conservative_update = true;
+  config.shielding = true;
+  config.preserve = flowmem::PreservePolicy::kPreserve;
+  return config;
+}
+
+}  // namespace nd::analysis

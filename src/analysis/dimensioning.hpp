@@ -1,0 +1,65 @@
+// Dimensioning traffic measurement devices (Section 6).
+//
+// "Normally the number of stages will be limited by the number of
+// memory accesses one can perform and thus the main problem is dividing
+// the available memory between the flow memory and the filter stages."
+//
+// Given a total SRAM budget (in flow-memory entries; a stage counter
+// costs `counter_cost_ratio` of an entry — the paper assumes 1/10), the
+// expected flow count and the traffic volume, these heuristics produce
+// ready-to-run device configurations:
+//
+//  * sample and hold: all memory to the flow table; the initial
+//    threshold is set so the expected entries (doubled for preserved
+//    entries) land at the target usage;
+//  * multistage filter: stage count from the log-scaling rule
+//    (Section 3.2), a counters/flow-memory split near the paper's
+//    Section 7.2 ratio, and the same usage-driven initial threshold.
+//
+// The thresholds are *starting points* for the Figure 5 adaptor, not
+// promises.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+
+namespace nd::analysis {
+
+struct DimensioningInput {
+  /// Total SRAM budget in flow-memory-entry equivalents (the paper's
+  /// Section 7.2 uses 4,096 = 1 Mbit).
+  std::size_t total_entries{4096};
+  /// Cost of one stage counter relative to one flow entry.
+  double counter_cost_ratio{0.1};
+  /// Expected active flows (for the stage-count rule).
+  double expected_flows{100'000};
+  /// Expected traffic per measurement interval.
+  common::ByteCount traffic_per_interval{100'000'000};
+  /// Memory-usage target the threshold adaptor steers toward.
+  double target_usage{0.9};
+  /// Sample-and-hold oversampling.
+  double oversampling{4.0};
+  /// Fraction of the budget the multistage filter spends on counters
+  /// (the paper's Section 7.2 configurations sit near 1/3).
+  double counter_budget_fraction{0.33};
+  /// Maximum stages (bounded by per-packet memory accesses).
+  std::uint32_t max_stages{4};
+};
+
+/// Ready-to-run sample-and-hold configuration.
+[[nodiscard]] core::SampleAndHoldConfig dimension_sample_and_hold(
+    const DimensioningInput& input);
+
+/// Ready-to-run multistage-filter configuration.
+[[nodiscard]] core::MultistageFilterConfig dimension_multistage(
+    const DimensioningInput& input);
+
+/// The usage-driven initial threshold shared by both heuristics:
+/// expected entries ~ 2*O*C/T (preserved entries double one interval's
+/// samples); solve for T at target_usage * entries.
+[[nodiscard]] common::ByteCount initial_threshold(
+    const DimensioningInput& input, std::size_t flow_entries,
+    double oversampling);
+
+}  // namespace nd::analysis

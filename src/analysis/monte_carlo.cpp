@@ -1,0 +1,150 @@
+#include "analysis/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nd::analysis {
+
+namespace {
+
+MonteCarloResult from_bernoulli(std::uint64_t successes,
+                                std::uint64_t trials) {
+  MonteCarloResult result;
+  result.trials = trials;
+  result.estimate =
+      static_cast<double>(successes) / static_cast<double>(trials);
+  result.standard_error = std::sqrt(
+      std::max(result.estimate * (1.0 - result.estimate), 1e-12) /
+      static_cast<double>(trials));
+  return result;
+}
+
+MonteCarloResult from_samples(double sum, double sum_sq,
+                              std::uint64_t trials) {
+  MonteCarloResult result;
+  result.trials = trials;
+  result.estimate = sum / static_cast<double>(trials);
+  const double variance =
+      std::max(sum_sq / static_cast<double>(trials) -
+                   result.estimate * result.estimate,
+               0.0);
+  result.standard_error =
+      std::sqrt(variance / static_cast<double>(trials));
+  return result;
+}
+
+}  // namespace
+
+MonteCarloResult simulate_pass_probability(
+    const MultistageParams& params, common::ByteCount flow_size,
+    std::span<const common::ByteCount> background, std::uint64_t trials,
+    std::uint64_t seed) {
+  common::Rng rng(seed);
+  const double hit = 1.0 / static_cast<double>(params.buckets);
+  const common::ByteCount needed =
+      params.threshold > flow_size ? params.threshold - flow_size : 0;
+
+  std::uint64_t passes = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    bool all_stages = true;
+    for (std::uint32_t d = 0; d < params.depth && all_stages; ++d) {
+      // Load contributed by background flows that share the target
+      // flow's bucket at this stage (each independently w.p. 1/b).
+      common::ByteCount load = 0;
+      for (const auto size : background) {
+        if (rng.real() < hit) {
+          load += size;
+          if (load >= needed) break;  // early out
+        }
+      }
+      all_stages = load >= needed;
+    }
+    if (all_stages) ++passes;
+  }
+  return from_bernoulli(passes, trials);
+}
+
+MonteCarloResult simulate_flows_passing(
+    const MultistageParams& params,
+    std::span<const common::ByteCount> sizes, std::uint64_t trials,
+    std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<common::ByteCount>> loads(
+      params.depth, std::vector<common::ByteCount>(params.buckets));
+  std::vector<std::vector<std::uint32_t>> assignment(
+      params.depth, std::vector<std::uint32_t>(sizes.size()));
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    for (std::uint32_t d = 0; d < params.depth; ++d) {
+      std::fill(loads[d].begin(), loads[d].end(), 0);
+      for (std::size_t f = 0; f < sizes.size(); ++f) {
+        const auto bucket =
+            static_cast<std::uint32_t>(rng.uniform(params.buckets));
+        assignment[d][f] = bucket;
+        loads[d][bucket] += sizes[f];
+      }
+    }
+    std::uint64_t passing = 0;
+    for (std::size_t f = 0; f < sizes.size(); ++f) {
+      bool passes = true;
+      for (std::uint32_t d = 0; d < params.depth && passes; ++d) {
+        passes = loads[d][assignment[d][f]] >= params.threshold;
+      }
+      if (passes) ++passing;
+    }
+    sum += static_cast<double>(passing);
+    sum_sq += static_cast<double>(passing) * static_cast<double>(passing);
+  }
+  return from_samples(sum, sum_sq, trials);
+}
+
+MonteCarloResult simulate_sample_hold_undercount(
+    const SampleHoldParams& params, common::ByteCount flow_size,
+    std::uint32_t packet_size, std::uint64_t trials, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const double p = byte_sampling_probability(params);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    common::ByteCount skip = rng.geometric(p);
+    common::ByteCount undercount = 0;
+    common::ByteCount remaining = flow_size;
+    while (remaining > 0) {
+      const auto size = static_cast<std::uint32_t>(
+          std::min<common::ByteCount>(packet_size, remaining));
+      if (skip < size) {
+        break;  // this packet is sampled: everything after is counted
+      }
+      skip -= size;
+      undercount += size;
+      remaining -= size;
+    }
+    sum += static_cast<double>(undercount);
+    sum_sq +=
+        static_cast<double>(undercount) * static_cast<double>(undercount);
+  }
+  return from_samples(sum, sum_sq, trials);
+}
+
+MonteCarloResult simulate_miss_probability(
+    const SampleHoldParams& params, common::ByteCount flow_size,
+    std::uint32_t packet_size, std::uint64_t trials, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const double p = byte_sampling_probability(params);
+  std::uint64_t misses = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    common::ByteCount skip = rng.geometric(p);
+    if (skip >= flow_size) {
+      ++misses;
+    }
+    (void)packet_size;  // misses depend only on total bytes
+  }
+  return from_bernoulli(misses, trials);
+}
+
+}  // namespace nd::analysis

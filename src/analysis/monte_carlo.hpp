@@ -1,0 +1,55 @@
+// Monte-Carlo validation of the closed-form bounds.
+//
+// The paper's Section 4 proofs are worst-case; these simulators draw
+// random hash functions and flow mixes and measure the *actual*
+// probabilities, so tests can assert the closed forms really are upper
+// bounds (and see how loose they are on realistic mixes — the "orders of
+// magnitude better than predicted" observation of Section 7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "analysis/multistage_bounds.hpp"
+#include "analysis/sample_hold_bounds.hpp"
+#include "common/types.hpp"
+
+namespace nd::analysis {
+
+struct MonteCarloResult {
+  double estimate{0.0};
+  /// Standard error of the estimate (binomial / sample-mean).
+  double standard_error{0.0};
+  std::uint64_t trials{0};
+};
+
+/// Probability that a flow of size `flow_size` passes a parallel
+/// multistage filter of shape `params`, when the remaining traffic is
+/// `background` (flow sizes in bytes, hashed to random buckets each
+/// trial). Compare against pass_probability_bound (Lemma 1).
+[[nodiscard]] MonteCarloResult simulate_pass_probability(
+    const MultistageParams& params, common::ByteCount flow_size,
+    std::span<const common::ByteCount> background, std::uint64_t trials,
+    std::uint64_t seed);
+
+/// Expected number of flows from `sizes` passing the filter (the
+/// quantity Theorem 3 bounds). Each trial draws fresh stage hashes.
+[[nodiscard]] MonteCarloResult simulate_flows_passing(
+    const MultistageParams& params,
+    std::span<const common::ByteCount> sizes, std::uint64_t trials,
+    std::uint64_t seed);
+
+/// Mean undercount E[s - c] of sample and hold for a flow of
+/// `flow_size` bytes sent in `packet_size`-byte packets (the quantity
+/// whose expectation is 1/p). Compare against expected_undercount.
+[[nodiscard]] MonteCarloResult simulate_sample_hold_undercount(
+    const SampleHoldParams& params, common::ByteCount flow_size,
+    std::uint32_t packet_size, std::uint64_t trials, std::uint64_t seed);
+
+/// Probability that sample and hold misses a flow of `flow_size`
+/// entirely. Compare against miss_probability.
+[[nodiscard]] MonteCarloResult simulate_miss_probability(
+    const SampleHoldParams& params, common::ByteCount flow_size,
+    std::uint32_t packet_size, std::uint64_t trials, std::uint64_t seed);
+
+}  // namespace nd::analysis

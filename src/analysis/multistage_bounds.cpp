@@ -1,0 +1,67 @@
+#include "analysis/multistage_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/normal.hpp"
+
+namespace nd::analysis {
+
+double stage_strength(const MultistageParams& params) {
+  return static_cast<double>(params.threshold) *
+         static_cast<double>(params.buckets) /
+         static_cast<double>(params.capacity);
+}
+
+double pass_probability_bound(const MultistageParams& params,
+                              common::ByteCount flow_size) {
+  const double k = stage_strength(params);
+  const double t = static_cast<double>(params.threshold);
+  const double s = static_cast<double>(flow_size);
+  if (k <= 1.0 || s >= t * (1.0 - 1.0 / k)) {
+    return 1.0;
+  }
+  const double per_stage = (1.0 / k) * t / (t - s);
+  return std::pow(std::min(per_stage, 1.0),
+                  static_cast<double>(params.depth));
+}
+
+double expected_undetected_lower_bound(const MultistageParams& params) {
+  const double k = stage_strength(params);
+  const double d = static_cast<double>(params.depth);
+  if (d <= 1.0 || k <= 0.0) return 0.0;
+  const double bound = static_cast<double>(params.threshold) *
+                           (1.0 - d / (k * (d - 1.0))) -
+                       static_cast<double>(params.max_packet);
+  return std::max(bound, 0.0);
+}
+
+double expected_flows_passing(const MultistageParams& params) {
+  const double k = stage_strength(params);
+  const double n = params.flows;
+  const double b = static_cast<double>(params.buckets);
+  if (k <= 1.0 || k * n <= b) {
+    return n;  // the bound degenerates; everything may pass
+  }
+  const double tail =
+      n * std::pow(n / (k * n - b), static_cast<double>(params.depth));
+  return std::max(b / (k - 1.0), tail) + tail;
+}
+
+double flows_passing_bound(const MultistageParams& params,
+                           double overflow_probability) {
+  const double mean = expected_flows_passing(params);
+  return mean + normal_quantile(1.0 - overflow_probability) * std::sqrt(mean);
+}
+
+MultistageParams shielded(MultistageParams params,
+                          double traffic_reduction) {
+  // k = T b / C, so dividing the presented traffic by alpha is the same
+  // as dividing C: implemented directly on the capacity.
+  params.capacity = static_cast<common::ByteCount>(
+      static_cast<double>(params.capacity) /
+      std::max(traffic_reduction, 1.0));
+  return params;
+}
+
+}  // namespace nd::analysis

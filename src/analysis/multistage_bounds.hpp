@@ -1,0 +1,55 @@
+// Closed-form analysis of parallel multistage filters (Section 4.2).
+//
+// Notation: b buckets/stage, d stages, n active flows, C capacity per
+// interval, T threshold, k = T*b/C the stage strength, ymax the maximum
+// packet size.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace nd::analysis {
+
+struct MultistageParams {
+  std::uint32_t buckets{1000};          // b
+  std::uint32_t depth{4};               // d
+  double flows{100'000};                // n
+  common::ByteCount capacity{100'000'000};  // C (use actual traffic for
+                                            // tighter bounds, Section 7.1.2)
+  common::ByteCount threshold{1'000'000};   // T
+  common::ByteCount max_packet{1500};       // ymax
+};
+
+/// k = T*b/C.
+[[nodiscard]] double stage_strength(const MultistageParams& params);
+
+/// Lemma 1: P[flow of size s passes] <= ( (1/k) * T/(T-s) )^d for
+/// s < T(1 - 1/k); returns 1.0 outside the lemma's applicability range.
+[[nodiscard]] double pass_probability_bound(const MultistageParams& params,
+                                            common::ByteCount flow_size);
+
+/// Theorem 2 (lower bound on undetected bytes of a large flow):
+/// E[s - c] >= T * (1 - d / (k (d-1))) - ymax.
+/// (The published text garbles the typesetting; this is the
+/// reconstruction consistent with the tech report's discussion — the
+/// undetected traffic is close to T when stages are strong.)
+[[nodiscard]] double expected_undetected_lower_bound(
+    const MultistageParams& params);
+
+/// Theorem 3: E[flows passing] <=
+///     max( b/(k-1), n * (n/(k n - b))^d ) + n * (n/(k n - b))^d.
+/// Reproduces the paper's worked example: 121.2 flows for b=1000, d=4,
+/// n=100,000, k=10 (and 112.1 for d=5).
+[[nodiscard]] double expected_flows_passing(const MultistageParams& params);
+
+/// High-probability companion to Theorem 3 via a normal tail on the
+/// Bernoulli sum: bound + quantile(1-overflow) * sqrt(bound).
+[[nodiscard]] double flows_passing_bound(const MultistageParams& params,
+                                         double overflow_probability);
+
+/// Effect of shielding (Section 4.2.3): reducing the traffic presented
+/// to the filter by `traffic_reduction` (alpha >= 1) multiplies the
+/// stage strength by alpha. Returns adjusted params.
+[[nodiscard]] MultistageParams shielded(MultistageParams params,
+                                        double traffic_reduction);
+
+}  // namespace nd::analysis

@@ -1,0 +1,19 @@
+// Gaussian and Poisson tail utilities for the paper's high-probability
+// memory bounds (Sections 4.1.2 and 4.2.2 use "2.33 standard deviations
+// for 99%" style normal-curve arguments).
+#pragma once
+
+namespace nd::analysis {
+
+/// Standard normal CDF Phi(x).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Inverse standard normal CDF (quantile), accurate to ~1e-9 over
+/// (0, 1) — Acklam's rational approximation with one Halley refinement.
+[[nodiscard]] double normal_quantile(double p);
+
+/// P[Poisson(mean) > k] — used for counting-type high-probability bounds
+/// where the normal approximation is too optimistic in the tail.
+[[nodiscard]] double poisson_tail(double mean, double k);
+
+}  // namespace nd::analysis

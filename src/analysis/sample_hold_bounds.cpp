@@ -1,0 +1,87 @@
+#include "analysis/sample_hold_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/normal.hpp"
+
+namespace nd::analysis {
+
+namespace {
+
+double binomial_sd(double trials, double p) {
+  return std::sqrt(trials * p * (1.0 - p));
+}
+
+double quantile_for_overflow(double overflow_probability) {
+  return normal_quantile(1.0 - overflow_probability);
+}
+
+}  // namespace
+
+double byte_sampling_probability(const SampleHoldParams& params) {
+  return std::min(
+      1.0, params.oversampling / static_cast<double>(params.threshold));
+}
+
+double miss_probability(const SampleHoldParams& params,
+                        common::ByteCount flow_size) {
+  const double p = byte_sampling_probability(params);
+  return std::pow(1.0 - p, static_cast<double>(flow_size));
+}
+
+double miss_probability_early_removal(const SampleHoldParams& params,
+                                      common::ByteCount early_threshold) {
+  const double p = byte_sampling_probability(params);
+  const double exposed = static_cast<double>(
+      params.threshold > early_threshold ? params.threshold - early_threshold
+                                         : 0);
+  return std::pow(1.0 - p, exposed);
+}
+
+double expected_undercount(const SampleHoldParams& params) {
+  return 1.0 / byte_sampling_probability(params);
+}
+
+double error_deviation(const SampleHoldParams& params) {
+  const double p = byte_sampling_probability(params);
+  return std::sqrt(2.0 - p) / p;
+}
+
+double relative_error_at_threshold(const SampleHoldParams& params) {
+  return error_deviation(params) / static_cast<double>(params.threshold);
+}
+
+double expected_entries(const SampleHoldParams& params) {
+  return byte_sampling_probability(params) *
+         static_cast<double>(params.capacity);
+}
+
+double entries_bound(const SampleHoldParams& params,
+                     double overflow_probability) {
+  const double p = byte_sampling_probability(params);
+  const double c = static_cast<double>(params.capacity);
+  return p * c +
+         quantile_for_overflow(overflow_probability) * binomial_sd(c, p);
+}
+
+double entries_bound_preserved(const SampleHoldParams& params,
+                               double overflow_probability) {
+  const double p = byte_sampling_probability(params);
+  const double c = static_cast<double>(params.capacity);
+  return 2.0 * p * c + quantile_for_overflow(overflow_probability) *
+                           std::sqrt(2.0) * binomial_sd(c, p);
+}
+
+double entries_bound_early_removal(const SampleHoldParams& params,
+                                   common::ByteCount early_threshold,
+                                   double overflow_probability) {
+  const double p = byte_sampling_probability(params);
+  const double c = static_cast<double>(params.capacity);
+  const double preserved_cap =
+      c / static_cast<double>(std::max<common::ByteCount>(early_threshold, 1));
+  return preserved_cap + p * c +
+         quantile_for_overflow(overflow_probability) * binomial_sd(c, p);
+}
+
+}  // namespace nd::analysis

@@ -1,0 +1,62 @@
+// Closed-form analysis of sample and hold (Section 4.1).
+//
+// Notation (as in the paper):
+//   p — byte sampling probability;    s — flow size in bytes;
+//   T — large-flow threshold;         C — link capacity per interval;
+//   O — oversampling factor (p = O/T);
+//   c — bytes actually counted for a flow.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace nd::analysis {
+
+struct SampleHoldParams {
+  double oversampling{20.0};          // O
+  common::ByteCount threshold{1'000'000};  // T
+  common::ByteCount capacity{100'000'000}; // C
+};
+
+/// p = O / T.
+[[nodiscard]] double byte_sampling_probability(const SampleHoldParams& params);
+
+/// Probability a flow of size s is missed entirely: (1-p)^s ~ e^{-O s/T}.
+/// For s = T this is the paper's false-negative probability e^{-O}.
+[[nodiscard]] double miss_probability(const SampleHoldParams& params,
+                                      common::ByteCount flow_size);
+
+/// With early removal at R < T, a flow at the threshold is missed unless
+/// one of its first T-R bytes is sampled: ~ e^{-O (T-R)/T} (Section 4.1.4).
+[[nodiscard]] double miss_probability_early_removal(
+    const SampleHoldParams& params, common::ByteCount early_threshold);
+
+/// E[s - c] = 1/p — the expected undercount before the entry exists.
+[[nodiscard]] double expected_undercount(const SampleHoldParams& params);
+
+/// sqrt(E[(s-c)^2]) = sqrt(2-p)/p; relative to a flow at the threshold
+/// this is sqrt(2-p)/O (Section 4.1.1 — 7% for O = 20).
+[[nodiscard]] double error_deviation(const SampleHoldParams& params);
+[[nodiscard]] double relative_error_at_threshold(
+    const SampleHoldParams& params);
+
+/// Expected flow-memory entries: p*C = O*C/T (Section 4.1.2).
+[[nodiscard]] double expected_entries(const SampleHoldParams& params);
+
+/// High-probability bound: expected + z_quantile standard deviations of
+/// the binomial sample count, sd = sqrt(C p (1-p)).
+/// overflow_probability 0.001 reproduces the paper's "2,147 entries".
+[[nodiscard]] double entries_bound(const SampleHoldParams& params,
+                                   double overflow_probability);
+
+/// Preserving entries doubles the expected entries (samples from two
+/// intervals); sd = sqrt(2 C p (1-p)) (Section 4.1.3 — "4,207 entries").
+[[nodiscard]] double entries_bound_preserved(const SampleHoldParams& params,
+                                             double overflow_probability);
+
+/// Early removal at R: expected entries C/R + O C/T, with the same
+/// one-interval sd when R >= T/O (Section 4.1.4 — "2,647 entries").
+[[nodiscard]] double entries_bound_early_removal(
+    const SampleHoldParams& params, common::ByteCount early_threshold,
+    double overflow_probability);
+
+}  // namespace nd::analysis

@@ -1,0 +1,74 @@
+#include "analysis/zipf_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/normal.hpp"
+
+namespace nd::analysis {
+
+std::vector<common::ByteCount> zipf_flow_sizes(std::size_t flows,
+                                               double alpha,
+                                               common::ByteCount total_bytes) {
+  std::vector<common::ByteCount> sizes;
+  sizes.reserve(flows);
+  double harmonic = 0.0;
+  for (std::size_t i = 1; i <= flows; ++i) {
+    harmonic += std::pow(static_cast<double>(i), -alpha);
+  }
+  const double unit = static_cast<double>(total_bytes) / harmonic;
+  for (std::size_t i = 1; i <= flows; ++i) {
+    sizes.push_back(std::max<common::ByteCount>(
+        1, static_cast<common::ByteCount>(
+               unit * std::pow(static_cast<double>(i), -alpha))));
+  }
+  return sizes;
+}
+
+double sample_hold_entries_zipf(const SampleHoldParams& params,
+                                std::span<const common::ByteCount> sizes,
+                                bool preserved,
+                                double overflow_probability) {
+  const double p = byte_sampling_probability(params);
+  double expected = 0.0;
+  for (const auto size : sizes) {
+    expected += 1.0 - std::pow(1.0 - p, static_cast<double>(size));
+  }
+  if (preserved) expected *= 2.0;
+  // Normal slack on the sum of independent per-flow Bernoullis; the
+  // variance is at most the mean.
+  return expected +
+         normal_quantile(1.0 - overflow_probability) * std::sqrt(expected);
+}
+
+double multistage_false_positives_zipf(
+    const MultistageParams& params,
+    std::span<const common::ByteCount> sizes) {
+  double total = 0.0;
+  for (const auto size : sizes) total += static_cast<double>(size);
+
+  const double b = static_cast<double>(params.buckets);
+  const double t = static_cast<double>(params.threshold);
+  double expected = 0.0;
+  for (const auto size : sizes) {
+    const double s = static_cast<double>(size);
+    if (s >= t) continue;  // a true large flow, not a false positive
+    const double per_stage = std::min(1.0, (total - s) / (b * (t - s)));
+    expected += std::pow(per_stage, static_cast<double>(params.depth));
+  }
+  return expected;
+}
+
+double multistage_false_positive_percentage_zipf(
+    const MultistageParams& params,
+    std::span<const common::ByteCount> sizes) {
+  std::size_t small = 0;
+  for (const auto size : sizes) {
+    if (size < params.threshold) ++small;
+  }
+  if (small == 0) return 0.0;
+  return 100.0 * multistage_false_positives_zipf(params, sizes) /
+         static_cast<double>(small);
+}
+
+}  // namespace nd::analysis

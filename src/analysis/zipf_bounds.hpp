@@ -1,0 +1,45 @@
+// Distribution-aware ("Zipf") bounds.
+//
+// The general bounds of Section 4 hold for any flow-size distribution;
+// Table 4 and Figure 7 also show much tighter bounds computed assuming
+// flow sizes follow Zipf(alpha = 1). These helpers evaluate the same
+// analytical machinery against an explicit size vector drawn from a Zipf
+// law (or any caller-provided sizes).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/multistage_bounds.hpp"
+#include "analysis/sample_hold_bounds.hpp"
+#include "common/types.hpp"
+
+namespace nd::analysis {
+
+/// Zipf(alpha) sizes for n flows scaled to total_bytes (same law the
+/// trace synthesizer uses), for feeding the bounds below.
+[[nodiscard]] std::vector<common::ByteCount> zipf_flow_sizes(
+    std::size_t flows, double alpha, common::ByteCount total_bytes);
+
+/// Expected sample-and-hold entries when flow sizes are known:
+///   sum_i (1 - (1-p)^{s_i}),
+/// optionally doubled for entry preservation. A normal-tail slack for
+/// `overflow_probability` is added as in the general bound.
+[[nodiscard]] double sample_hold_entries_zipf(
+    const SampleHoldParams& params, std::span<const common::ByteCount> sizes,
+    bool preserved, double overflow_probability);
+
+/// Expected number of *small* flows (size < T) passing a parallel
+/// multistage filter when flow sizes are known. For each small flow, the
+/// per-stage pass probability is bounded by Markov on the traffic of the
+/// other flows: P[stage] <= min(1, (V - s) / (b (T - s))), and stages are
+/// independent. V defaults to the sum of `sizes` — the "maximum traffic,
+/// not the link capacity" refinement the paper applies in Section 7.1.2.
+[[nodiscard]] double multistage_false_positives_zipf(
+    const MultistageParams& params, std::span<const common::ByteCount> sizes);
+
+/// Same, expressed as a percentage of the small flows (Figure 7's y-axis).
+[[nodiscard]] double multistage_false_positive_percentage_zipf(
+    const MultistageParams& params, std::span<const common::ByteCount> sizes);
+
+}  // namespace nd::analysis

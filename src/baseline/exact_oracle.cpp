@@ -1,0 +1,18 @@
+#include "baseline/exact_oracle.hpp"
+
+namespace nd::baseline {
+
+core::Report ExactOracle::end_interval() {
+  core::Report report;
+  report.interval = interval_;
+  report.entries_used = bytes_.size();
+  report.flows.reserve(bytes_.size());
+  for (const auto& [key, size] : bytes_) {
+    report.flows.push_back(core::ReportedFlow{key, size, /*exact=*/true});
+  }
+  bytes_.clear();
+  ++interval_;
+  return report;
+}
+
+}  // namespace nd::baseline

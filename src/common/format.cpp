@@ -1,0 +1,65 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace nd::common {
+
+std::string format_bytes(ByteCount bytes) {
+  constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1000.0 && unit + 1 < kUnits.size()) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_scientific(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", value);
+  return buf;
+}
+
+std::string format_ipv4(std::uint32_t addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+}  // namespace nd::common

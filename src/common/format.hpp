@@ -1,0 +1,30 @@
+// Small formatting helpers used by the evaluation harness and examples.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nd::common {
+
+/// "1.50 MB", "240 B", "12.3 GB" — decimal units (the paper uses
+/// 1 Mbyte = 1,000,000 bytes, see its footnote 2).
+[[nodiscard]] std::string format_bytes(ByteCount bytes);
+
+/// "12.34%" with a configurable number of decimals.
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 2);
+
+/// Fixed-point double with `decimals` digits, e.g. format_fixed(1.5, 3)
+/// == "1.500".
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Thousands-separated integer: 1234567 -> "1,234,567".
+[[nodiscard]] std::string format_count(std::uint64_t value);
+
+/// Scientific notation with 2 significant decimals, e.g. "1.52e-04".
+[[nodiscard]] std::string format_scientific(double value);
+
+/// Dotted-quad rendering of a host-order IPv4 address.
+[[nodiscard]] std::string format_ipv4(std::uint32_t addr);
+
+}  // namespace nd::common

@@ -1,0 +1,48 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nd::common {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+}
+
+std::uint64_t Rng::word() { return engine_(); }
+
+double Rng::real() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  p = std::clamp(p, std::numeric_limits<double>::min(), 1.0);
+  if (p >= 1.0) return 0;
+  // Inverse-CDF sampling: floor(log(U) / log(1-p)) with U in (0,1).
+  const double u = 1.0 - real();  // in (0, 1]
+  const double v = std::log(u) / std::log1p(-p);
+  // Guard against overflow for minuscule p and tiny u.
+  constexpr double kMax = 9.0e18;
+  return static_cast<std::uint64_t>(std::min(v, kMax));
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+Rng Rng::fork() {
+  // Mix two words so a forked child differs from the parent stream even
+  // if the caller forks repeatedly.
+  const std::uint64_t a = word();
+  const std::uint64_t b = word();
+  return Rng(a * 0x9E3779B97F4A7C15ULL ^ (b + 0xD1B54A32D192ED03ULL));
+}
+
+}  // namespace nd::common

@@ -1,0 +1,42 @@
+// Fundamental value types shared by every subsystem.
+//
+// The paper measures flows in bytes over fixed measurement intervals; all
+// byte arithmetic in this library is done in unsigned 64-bit quantities so
+// multi-gigabyte synthetic traces cannot overflow, even though the paper's
+// hardware sizing assumes 32-bit counters (that cost model lives in
+// analysis/core_comparison.hpp, not here).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nd::common {
+
+/// Number of bytes (of a packet, a flow, or a link-interval capacity).
+using ByteCount = std::uint64_t;
+
+/// Nanosecond timestamp relative to the start of the trace.
+using TimestampNs = std::uint64_t;
+
+/// Index of a measurement interval within a trace (0-based).
+using IntervalIndex = std::uint32_t;
+
+/// Duration of one measurement interval. The paper uses 5 seconds for all
+/// trace experiments (Section 7).
+using IntervalDuration = std::chrono::nanoseconds;
+
+/// A fraction of link capacity, e.g. the paper's thresholds "0.1%" or
+/// "0.025%" of the link. Stored as a plain double in [0, 1].
+struct LinkFraction {
+  double value{0.0};
+
+  [[nodiscard]] static constexpr LinkFraction from_percent(double pct) {
+    return LinkFraction{pct / 100.0};
+  }
+  [[nodiscard]] constexpr double percent() const { return value * 100.0; }
+  [[nodiscard]] constexpr ByteCount of(ByteCount capacity) const {
+    return static_cast<ByteCount>(static_cast<double>(capacity) * value);
+  }
+};
+
+}  // namespace nd::common

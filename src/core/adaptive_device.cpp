@@ -1,0 +1,14 @@
+#include "core/adaptive_device.hpp"
+
+namespace nd::core {
+
+Report AdaptiveDevice::end_interval() {
+  Report report = device_->end_interval();
+  const common::ByteCount next = adaptor_.update(
+      device_->threshold(), report.entries_used,
+      device_->flow_memory_capacity());
+  device_->set_threshold(next);
+  return report;
+}
+
+}  // namespace nd::core

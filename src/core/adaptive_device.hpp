@@ -1,0 +1,51 @@
+// AdaptiveDevice: a measurement device under closed-loop threshold
+// control — the "complete traffic measurement device" of Section 7.2.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/device.hpp"
+#include "core/threshold_adaptor.hpp"
+
+namespace nd::core {
+
+class AdaptiveDevice final : public MeasurementDevice {
+ public:
+  AdaptiveDevice(std::unique_ptr<MeasurementDevice> device,
+                 const ThresholdAdaptorConfig& adaptor_config)
+      : device_(std::move(device)), adaptor_(adaptor_config) {}
+
+  void observe(const packet::FlowKey& key, std::uint32_t bytes) override {
+    device_->observe(key, bytes);
+  }
+
+  Report end_interval() override;
+
+  [[nodiscard]] std::string name() const override {
+    return device_->name() + " (adaptive)";
+  }
+  [[nodiscard]] common::ByteCount threshold() const override {
+    return device_->threshold();
+  }
+  void set_threshold(common::ByteCount threshold) override {
+    device_->set_threshold(threshold);
+  }
+  [[nodiscard]] std::size_t flow_memory_capacity() const override {
+    return device_->flow_memory_capacity();
+  }
+  [[nodiscard]] std::uint64_t memory_accesses() const override {
+    return device_->memory_accesses();
+  }
+  [[nodiscard]] std::uint64_t packets_processed() const override {
+    return device_->packets_processed();
+  }
+
+  [[nodiscard]] MeasurementDevice& inner() { return *device_; }
+
+ private:
+  std::unique_ptr<MeasurementDevice> device_;
+  ThresholdAdaptor adaptor_;
+};
+
+}  // namespace nd::core

@@ -1,0 +1,74 @@
+// The uniform interface all traffic measurement devices implement.
+//
+// A device observes every packet of a measurement interval (already
+// classified to a FlowKey by a packet::FlowDefinition) and, at the end of
+// the interval, reports the flows it measured — mirroring the paper's
+// model where the router sends per-interval reports to a management
+// station (Section 5.2 normalizes NetFlow to this model too).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "packet/flow_key.hpp"
+
+namespace nd::core {
+
+struct ReportedFlow {
+  packet::FlowKey key;
+  /// The device's estimate of the flow's bytes in the interval.
+  common::ByteCount estimated_bytes{0};
+  /// True when the device measured the flow exactly for the whole
+  /// interval (entry preserved from a previous interval — Section 3.3.1).
+  bool exact{false};
+};
+
+struct Report {
+  common::IntervalIndex interval{0};
+  std::vector<ReportedFlow> flows;
+  /// Flow-memory entries in use when the interval ended (the usage the
+  /// threshold adaptor steers on).
+  std::size_t entries_used{0};
+  /// Threshold the device operated with during this interval (devices
+  /// without a threshold report 0).
+  common::ByteCount threshold{0};
+};
+
+/// Sort a report's flows by descending estimated size (stable for ties).
+void sort_by_size(Report& report);
+
+/// Find a flow in a report; nullptr when absent.
+[[nodiscard]] const ReportedFlow* find_flow(const Report& report,
+                                            const packet::FlowKey& key);
+
+class MeasurementDevice {
+ public:
+  virtual ~MeasurementDevice() = default;
+
+  /// Process one packet of `bytes` bytes belonging to flow `key`.
+  virtual void observe(const packet::FlowKey& key, std::uint32_t bytes) = 0;
+
+  /// Close the current measurement interval and report.
+  virtual Report end_interval() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Current large-flow threshold (0 for devices without one). The
+  /// threshold adaptor (Section 6) drives set_threshold between
+  /// intervals.
+  [[nodiscard]] virtual common::ByteCount threshold() const = 0;
+  virtual void set_threshold(common::ByteCount threshold) = 0;
+
+  /// Flow-memory capacity in entries (SIZE_MAX-like large value for the
+  /// unbounded DRAM baselines).
+  [[nodiscard]] virtual std::size_t flow_memory_capacity() const = 0;
+
+  /// Total memory (counter/entry) accesses and packets processed, for
+  /// the per-packet access accounting of Tables 1 and 2.
+  [[nodiscard]] virtual std::uint64_t memory_accesses() const = 0;
+  [[nodiscard]] virtual std::uint64_t packets_processed() const = 0;
+};
+
+}  // namespace nd::core

@@ -1,0 +1,78 @@
+#include "core/leaky_bucket.hpp"
+
+#include <algorithm>
+
+namespace nd::core {
+
+LeakyBucketMeter::LeakyBucketMeter(const LeakyBucketDescriptor& descriptor,
+                                   common::TimestampNs start_ns)
+    : descriptor_(descriptor),
+      tokens_(static_cast<double>(descriptor.burst_bytes)),
+      last_ns_(start_ns) {}
+
+bool LeakyBucketMeter::offer(common::TimestampNs timestamp_ns,
+                             std::uint32_t bytes) {
+  if (timestamp_ns > last_ns_) {
+    const double elapsed_sec =
+        static_cast<double>(timestamp_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(
+        static_cast<double>(descriptor_.burst_bytes),
+        tokens_ + elapsed_sec * descriptor_.rate_bytes_per_sec);
+    last_ns_ = timestamp_ns;
+  }
+  if (static_cast<double>(bytes) <= tokens_) {
+    tokens_ -= static_cast<double>(bytes);
+    return true;
+  }
+  excess_ += bytes;
+  return false;
+}
+
+RateViolationDetector::RateViolationDetector(
+    const RateViolationDetectorConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      skip_(rng_.geometric(config.byte_sampling_probability)) {}
+
+void RateViolationDetector::observe(const packet::FlowKey& key,
+                                    common::TimestampNs timestamp_ns,
+                                    std::uint32_t bytes) {
+  if (auto it = meters_.find(key); it != meters_.end()) {
+    it->second.observed += bytes;
+    (void)it->second.meter.offer(timestamp_ns, bytes);
+    return;
+  }
+  // Identification front end: byte-level sampling via geometric skips.
+  if (skip_ >= bytes) {
+    skip_ -= bytes;
+    return;
+  }
+  skip_ = rng_.geometric(config_.byte_sampling_probability);
+  if (meters_.size() >= config_.max_tracked_flows) {
+    return;  // table full: the flow is lost, as in hardware
+  }
+  Tracked tracked;
+  tracked.meter = LeakyBucketMeter(config_.descriptor, timestamp_ns);
+  tracked.observed = bytes;
+  // The admitting packet itself is metered.
+  (void)tracked.meter.offer(timestamp_ns, bytes);
+  meters_.emplace(key, tracked);
+}
+
+std::vector<RateViolation> RateViolationDetector::end_epoch() {
+  std::vector<RateViolation> violations;
+  for (const auto& [key, tracked] : meters_) {
+    if (tracked.meter.excess_bytes() > 0) {
+      violations.push_back(RateViolation{key, tracked.meter.excess_bytes(),
+                                         tracked.observed});
+    }
+  }
+  std::sort(violations.begin(), violations.end(),
+            [](const RateViolation& a, const RateViolation& b) {
+              return a.excess_bytes > b.excess_bytes;
+            });
+  meters_.clear();
+  return violations;
+}
+
+}  // namespace nd::core

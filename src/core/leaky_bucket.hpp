@@ -1,0 +1,99 @@
+// Leaky-bucket flow descriptors — the alternative large-flow definition
+// the paper points to: "The technical report [6] gives alternative
+// definitions and algorithms based on defining large flows via leaky
+// bucket descriptors."
+//
+// A flow conforms to descriptor (r, B) when its arrival curve never
+// exceeds r*t + B: a token bucket of depth B refilled at r bytes/sec.
+// RateViolationDetector combines the sample-and-hold identification
+// front end with per-entry token buckets: once a flow is sampled into
+// the table, every subsequent packet is metered exactly and the flow is
+// flagged the moment it exceeds its descriptor. This catches flows that
+// are large *as a rate* (bursts included) rather than large as a
+// per-interval byte total.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "packet/flow_key.hpp"
+
+namespace nd::core {
+
+struct LeakyBucketDescriptor {
+  /// Sustained rate in bytes per second.
+  double rate_bytes_per_sec{1'000'000.0};
+  /// Burst tolerance in bytes.
+  common::ByteCount burst_bytes{100'000};
+};
+
+/// Token-bucket meter: offer() consumes tokens for conforming packets
+/// and reports non-conformance without consuming.
+class LeakyBucketMeter {
+ public:
+  LeakyBucketMeter() = default;
+  LeakyBucketMeter(const LeakyBucketDescriptor& descriptor,
+                   common::TimestampNs start_ns);
+
+  /// True when the packet conforms (tokens available). Non-conforming
+  /// packets are counted as excess and do not consume tokens.
+  bool offer(common::TimestampNs timestamp_ns, std::uint32_t bytes);
+
+  [[nodiscard]] common::ByteCount excess_bytes() const { return excess_; }
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  LeakyBucketDescriptor descriptor_{};
+  double tokens_{0.0};
+  common::TimestampNs last_ns_{0};
+  common::ByteCount excess_{0};
+};
+
+struct RateViolation {
+  packet::FlowKey flow;
+  /// Bytes beyond the descriptor since the flow was first held.
+  common::ByteCount excess_bytes{0};
+  /// Bytes observed (held flows are metered exactly after sampling).
+  common::ByteCount observed_bytes{0};
+};
+
+struct RateViolationDetectorConfig {
+  LeakyBucketDescriptor descriptor{};
+  /// Byte sampling probability of the identification front end. Choose
+  /// ~oversampling / (r * interval + B) as for plain sample and hold.
+  double byte_sampling_probability{1e-4};
+  std::size_t max_tracked_flows{4096};
+  std::uint64_t seed{1};
+};
+
+class RateViolationDetector {
+ public:
+  explicit RateViolationDetector(const RateViolationDetectorConfig& config);
+
+  void observe(const packet::FlowKey& key,
+               common::TimestampNs timestamp_ns, std::uint32_t bytes);
+
+  /// Flows that exceeded their descriptor, sorted by excess (desc).
+  /// Clears all state for the next epoch.
+  [[nodiscard]] std::vector<RateViolation> end_epoch();
+
+  [[nodiscard]] std::size_t tracked_flows() const {
+    return meters_.size();
+  }
+
+ private:
+  struct Tracked {
+    LeakyBucketMeter meter;
+    common::ByteCount observed{0};
+  };
+
+  RateViolationDetectorConfig config_;
+  common::Rng rng_;
+  common::ByteCount skip_;
+  std::unordered_map<packet::FlowKey, Tracked, packet::FlowKeyHasher>
+      meters_;
+};
+
+}  // namespace nd::core

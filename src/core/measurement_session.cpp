@@ -1,0 +1,56 @@
+#include "core/measurement_session.hpp"
+
+namespace nd::core {
+
+MeasurementSession::MeasurementSession(
+    std::unique_ptr<MeasurementDevice> device,
+    packet::FlowDefinition definition,
+    common::IntervalDuration interval_duration)
+    : device_(std::move(device)),
+      definition_(std::move(definition)),
+      interval_ns_(static_cast<common::TimestampNs>(
+          interval_duration.count() > 0 ? interval_duration.count()
+                                        : 1)),
+      current_end_ns_(0) {}
+
+void MeasurementSession::close_intervals_until(
+    common::TimestampNs timestamp_ns) {
+  while (timestamp_ns >= current_end_ns_) {
+    pending_.push_back(device_->end_interval());
+    ++intervals_closed_;
+    current_end_ns_ += interval_ns_;
+  }
+}
+
+void MeasurementSession::observe(const packet::PacketRecord& packet) {
+  if (!started_) {
+    started_ = true;
+    // Anchor interval boundaries at multiples of the duration, like a
+    // router clock, not at the first packet's arrival.
+    current_end_ns_ =
+        (packet.timestamp_ns / interval_ns_ + 1) * interval_ns_;
+  }
+  close_intervals_until(packet.timestamp_ns);
+  ++packets_;
+  if (const auto key = definition_.classify(packet)) {
+    device_->observe(*key, packet.size_bytes);
+  } else {
+    ++unclassified_;
+  }
+}
+
+std::vector<Report> MeasurementSession::drain_reports() {
+  std::vector<Report> out;
+  out.swap(pending_);
+  return out;
+}
+
+std::vector<Report> MeasurementSession::finish() {
+  if (started_) {
+    pending_.push_back(device_->end_interval());
+    ++intervals_closed_;
+  }
+  return drain_reports();
+}
+
+}  // namespace nd::core

@@ -1,0 +1,65 @@
+// MeasurementSession: the runtime that turns a timestamped packet stream
+// into per-interval device reports.
+//
+// Devices themselves are interval-agnostic (observe / end_interval);
+// a real deployment needs something to watch the clock: classify each
+// packet under the configured flow definition, close the measurement
+// interval when a packet's timestamp crosses the boundary (including
+// idle gaps spanning several intervals, so entry-preservation semantics
+// stay correct), and hand finished reports to the consumer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/device.hpp"
+#include "packet/flow_definition.hpp"
+#include "packet/packet.hpp"
+
+namespace nd::core {
+
+class MeasurementSession {
+ public:
+  /// `definition` may reference an AsResolver; the caller keeps that
+  /// alive for the session's lifetime.
+  MeasurementSession(std::unique_ptr<MeasurementDevice> device,
+                     packet::FlowDefinition definition,
+                     common::IntervalDuration interval_duration);
+
+  /// Feed one packet. Timestamps must be non-decreasing (out-of-order
+  /// packets within the current interval are fine; a packet from an
+  /// already-closed interval is counted into the current one).
+  void observe(const packet::PacketRecord& packet);
+
+  /// Reports of all intervals closed so far (drained).
+  [[nodiscard]] std::vector<Report> drain_reports();
+
+  /// Close the in-progress interval (end of stream) and return every
+  /// remaining report.
+  [[nodiscard]] std::vector<Report> finish();
+
+  [[nodiscard]] MeasurementDevice& device() { return *device_; }
+  [[nodiscard]] std::uint64_t packets_observed() const { return packets_; }
+  /// Packets the flow definition's pattern rejected.
+  [[nodiscard]] std::uint64_t packets_unclassified() const {
+    return unclassified_;
+  }
+  [[nodiscard]] common::IntervalIndex intervals_closed() const {
+    return intervals_closed_;
+  }
+
+ private:
+  void close_intervals_until(common::TimestampNs timestamp_ns);
+
+  std::unique_ptr<MeasurementDevice> device_;
+  packet::FlowDefinition definition_;
+  common::TimestampNs interval_ns_;
+  common::TimestampNs current_end_ns_;
+  bool started_{false};
+  std::uint64_t packets_{0};
+  std::uint64_t unclassified_{0};
+  common::IntervalIndex intervals_closed_{0};
+  std::vector<Report> pending_;
+};
+
+}  // namespace nd::core

@@ -1,0 +1,40 @@
+#include "core/multi_monitor.hpp"
+
+namespace nd::core {
+
+void MultiDefinitionMonitor::add_instance(
+    std::string label, std::unique_ptr<MeasurementDevice> device,
+    packet::FlowDefinition definition) {
+  labels_.push_back(std::move(label));
+  sessions_.emplace_back(std::move(device), std::move(definition),
+                         interval_);
+}
+
+void MultiDefinitionMonitor::observe(const packet::PacketRecord& packet) {
+  ++packets_;
+  for (auto& session : sessions_) {
+    session.observe(packet);
+  }
+}
+
+std::vector<MultiDefinitionMonitor::LabeledReports>
+MultiDefinitionMonitor::drain_reports() {
+  std::vector<LabeledReports> out;
+  out.reserve(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    out.push_back(LabeledReports{labels_[i], sessions_[i].drain_reports()});
+  }
+  return out;
+}
+
+std::vector<MultiDefinitionMonitor::LabeledReports>
+MultiDefinitionMonitor::finish() {
+  std::vector<LabeledReports> out;
+  out.reserve(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    out.push_back(LabeledReports{labels_[i], sessions_[i].finish()});
+  }
+  return out;
+}
+
+}  // namespace nd::core

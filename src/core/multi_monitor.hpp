@@ -1,0 +1,55 @@
+// MultiDefinitionMonitor: several measurement instances over one packet
+// stream.
+//
+// Section 1.2: "Since different applications define flows by different
+// header fields, we need a separate instance of our algorithms for each
+// of them." A router watching for DoS victims (dst-IP), billing
+// customers (dst network) and feeding traffic engineering (AS pairs)
+// runs one monitor with three instances; each packet is classified once
+// per definition and the instances share the interval clock.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/measurement_session.hpp"
+
+namespace nd::core {
+
+class MultiDefinitionMonitor {
+ public:
+  explicit MultiDefinitionMonitor(common::IntervalDuration interval)
+      : interval_(interval) {}
+
+  /// Register one instance. Definitions referencing an AsResolver must
+  /// outlive the monitor.
+  void add_instance(std::string label,
+                    std::unique_ptr<MeasurementDevice> device,
+                    packet::FlowDefinition definition);
+
+  void observe(const packet::PacketRecord& packet);
+
+  struct LabeledReports {
+    std::string label;
+    std::vector<Report> reports;
+  };
+
+  /// Reports closed so far, per instance (instances stay in
+  /// registration order; labels repeat on every call).
+  [[nodiscard]] std::vector<LabeledReports> drain_reports();
+
+  /// Flush partial intervals at end of stream.
+  [[nodiscard]] std::vector<LabeledReports> finish();
+
+  [[nodiscard]] std::size_t instances() const { return sessions_.size(); }
+  [[nodiscard]] std::uint64_t packets_observed() const { return packets_; }
+
+ private:
+  common::IntervalDuration interval_;
+  std::vector<std::string> labels_;
+  std::vector<MeasurementSession> sessions_;
+  std::uint64_t packets_{0};
+};
+
+}  // namespace nd::core

@@ -1,0 +1,166 @@
+#include "core/multistage_filter.hpp"
+
+#include <algorithm>
+
+namespace nd::core {
+
+MultistageFilter::MultistageFilter(const MultistageFilterConfig& config)
+    : config_(config),
+      memory_(config.flow_memory_entries, config.seed ^ 0xF117E2ULL),
+      bucket_scratch_(config.depth) {
+  hash::HashFamily family(config_.seed, config_.hash_kind);
+  hashes_.reserve(config_.depth);
+  stages_.reserve(config_.depth);
+  for (std::uint32_t d = 0; d < config_.depth; ++d) {
+    hashes_.push_back(family.make_stage(config_.buckets_per_stage));
+    stages_.emplace_back(config_.buckets_per_stage, 0);
+  }
+  set_threshold(config_.threshold);
+}
+
+void MultistageFilter::set_threshold(common::ByteCount threshold) {
+  config_.threshold = std::max<common::ByteCount>(threshold, 1);
+  serial_stage_threshold_ = std::max<common::ByteCount>(
+      config_.threshold / std::max<std::uint32_t>(config_.depth, 1), 1);
+}
+
+void MultistageFilter::admit(const packet::FlowKey& key,
+                             std::uint32_t bytes) {
+  flowmem::FlowEntry* entry = memory_.insert(key, interval_);
+  if (entry == nullptr) {
+    ++dropped_passes_;
+    return;
+  }
+  flowmem::FlowMemory::add_bytes(*entry, bytes);
+}
+
+void MultistageFilter::observe(const packet::FlowKey& key,
+                               std::uint32_t bytes) {
+  ++packets_;
+  if (flowmem::FlowEntry* entry = memory_.find(key)) {
+    flowmem::FlowMemory::add_bytes(*entry, bytes);
+    if (config_.shielding) {
+      return;  // entry-holding flows no longer touch the filter
+    }
+    // Without shielding the packet still feeds the stage counters (it
+    // can never "pass" again — the flow is already tracked).
+    const std::uint64_t fp = key.fingerprint();
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      stages_[d][hashes_[d].bucket(fp)] += bytes;
+    }
+    counter_accesses_ += config_.depth;
+    return;
+  }
+  if (config_.serial) {
+    observe_serial(key, bytes);
+  } else {
+    observe_parallel(key, bytes);
+  }
+}
+
+void MultistageFilter::observe_parallel(const packet::FlowKey& key,
+                                        std::uint32_t bytes) {
+  const std::uint64_t fp = key.fingerprint();
+  common::ByteCount min_counter = ~common::ByteCount{0};
+  for (std::uint32_t d = 0; d < config_.depth; ++d) {
+    bucket_scratch_[d] = hashes_[d].bucket(fp);
+    min_counter = std::min(min_counter, stages_[d][bucket_scratch_[d]]);
+  }
+  counter_accesses_ += config_.depth;
+
+  // After a normal increment every counter gains `bytes`, so the packet
+  // passes iff the *smallest* counter would reach the threshold.
+  const common::ByteCount new_min = min_counter + bytes;
+  const bool passes = new_min >= config_.threshold;
+
+  if (passes && config_.conservative_update) {
+    // Second conservative-update rule: the admitted packet leaves the
+    // counters untouched.
+    admit(key, bytes);
+    return;
+  }
+  if (config_.conservative_update) {
+    // First rule: raise each counter at most to the new minimum.
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      common::ByteCount& counter = stages_[d][bucket_scratch_[d]];
+      counter = std::max(counter, new_min);
+    }
+  } else {
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      stages_[d][bucket_scratch_[d]] += bytes;
+    }
+  }
+  counter_accesses_ += config_.depth;
+  if (passes) {
+    admit(key, bytes);
+  }
+}
+
+void MultistageFilter::observe_serial(const packet::FlowKey& key,
+                                      std::uint32_t bytes) {
+  const std::uint64_t fp = key.fingerprint();
+  if (config_.conservative_update) {
+    // Second rule needs the pass decision before any update: the packet
+    // passes iff every stage counter would reach T/d.
+    bool would_pass = true;
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      bucket_scratch_[d] = hashes_[d].bucket(fp);
+      if (stages_[d][bucket_scratch_[d]] + bytes < serial_stage_threshold_) {
+        would_pass = false;
+        // Later stages never see the packet, but earlier ones (and this
+        // one) do; stop resolving buckets past the blocking stage.
+        counter_accesses_ += d + 1;
+        // Update the stages the packet traversed.
+        for (std::uint32_t u = 0; u <= d; ++u) {
+          stages_[u][bucket_scratch_[u]] += bytes;
+        }
+        counter_accesses_ += d + 1;
+        break;
+      }
+    }
+    if (would_pass) {
+      counter_accesses_ += config_.depth;
+      admit(key, bytes);
+    }
+    return;
+  }
+  // Plain serial filter: increment stage by stage; stop at the first
+  // stage whose counter stays below T/d.
+  for (std::uint32_t d = 0; d < config_.depth; ++d) {
+    common::ByteCount& counter = stages_[d][hashes_[d].bucket(fp)];
+    counter += bytes;
+    counter_accesses_ += 2;
+    if (counter < serial_stage_threshold_) {
+      return;
+    }
+  }
+  admit(key, bytes);
+}
+
+Report MultistageFilter::end_interval() {
+  Report report;
+  report.interval = interval_;
+  report.threshold = config_.threshold;
+  report.entries_used = memory_.entries_used();
+  memory_.for_each([&](const flowmem::FlowEntry& entry) {
+    report.flows.push_back(ReportedFlow{entry.key, entry.bytes_current,
+                                        entry.exact_this_interval});
+  });
+
+  flowmem::EndIntervalPolicy policy;
+  policy.policy = config_.preserve;
+  policy.threshold = config_.threshold;
+  policy.early_removal_threshold = static_cast<common::ByteCount>(
+      config_.early_removal_fraction *
+      static_cast<double>(config_.threshold));
+  memory_.end_interval(policy);
+
+  // "...only reinitializing stage counters" (Section 3.3.1).
+  for (auto& stage : stages_) {
+    std::fill(stage.begin(), stage.end(), 0);
+  }
+  ++interval_;
+  return report;
+}
+
+}  // namespace nd::core

@@ -1,0 +1,109 @@
+// Multistage filters (Section 3.2) with every optimization of
+// Section 3.3: parallel and serial variants, conservative update,
+// shielding, and entry preservation / early removal.
+//
+// A parallel filter hashes each packet's flow ID with d independent hash
+// functions into d counter arrays of b buckets; the packet's flow enters
+// the flow memory only when all d counters reach the threshold T. This
+// guarantees NO false negatives (a flow that sends T bytes drives all its
+// counters to T) while the stages attenuate false positives
+// exponentially (Lemma 1).
+//
+// The serial variant chains the stages: each stage sees only packets that
+// passed the previous one, with a per-stage threshold of T/d.
+//
+// Conservative update (Section 3.3.2) makes two changes:
+//   1. (parallel, non-passing packets) only the minimum counter is
+//      incremented normally; the others are raised at most to the new
+//      minimum — never decremented, so no false negatives are introduced;
+//   2. (both variants) a packet that passes into the flow memory does
+//      not update any counter, leaving the counters low for other flows.
+//
+// Shielding (Section 3.3.1): packets of flows that already have a flow
+// memory entry bypass the filter entirely, so long-lived large flows stop
+// inflating the counters after their first interval.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/device.hpp"
+#include "flowmem/flow_memory.hpp"
+#include "hash/hash.hpp"
+
+namespace nd::core {
+
+struct MultistageFilterConfig {
+  std::size_t flow_memory_entries{4096};
+  /// d — number of stages.
+  std::uint32_t depth{4};
+  /// b — counters per stage.
+  std::uint32_t buckets_per_stage{1000};
+  /// T — large-flow threshold in bytes per interval.
+  common::ByteCount threshold{1'000'000};
+  bool serial{false};
+  bool conservative_update{true};
+  bool shielding{true};
+  flowmem::PreservePolicy preserve{flowmem::PreservePolicy::kClear};
+  double early_removal_fraction{0.15};
+  hash::HashKind hash_kind{hash::HashKind::kTabulation};
+  std::uint64_t seed{1};
+};
+
+class MultistageFilter final : public MeasurementDevice {
+ public:
+  explicit MultistageFilter(const MultistageFilterConfig& config);
+
+  void observe(const packet::FlowKey& key, std::uint32_t bytes) override;
+  Report end_interval() override;
+
+  [[nodiscard]] std::string name() const override {
+    return config_.serial ? "serial-multistage-filter"
+                          : "multistage-filter";
+  }
+  [[nodiscard]] common::ByteCount threshold() const override {
+    return config_.threshold;
+  }
+  void set_threshold(common::ByteCount threshold) override;
+  [[nodiscard]] std::size_t flow_memory_capacity() const override {
+    return config_.flow_memory_entries;
+  }
+  [[nodiscard]] std::uint64_t memory_accesses() const override {
+    return memory_.memory_accesses() + counter_accesses_;
+  }
+  [[nodiscard]] std::uint64_t packets_processed() const override {
+    return packets_;
+  }
+
+  /// Flows that passed the filter but found the flow memory full.
+  [[nodiscard]] std::uint64_t dropped_passes() const {
+    return dropped_passes_;
+  }
+  /// Counter value at (stage, bucket) — exposed for tests/diagnostics.
+  [[nodiscard]] common::ByteCount counter(std::uint32_t stage,
+                                          std::uint64_t bucket) const {
+    return stages_[stage][bucket];
+  }
+  [[nodiscard]] const MultistageFilterConfig& config() const {
+    return config_;
+  }
+
+ private:
+  void observe_parallel(const packet::FlowKey& key, std::uint32_t bytes);
+  void observe_serial(const packet::FlowKey& key, std::uint32_t bytes);
+  void admit(const packet::FlowKey& key, std::uint32_t bytes);
+
+  MultistageFilterConfig config_;
+  flowmem::FlowMemory memory_;
+  std::vector<hash::StageHash> hashes_;
+  std::vector<std::vector<common::ByteCount>> stages_;
+  /// Scratch bucket indices, sized depth (avoids per-packet allocation).
+  std::vector<std::uint64_t> bucket_scratch_;
+  common::ByteCount serial_stage_threshold_{0};
+  common::IntervalIndex interval_{0};
+  std::uint64_t packets_{0};
+  std::uint64_t counter_accesses_{0};
+  std::uint64_t dropped_passes_{0};
+};
+
+}  // namespace nd::core

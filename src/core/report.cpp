@@ -1,0 +1,22 @@
+#include "core/device.hpp"
+
+#include <algorithm>
+
+namespace nd::core {
+
+void sort_by_size(Report& report) {
+  std::stable_sort(report.flows.begin(), report.flows.end(),
+                   [](const ReportedFlow& a, const ReportedFlow& b) {
+                     return a.estimated_bytes > b.estimated_bytes;
+                   });
+}
+
+const ReportedFlow* find_flow(const Report& report,
+                              const packet::FlowKey& key) {
+  for (const auto& flow : report.flows) {
+    if (flow.key == key) return &flow;
+  }
+  return nullptr;
+}
+
+}  // namespace nd::core

@@ -1,0 +1,61 @@
+#include "core/threshold_adaptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nd::core {
+
+ThresholdAdaptorConfig sample_and_hold_adaptor() {
+  ThresholdAdaptorConfig config;
+  config.adjust_down = 1.0;
+  return config;
+}
+
+ThresholdAdaptorConfig multistage_adaptor() {
+  ThresholdAdaptorConfig config;
+  config.adjust_down = 0.5;
+  return config;
+}
+
+ThresholdAdaptor::ThresholdAdaptor(const ThresholdAdaptorConfig& config)
+    : config_(config) {}
+
+double ThresholdAdaptor::smoothed_usage() const {
+  if (usage_history_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double u : usage_history_) sum += u;
+  return sum / static_cast<double>(usage_history_.size());
+}
+
+common::ByteCount ThresholdAdaptor::update(
+    common::ByteCount current_threshold, std::size_t entries_used,
+    std::size_t capacity) {
+  if (capacity == 0) return current_threshold;
+  usage_history_.push_back(static_cast<double>(entries_used) /
+                           static_cast<double>(capacity));
+  if (usage_history_.size() > config_.usage_window) {
+    usage_history_.pop_front();
+  }
+
+  const double usage = smoothed_usage();
+  double factor = 1.0;
+  if (usage > config_.target_usage) {
+    factor = std::pow(usage / config_.target_usage, config_.adjust_up);
+    intervals_since_increase_ = 0;
+  } else {
+    ++intervals_since_increase_;
+    if (intervals_since_increase_ >= config_.patience) {
+      // usage <= target makes the base < 1, so this shrinks the
+      // threshold toward higher memory usage.
+      const double base = std::max(usage / config_.target_usage, 1e-3);
+      factor = std::pow(base, config_.adjust_down);
+    }
+  }
+
+  const double updated =
+      std::max(static_cast<double>(current_threshold) * factor,
+               static_cast<double>(config_.min_threshold));
+  return static_cast<common::ByteCount>(updated);
+}
+
+}  // namespace nd::core

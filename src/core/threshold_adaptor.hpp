@@ -1,0 +1,57 @@
+// Dynamic threshold adaptation (Section 6, Figure 5).
+//
+// Rather than requiring a priori knowledge of the traffic mix, the
+// threshold is steered so the flow memory stays near (but below) a
+// target usage:
+//
+//   usage = entriesused / flowmemsize            (3-interval average)
+//   if usage > target:
+//       threshold *= (usage/target)^adjustup
+//   else if threshold did not increase for 3 intervals:
+//       threshold *= (usage/target)^adjustdown   (usage<target shrinks it)
+//
+// The paper uses target = 90%, adjustup = 3, and adjustdown = 1 for
+// sample and hold / 0.5 for multistage filters.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace nd::core {
+
+struct ThresholdAdaptorConfig {
+  double target_usage{0.90};
+  double adjust_up{3.0};
+  double adjust_down{1.0};
+  /// Intervals without an increase before a decrease is allowed.
+  int patience{3};
+  /// Length of the usage moving average.
+  std::size_t usage_window{3};
+  common::ByteCount min_threshold{100};
+};
+
+/// Defaults the paper reports for each algorithm (Section 6).
+[[nodiscard]] ThresholdAdaptorConfig sample_and_hold_adaptor();
+[[nodiscard]] ThresholdAdaptorConfig multistage_adaptor();
+
+class ThresholdAdaptor {
+ public:
+  explicit ThresholdAdaptor(const ThresholdAdaptorConfig& config);
+
+  /// Feed the entry usage of the interval that just ended; returns the
+  /// threshold to use next interval.
+  [[nodiscard]] common::ByteCount update(common::ByteCount current_threshold,
+                                         std::size_t entries_used,
+                                         std::size_t capacity);
+
+  [[nodiscard]] double smoothed_usage() const;
+
+ private:
+  ThresholdAdaptorConfig config_;
+  std::deque<double> usage_history_;
+  int intervals_since_increase_{0};
+};
+
+}  // namespace nd::core

@@ -1,0 +1,114 @@
+#include "eval/driver.hpp"
+
+#include <algorithm>
+
+#include "trace/stats.hpp"
+
+namespace nd::eval {
+
+Driver::Driver(packet::FlowDefinition definition, DriverOptions options)
+    : definition_(std::move(definition)), options_(std::move(options)) {}
+
+void Driver::add_device(std::string label, core::MeasurementDevice& device) {
+  DeviceSlot slot;
+  slot.label = std::move(label);
+  slot.device = &device;
+  slot.result.label = slot.label;
+  if (options_.link_capacity > 0 && !options_.groups.empty()) {
+    slot.groups = std::make_unique<GroupAccuracyAccumulator>(
+        options_.groups, options_.link_capacity);
+  }
+  devices_.push_back(std::move(slot));
+}
+
+void Driver::observe_interval(
+    std::span<const packet::PacketRecord> packets) {
+  // Classify once; all devices see the identical key stream.
+  std::vector<std::pair<packet::FlowKey, std::uint32_t>> classified;
+  classified.reserve(packets.size());
+  TruthMap truth;
+  for (const auto& packet : packets) {
+    if (const auto key = definition_.classify(packet)) {
+      classified.emplace_back(*key, packet.size_bytes);
+      truth[*key] += packet.size_bytes;
+    }
+  }
+
+  const bool evaluated = interval_index_ >= options_.warmup_intervals;
+  for (DeviceSlot& slot : devices_) {
+    for (const auto& [key, bytes] : classified) {
+      slot.device->observe(key, bytes);
+    }
+    const common::ByteCount device_threshold = slot.device->threshold();
+    core::Report report = slot.device->end_interval();
+    if (!evaluated) continue;
+
+    const common::ByteCount metric_threshold =
+        options_.metric_threshold > 0 ? options_.metric_threshold
+                                      : device_threshold;
+    const ThresholdMetrics metrics =
+        threshold_metrics(report, truth, std::max<common::ByteCount>(
+                                             metric_threshold, 1));
+    DeviceResult& result = slot.result;
+    result.false_negative_fraction.observe(metrics.false_negative_fraction());
+    result.false_positive_percentage.observe(
+        metrics.false_positive_percentage);
+    result.avg_error_over_threshold.observe(
+        metrics.avg_error_over_threshold);
+    result.entries_used.observe(static_cast<double>(report.entries_used));
+    result.max_entries_used =
+        std::max(result.max_entries_used, report.entries_used);
+    result.final_threshold = slot.device->threshold();
+    if (slot.groups) {
+      slot.groups->observe(report, truth);
+    }
+    if (options_.record_time_series) {
+      TimePoint point;
+      point.interval = report.interval;
+      point.threshold = device_threshold;
+      point.entries_used = report.entries_used;
+      point.false_negative_fraction = metrics.false_negative_fraction();
+      point.false_positive_percentage =
+          metrics.false_positive_percentage;
+      point.avg_error_over_threshold = metrics.avg_error_over_threshold;
+      result.time_series.push_back(point);
+    }
+  }
+  ++interval_index_;
+}
+
+void Driver::run(trace::TraceSynthesizer& synthesizer) {
+  while (true) {
+    const auto packets = synthesizer.next_interval();
+    if (packets.empty()) break;
+    observe_interval(packets);
+  }
+}
+
+std::vector<DeviceResult> Driver::results() const {
+  std::vector<DeviceResult> out;
+  out.reserve(devices_.size());
+  for (const DeviceSlot& slot : devices_) {
+    DeviceResult result = slot.result;
+    result.packets = slot.device->packets_processed();
+    result.memory_accesses = slot.device->memory_accesses();
+    if (slot.groups) {
+      result.groups = slot.groups->results();
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+DeviceResult run_single(core::MeasurementDevice& device,
+                        const trace::TraceConfig& config,
+                        const packet::FlowDefinition& definition,
+                        const DriverOptions& options) {
+  Driver driver(definition, options);
+  driver.add_device(device.name(), device);
+  trace::TraceSynthesizer synthesizer(config);
+  driver.run(synthesizer);
+  return driver.results().front();
+}
+
+}  // namespace nd::eval

@@ -1,0 +1,86 @@
+// The experiment driver: streams a synthesized trace through one or more
+// measurement devices interval by interval, classifying packets once and
+// computing ground truth once per interval.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "eval/metrics.hpp"
+#include "eval/time_series.hpp"
+#include "packet/flow_definition.hpp"
+#include "trace/synthesizer.hpp"
+
+namespace nd::eval {
+
+struct DriverOptions {
+  /// Intervals ignored while the devices warm up / the adaptive
+  /// threshold stabilizes (the paper ignores the first 10).
+  std::uint32_t warmup_intervals{0};
+  /// Threshold the *metrics* use. 0 means "use each device's own current
+  /// threshold" (right for adaptive devices).
+  common::ByteCount metric_threshold{0};
+  /// Link capacity for the Section 7.2 groups; 0 disables group metrics.
+  common::ByteCount link_capacity{0};
+  std::vector<GroupSpec> groups{};
+  /// Record a per-interval TimePoint for each device (post-warmup).
+  bool record_time_series{false};
+};
+
+struct DeviceResult {
+  std::string label;
+  /// Means over the evaluated (post-warmup) intervals.
+  Mean false_negative_fraction;
+  Mean false_positive_percentage;
+  Mean avg_error_over_threshold;
+  Mean entries_used;
+  std::size_t max_entries_used{0};
+  common::ByteCount final_threshold{0};
+  std::uint64_t packets{0};
+  std::uint64_t memory_accesses{0};
+  std::vector<GroupAccuracyAccumulator::Result> groups;
+  /// Present when DriverOptions::record_time_series is set.
+  std::vector<TimePoint> time_series;
+};
+
+class Driver {
+ public:
+  Driver(packet::FlowDefinition definition, DriverOptions options);
+
+  /// Register a device; the driver does not take ownership.
+  void add_device(std::string label, core::MeasurementDevice& device);
+
+  /// Feed one interval of packets through every device.
+  void observe_interval(std::span<const packet::PacketRecord> packets);
+
+  /// Run a whole synthesizer (from its current position to the end).
+  void run(trace::TraceSynthesizer& synthesizer);
+
+  [[nodiscard]] std::vector<DeviceResult> results() const;
+
+ private:
+  struct DeviceSlot {
+    std::string label;
+    core::MeasurementDevice* device;
+    DeviceResult result;
+    std::unique_ptr<GroupAccuracyAccumulator> groups;
+  };
+
+  packet::FlowDefinition definition_;
+  DriverOptions options_;
+  std::vector<DeviceSlot> devices_;
+  std::uint32_t interval_index_{0};
+};
+
+/// Convenience for single-device experiments: run `device` over a fresh
+/// trace synthesized from `config` and return its result.
+[[nodiscard]] DeviceResult run_single(core::MeasurementDevice& device,
+                                      const trace::TraceConfig& config,
+                                      const packet::FlowDefinition& definition,
+                                      const DriverOptions& options);
+
+}  // namespace nd::eval

@@ -1,0 +1,127 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nd::eval {
+
+ThresholdMetrics threshold_metrics(const core::Report& report,
+                                   const TruthMap& truth,
+                                   common::ByteCount threshold) {
+  ThresholdMetrics metrics;
+
+  TruthMap reported;
+  reported.reserve(report.flows.size());
+  for (const auto& flow : report.flows) {
+    reported[flow.key] = flow.estimated_bytes;
+  }
+
+  double error_sum = 0.0;
+  std::size_t small_flows = 0;
+  for (const auto& [key, size] : truth) {
+    if (size >= threshold) {
+      ++metrics.true_large_flows;
+      const auto it = reported.find(key);
+      if (it != reported.end()) {
+        ++metrics.identified_large_flows;
+        error_sum += std::abs(static_cast<double>(size) -
+                              static_cast<double>(it->second));
+      } else {
+        error_sum += static_cast<double>(size);  // missed: full size
+      }
+    } else {
+      ++small_flows;
+    }
+  }
+
+  for (const auto& flow : report.flows) {
+    const auto it = truth.find(flow.key);
+    const common::ByteCount size = it == truth.end() ? 0 : it->second;
+    if (size < threshold) {
+      ++metrics.false_positives;
+    }
+  }
+
+  metrics.avg_error_large =
+      metrics.true_large_flows == 0
+          ? 0.0
+          : error_sum / static_cast<double>(metrics.true_large_flows);
+  metrics.avg_error_over_threshold =
+      threshold == 0 ? 0.0
+                     : metrics.avg_error_large /
+                           static_cast<double>(threshold);
+  metrics.false_positive_percentage =
+      small_flows == 0 ? 0.0
+                       : 100.0 * static_cast<double>(metrics.false_positives) /
+                             static_cast<double>(small_flows);
+  return metrics;
+}
+
+std::vector<GroupSpec> paper_groups() {
+  return {
+      GroupSpec{"> 0.1%", 0.001, 1.0},
+      GroupSpec{"0.1% .. 0.01%", 0.0001, 0.001},
+      GroupSpec{"0.01% .. 0.001%", 0.00001, 0.0001},
+  };
+}
+
+GroupAccuracyAccumulator::GroupAccuracyAccumulator(
+    std::vector<GroupSpec> groups, common::ByteCount link_capacity)
+    : groups_(std::move(groups)),
+      accums_(groups_.size()),
+      link_capacity_(link_capacity) {}
+
+void GroupAccuracyAccumulator::observe(const core::Report& report,
+                                       const TruthMap& truth) {
+  TruthMap reported;
+  reported.reserve(report.flows.size());
+  for (const auto& flow : report.flows) {
+    reported[flow.key] = flow.estimated_bytes;
+  }
+
+  const double capacity = static_cast<double>(link_capacity_);
+  for (const auto& [key, size] : truth) {
+    const double fraction = static_cast<double>(size) / capacity;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (fraction < groups_[g].lower_fraction ||
+          fraction >= groups_[g].upper_fraction) {
+        continue;
+      }
+      Accum& accum = accums_[g];
+      ++accum.true_flows;
+      accum.size_sum += static_cast<double>(size);
+      const auto it = reported.find(key);
+      if (it == reported.end()) {
+        ++accum.unidentified;
+        accum.error_sum += static_cast<double>(size);
+      } else {
+        accum.error_sum += std::abs(static_cast<double>(size) -
+                                    static_cast<double>(it->second));
+      }
+    }
+  }
+}
+
+std::vector<GroupAccuracyAccumulator::Result>
+GroupAccuracyAccumulator::results() const {
+  std::vector<Result> out;
+  out.reserve(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const Accum& accum = accums_[g];
+    Result result;
+    result.spec = groups_[g];
+    result.true_flows = accum.true_flows;
+    result.unidentified_flows = accum.unidentified;
+    result.unidentified_fraction =
+        accum.true_flows == 0
+            ? 0.0
+            : static_cast<double>(accum.unidentified) /
+                  static_cast<double>(accum.true_flows);
+    result.relative_avg_error =
+        accum.size_sum == 0.0 ? 0.0 : accum.error_sum / accum.size_sum;
+    out.push_back(result);
+  }
+  return out;
+}
+
+}  // namespace nd::eval

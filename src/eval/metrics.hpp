@@ -1,0 +1,106 @@
+// Accuracy metrics comparing a device report against exact ground truth.
+//
+// Implements the paper's two evaluation styles:
+//   * threshold-based (Sections 4 and 7.1): false negatives / false
+//     positives / average error relative to a large-flow threshold T;
+//   * group-based (Section 7.2): flows bucketed by their share of link
+//     capacity (very large > 0.1%, large 0.01-0.1%, medium 0.001-0.01%),
+//     reporting the fraction unidentified and the relative average error
+//     (sum of |error| over sum of sizes, unidentified flows counting
+//     their full size as error).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/device.hpp"
+
+namespace nd::eval {
+
+using TruthMap = std::unordered_map<packet::FlowKey, common::ByteCount,
+                                    packet::FlowKeyHasher>;
+
+struct ThresholdMetrics {
+  std::size_t true_large_flows{0};
+  std::size_t identified_large_flows{0};
+  /// Reported flows whose true size is below the threshold.
+  std::size_t false_positives{0};
+  /// Mean |estimate - true| over true large flows (missing = full size).
+  double avg_error_large{0.0};
+  /// avg_error_large / threshold — Table 4's "average error" column.
+  double avg_error_over_threshold{0.0};
+  /// False positives as a percentage of true small flows — Figure 7's
+  /// y-axis.
+  double false_positive_percentage{0.0};
+
+  [[nodiscard]] double false_negative_fraction() const {
+    return true_large_flows == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(identified_large_flows) /
+                           static_cast<double>(true_large_flows);
+  }
+};
+
+[[nodiscard]] ThresholdMetrics threshold_metrics(
+    const core::Report& report, const TruthMap& truth,
+    common::ByteCount threshold);
+
+/// One Section 7.2 size group, as fractions of link capacity.
+struct GroupSpec {
+  std::string label;
+  double lower_fraction{0.0};
+  double upper_fraction{1.0};
+};
+
+/// The paper's three reference groups.
+[[nodiscard]] std::vector<GroupSpec> paper_groups();
+
+/// Accumulates group accuracy across intervals and runs. Ratios are
+/// computed on summed numerators/denominators, not averaged per
+/// interval, so sparse groups do not get over-weighted.
+class GroupAccuracyAccumulator {
+ public:
+  explicit GroupAccuracyAccumulator(std::vector<GroupSpec> groups,
+                                    common::ByteCount link_capacity);
+
+  void observe(const core::Report& report, const TruthMap& truth);
+
+  struct Result {
+    GroupSpec spec;
+    std::uint64_t true_flows{0};
+    std::uint64_t unidentified_flows{0};
+    double unidentified_fraction{0.0};
+    /// sum |error| / sum true sizes, unidentified counted in full.
+    double relative_avg_error{0.0};
+  };
+
+  [[nodiscard]] std::vector<Result> results() const;
+
+ private:
+  struct Accum {
+    std::uint64_t true_flows{0};
+    std::uint64_t unidentified{0};
+    double error_sum{0.0};
+    double size_sum{0.0};
+  };
+
+  std::vector<GroupSpec> groups_;
+  std::vector<Accum> accums_;
+  common::ByteCount link_capacity_;
+};
+
+/// Simple scalar accumulator for averaging per-interval metrics.
+struct Mean {
+  double sum{0.0};
+  std::uint64_t count{0};
+  void observe(double v) {
+    sum += v;
+    ++count;
+  }
+  [[nodiscard]] double value() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+}  // namespace nd::eval

@@ -1,0 +1,43 @@
+#include "eval/time_series.hpp"
+
+#include <sstream>
+
+namespace nd::eval {
+
+namespace {
+
+void append_row(std::ostringstream& out, const std::string& label,
+                const TimePoint& p, bool with_label) {
+  if (with_label) out << label << ',';
+  out << p.interval << ',' << p.threshold << ',' << p.entries_used << ','
+      << p.false_negative_fraction << ',' << p.false_positive_percentage
+      << ',' << p.avg_error_over_threshold << '\n';
+}
+
+constexpr const char* kColumns =
+    "interval,threshold,entries_used,false_negative_fraction,"
+    "false_positive_percentage,avg_error_over_threshold";
+
+}  // namespace
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream out;
+  out << kColumns << '\n';
+  for (const auto& point : points_) {
+    append_row(out, label_, point, /*with_label=*/false);
+  }
+  return out.str();
+}
+
+std::string to_long_csv(const std::vector<TimeSeries>& series) {
+  std::ostringstream out;
+  out << "label," << kColumns << '\n';
+  for (const auto& s : series) {
+    for (const auto& point : s.points()) {
+      append_row(out, s.label(), point, /*with_label=*/true);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace nd::eval

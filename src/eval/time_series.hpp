@@ -1,0 +1,45 @@
+// Per-interval metric time series — the raw material for plotting the
+// adaptation trajectories and accuracy-over-time figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nd::eval {
+
+struct TimePoint {
+  common::IntervalIndex interval{0};
+  common::ByteCount threshold{0};
+  std::size_t entries_used{0};
+  double false_negative_fraction{0.0};
+  double false_positive_percentage{0.0};
+  double avg_error_over_threshold{0.0};
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string label) : label_(std::move(label)) {}
+
+  void record(const TimePoint& point) { points_.push_back(point); }
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] const std::vector<TimePoint>& points() const {
+    return points_;
+  }
+
+  /// CSV with a header row; one row per interval.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string label_;
+  std::vector<TimePoint> points_;
+};
+
+/// Merge several device series into one long-format CSV
+/// (label,interval,...) for plotting tools.
+[[nodiscard]] std::string to_long_csv(
+    const std::vector<TimeSeries>& series);
+
+}  // namespace nd::eval

@@ -1,0 +1,125 @@
+#include "flowmem/cam_flow_memory.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace nd::flowmem {
+
+CamFlowMemory::CamFlowMemory(const CamFlowMemoryConfig& config)
+    : config_(config),
+      slots_(std::bit_ceil(std::max<std::size_t>(config.hash_slots, 8))),
+      cam_(config.cam_entries),
+      family_(config.seed) {}
+
+std::size_t CamFlowMemory::slot_of(const packet::FlowKey& key) const {
+  return static_cast<std::size_t>(family_.scramble(key.fingerprint())) &
+         (slots_.size() - 1);
+}
+
+FlowEntry* CamFlowMemory::find(const packet::FlowKey& key) {
+  std::size_t slot = slot_of(key);
+  for (std::uint32_t probe = 0; probe < config_.max_probe; ++probe) {
+    FlowEntry& entry = slots_[slot];
+    if (entry.occupied && entry.key == key) return &entry;
+    slot = (slot + 1) & (slots_.size() - 1);
+  }
+  for (std::size_t i = 0; i < cam_used_; ++i) {
+    if (cam_[i].key == key) return &cam_[i];
+  }
+  return nullptr;
+}
+
+FlowEntry* CamFlowMemory::insert(const packet::FlowKey& key,
+                                 common::IntervalIndex interval) {
+  auto fill = [&](FlowEntry& entry) {
+    entry.key = key;
+    entry.bytes_current = 0;
+    entry.bytes_lifetime = 0;
+    entry.created_interval = interval;
+    entry.created_this_interval = true;
+    entry.exact_this_interval = false;
+    entry.occupied = true;
+    return &entry;
+  };
+
+  std::size_t slot = slot_of(key);
+  for (std::uint32_t probe = 0; probe < config_.max_probe; ++probe) {
+    if (!slots_[slot].occupied) {
+      ++hash_used_;
+      return fill(slots_[slot]);
+    }
+    slot = (slot + 1) & (slots_.size() - 1);
+  }
+  if (cam_used_ < cam_.size()) {
+    FlowEntry* entry = fill(cam_[cam_used_]);
+    ++cam_used_;
+    cam_high_water_ = std::max(cam_high_water_, cam_used_);
+    return entry;
+  }
+  ++failed_inserts_;
+  return nullptr;
+}
+
+void CamFlowMemory::end_interval(const EndIntervalPolicy& policy) {
+  std::vector<FlowEntry> survivors;
+  auto consider = [&](const FlowEntry& entry) {
+    if (!entry.occupied) return;
+    bool keep = false;
+    switch (policy.policy) {
+      case PreservePolicy::kClear:
+        break;
+      case PreservePolicy::kPreserve:
+        keep = entry.bytes_current >= policy.threshold ||
+               entry.created_this_interval;
+        break;
+      case PreservePolicy::kEarlyRemoval:
+        keep = entry.bytes_current >= policy.threshold ||
+               (entry.created_this_interval &&
+                entry.bytes_current >= policy.early_removal_threshold);
+        break;
+    }
+    if (keep) survivors.push_back(entry);
+  };
+  for (const FlowEntry& entry : slots_) consider(entry);
+  for (std::size_t i = 0; i < cam_used_; ++i) consider(cam_[i]);
+
+  std::fill(slots_.begin(), slots_.end(), FlowEntry{});
+  std::fill(cam_.begin(), cam_.end(), FlowEntry{});
+  hash_used_ = 0;
+  cam_used_ = 0;
+  for (FlowEntry survivor : survivors) {
+    survivor.bytes_current = 0;
+    survivor.created_this_interval = false;
+    survivor.exact_this_interval = true;
+    // Reinsert through the normal path so probe-window invariants hold.
+    std::size_t slot = slot_of(survivor.key);
+    bool placed = false;
+    for (std::uint32_t probe = 0; probe < config_.max_probe; ++probe) {
+      if (!slots_[slot].occupied) {
+        slots_[slot] = survivor;
+        ++hash_used_;
+        placed = true;
+        break;
+      }
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+    if (!placed && cam_used_ < cam_.size()) {
+      cam_[cam_used_++] = survivor;
+      cam_high_water_ = std::max(cam_high_water_, cam_used_);
+      placed = true;
+    }
+    if (!placed) ++failed_inserts_;
+  }
+}
+
+void CamFlowMemory::for_each(
+    const std::function<void(const FlowEntry&)>& visit) const {
+  for (const FlowEntry& entry : slots_) {
+    if (entry.occupied) visit(entry);
+  }
+  for (std::size_t i = 0; i < cam_used_; ++i) {
+    visit(cam_[i]);
+  }
+}
+
+}  // namespace nd::flowmem

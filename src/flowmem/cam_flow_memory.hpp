@@ -1,0 +1,71 @@
+// Hash table + small CAM flow memory — the Section 8 implementation
+// sketch: "one can implement an associative memory using a hash table
+// and storing all flow IDs that collide in a much smaller CAM."
+//
+// Unlike FlowMemory (which probes arbitrarily far and is a convenient
+// software model), this models the hardware constraint: a lookup may
+// touch at most `max_probe` consecutive hash slots (one wide SRAM burst)
+// plus the CAM, which matches in a single cycle. Flows that cannot be
+// placed in their probe window spill into the CAM; when both the window
+// and the CAM are full the insert fails — the flow is lost, exactly as
+// on the chip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "flowmem/flow_memory.hpp"
+
+namespace nd::flowmem {
+
+struct CamFlowMemoryConfig {
+  /// Direct-indexed hash slots (the main SRAM array).
+  std::size_t hash_slots{4096};
+  /// Longest probe sequence a lookup may touch.
+  std::uint32_t max_probe{4};
+  /// Entries in the collision CAM.
+  std::size_t cam_entries{64};
+  std::uint64_t seed{1};
+};
+
+class CamFlowMemory {
+ public:
+  explicit CamFlowMemory(const CamFlowMemoryConfig& config);
+
+  [[nodiscard]] FlowEntry* find(const packet::FlowKey& key);
+
+  /// Returns nullptr when both the probe window and the CAM are full.
+  FlowEntry* insert(const packet::FlowKey& key,
+                    common::IntervalIndex interval);
+
+  void end_interval(const EndIntervalPolicy& policy);
+
+  void for_each(const std::function<void(const FlowEntry&)>& visit) const;
+
+  [[nodiscard]] std::size_t entries_used() const {
+    return hash_used_ + cam_used_;
+  }
+  [[nodiscard]] std::size_t cam_used() const { return cam_used_; }
+  [[nodiscard]] std::size_t cam_high_water() const {
+    return cam_high_water_;
+  }
+  /// Inserts that failed because window + CAM were both full.
+  [[nodiscard]] std::uint64_t failed_inserts() const {
+    return failed_inserts_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(const packet::FlowKey& key) const;
+
+  CamFlowMemoryConfig config_;
+  std::vector<FlowEntry> slots_;
+  std::vector<FlowEntry> cam_;
+  std::size_t hash_used_{0};
+  std::size_t cam_used_{0};
+  std::size_t cam_high_water_{0};
+  std::uint64_t failed_inserts_{0};
+  hash::HashFamily family_;
+};
+
+}  // namespace nd::flowmem

@@ -1,0 +1,110 @@
+#include "flowmem/flow_memory.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace nd::flowmem {
+
+namespace {
+
+/// Slot array size: next power of two of 2x capacity, so probe chains
+/// stay short even when the flow memory is completely full.
+std::size_t slot_count_for(std::size_t capacity) {
+  const std::size_t wanted = std::max<std::size_t>(8, capacity * 2);
+  return std::bit_ceil(wanted);
+}
+
+}  // namespace
+
+FlowMemory::FlowMemory(std::size_t capacity, std::uint64_t seed)
+    : slots_(slot_count_for(capacity)),
+      capacity_(capacity),
+      family_(seed) {}
+
+std::size_t FlowMemory::slot_of(const packet::FlowKey& key) const {
+  return static_cast<std::size_t>(family_.scramble(key.fingerprint())) &
+         (slots_.size() - 1);
+}
+
+FlowEntry* FlowMemory::find(const packet::FlowKey& key) {
+  ++accesses_;
+  std::size_t slot = slot_of(key);
+  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+    FlowEntry& entry = slots_[slot];
+    if (!entry.occupied) return nullptr;
+    if (entry.key == key) return &entry;
+    slot = (slot + 1) & (slots_.size() - 1);
+  }
+  return nullptr;
+}
+
+FlowEntry* FlowMemory::insert(const packet::FlowKey& key,
+                              common::IntervalIndex interval) {
+  if (used_ >= capacity_) return nullptr;
+  ++accesses_;
+  std::size_t slot = slot_of(key);
+  while (slots_[slot].occupied) {
+    slot = (slot + 1) & (slots_.size() - 1);
+  }
+  FlowEntry& entry = slots_[slot];
+  entry.key = key;
+  entry.bytes_current = 0;
+  entry.bytes_lifetime = 0;
+  entry.created_interval = interval;
+  entry.created_this_interval = true;
+  entry.exact_this_interval = false;
+  entry.occupied = true;
+  ++used_;
+  high_water_ = std::max(high_water_, used_);
+  return &entry;
+}
+
+void FlowMemory::end_interval(const EndIntervalPolicy& policy) {
+  // Collect survivors, then rebuild the table. A rebuild once per
+  // interval keeps the open-addressing invariant (no holes inside probe
+  // chains) without tombstones on the per-packet fast path.
+  std::vector<FlowEntry> survivors;
+  for (const FlowEntry& entry : slots_) {
+    if (!entry.occupied) continue;
+    bool keep = false;
+    switch (policy.policy) {
+      case PreservePolicy::kClear:
+        keep = false;
+        break;
+      case PreservePolicy::kPreserve:
+        keep = entry.bytes_current >= policy.threshold ||
+               entry.created_this_interval;
+        break;
+      case PreservePolicy::kEarlyRemoval:
+        keep = entry.bytes_current >= policy.threshold ||
+               (entry.created_this_interval &&
+                entry.bytes_current >= policy.early_removal_threshold);
+        break;
+    }
+    if (keep) survivors.push_back(entry);
+  }
+
+  std::fill(slots_.begin(), slots_.end(), FlowEntry{});
+  used_ = 0;
+  for (FlowEntry survivor : survivors) {
+    survivor.bytes_current = 0;
+    survivor.created_this_interval = false;
+    survivor.exact_this_interval = true;
+    std::size_t slot = slot_of(survivor.key);
+    while (slots_[slot].occupied) {
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+    slots_[slot] = survivor;
+    ++used_;
+  }
+  // The high-water mark intentionally persists across intervals.
+}
+
+void FlowMemory::for_each(
+    const std::function<void(const FlowEntry&)>& visit) const {
+  for (const FlowEntry& entry : slots_) {
+    if (entry.occupied) visit(entry);
+  }
+}
+
+}  // namespace nd::flowmem

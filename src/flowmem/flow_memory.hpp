@@ -1,0 +1,102 @@
+// Bounded flow memory — the model of the scarce SRAM flow table.
+//
+// Both sample-and-hold and the multistage filter funnel identified flows
+// into a small table of per-flow counters (Section 3). This class models
+// that table: fixed capacity decided at construction (insertions fail
+// when full, exactly like running out of SRAM), O(1) expected find/insert
+// via open addressing, and the paper's end-of-interval entry-preservation
+// policies (Section 3.3.1):
+//
+//   kClear        — wipe everything (the basic algorithms);
+//   kPreserve     — keep entries that counted >= T this interval AND all
+//                   entries added this interval (they may be large flows
+//                   that entered late);
+//   kEarlyRemoval — like kPreserve, but entries added this interval
+//                   survive only if they counted >= R (R < T).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/hash.hpp"
+#include "packet/flow_key.hpp"
+
+namespace nd::flowmem {
+
+struct FlowEntry {
+  packet::FlowKey key;
+  /// Bytes counted during the current measurement interval.
+  common::ByteCount bytes_current{0};
+  /// Bytes counted over the entry's whole lifetime.
+  common::ByteCount bytes_lifetime{0};
+  common::IntervalIndex created_interval{0};
+  bool created_this_interval{true};
+  /// True iff the entry existed when the current interval began, i.e.
+  /// bytes_current is an *exact* measurement of this interval's traffic.
+  bool exact_this_interval{false};
+  bool occupied{false};
+};
+
+enum class PreservePolicy { kClear, kPreserve, kEarlyRemoval };
+
+struct EndIntervalPolicy {
+  PreservePolicy policy{PreservePolicy::kClear};
+  /// Large-flow threshold T: entries at/above it always survive under
+  /// kPreserve/kEarlyRemoval.
+  common::ByteCount threshold{0};
+  /// Early-removal threshold R (< T); only used by kEarlyRemoval.
+  common::ByteCount early_removal_threshold{0};
+};
+
+class FlowMemory {
+ public:
+  /// `capacity` is the number of entries of SRAM available; `seed`
+  /// seeds the placement hash.
+  FlowMemory(std::size_t capacity, std::uint64_t seed);
+
+  /// Find the entry for `key`, or nullptr. Counts one memory access.
+  [[nodiscard]] FlowEntry* find(const packet::FlowKey& key);
+
+  /// Insert a new entry (bytes zeroed). Returns nullptr when the table
+  /// is full — the caller loses the flow, exactly like real SRAM
+  /// exhaustion. Precondition: key not present.
+  FlowEntry* insert(const packet::FlowKey& key,
+                    common::IntervalIndex interval);
+
+  /// Add bytes to an entry returned by find/insert.
+  static void add_bytes(FlowEntry& entry, common::ByteCount bytes) {
+    entry.bytes_current += bytes;
+    entry.bytes_lifetime += bytes;
+  }
+
+  /// Apply an end-of-interval policy: surviving entries have
+  /// bytes_current zeroed and become exact for the next interval.
+  void end_interval(const EndIntervalPolicy& policy);
+
+  /// Visit every occupied entry (order unspecified).
+  void for_each(const std::function<void(const FlowEntry&)>& visit) const;
+
+  [[nodiscard]] std::size_t entries_used() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Largest entries_used() ever observed (the SRAM high-water mark the
+  /// paper's Table 4 reports).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+  /// Total find/insert probes performed; the per-packet memory-access
+  /// accounting of Table 1 divides this by packets processed.
+  [[nodiscard]] std::uint64_t memory_accesses() const { return accesses_; }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(const packet::FlowKey& key) const;
+
+  std::vector<FlowEntry> slots_;
+  std::size_t capacity_;
+  std::size_t used_{0};
+  std::size_t high_water_{0};
+  std::uint64_t accesses_{0};
+  hash::HashFamily family_;
+};
+
+}  // namespace nd::flowmem

@@ -1,0 +1,53 @@
+#include "hash/hash.hpp"
+
+namespace nd::hash {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+MultiplyShiftHash::MultiplyShiftHash(common::Rng& seed_source)
+    : a_(seed_source.word() | 1ULL), b_(seed_source.word()) {}
+
+MultiplyShiftHash::MultiplyShiftHash(std::uint64_t a, std::uint64_t b)
+    : a_(a | 1ULL), b_(b) {}
+
+TabulationHash::TabulationHash(common::Rng& seed_source) {
+  for (auto& table : tables_) {
+    for (auto& cell : table) {
+      cell = seed_source.word();
+    }
+  }
+}
+
+StageHash::StageHash(HashKind kind, common::Rng& seed_source,
+                     std::uint64_t buckets)
+    : kind_(kind), ms_(seed_source), tab_(seed_source), buckets_(buckets) {}
+
+std::uint64_t StageHash::bucket(std::uint64_t key_fingerprint) const {
+  const std::uint64_t h = kind_ == HashKind::kMultiplyShift
+                              ? ms_(key_fingerprint)
+                              : tab_(key_fingerprint);
+  return reduce_to_range(h, buckets_);
+}
+
+HashFamily::HashFamily(std::uint64_t master_seed, HashKind kind)
+    : kind_(kind),
+      rng_(splitmix64(master_seed)),
+      scramble_a_(rng_.word() | 1ULL),
+      scramble_b_(rng_.word()) {}
+
+StageHash HashFamily::make_stage(std::uint64_t buckets) {
+  return StageHash(kind_, rng_, buckets);
+}
+
+std::uint64_t HashFamily::scramble(std::uint64_t key) const {
+  return splitmix64(scramble_a_ * key + scramble_b_);
+}
+
+}  // namespace nd::hash

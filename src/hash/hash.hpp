@@ -1,0 +1,126 @@
+// Hash functions for flow identifiers.
+//
+// The multistage filter (Section 3.2 of the paper) needs d *independent*
+// hash functions, one per stage; sample-and-hold and the flow memory need
+// one more for table placement. We provide:
+//
+//  * splitmix64 / fnv1a64 — stateless mixers for fingerprints;
+//  * MultiplyShiftHash    — a seeded 2-universal function, the family the
+//                           theory (Lemma 1) assumes;
+//  * TabulationHash       — 3-independent seeded tabulation hashing, a
+//                           stronger family used by default because its
+//                           empirical behaviour on low-entropy keys (e.g.
+//                           sequential IPs) is far better;
+//  * HashFamily           — derives any number of mutually independent
+//                           seeded functions from one master seed.
+//
+// All functions map a 64-bit key fingerprint to a 64-bit value; callers
+// reduce to a bucket index with reduce_to_range(), which avoids the
+// modulo bias of `% b` for non-power-of-two stage sizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nd::hash {
+
+/// Fibonacci/splitmix finalizer: a fast, high-quality stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes; used to fingerprint variable-length flow keys.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Map a 64-bit hash uniformly onto [0, range) without modulo bias
+/// (Lemire's multiply-high reduction).
+[[nodiscard]] constexpr std::uint64_t reduce_to_range(std::uint64_t h,
+                                                      std::uint64_t range) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(h) * range) >> 64);
+}
+
+/// Seeded 2-universal hash: h(x) = (a*x + b) with odd multiplier, taking
+/// the high bits. This is the classical multiply-shift family whose
+/// pairwise independence is what the paper's stage analysis requires.
+class MultiplyShiftHash {
+ public:
+  explicit MultiplyShiftHash(common::Rng& seed_source);
+  MultiplyShiftHash(std::uint64_t a, std::uint64_t b);
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t key) const {
+    return a_ * key + b_;
+  }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// Seeded simple tabulation hashing over the 8 bytes of the key:
+/// h(x) = T0[x0] ^ T1[x1] ^ ... ^ T7[x7]. 3-independent, and known to
+/// behave like a fully random function for hashing-based sketches.
+class TabulationHash {
+ public:
+  explicit TabulationHash(common::Rng& seed_source);
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t key) const {
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      h ^= tables_[i][static_cast<std::uint8_t>(key >> (8 * i))];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+/// Which seeded family a HashFamily hands out.
+enum class HashKind { kMultiplyShift, kTabulation };
+
+/// A single stage hash: seeded function + bucket count.
+class StageHash {
+ public:
+  StageHash(HashKind kind, common::Rng& seed_source, std::uint64_t buckets);
+
+  /// Bucket index in [0, buckets()).
+  [[nodiscard]] std::uint64_t bucket(std::uint64_t key_fingerprint) const;
+
+  [[nodiscard]] std::uint64_t buckets() const { return buckets_; }
+
+ private:
+  HashKind kind_;
+  MultiplyShiftHash ms_;
+  TabulationHash tab_;
+  std::uint64_t buckets_;
+};
+
+/// Derives independent stage hashes from one master seed. Each call to
+/// `make_stage` consumes fresh seed material, so the d stages of a filter
+/// are mutually independent as the analysis assumes.
+class HashFamily {
+ public:
+  explicit HashFamily(std::uint64_t master_seed,
+                      HashKind kind = HashKind::kTabulation);
+
+  [[nodiscard]] StageHash make_stage(std::uint64_t buckets);
+
+  /// A raw seeded 64->64 function (used by the flow memory).
+  [[nodiscard]] std::uint64_t scramble(std::uint64_t key) const;
+
+ private:
+  HashKind kind_;
+  common::Rng rng_;
+  std::uint64_t scramble_a_;
+  std::uint64_t scramble_b_;
+};
+
+}  // namespace nd::hash

@@ -1,0 +1,60 @@
+#include "hwmodel/chip_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nd::hwmodel {
+
+Feasibility analyze(const ChipConfig& chip, const LinkConfig& link) {
+  Feasibility result;
+  result.stage_sram_bits = static_cast<std::uint64_t>(chip.stages) *
+                           chip.counters_per_stage * chip.counter_bits;
+  result.flow_memory_sram_bits =
+      static_cast<std::uint64_t>(chip.flow_entries) * chip.entry_bits;
+  result.total_sram_bits =
+      result.stage_sram_bits + result.flow_memory_sram_bits;
+
+  // Each stage does one read and one write per packet. With per-stage
+  // banks the d (read, write) pairs overlap across stages, so the
+  // critical path sees 2 stage slots; serial banking sees 2d. The flow
+  // memory lookup is sequential with the filter decision.
+  const std::uint32_t stage_slots =
+      chip.parallel_stage_banks ? 2 : 2 * chip.stages;
+  result.critical_path_accesses = stage_slots + chip.flow_memory_accesses;
+  result.total_accesses = 2 * chip.stages + chip.flow_memory_accesses;
+
+  result.packet_processing_ns =
+      result.critical_path_accesses * chip.sram_access_ns;
+  result.packet_arrival_ns = static_cast<double>(link.min_packet_bytes) *
+                             8.0 * 1e9 / link.line_rate_bps;
+  result.feasible =
+      result.packet_processing_ns <= result.packet_arrival_ns;
+  result.max_line_rate_bps = static_cast<double>(link.min_packet_bytes) *
+                             8.0 * 1e9 / result.packet_processing_ns;
+  return result;
+}
+
+ChipConfig paper_oc192_design() {
+  ChipConfig chip;
+  chip.stages = 4;
+  chip.counters_per_stage = 4096;
+  chip.counter_bits = 32;
+  chip.flow_entries = 3584;
+  chip.entry_bits = 256;
+  chip.sram_access_ns = 5.0;
+  chip.parallel_stage_banks = true;
+  chip.flow_memory_accesses = 1;
+  return chip;
+}
+
+std::uint32_t stages_for_flow_count(double flows, double k,
+                                    double target_flows) {
+  if (flows <= 0.0 || k <= 1.0) return 1;
+  // Expected small flows passing ~ n / k^d; solve n / k^d <= target.
+  const double needed =
+      std::log(flows / std::max(target_flows, 1e-9)) / std::log(k);
+  return static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(needed)));
+}
+
+}  // namespace nd::hwmodel

@@ -1,0 +1,86 @@
+// Hardware feasibility model for an ASIC implementation (Section 8).
+//
+// The paper reports a preliminary OC-192 chip design ([12]): a parallel
+// multistage filter with 4 stages of 4K counters each and a flow memory
+// of 3,584 entries, ~450K transistors of core logic, 5.5mm x 5.5mm in a
+// 0.18 micron process, under 1 watt. This module models the parts of
+// that design that constrain correctness-at-line-rate:
+//
+//   * SRAM bits needed for stages and flow memory;
+//   * memory accesses on the per-packet critical path, assuming the d
+//     stages are accessed in parallel banks (one read + one write per
+//     stage happen concurrently) while the flow-memory lookup is
+//     sequential with them;
+//   * the minimum packet inter-arrival time at a given line rate, and
+//     hence whether the design keeps up at worst-case (min-size) packet
+//     rates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nd::hwmodel {
+
+struct ChipConfig {
+  std::uint32_t stages{4};
+  std::uint32_t counters_per_stage{4096};
+  std::uint32_t counter_bits{32};
+  std::uint32_t flow_entries{3584};
+  /// Bits per flow-memory entry: flow ID + counter + flags. The paper
+  /// budgets 32 bytes conservatively.
+  std::uint32_t entry_bits{256};
+  /// SRAM random-access time. ~5 ns for the paper's era, sub-ns today.
+  double sram_access_ns{5.0};
+  /// True when each stage lives in its own bank so all stage accesses
+  /// of one packet happen in parallel (the Section 3.2 assumption).
+  bool parallel_stage_banks{true};
+  /// Extra sequential accesses for a flow-memory lookup (1 with a CAM
+  /// or perfect hash; more with probing).
+  std::uint32_t flow_memory_accesses{1};
+};
+
+struct LinkConfig {
+  /// Line rate in bits per second (OC-192 ~ 9.953 Gbit/s).
+  double line_rate_bps{9.953e9};
+  /// Worst-case (smallest) packet the design must sustain; 40-byte
+  /// packets are the classic worst case.
+  std::uint32_t min_packet_bytes{40};
+};
+
+/// Pre-defined rates.
+inline constexpr double kOc3Bps = 155.52e6;
+inline constexpr double kOc12Bps = 622.08e6;
+inline constexpr double kOc48Bps = 2488.32e6;
+inline constexpr double kOc192Bps = 9953.28e6;
+
+struct Feasibility {
+  std::uint64_t stage_sram_bits{0};
+  std::uint64_t flow_memory_sram_bits{0};
+  std::uint64_t total_sram_bits{0};
+  /// Sequential memory-access slots on the per-packet critical path.
+  std::uint32_t critical_path_accesses{0};
+  /// Total accesses issued per packet (bandwidth, not latency).
+  std::uint32_t total_accesses{0};
+  double packet_processing_ns{0.0};
+  double packet_arrival_ns{0.0};
+  /// processing fits in the arrival budget.
+  bool feasible{false};
+  /// Largest worst-case line rate the design sustains (bps).
+  double max_line_rate_bps{0.0};
+};
+
+[[nodiscard]] Feasibility analyze(const ChipConfig& chip,
+                                  const LinkConfig& link);
+
+/// The paper's [12] design point: 4 x 4K counters + 3,584 entries at
+/// OC-192.
+[[nodiscard]] ChipConfig paper_oc192_design();
+
+/// Smallest number of stages that keeps the expected false positives
+/// under `target_flows` for `flows` active flows with stage strength
+/// `k` (the Section 3.2 "add a stage per 10x flows" scaling rule).
+[[nodiscard]] std::uint32_t stages_for_flow_count(double flows, double k,
+                                                  double target_flows);
+
+}  // namespace nd::hwmodel

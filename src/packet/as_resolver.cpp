@@ -1,0 +1,76 @@
+#include "packet/as_resolver.hpp"
+
+#include <algorithm>
+
+namespace nd::packet {
+
+struct AsResolver::Node {
+  std::optional<std::uint32_t> as_number;
+  std::unique_ptr<Node> child[2];
+};
+
+AsResolver::AsResolver() : root_(std::make_unique<Node>()) {}
+AsResolver::~AsResolver() = default;
+AsResolver::AsResolver(AsResolver&&) noexcept = default;
+AsResolver& AsResolver::operator=(AsResolver&&) noexcept = default;
+
+void AsResolver::add_route(const PrefixRoute& route) {
+  Node* node = root_.get();
+  for (std::uint8_t depth = 0; depth < route.prefix_len; ++depth) {
+    const std::size_t bit = (route.prefix >> (31 - depth)) & 1U;
+    if (!node->child[bit]) {
+      node->child[bit] = std::make_unique<Node>();
+    }
+    node = node->child[bit].get();
+  }
+  if (!node->as_number.has_value()) {
+    ++route_count_;
+  }
+  node->as_number = route.as_number;
+}
+
+std::optional<std::uint32_t> AsResolver::resolve(std::uint32_t ip) const {
+  const Node* node = root_.get();
+  std::optional<std::uint32_t> best = node->as_number;
+  for (int depth = 0; depth < 32 && node; ++depth) {
+    const std::size_t bit = (ip >> (31 - depth)) & 1U;
+    node = node->child[bit].get();
+    if (node && node->as_number.has_value()) {
+      best = node->as_number;
+    }
+  }
+  return best;
+}
+
+std::uint32_t AsResolver::synthetic_slash24_count(
+    std::uint32_t as_count, std::uint32_t prefixes_per_as) {
+  const std::uint64_t wanted =
+      static_cast<std::uint64_t>(as_count) *
+      std::max<std::uint32_t>(prefixes_per_as, 1);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(wanted, 1ULL << 16));
+}
+
+AsResolver AsResolver::synthetic(std::uint32_t as_count, common::Rng& rng,
+                                 std::uint32_t default_as,
+                                 std::uint32_t prefixes_per_as) {
+  AsResolver resolver;
+  resolver.add_route(PrefixRoute{0, 0, default_as});
+  (void)rng;  // reserved for future randomized layouts; kept in the
+              // signature so callers thread deterministic seed material
+
+  // Carve 10.0.0.0/8 into /24s and deal each AS a consecutive run;
+  // address-popularity skew applied by callers then translates directly
+  // into AS-popularity skew.
+  constexpr std::uint32_t kBase = 10U << 24;
+  const std::uint32_t total =
+      synthetic_slash24_count(as_count, prefixes_per_as);
+  for (std::uint32_t slash24 = 0; slash24 < total; ++slash24) {
+    const std::uint32_t as_number =
+        1000 + slash24 / std::max<std::uint32_t>(prefixes_per_as, 1);
+    resolver.add_route(PrefixRoute{kBase | (slash24 << 8), 24, as_number});
+  }
+  return resolver;
+}
+
+}  // namespace nd::packet

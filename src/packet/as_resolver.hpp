@@ -1,0 +1,66 @@
+// Longest-prefix-match IP -> AS-number resolution.
+//
+// The paper's third flow definition aggregates packets by (source AS,
+// destination AS), which on a real router uses the BGP route table. We
+// implement a binary trie for longest-prefix match plus a deterministic
+// synthetic table generator (the substitution documented in DESIGN.md:
+// the algorithms only need *some* skewed many-to-few aggregation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nd::packet {
+
+struct PrefixRoute {
+  std::uint32_t prefix{0};      // host order, low bits zero
+  std::uint8_t prefix_len{0};   // 0..32
+  std::uint32_t as_number{0};
+};
+
+/// Binary trie supporting insert + longest-prefix match, the classic
+/// router FIB structure.
+class AsResolver {
+ public:
+  AsResolver();
+  ~AsResolver();
+  AsResolver(AsResolver&&) noexcept;
+  AsResolver& operator=(AsResolver&&) noexcept;
+  AsResolver(const AsResolver&) = delete;
+  AsResolver& operator=(const AsResolver&) = delete;
+
+  /// Insert a route; the most recently inserted route wins on exact
+  /// duplicate prefixes.
+  void add_route(const PrefixRoute& route);
+
+  /// Longest-prefix match. Returns nullopt when no route covers `ip`
+  /// (no default route installed).
+  [[nodiscard]] std::optional<std::uint32_t> resolve(std::uint32_t ip) const;
+
+  [[nodiscard]] std::size_t route_count() const { return route_count_; }
+
+  /// Build a synthetic table: `as_count` ASes, each owning
+  /// `prefixes_per_as` consecutive /24s under 10.0.0.0/8 (capped at the
+  /// 65,536 available /24s), with a /0 default route to AS `default_as`.
+  /// Deterministic given the rng seed.
+  [[nodiscard]] static AsResolver synthetic(std::uint32_t as_count,
+                                            common::Rng& rng,
+                                            std::uint32_t default_as = 64512,
+                                            std::uint32_t prefixes_per_as = 2);
+
+  /// Number of /24s `synthetic` deals out for the given shape (callers
+  /// use this to size the address space they draw from).
+  [[nodiscard]] static std::uint32_t synthetic_slash24_count(
+      std::uint32_t as_count, std::uint32_t prefixes_per_as);
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t route_count_{0};
+};
+
+}  // namespace nd::packet

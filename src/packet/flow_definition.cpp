@@ -1,0 +1,53 @@
+#include "packet/flow_definition.hpp"
+
+#include <algorithm>
+
+namespace nd::packet {
+
+FlowDefinition FlowDefinition::five_tuple(PacketPattern pattern) {
+  return FlowDefinition(FlowKeyKind::kFiveTuple, pattern, nullptr);
+}
+
+FlowDefinition FlowDefinition::destination_ip(PacketPattern pattern) {
+  return FlowDefinition(FlowKeyKind::kDestinationIp, pattern, nullptr);
+}
+
+FlowDefinition FlowDefinition::as_pair(const AsResolver& resolver,
+                                       PacketPattern pattern) {
+  return FlowDefinition(FlowKeyKind::kAsPair, pattern, &resolver);
+}
+
+FlowDefinition FlowDefinition::network_pair(std::uint8_t prefix_len,
+                                            PacketPattern pattern) {
+  return FlowDefinition(FlowKeyKind::kNetworkPair, pattern, nullptr,
+                        std::min<std::uint8_t>(prefix_len, 32));
+}
+
+std::optional<FlowKey> FlowDefinition::classify(
+    const PacketRecord& packet) const {
+  if (!pattern_.matches(packet)) return std::nullopt;
+  switch (kind_) {
+    case FlowKeyKind::kFiveTuple:
+      return FlowKey::five_tuple(packet.src_ip, packet.dst_ip,
+                                 packet.src_port, packet.dst_port,
+                                 packet.protocol);
+    case FlowKeyKind::kDestinationIp:
+      return FlowKey::destination_ip(packet.dst_ip);
+    case FlowKeyKind::kAsPair: {
+      const auto src_as = resolver_->resolve(packet.src_ip);
+      const auto dst_as = resolver_->resolve(packet.dst_ip);
+      if (!src_as || !dst_as) return std::nullopt;
+      return FlowKey::as_pair(*src_as, *dst_as);
+    }
+    case FlowKeyKind::kNetworkPair: {
+      const std::uint32_t mask =
+          prefix_len_ == 0 ? 0
+                           : ~std::uint32_t{0} << (32 - prefix_len_);
+      return FlowKey::network_pair(packet.src_ip & mask,
+                                   packet.dst_ip & mask, prefix_len_);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nd::packet

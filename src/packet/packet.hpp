@@ -1,0 +1,35 @@
+// The packet record every device and the trace synthesizer operate on.
+//
+// This is a parsed, link-layer-independent view of a packet: exactly the
+// fields the paper's three flow definitions (Section 7) need, plus the
+// wire size that all byte counters account.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nd::packet {
+
+/// IP protocol numbers we synthesize/parse.
+enum class IpProtocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct PacketRecord {
+  common::TimestampNs timestamp_ns{0};
+  std::uint32_t src_ip{0};  // host byte order
+  std::uint32_t dst_ip{0};  // host byte order
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  IpProtocol protocol{IpProtocol::kTcp};
+  /// Total IP-layer size in bytes (header + payload); this is what the
+  /// paper's byte counters accumulate.
+  std::uint32_t size_bytes{0};
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+}  // namespace nd::packet

@@ -1,0 +1,166 @@
+#include "pcap/pcap.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace nd::pcap {
+
+namespace {
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+      static_cast<char>((v >> 16) & 0xFF), static_cast<char>((v >> 24) & 0xFF)};
+  out.write(bytes, 4);
+}
+
+void put_u16le(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xFF),
+                         static_cast<char>((v >> 8) & 0xFF)};
+  out.write(bytes, 2);
+}
+
+bool get_u32(std::istream& in, bool swapped, std::uint32_t& out_value) {
+  std::uint8_t b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) return false;
+  if (swapped) std::swap(b[0], b[3]), std::swap(b[1], b[2]);
+  out_value = static_cast<std::uint32_t>(b[0]) |
+              (static_cast<std::uint32_t>(b[1]) << 8) |
+              (static_cast<std::uint32_t>(b[2]) << 16) |
+              (static_cast<std::uint32_t>(b[3]) << 24);
+  return true;
+}
+
+bool get_u16(std::istream& in, bool swapped, std::uint16_t& out_value) {
+  std::uint8_t b[2];
+  if (!in.read(reinterpret_cast<char*>(b), 2)) return false;
+  if (swapped) std::swap(b[0], b[1]);
+  out_value = static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[0]) |
+                                         (static_cast<std::uint16_t>(b[1])
+                                          << 8));
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)
+    : out_(out), snaplen_(snaplen) {
+  put_u32le(out_, kMagicNative);
+  put_u16le(out_, 2);  // version major
+  put_u16le(out_, 4);  // version minor
+  put_u32le(out_, 0);  // thiszone
+  put_u32le(out_, 0);  // sigfigs
+  put_u32le(out_, snaplen_);
+  put_u32le(out_, kLinkTypeEthernet);
+  if (!out_) throw PcapError("pcap: failed to write global header");
+}
+
+void PcapWriter::write(common::TimestampNs timestamp_ns,
+                       std::span<const std::uint8_t> frame) {
+  const auto captured =
+      std::min<std::size_t>(frame.size(), snaplen_);
+  put_u32le(out_, static_cast<std::uint32_t>(timestamp_ns / 1'000'000'000ULL));
+  put_u32le(out_,
+            static_cast<std::uint32_t>((timestamp_ns % 1'000'000'000ULL) /
+                                       1000ULL));
+  put_u32le(out_, static_cast<std::uint32_t>(captured));
+  put_u32le(out_, static_cast<std::uint32_t>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(captured));
+  if (!out_) throw PcapError("pcap: failed to write packet");
+  ++count_;
+}
+
+void PcapWriter::write(const packet::PacketRecord& record) {
+  write(record.timestamp_ns, packet::build_frame(record));
+}
+
+PcapReader::PcapReader(std::istream& in) : in_(in) {
+  std::uint32_t magic = 0;
+  if (!get_u32(in_, false, magic)) {
+    throw PcapError("pcap: empty file");
+  }
+  if (magic == kMagicNative) {
+    swapped_ = false;
+  } else if (magic == kMagicSwapped) {
+    swapped_ = true;
+  } else {
+    throw PcapError("pcap: bad magic number");
+  }
+  std::uint16_t vmaj = 0;
+  std::uint16_t vmin = 0;
+  std::uint32_t zone = 0;
+  std::uint32_t sigfigs = 0;
+  if (!get_u16(in_, swapped_, vmaj) || !get_u16(in_, swapped_, vmin) ||
+      !get_u32(in_, swapped_, zone) || !get_u32(in_, swapped_, sigfigs) ||
+      !get_u32(in_, swapped_, snaplen_) ||
+      !get_u32(in_, swapped_, link_type_)) {
+    throw PcapError("pcap: truncated global header");
+  }
+  if (vmaj != 2) {
+    throw PcapError("pcap: unsupported version " + std::to_string(vmaj));
+  }
+}
+
+std::optional<PcapPacket> PcapReader::next() {
+  std::uint32_t ts_sec = 0;
+  if (!get_u32(in_, swapped_, ts_sec)) {
+    return std::nullopt;  // clean EOF
+  }
+  std::uint32_t ts_usec = 0;
+  std::uint32_t caplen = 0;
+  std::uint32_t origlen = 0;
+  if (!get_u32(in_, swapped_, ts_usec) || !get_u32(in_, swapped_, caplen) ||
+      !get_u32(in_, swapped_, origlen)) {
+    throw PcapError("pcap: truncated packet header");
+  }
+  if (caplen > snaplen_ + 4096U) {
+    throw PcapError("pcap: implausible capture length");
+  }
+  PcapPacket pkt;
+  pkt.timestamp_ns = static_cast<common::TimestampNs>(ts_sec) *
+                         1'000'000'000ULL +
+                     static_cast<common::TimestampNs>(ts_usec) * 1000ULL;
+  pkt.original_length = origlen;
+  pkt.data.resize(caplen);
+  if (!in_.read(reinterpret_cast<char*>(pkt.data.data()), caplen)) {
+    throw PcapError("pcap: truncated packet body");
+  }
+  return pkt;
+}
+
+std::optional<packet::PacketRecord> PcapReader::next_record() {
+  while (auto pkt = next()) {
+    if (auto record = packet::parse_frame(pkt->data, pkt->timestamp_ns)) {
+      return record;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t write_pcap_file(const std::string& path,
+                              std::span<const packet::PacketRecord> records,
+                              std::uint32_t snaplen) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw PcapError("pcap: cannot open for writing: " + path);
+  PcapWriter writer(out, snaplen);
+  for (const auto& record : records) {
+    writer.write(record);
+  }
+  return writer.packets_written();
+}
+
+std::vector<packet::PacketRecord> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw PcapError("pcap: cannot open for reading: " + path);
+  PcapReader reader(in);
+  std::vector<packet::PacketRecord> records;
+  while (auto record = reader.next_record()) {
+    records.push_back(*record);
+  }
+  return records;
+}
+
+}  // namespace nd::pcap

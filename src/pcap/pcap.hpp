@@ -1,0 +1,92 @@
+// Minimal libpcap-format (.pcap) reader and writer.
+//
+// Substrate for feeding the measurement devices real capture files and
+// for exporting synthesized traces in a format standard tools (tcpdump,
+// wireshark) can open. Implements the classic pcap file format
+// (magic 0xA1B2C3D4, microsecond timestamps), both byte orders on read,
+// link type EN10MB.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "packet/headers.hpp"
+#include "packet/packet.hpp"
+
+namespace nd::pcap {
+
+inline constexpr std::uint32_t kMagicNative = 0xA1B2C3D4;
+inline constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+class PcapError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PcapPacket {
+  common::TimestampNs timestamp_ns{0};
+  std::uint32_t original_length{0};
+  std::vector<std::uint8_t> data;  // captured (possibly truncated) bytes
+};
+
+/// Streaming writer. Writes the global header on construction.
+class PcapWriter {
+ public:
+  /// snaplen caps how many frame bytes are stored per packet (classic
+  /// capture truncation); the full original length is still recorded.
+  explicit PcapWriter(std::ostream& out, std::uint32_t snaplen = 65535);
+
+  /// Write a raw frame.
+  void write(common::TimestampNs timestamp_ns,
+             std::span<const std::uint8_t> frame);
+
+  /// Convenience: synthesize an Ethernet/IPv4 frame from a record and
+  /// write it.
+  void write(const packet::PacketRecord& record);
+
+  [[nodiscard]] std::uint64_t packets_written() const { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::uint32_t snaplen_;
+  std::uint64_t count_{0};
+};
+
+/// Streaming reader; handles both byte orders. Throws PcapError on a bad
+/// magic or a structurally truncated file.
+class PcapReader {
+ public:
+  explicit PcapReader(std::istream& in);
+
+  /// Next raw packet, or nullopt at clean end-of-file.
+  [[nodiscard]] std::optional<PcapPacket> next();
+
+  /// Next packet parsed to a PacketRecord, skipping non-IPv4 frames.
+  [[nodiscard]] std::optional<packet::PacketRecord> next_record();
+
+  [[nodiscard]] bool swapped() const { return swapped_; }
+  [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+  [[nodiscard]] std::uint32_t link_type() const { return link_type_; }
+
+ private:
+  std::istream& in_;
+  bool swapped_{false};
+  std::uint32_t snaplen_{0};
+  std::uint32_t link_type_{0};
+};
+
+/// Write a whole trace to a file. Returns packets written.
+std::uint64_t write_pcap_file(const std::string& path,
+                              std::span<const packet::PacketRecord> records,
+                              std::uint32_t snaplen = 65535);
+
+/// Read a whole file into records (non-IPv4 frames skipped).
+[[nodiscard]] std::vector<packet::PacketRecord> read_pcap_file(
+    const std::string& path);
+
+}  // namespace nd::pcap

@@ -1,0 +1,63 @@
+#include "reporting/aggregator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nd::reporting {
+
+namespace {
+
+struct Aggregate {
+  common::ByteCount bytes{0};
+  bool exact{true};
+};
+
+core::Report rebuild(const core::Report& source,
+                     std::unordered_map<packet::FlowKey, Aggregate,
+                                        packet::FlowKeyHasher>
+                         aggregates) {
+  core::Report out;
+  out.interval = source.interval;
+  out.threshold = source.threshold;
+  out.entries_used = source.entries_used;
+  out.flows.reserve(aggregates.size());
+  for (const auto& [key, aggregate] : aggregates) {
+    out.flows.push_back(
+        core::ReportedFlow{key, aggregate.bytes, aggregate.exact});
+  }
+  core::sort_by_size(out);
+  return out;
+}
+
+}  // namespace
+
+core::Report aggregate_to_destination_ip(const core::Report& report) {
+  std::unordered_map<packet::FlowKey, Aggregate, packet::FlowKeyHasher>
+      aggregates;
+  for (const auto& flow : report.flows) {
+    const auto key = packet::FlowKey::destination_ip(flow.key.dst_ip());
+    Aggregate& aggregate = aggregates[key];
+    aggregate.bytes += flow.estimated_bytes;
+    aggregate.exact = aggregate.exact && flow.exact;
+  }
+  return rebuild(report, std::move(aggregates));
+}
+
+core::Report aggregate_to_network_pair(const core::Report& report,
+                                       std::uint8_t prefix_len) {
+  prefix_len = std::min<std::uint8_t>(prefix_len, 32);
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  std::unordered_map<packet::FlowKey, Aggregate, packet::FlowKeyHasher>
+      aggregates;
+  for (const auto& flow : report.flows) {
+    const auto key = packet::FlowKey::network_pair(
+        flow.key.src_ip() & mask, flow.key.dst_ip() & mask, prefix_len);
+    Aggregate& aggregate = aggregates[key];
+    aggregate.bytes += flow.estimated_bytes;
+    aggregate.exact = aggregate.exact && flow.exact;
+  }
+  return rebuild(report, std::move(aggregates));
+}
+
+}  // namespace nd::reporting

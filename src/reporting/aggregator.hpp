@@ -1,0 +1,34 @@
+// Management-station report aggregation.
+//
+// Section 2: "The data collection overhead can be alleviated by having
+// the router aggregate flows (e.g., by source and destination AS
+// numbers) as directed by a manager." The same operation is useful at
+// the management station: collapse a fine-grained (5-tuple) heavy-hitter
+// report into destination-IP or network-pair aggregates for a different
+// consumer, without touching the router.
+//
+// Note the semantic caveat the paper's Section 9 discussion implies:
+// aggregating a *heavy-hitter* report yields a lower bound on each
+// aggregate (small flows below the router's threshold are missing), so
+// an aggregate built this way can under-count — exactly why a manager
+// who anticipates the aggregate view should run a device with that flow
+// definition instead.
+#pragma once
+
+#include "core/device.hpp"
+
+namespace nd::reporting {
+
+/// Re-key a report's flows to destination-IP granularity, summing
+/// estimates. `exact` survives only if every contributing flow was
+/// exact.
+[[nodiscard]] core::Report aggregate_to_destination_ip(
+    const core::Report& report);
+
+/// Re-key to source/destination network prefixes of `prefix_len` bits.
+/// Only meaningful for 5-tuple or network-pair input (keys carrying
+/// real addresses).
+[[nodiscard]] core::Report aggregate_to_network_pair(
+    const core::Report& report, std::uint8_t prefix_len);
+
+}  // namespace nd::reporting

@@ -1,0 +1,26 @@
+#include "reporting/collector.hpp"
+
+#include <algorithm>
+
+namespace nd::reporting {
+
+core::Report CollectionChannel::deliver(const core::Report& report) {
+  ++stats_.reports_offered;
+  stats_.records_offered += report.flows.size();
+  const std::uint64_t offered = encoded_size(report);
+  stats_.bytes_offered += offered;
+
+  core::Report delivered = report;
+  if (offered > budget_) {
+    const std::uint64_t record_budget =
+        budget_ > kHeaderBytes ? (budget_ - kHeaderBytes) / kRecordBytes
+                               : 0;
+    delivered.flows.resize(std::min<std::uint64_t>(
+        delivered.flows.size(), record_budget));
+  }
+  stats_.records_delivered += delivered.flows.size();
+  stats_.bytes_delivered += encoded_size(delivered);
+  return delivered;
+}
+
+}  // namespace nd::reporting

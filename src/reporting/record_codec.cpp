@@ -1,0 +1,127 @@
+#include "reporting/record_codec.hpp"
+
+namespace nd::reporting {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t off) {
+  return static_cast<std::uint16_t>((d[off] << 8) | d[off + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t off) {
+  return (static_cast<std::uint32_t>(get_u16(d, off)) << 16) |
+         get_u16(d, off + 2);
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> d, std::size_t off) {
+  return (static_cast<std::uint64_t>(get_u32(d, off)) << 32) |
+         get_u32(d, off + 4);
+}
+
+}  // namespace
+
+std::size_t encoded_size(const core::Report& report) {
+  return kHeaderBytes + report.flows.size() * kRecordBytes;
+}
+
+std::vector<std::uint8_t> encode(const core::Report& report,
+                                 packet::FlowKeyKind kind) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(report));
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.push_back(0);  // reserved
+  put_u32(out, report.interval);
+  put_u32(out, static_cast<std::uint32_t>(report.flows.size()));
+  put_u64(out, report.threshold);
+
+  for (const auto& flow : report.flows) {
+    if (flow.key.kind() != kind) {
+      throw CodecError("reporting: mixed flow-key kinds in one report");
+    }
+    put_u32(out, flow.key.kind() == packet::FlowKeyKind::kAsPair
+                     ? flow.key.src_as()
+                     : flow.key.src_ip());
+    put_u32(out, flow.key.kind() == packet::FlowKeyKind::kAsPair
+                     ? flow.key.dst_as()
+                     : flow.key.dst_ip());
+    put_u16(out, flow.key.src_port());
+    put_u16(out, flow.key.dst_port());
+    out.push_back(static_cast<std::uint8_t>(flow.key.protocol()));
+    out.push_back(flow.exact ? 1 : 0);
+    put_u16(out, 0);  // reserved / alignment
+    put_u64(out, flow.estimated_bytes);
+  }
+  return out;
+}
+
+core::Report decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderBytes) {
+    throw CodecError("reporting: truncated header");
+  }
+  if (get_u32(data, 0) != kMagic) {
+    throw CodecError("reporting: bad magic");
+  }
+  if (get_u16(data, 4) != kVersion) {
+    throw CodecError("reporting: unsupported version");
+  }
+  const auto kind = static_cast<packet::FlowKeyKind>(data[6]);
+  core::Report report;
+  report.interval = get_u32(data, 8);
+  const std::uint32_t count = get_u32(data, 12);
+  report.threshold = get_u64(data, 16);
+
+  if (data.size() != kHeaderBytes + count * kRecordBytes) {
+    throw CodecError("reporting: size does not match record count");
+  }
+  report.flows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t off = kHeaderBytes + i * kRecordBytes;
+    const std::uint32_t a = get_u32(data, off);
+    const std::uint32_t b = get_u32(data, off + 4);
+    const std::uint16_t c = get_u16(data, off + 8);
+    const std::uint16_t d = get_u16(data, off + 10);
+    const auto proto = static_cast<packet::IpProtocol>(data[off + 12]);
+    const bool exact = data[off + 13] != 0;
+    const common::ByteCount bytes = get_u64(data, off + 16);
+
+    packet::FlowKey key;
+    switch (kind) {
+      case packet::FlowKeyKind::kFiveTuple:
+        key = packet::FlowKey::five_tuple(a, b, c, d, proto);
+        break;
+      case packet::FlowKeyKind::kDestinationIp:
+        key = packet::FlowKey::destination_ip(b);
+        break;
+      case packet::FlowKeyKind::kAsPair:
+        key = packet::FlowKey::as_pair(a, b);
+        break;
+      case packet::FlowKeyKind::kNetworkPair:
+        key = packet::FlowKey::network_pair(a, b,
+                                            static_cast<std::uint8_t>(c));
+        break;
+      default:
+        throw CodecError("reporting: unknown flow-key kind");
+    }
+    report.flows.push_back(core::ReportedFlow{key, bytes, exact});
+  }
+  return report;
+}
+
+}  // namespace nd::reporting

@@ -1,0 +1,55 @@
+#include "trace/packet_size_model.hpp"
+
+#include <algorithm>
+
+namespace nd::trace {
+
+PacketSizeModel::PacketSizeModel(PacketSizePattern pattern,
+                                 std::uint32_t fixed_size)
+    : pattern_(pattern),
+      fixed_size_(std::clamp(fixed_size, kMinPacketBytes, kMaxPacketBytes)) {}
+
+std::uint32_t PacketSizeModel::sample(common::Rng& rng,
+                                      common::ByteCount remaining) const {
+  std::uint32_t size = fixed_size_;
+  switch (pattern_) {
+    case PacketSizePattern::kFixed:
+      break;
+    case PacketSizePattern::kTrimodal: {
+      const double u = rng.real();
+      if (u < 0.40) {
+        size = 40;
+      } else if (u < 0.62) {
+        size = 576;
+      } else if (u < 0.95) {
+        size = 1500;
+      } else {
+        size = 41 + static_cast<std::uint32_t>(rng.uniform(1459));
+      }
+      break;
+    }
+    case PacketSizePattern::kBulk: {
+      size = rng.real() < 0.85 ? 1500U : 40U;
+      break;
+    }
+  }
+  if (remaining <= kMinPacketBytes) {
+    return static_cast<std::uint32_t>(remaining);
+  }
+  return static_cast<std::uint32_t>(
+      std::min<common::ByteCount>(size, remaining));
+}
+
+double PacketSizeModel::mean_size() const {
+  switch (pattern_) {
+    case PacketSizePattern::kFixed:
+      return static_cast<double>(fixed_size_);
+    case PacketSizePattern::kTrimodal:
+      return 0.40 * 40 + 0.22 * 576 + 0.33 * 1500 + 0.05 * 770;
+    case PacketSizePattern::kBulk:
+      return 0.85 * 1500 + 0.15 * 40;
+  }
+  return static_cast<double>(fixed_size_);
+}
+
+}  // namespace nd::trace

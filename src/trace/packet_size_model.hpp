@@ -1,0 +1,52 @@
+// Packet size distributions for trace synthesis.
+//
+// Backbone traffic of the paper's era is strongly trimodal (ACK-sized,
+// 576-byte legacy-MTU, 1500-byte Ethernet-MTU packets). The NetFlow
+// error model in the paper assumes 1500-byte packets for large flows;
+// the synthesizer lets large flows skew toward full-MTU packets while
+// mice send small ones.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nd::trace {
+
+inline constexpr std::uint32_t kMinPacketBytes = 40;
+inline constexpr std::uint32_t kMaxPacketBytes = 1500;
+
+enum class PacketSizePattern {
+  /// All packets the same size (analysis-friendly).
+  kFixed,
+  /// Classic trimodal internet mix: 40 / 576 / 1500 plus a small uniform
+  /// tail; mean ~650 bytes.
+  kTrimodal,
+  /// Bulk transfer: mostly 1500-byte packets with a 40-byte ACK share.
+  kBulk,
+};
+
+class PacketSizeModel {
+ public:
+  explicit PacketSizeModel(PacketSizePattern pattern,
+                           std::uint32_t fixed_size = 500);
+
+  /// Size of the next packet of a flow that still has `remaining` bytes
+  /// to send. Never exceeds `remaining` unless remaining < kMinPacketBytes
+  /// (then the final runt packet carries all of it).
+  [[nodiscard]] std::uint32_t sample(common::Rng& rng,
+                                     common::ByteCount remaining) const;
+
+  /// Expected packet size when not remainder-limited (used to
+  /// pre-reserve packet buffers).
+  [[nodiscard]] double mean_size() const;
+
+  [[nodiscard]] PacketSizePattern pattern() const { return pattern_; }
+
+ private:
+  PacketSizePattern pattern_;
+  std::uint32_t fixed_size_;
+};
+
+}  // namespace nd::trace

@@ -1,0 +1,91 @@
+#include "trace/presets.hpp"
+
+#include <algorithm>
+
+namespace nd::trace {
+
+TraceConfig Presets::mag(std::uint64_t seed) {
+  TraceConfig config;
+  config.name = "MAG";
+  config.flow_count = 100'000;
+  config.zipf_alpha = 1.1;
+  config.bytes_per_interval = 264'700'000;
+  config.link_capacity_per_interval = 1'555'000'000;  // OC-48 x 5 s
+  config.num_intervals = 18;
+  config.dst_ip_pool = 54'000;
+  config.dst_ip_alpha = 0.15;
+  config.src_ip_pool = 60'000;
+  config.as_count = 85;
+  config.prefixes_per_as = 700;
+  config.slash24_alpha = 0.60;
+  config.seed = seed;
+  return config;
+}
+
+TraceConfig Presets::mag_plus(std::uint64_t seed) {
+  TraceConfig config = mag(seed);
+  config.name = "MAG+";
+  config.bytes_per_interval = 256'000'000;
+  config.flow_count = 98'400;
+  config.num_intervals = 903;
+  return config;
+}
+
+TraceConfig Presets::ind(std::uint64_t seed) {
+  TraceConfig config;
+  config.name = "IND";
+  config.flow_count = 14'350;
+  config.zipf_alpha = 1.1;
+  config.bytes_per_interval = 96'040'000;
+  config.link_capacity_per_interval = 388'750'000;  // OC-12 x 5 s
+  config.num_intervals = 18;
+  config.dst_ip_pool = 14'500;
+  config.dst_ip_alpha = 0.15;
+  config.src_ip_pool = 12'000;
+  config.as_count = 300;
+  config.prefixes_per_as = 60;
+  config.slash24_alpha = 0.60;
+  config.seed = seed;
+  return config;
+}
+
+TraceConfig Presets::cos(std::uint64_t seed) {
+  TraceConfig config;
+  config.name = "COS";
+  config.flow_count = 5'500;
+  config.zipf_alpha = 1.1;
+  config.bytes_per_interval = 16'630'000;
+  config.link_capacity_per_interval = 97'200'000;  // OC-3 x 5 s
+  config.num_intervals = 18;
+  config.dst_ip_pool = 1'170;
+  config.dst_ip_alpha = 0.15;
+  config.src_ip_pool = 4'000;
+  config.as_count = 150;
+  config.prefixes_per_as = 20;
+  config.slash24_alpha = 0.60;
+  config.seed = seed;
+  return config;
+}
+
+TraceConfig scaled(TraceConfig config, double factor) {
+  factor = std::clamp(factor, 1e-4, 1.0);
+  auto scale_u32 = [factor](std::uint32_t v) {
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(static_cast<double>(v) * factor));
+  };
+  auto scale_u64 = [factor](common::ByteCount v) {
+    return std::max<common::ByteCount>(
+        1, static_cast<common::ByteCount>(static_cast<double>(v) * factor));
+  };
+  config.name += "(x" + std::to_string(factor).substr(0, 4) + ")";
+  config.flow_count = scale_u32(config.flow_count);
+  config.bytes_per_interval = scale_u64(config.bytes_per_interval);
+  config.link_capacity_per_interval =
+      scale_u64(config.link_capacity_per_interval);
+  config.dst_ip_pool = scale_u32(config.dst_ip_pool);
+  config.src_ip_pool = scale_u32(config.src_ip_pool);
+  config.as_count = std::max<std::uint32_t>(20, scale_u32(config.as_count));
+  return config;
+}
+
+}  // namespace nd::trace

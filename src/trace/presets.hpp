@@ -1,0 +1,31 @@
+// Trace presets calibrated to the paper's Table 3.
+//
+// Targets (avg values from Table 3):
+//   MAG+  (OC-48): 98,424 5-tuple / 42,915 dst-IP / 7,401 AS-pair flows,
+//                  256.0 MB per 5 s interval, 903 intervals (4515 s).
+//   MAG   (OC-48): 100,105 / 43,575 / 7,408 flows, 264.7 MB, 18 intervals.
+//   IND   (OC-12): 14,349 / 8,933 flows, 96.04 MB, 18 intervals.
+//   COS   (OC-3) : 5,497 / 1,146 flows, 16.63 MB, 18 intervals.
+//
+// Pool sizes and skews below were calibrated empirically (see
+// tests/trace/presets_test.cpp which asserts the achieved counts stay
+// within tolerance of these targets).
+#pragma once
+
+#include "trace/synthesizer.hpp"
+
+namespace nd::trace {
+
+struct Presets {
+  [[nodiscard]] static TraceConfig mag_plus(std::uint64_t seed = 42);
+  [[nodiscard]] static TraceConfig mag(std::uint64_t seed = 42);
+  [[nodiscard]] static TraceConfig ind(std::uint64_t seed = 42);
+  [[nodiscard]] static TraceConfig cos(std::uint64_t seed = 42);
+};
+
+/// Shrink a preset by `factor` (flow counts, volumes, pools and link
+/// capacity all scale together) so tests and quick bench runs keep the
+/// same *shape* at a fraction of the cost. factor in (0, 1].
+[[nodiscard]] TraceConfig scaled(TraceConfig config, double factor);
+
+}  // namespace nd::trace

@@ -1,0 +1,65 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+
+namespace nd::trace {
+
+void TraceStats::observe_interval(
+    std::span<const packet::PacketRecord> packets) {
+  const auto sizes = exact_flow_sizes(packets, definition_);
+  common::ByteCount total = 0;
+  for (const auto& [key, bytes] : sizes) {
+    total += bytes;
+  }
+  flows_.observe(static_cast<double>(sizes.size()));
+  bytes_.observe(static_cast<double>(total));
+}
+
+std::vector<CdfPoint> flow_size_cdf(
+    std::span<const packet::PacketRecord> packets,
+    const packet::FlowDefinition& definition, std::size_t points) {
+  const auto sizes_map = exact_flow_sizes(packets, definition);
+  std::vector<common::ByteCount> sizes;
+  sizes.reserve(sizes_map.size());
+  common::ByteCount total = 0;
+  for (const auto& [key, bytes] : sizes_map) {
+    sizes.push_back(bytes);
+    total += bytes;
+  }
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+
+  std::vector<CdfPoint> cdf;
+  if (sizes.empty() || total == 0 || points == 0) return cdf;
+  cdf.reserve(points + 1);
+
+  common::ByteCount running = 0;
+  std::size_t consumed = 0;
+  for (std::size_t p = 1; p <= points; ++p) {
+    const std::size_t target =
+        std::max<std::size_t>(1, sizes.size() * p / points);
+    while (consumed < target && consumed < sizes.size()) {
+      running += sizes[consumed++];
+    }
+    cdf.push_back(CdfPoint{
+        static_cast<double>(consumed) / static_cast<double>(sizes.size()),
+        static_cast<double>(running) / static_cast<double>(total)});
+  }
+  return cdf;
+}
+
+std::unordered_map<packet::FlowKey, common::ByteCount, packet::FlowKeyHasher>
+exact_flow_sizes(std::span<const packet::PacketRecord> packets,
+                 const packet::FlowDefinition& definition) {
+  std::unordered_map<packet::FlowKey, common::ByteCount,
+                     packet::FlowKeyHasher>
+      sizes;
+  sizes.reserve(packets.size() / 4 + 16);
+  for (const auto& packet : packets) {
+    if (const auto key = definition.classify(packet)) {
+      sizes[*key] += packet.size_bytes;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace nd::trace

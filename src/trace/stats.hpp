@@ -1,0 +1,75 @@
+// Trace statistics: reproduces Table 3 rows and the Figure 6 CDF.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/flow_definition.hpp"
+#include "packet/packet.hpp"
+
+namespace nd::trace {
+
+/// Running min/avg/max over per-interval observations.
+struct MinAvgMax {
+  double min{std::numeric_limits<double>::infinity()};
+  double max{-std::numeric_limits<double>::infinity()};
+  double sum{0.0};
+  std::uint64_t count{0};
+
+  void observe(double value) {
+    min = value < min ? value : min;
+    max = value > max ? value : max;
+    sum += value;
+    ++count;
+  }
+  [[nodiscard]] double avg() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Accumulates the Table 3 statistics for one flow definition.
+class TraceStats {
+ public:
+  explicit TraceStats(packet::FlowDefinition definition)
+      : definition_(std::move(definition)) {}
+
+  /// Feed one whole measurement interval of packets.
+  void observe_interval(std::span<const packet::PacketRecord> packets);
+
+  [[nodiscard]] const MinAvgMax& flows_per_interval() const {
+    return flows_;
+  }
+  [[nodiscard]] const MinAvgMax& bytes_per_interval() const {
+    return bytes_;
+  }
+
+ private:
+  packet::FlowDefinition definition_;
+  MinAvgMax flows_;
+  MinAvgMax bytes_;
+};
+
+/// One point of the Figure 6 cumulative distribution: the top
+/// `flow_fraction` of flows carry `traffic_fraction` of the bytes.
+struct CdfPoint {
+  double flow_fraction{0.0};
+  double traffic_fraction{0.0};
+};
+
+/// Compute the flow-size CDF of one interval under a flow definition,
+/// sampled at `points` evenly spaced flow fractions (plus the endpoint).
+[[nodiscard]] std::vector<CdfPoint> flow_size_cdf(
+    std::span<const packet::PacketRecord> packets,
+    const packet::FlowDefinition& definition, std::size_t points = 60);
+
+/// Exact per-flow byte totals of one interval (the ground truth the
+/// evaluation module compares against).
+[[nodiscard]] std::unordered_map<packet::FlowKey, common::ByteCount,
+                                 packet::FlowKeyHasher>
+exact_flow_sizes(std::span<const packet::PacketRecord> packets,
+                 const packet::FlowDefinition& definition);
+
+}  // namespace nd::trace

@@ -1,0 +1,206 @@
+#include "trace/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nd::trace {
+
+namespace {
+
+constexpr std::uint32_t kAddressBase = 10U << 24;  // 10.0.0.0/8
+
+/// Pick an address inside the synthetic 10.0.0.0/8 space: a /24 index
+/// (zipf-skewed by the caller) plus a uniform host byte in [1, 254].
+std::uint32_t address_for(std::size_t slash24_index, common::Rng& rng) {
+  const std::uint32_t host = 1 + static_cast<std::uint32_t>(rng.uniform(254));
+  return kAddressBase |
+         (static_cast<std::uint32_t>(slash24_index & 0xFFFF) << 8) | host;
+}
+
+}  // namespace
+
+TraceSynthesizer::TraceSynthesizer(TraceConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      resolver_(packet::AsResolver::synthetic(config_.as_count, rng_, 64512,
+                                              config_.prefixes_per_as)),
+      dst_pool_sampler_(config_.dst_ip_pool, config_.dst_ip_alpha),
+      size_model_(config_.size_pattern) {
+  // Destination pool: skewed over /24s so AS-pair aggregation inherits
+  // the skew (the resolver owns /24s in consecutive runs per AS).
+  const std::size_t slash24_count = packet::AsResolver::synthetic_slash24_count(
+      config_.as_count, config_.prefixes_per_as);
+  ZipfSampler slash24_sampler(slash24_count, config_.slash24_alpha);
+  dst_pool_.reserve(config_.dst_ip_pool);
+  for (std::uint32_t i = 0; i < config_.dst_ip_pool; ++i) {
+    dst_pool_.push_back(address_for(slash24_sampler.sample(rng_), rng_));
+  }
+  src_pool_.reserve(config_.src_ip_pool);
+  for (std::uint32_t i = 0; i < config_.src_ip_pool; ++i) {
+    src_pool_.push_back(address_for(slash24_sampler.sample(rng_), rng_));
+  }
+  rebuild_population();
+}
+
+TraceSynthesizer::FlowState TraceSynthesizer::make_flow(
+    common::ByteCount base_size) {
+  FlowState flow;
+  flow.src_ip = src_pool_[rng_.uniform(src_pool_.size())];
+  flow.dst_ip = dst_pool_[dst_pool_sampler_.sample(rng_)];
+  flow.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform(64'000));
+  flow.dst_port = rng_.bernoulli(0.6)
+                      ? std::uint16_t{80}
+                      : static_cast<std::uint16_t>(rng_.uniform(10'000));
+  flow.protocol = rng_.bernoulli(0.85) ? packet::IpProtocol::kTcp
+                                       : packet::IpProtocol::kUdp;
+  flow.base_size = base_size;
+  return flow;
+}
+
+void TraceSynthesizer::rebuild_population() {
+  flows_.clear();
+  flows_.reserve(config_.flow_count);
+  const auto sizes =
+      zipf_sizes(config_.flow_count, config_.zipf_alpha,
+                 config_.bytes_per_interval, kMinPacketBytes);
+  for (const auto size : sizes) {
+    flows_.push_back(make_flow(size));
+  }
+}
+
+void TraceSynthesizer::churn_flows() {
+  // flows_ is ordered largest base_size first; the top decile are the
+  // "elephants" the paper observes to be long lived.
+  const std::size_t top_decile = std::max<std::size_t>(1, flows_.size() / 10);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const double survival = i < top_decile ? config_.large_flow_survival
+                                           : config_.long_lived_fraction;
+    if (!rng_.bernoulli(survival)) {
+      flows_[i] = make_flow(flows_[i].base_size);
+    }
+  }
+}
+
+void TraceSynthesizer::inject(const InjectedFlow& flow) {
+  injected_.push_back(flow);
+}
+
+void TraceSynthesizer::reset() {
+  rng_ = common::Rng(config_.seed);
+  // Re-derive everything that consumed seed material in the constructor,
+  // in the same order, to reproduce the identical trace.
+  resolver_ = packet::AsResolver::synthetic(config_.as_count, rng_, 64512,
+                                            config_.prefixes_per_as);
+  const std::size_t slash24_count = packet::AsResolver::synthetic_slash24_count(
+      config_.as_count, config_.prefixes_per_as);
+  ZipfSampler slash24_sampler(slash24_count, config_.slash24_alpha);
+  for (auto& ip : dst_pool_) {
+    ip = address_for(slash24_sampler.sample(rng_), rng_);
+  }
+  for (auto& ip : src_pool_) {
+    ip = address_for(slash24_sampler.sample(rng_), rng_);
+  }
+  rebuild_population();
+  next_interval_index_ = 0;
+}
+
+std::vector<packet::PacketRecord> TraceSynthesizer::next_interval() {
+  std::vector<packet::PacketRecord> packets;
+  if (next_interval_index_ >= config_.num_intervals) {
+    return packets;
+  }
+  const common::IntervalIndex interval = next_interval_index_++;
+  if (interval > 0) {
+    churn_flows();
+  }
+
+  const auto interval_ns = static_cast<common::TimestampNs>(
+      config_.interval_duration.count());
+  const common::TimestampNs interval_start =
+      static_cast<common::TimestampNs>(interval) * interval_ns;
+
+  const double expected_packets =
+      static_cast<double>(config_.bytes_per_interval) /
+      size_model_.mean_size();
+  packets.reserve(static_cast<std::size_t>(expected_packets * 1.2));
+
+  const bool bursty = config_.arrival_model == TraceConfig::ArrivalModel::kBursty;
+  const auto burst_span_ns = static_cast<common::TimestampNs>(
+      std::max(1.0, static_cast<double>(interval_ns) *
+                        std::clamp(config_.burst_spread, 0.0, 1.0)));
+
+  auto emit_flow = [&](std::uint32_t src_ip, std::uint32_t dst_ip,
+                       std::uint16_t src_port, std::uint16_t dst_port,
+                       packet::IpProtocol protocol,
+                       common::ByteCount target_bytes) {
+    common::ByteCount remaining = target_bytes;
+    // Bursty mode: packets arrive in trains. A train has a random start
+    // within the interval; packets inside it are spread over
+    // burst_span_ns. Train length ~ Geometric(1/burst_mean_packets).
+    common::TimestampNs burst_start = 0;
+    std::uint64_t burst_left = 0;
+    while (remaining > 0) {
+      const std::uint32_t size = size_model_.sample(rng_, remaining);
+      packet::PacketRecord record;
+      if (bursty) {
+        if (burst_left == 0) {
+          burst_start = interval_start + rng_.uniform(interval_ns);
+          burst_left = 1 + rng_.geometric(
+                               1.0 / std::max(config_.burst_mean_packets,
+                                              1.0));
+        }
+        --burst_left;
+        const common::TimestampNs offset = rng_.uniform(burst_span_ns);
+        record.timestamp_ns = std::min(
+            burst_start + offset,
+            interval_start + interval_ns - 1);
+      } else {
+        record.timestamp_ns = interval_start + rng_.uniform(interval_ns);
+      }
+      record.src_ip = src_ip;
+      record.dst_ip = dst_ip;
+      record.src_port = src_port;
+      record.dst_port = dst_port;
+      record.protocol = protocol;
+      record.size_bytes = size;
+      packets.push_back(record);
+      remaining -= size;
+    }
+  };
+
+  for (const auto& flow : flows_) {
+    const double jitter = std::exp(config_.volume_jitter * rng_.normal());
+    const auto target = static_cast<common::ByteCount>(
+        static_cast<double>(flow.base_size) * jitter);
+    emit_flow(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port,
+              flow.protocol, std::max<common::ByteCount>(target, 1));
+  }
+
+  for (const auto& injected : injected_) {
+    if (interval >= injected.from_interval &&
+        interval <= injected.to_interval) {
+      const auto& p = injected.prototype;
+      emit_flow(p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.protocol,
+                injected.bytes_per_interval);
+    }
+  }
+
+  std::sort(packets.begin(), packets.end(),
+            [](const packet::PacketRecord& a, const packet::PacketRecord& b) {
+              return a.timestamp_ns < b.timestamp_ns;
+            });
+  return packets;
+}
+
+std::vector<std::vector<packet::PacketRecord>> synthesize_all(
+    const TraceConfig& config) {
+  TraceSynthesizer synth(config);
+  std::vector<std::vector<packet::PacketRecord>> intervals;
+  intervals.reserve(config.num_intervals);
+  for (std::uint32_t i = 0; i < config.num_intervals; ++i) {
+    intervals.push_back(synth.next_interval());
+  }
+  return intervals;
+}
+
+}  // namespace nd::trace

@@ -1,0 +1,52 @@
+#include "trace/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nd::trace {
+
+std::vector<common::ByteCount> zipf_sizes(std::size_t count, double alpha,
+                                          common::ByteCount total_bytes,
+                                          common::ByteCount min_size) {
+  std::vector<common::ByteCount> sizes;
+  if (count == 0) return sizes;
+  sizes.reserve(count);
+
+  double harmonic = 0.0;
+  for (std::size_t i = 1; i <= count; ++i) {
+    harmonic += std::pow(static_cast<double>(i), -alpha);
+  }
+  const double unit = static_cast<double>(total_bytes) / harmonic;
+  for (std::size_t i = 1; i <= count; ++i) {
+    const double raw = unit * std::pow(static_cast<double>(i), -alpha);
+    sizes.push_back(std::max<common::ByteCount>(
+        min_size, static_cast<common::ByteCount>(raw)));
+  }
+  return sizes;
+}
+
+ZipfSampler::ZipfSampler(std::size_t count, double alpha) {
+  cdf_.reserve(count);
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= count; ++i) {
+    acc += std::pow(static_cast<double>(i), -alpha);
+    cdf_.push_back(acc);
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(common::Rng& rng) const {
+  const double u = rng.real();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it)) ==
+                 cdf_.size()
+             ? cdf_.size() - 1
+             : static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace nd::trace

@@ -1,0 +1,42 @@
+// Zipf-distributed flow sizes and popularity sampling.
+//
+// Measurement studies the paper builds on (and its own Figure 6) show a
+// small fraction of flows carrying most bytes, well modelled by a Zipf
+// law: the i-th largest flow has size proportional to 1/i^alpha. The
+// paper's Zipf bounds (Table 4 row 2, Figure 7 line 2) use alpha = 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nd::trace {
+
+/// Deterministic flow-size assignment: `count` sizes proportional to
+/// rank^-alpha, scaled so they sum to ~`total_bytes` (rounding may lose a
+/// few bytes; every flow gets at least `min_size`). Sizes are returned
+/// largest-first.
+[[nodiscard]] std::vector<common::ByteCount> zipf_sizes(
+    std::size_t count, double alpha, common::ByteCount total_bytes,
+    common::ByteCount min_size = 40);
+
+/// Samples ranks in [0, count) with probability proportional to
+/// (rank+1)^-alpha. Precomputes the CDF once; O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t count, double alpha);
+
+  [[nodiscard]] std::size_t sample(common::Rng& rng) const;
+
+  [[nodiscard]] std::size_t count() const { return cdf_.size(); }
+
+  /// Probability of drawing `rank`.
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nd::trace

@@ -1,0 +1,137 @@
+#include "analysis/core_comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nd::analysis {
+namespace {
+
+TEST(Table1, RowsAndFormulas) {
+  Table1Params params;
+  params.memory_entries = 10'000;
+  params.flow_fraction = 0.01;
+  params.flows = 100'000;
+  const auto rows = table1(params);
+  ASSERT_EQ(rows.size(), 3u);
+
+  const double mz = 100.0;
+  EXPECT_EQ(rows[0].algorithm, "sample and hold");
+  EXPECT_NEAR(rows[0].relative_error, std::sqrt(2.0) / mz, 1e-12);
+  EXPECT_DOUBLE_EQ(rows[0].memory_accesses, 1.0);
+
+  EXPECT_EQ(rows[1].algorithm, "multistage filters");
+  EXPECT_NEAR(rows[1].relative_error, (1.0 + 1.0 * 5.0) / mz, 1e-12);
+  EXPECT_DOUBLE_EQ(rows[1].memory_accesses, 1.0 + 5.0);
+
+  EXPECT_EQ(rows[2].algorithm, "ordinary sampling");
+  EXPECT_NEAR(rows[2].relative_error, 1.0 / std::sqrt(mz), 1e-12);
+  EXPECT_DOUBLE_EQ(rows[2].memory_accesses, 1.0 / 16.0);
+}
+
+TEST(Table1, OurAlgorithmsScaleBetterThanSampling) {
+  // The central claim: error ~ 1/M for ours vs 1/sqrt(M) for sampling.
+  Table1Params small;
+  small.memory_entries = 1'000;
+  Table1Params large;
+  large.memory_entries = 100'000;
+
+  const auto rs = table1(small);
+  const auto rl = table1(large);
+  // 100x memory: our error shrinks 100x, sampling only 10x.
+  EXPECT_NEAR(rs[0].relative_error / rl[0].relative_error, 100.0, 1e-6);
+  EXPECT_NEAR(rs[2].relative_error / rl[2].relative_error, 10.0, 1e-6);
+}
+
+TEST(Table1, SamplingBeatenAtRealisticMemory) {
+  // For Mz >= ~10 both new algorithms are strictly more accurate.
+  Table1Params params;
+  params.memory_entries = 10'000;
+  params.flow_fraction = 0.01;
+  const auto rows = table1(params);
+  EXPECT_LT(rows[0].relative_error, rows[2].relative_error);
+  EXPECT_LT(rows[1].relative_error, rows[2].relative_error);
+}
+
+TEST(Table2, RowsMatchFormulas) {
+  Table2Params params;
+  params.oversampling = 4.0;
+  params.flow_fraction = 0.001;
+  params.threshold_ratio = 5.0;
+  params.interval_seconds = 5.0;
+  params.flows = 100'000;
+  params.long_lived_fraction = 0.7;
+  const auto rows = table2(params);
+  ASSERT_EQ(rows.size(), 3u);
+
+  // Sample and hold.
+  EXPECT_DOUBLE_EQ(rows[0].exact_measurement_fraction, 0.7);
+  EXPECT_NEAR(rows[0].relative_error, 1.41 / 4.0, 1e-12);
+  EXPECT_NEAR(rows[0].memory_bound_entries, 2.0 * 4.0 / 0.001, 1e-9);
+  EXPECT_DOUBLE_EQ(rows[0].memory_accesses, 1.0);
+
+  // Multistage filters.
+  EXPECT_DOUBLE_EQ(rows[1].exact_measurement_fraction, 0.7);
+  EXPECT_NEAR(rows[1].relative_error, 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(rows[1].memory_bound_entries, 2000.0 + 5000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rows[1].memory_accesses, 6.0);
+
+  // Sampled NetFlow.
+  EXPECT_DOUBLE_EQ(rows[2].exact_measurement_fraction, 0.0);
+  EXPECT_NEAR(rows[2].relative_error, 0.0088 / std::sqrt(0.001 * 5.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(rows[2].memory_bound_entries, 100'000.0);
+  EXPECT_DOUBLE_EQ(rows[2].memory_accesses, 1.0 / 16.0);
+}
+
+TEST(Table2, NetFlowMemoryCappedByAccessRate) {
+  Table2Params params;
+  params.flows = 10'000'000;  // more flows than DRAM lookups in t
+  params.interval_seconds = 1.0;
+  const auto rows = table2(params);
+  EXPECT_DOUBLE_EQ(rows[2].memory_bound_entries, 486'000.0);
+}
+
+TEST(Table2, NetFlowErrorImprovesWithInterval) {
+  Table2Params fast;
+  fast.interval_seconds = 1.0;
+  Table2Params slow;
+  slow.interval_seconds = 100.0;
+  EXPECT_GT(table2(fast)[2].relative_error,
+            table2(slow)[2].relative_error);
+}
+
+TEST(Table2, OurDevicesMoreAccurateAtSmallIntervals) {
+  // Section 5.2's conclusion: for small t our devices win — because O
+  // and u can be raised by adding SRAM, while NetFlow's error is pinned
+  // by the DRAM/SRAM speed ratio. With t = 5 s, z = 0.001, O = 20 and
+  // u = 10 (both modest SRAM budgets):
+  Table2Params params;
+  params.oversampling = 20.0;
+  params.threshold_ratio = 10.0;
+  const auto rows = table2(params);
+  EXPECT_LT(rows[0].relative_error, rows[2].relative_error);
+  EXPECT_LT(rows[1].relative_error, rows[2].relative_error);
+}
+
+TEST(Table2, NetFlowErrorFloorIndependentOfMemory) {
+  // Our devices reduce error by adding memory (O, u); NetFlow's formula
+  // has no memory term at all — its floor depends only on z and t.
+  Table2Params a;
+  a.oversampling = 4.0;
+  Table2Params b;
+  b.oversampling = 400.0;
+  EXPECT_DOUBLE_EQ(table2(a)[2].relative_error,
+                   table2(b)[2].relative_error);
+  EXPECT_LT(table2(b)[0].relative_error, table2(a)[0].relative_error);
+}
+
+TEST(NetFlowMinimumDivisor, DramSramRatio) {
+  // "x must at least be as large as the ratio of DRAM speed (~60 ns) to
+  // SRAM speed (~5 ns)."
+  EXPECT_DOUBLE_EQ(netflow_minimum_divisor(), 12.0);
+  EXPECT_DOUBLE_EQ(netflow_minimum_divisor(100.0, 10.0), 10.0);
+}
+
+}  // namespace
+}  // namespace nd::analysis

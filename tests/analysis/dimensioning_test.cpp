@@ -1,0 +1,116 @@
+#include "analysis/dimensioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/driver.hpp"
+#include "trace/presets.hpp"
+
+namespace nd::analysis {
+namespace {
+
+DimensioningInput paper_input() {
+  DimensioningInput input;
+  input.total_entries = 4096;
+  input.expected_flows = 100'000;
+  input.traffic_per_interval = 256'000'000;
+  return input;
+}
+
+TEST(Dimensioning, SampleAndHoldUsesWholeBudget) {
+  const auto config = dimension_sample_and_hold(paper_input());
+  EXPECT_EQ(config.flow_memory_entries, 4096u);
+  EXPECT_GT(config.threshold, 0u);
+  EXPECT_EQ(config.preserve, flowmem::PreservePolicy::kEarlyRemoval);
+}
+
+TEST(Dimensioning, InitialThresholdMatchesUsageFormula) {
+  const auto input = paper_input();
+  // 2*O*C / (0.9*M) = 2*4*256e6 / (0.9*4096) ~ 555,555.
+  EXPECT_NEAR(static_cast<double>(initial_threshold(input, 4096, 4.0)),
+              2.0 * 4.0 * 256e6 / (0.9 * 4096), 2.0);
+}
+
+TEST(Dimensioning, MultistagePaperLikeSplit) {
+  const auto config = dimension_multistage(paper_input());
+  // Section 7.2's 5-tuple configuration: 2,539 entries + 4 x 3,114
+  // counters out of 4,096. Our heuristic should land in the same
+  // region.
+  EXPECT_EQ(config.depth, 4u);
+  EXPECT_NEAR(static_cast<double>(config.flow_memory_entries), 2539.0,
+              600.0);
+  EXPECT_NEAR(static_cast<double>(config.buckets_per_stage), 3114.0,
+              700.0);
+  EXPECT_TRUE(config.conservative_update);
+  EXPECT_TRUE(config.shielding);
+}
+
+TEST(Dimensioning, BudgetAccountingAddsUp) {
+  const auto input = paper_input();
+  const auto config = dimension_multistage(input);
+  const double spent =
+      static_cast<double>(config.flow_memory_entries) +
+      static_cast<double>(config.buckets_per_stage) * config.depth *
+          input.counter_cost_ratio;
+  EXPECT_LE(spent, static_cast<double>(input.total_entries) * 1.02);
+  EXPECT_GE(spent, static_cast<double>(input.total_entries) * 0.9);
+}
+
+TEST(Dimensioning, StageCountFollowsFlowScale) {
+  auto input = paper_input();
+  input.max_stages = 8;
+  input.expected_flows = 100'000;
+  EXPECT_EQ(dimension_multistage(input).depth, 4u);
+  input.expected_flows = 1'000'000;
+  EXPECT_EQ(dimension_multistage(input).depth, 5u);
+  input.expected_flows = 100;
+  EXPECT_EQ(dimension_multistage(input).depth, 2u);  // floor
+}
+
+TEST(Dimensioning, MaxStagesClamps) {
+  auto input = paper_input();
+  input.expected_flows = 1e9;
+  input.max_stages = 4;
+  EXPECT_EQ(dimension_multistage(input).depth, 4u);
+}
+
+TEST(Dimensioning, MoreMemoryLowersThreshold) {
+  auto small = paper_input();
+  small.total_entries = 1024;
+  auto large = paper_input();
+  large.total_entries = 16'384;
+  EXPECT_GT(dimension_sample_and_hold(small).threshold,
+            dimension_sample_and_hold(large).threshold);
+}
+
+TEST(Dimensioning, DimensionedDevicesWorkEndToEnd) {
+  // The heuristics must produce devices whose adaptors settle without
+  // overflowing on the matching trace.
+  auto config = trace::scaled(trace::Presets::mag(), 0.04);
+  config.num_intervals = 8;
+
+  DimensioningInput input;
+  input.total_entries = 512;
+  input.expected_flows = config.flow_count;
+  input.traffic_per_interval = config.bytes_per_interval;
+
+  auto sh_config = dimension_sample_and_hold(input);
+  sh_config.seed = 3;
+  core::SampleAndHold sh(sh_config);
+  eval::DriverOptions options;
+  options.warmup_intervals = 4;
+  const auto result = eval::run_single(
+      sh, config, packet::FlowDefinition::five_tuple(), options);
+  EXPECT_LE(result.max_entries_used, input.total_entries);
+  EXPECT_GT(result.entries_used.value(), 0.0);
+
+  auto msf_config = dimension_multistage(input);
+  msf_config.seed = 4;
+  core::MultistageFilter msf(msf_config);
+  const auto msf_result = eval::run_single(
+      msf, config, packet::FlowDefinition::five_tuple(), options);
+  EXPECT_LE(msf_result.max_entries_used, msf_config.flow_memory_entries);
+  EXPECT_DOUBLE_EQ(msf_result.false_negative_fraction.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace nd::analysis

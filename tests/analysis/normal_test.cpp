@@ -1,0 +1,70 @@
+#include "analysis/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nd::analysis {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.1586553, 1e-6);
+  EXPECT_NEAR(normal_cdf(2.33), 0.99010, 1e-4);
+}
+
+TEST(NormalQuantile, PaperQuantiles) {
+  // Section 4.1.2: "with probability 99% the actual number will be at
+  // most 2.33 standard deviations above the expected value; with
+  // probability 99.9% at most 3.08".
+  EXPECT_NEAR(normal_quantile(0.99), 2.3263, 1e-3);
+  EXPECT_NEAR(normal_quantile(0.999), 3.0902, 1e-3);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << p;
+  }
+}
+
+TEST(NormalQuantile, Symmetry) {
+  EXPECT_NEAR(normal_quantile(0.25), -normal_quantile(0.75), 1e-9);
+}
+
+TEST(NormalQuantile, EdgeCases) {
+  EXPECT_TRUE(std::isinf(normal_quantile(0.0)));
+  EXPECT_TRUE(std::isinf(normal_quantile(1.0)));
+  EXPECT_LT(normal_quantile(0.0), 0.0);
+  EXPECT_GT(normal_quantile(1.0), 0.0);
+}
+
+TEST(PoissonTail, KnownValues) {
+  // P[Poisson(1) > 0] = 1 - e^-1.
+  EXPECT_NEAR(poisson_tail(1.0, 0.0), 1.0 - std::exp(-1.0), 1e-9);
+  // P[Poisson(2) > 2] = 1 - e^-2 (1 + 2 + 2) = 1 - 5 e^-2.
+  EXPECT_NEAR(poisson_tail(2.0, 2.0), 1.0 - 5.0 * std::exp(-2.0), 1e-9);
+}
+
+TEST(PoissonTail, DegenerateMean) {
+  EXPECT_DOUBLE_EQ(poisson_tail(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(poisson_tail(-1.0, 5.0), 0.0);
+}
+
+TEST(PoissonTail, MonotoneDecreasingInK) {
+  double last = 1.0;
+  for (double k = 0; k < 30; k += 1.0) {
+    const double tail = poisson_tail(10.0, k);
+    EXPECT_LE(tail, last + 1e-12);
+    last = tail;
+  }
+}
+
+TEST(PoissonTail, LargeMeanStaysFinite) {
+  const double tail = poisson_tail(120.0, 185.0);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, 1e-6);  // far in the upper tail
+}
+
+}  // namespace
+}  // namespace nd::analysis

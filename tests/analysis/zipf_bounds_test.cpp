@@ -1,0 +1,108 @@
+#include "analysis/zipf_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace nd::analysis {
+namespace {
+
+TEST(ZipfFlowSizes, MatchesShape) {
+  const auto sizes = zipf_flow_sizes(1000, 1.0, 10'000'000);
+  ASSERT_EQ(sizes.size(), 1000u);
+  EXPECT_GE(sizes[0], sizes[999]);
+  const auto total = std::accumulate(sizes.begin(), sizes.end(),
+                                     common::ByteCount{0});
+  EXPECT_NEAR(static_cast<double>(total), 1e7, 1e7 * 0.02);
+}
+
+TEST(ZipfSampleHoldEntries, BelowGeneralBound) {
+  // Table 4's ordering: the Zipf bound is tighter than the general one.
+  SampleHoldParams params;
+  params.oversampling = 4.0;
+  params.capacity = 1'555'000'000;                     // OC-48 x 5 s
+  params.threshold = params.capacity / 4000;           // ~0.025%
+  const auto sizes = zipf_flow_sizes(100'000, 1.0, 264'700'000);
+
+  const double general = entries_bound(params, 0.001);
+  const double zipf =
+      sample_hold_entries_zipf(params, sizes, false, 0.001);
+  EXPECT_LT(zipf, general);
+  EXPECT_GT(zipf, 0.0);
+}
+
+TEST(ZipfSampleHoldEntries, PreservedDoubles) {
+  SampleHoldParams params;
+  params.oversampling = 4.0;
+  params.threshold = 100'000;
+  params.capacity = 100'000'000;
+  const auto sizes = zipf_flow_sizes(10'000, 1.0, 20'000'000);
+  const double once = sample_hold_entries_zipf(params, sizes, false, 0.5);
+  const double twice = sample_hold_entries_zipf(params, sizes, true, 0.5);
+  // overflow_probability 0.5 makes the slack term ~0, exposing the 2x.
+  EXPECT_NEAR(twice, 2.0 * once, once * 0.02);
+}
+
+TEST(ZipfMultistageFalsePositives, BelowGeneralBound) {
+  // Figure 7's ordering: Zipf bound under the general (Theorem 3) bound.
+  MultistageParams params;
+  params.buckets = 1000;
+  params.depth = 3;
+  params.flows = 20'000;
+  params.capacity = 60'000'000;
+  params.threshold = params.capacity / 4096 * 3;  // k = 3 x max-traffic
+  const auto sizes =
+      zipf_flow_sizes(static_cast<std::size_t>(params.flows), 1.0,
+                      params.capacity);
+  const double general = expected_flows_passing(params);
+  const double zipf = multistage_false_positives_zipf(params, sizes);
+  EXPECT_LT(zipf, general);
+}
+
+TEST(ZipfMultistageFalsePositives, DecaysWithDepth) {
+  MultistageParams params;
+  params.buckets = 500;
+  params.flows = 10'000;
+  params.capacity = 30'000'000;
+  params.threshold = 200'000;
+  const auto sizes = zipf_flow_sizes(10'000, 1.0, 30'000'000);
+  double last = 1e18;
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    params.depth = d;
+    const double fp = multistage_false_positives_zipf(params, sizes);
+    EXPECT_LT(fp, last);
+    last = fp;
+  }
+}
+
+TEST(ZipfMultistageFalsePositives, LargeFlowsExcluded) {
+  // Only flows below T can be false positives; with all flows above T
+  // the expected FP count is zero.
+  MultistageParams params;
+  params.buckets = 100;
+  params.depth = 2;
+  params.flows = 10;
+  params.capacity = 1'000'000;
+  params.threshold = 5;  // everything is "large"
+  const std::vector<common::ByteCount> sizes(10, 100'000);
+  EXPECT_DOUBLE_EQ(multistage_false_positives_zipf(params, sizes), 0.0);
+  EXPECT_DOUBLE_EQ(
+      multistage_false_positive_percentage_zipf(params, sizes), 0.0);
+}
+
+TEST(ZipfMultistagePercentage, NormalizedBySmallFlows) {
+  MultistageParams params;
+  params.buckets = 1000;
+  params.depth = 1;
+  params.flows = 100;
+  params.capacity = 1'000'000;
+  params.threshold = 1'000'000;  // nothing is large
+  const std::vector<common::ByteCount> sizes(100, 1'000);
+  const double count = multistage_false_positives_zipf(params, sizes);
+  const double pct =
+      multistage_false_positive_percentage_zipf(params, sizes);
+  EXPECT_NEAR(pct, 100.0 * count / 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nd::analysis

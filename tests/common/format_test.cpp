@@ -1,0 +1,52 @@
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::common {
+namespace {
+
+TEST(Format, BytesSmall) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(999), "999 B");
+}
+
+TEST(Format, BytesDecimalUnits) {
+  // The paper's footnote 2: 1 Mbyte = 1,000,000 bytes.
+  EXPECT_EQ(format_bytes(1'000), "1.00 KB");
+  EXPECT_EQ(format_bytes(1'500'000), "1.50 MB");
+  EXPECT_EQ(format_bytes(2'488'000'000ULL), "2.49 GB");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.1234), "12.34%");
+  EXPECT_EQ(format_percent(0.001, 1), "0.1%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(1.5, 3), "1.500");
+  EXPECT_EQ(format_fixed(-2.25, 1), "-2.2");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1'000), "1,000");
+  EXPECT_EQ(format_count(1'234'567), "1,234,567");
+  EXPECT_EQ(format_count(12), "12");
+  EXPECT_EQ(format_count(123'456), "123,456");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(format_scientific(1.52e-4), "1.52e-04");
+  EXPECT_EQ(format_scientific(2.06e-9), "2.06e-09");
+}
+
+TEST(Format, Ipv4) {
+  EXPECT_EQ(format_ipv4(0x0A000001), "10.0.0.1");
+  EXPECT_EQ(format_ipv4(0xFFFFFFFF), "255.255.255.255");
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+}
+
+}  // namespace
+}  // namespace nd::common

@@ -1,0 +1,138 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nd::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.word(), b.word());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.word() == b.word()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    ++hits[rng.uniform(10)];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 800);
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  // E[failures before success] = (1-p)/p.
+  Rng rng(17);
+  const double p = 0.01;
+  double sum = 0.0;
+  const int trials = 200'000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.geometric(p));
+  }
+  const double mean = sum / trials;
+  EXPECT_NEAR(mean, (1.0 - p) / p, 2.0);
+}
+
+TEST(Rng, GeometricWithPOneIsZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+  }
+}
+
+TEST(Rng, GeometricTinyProbabilityDoesNotOverflow) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.geometric(1e-15);
+    EXPECT_LE(v, static_cast<std::uint64_t>(9.1e18));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sq / trials, 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child and parent must not mirror each other.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.word() == child.word()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(37);
+  Rng b(37);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ca.word(), cb.word());
+  }
+}
+
+}  // namespace
+}  // namespace nd::common

@@ -1,0 +1,146 @@
+#include "core/leaky_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::core {
+namespace {
+
+constexpr common::TimestampNs kSecond = 1'000'000'000ULL;
+
+LeakyBucketDescriptor descriptor(double rate, common::ByteCount burst) {
+  LeakyBucketDescriptor d;
+  d.rate_bytes_per_sec = rate;
+  d.burst_bytes = burst;
+  return d;
+}
+
+TEST(LeakyBucketMeter, BurstWithinDepthConforms) {
+  LeakyBucketMeter meter(descriptor(1000.0, 5000), 0);
+  EXPECT_TRUE(meter.offer(0, 5000));  // exactly the burst depth
+  EXPECT_EQ(meter.excess_bytes(), 0u);
+}
+
+TEST(LeakyBucketMeter, BurstBeyondDepthViolates) {
+  LeakyBucketMeter meter(descriptor(1000.0, 5000), 0);
+  EXPECT_TRUE(meter.offer(0, 5000));
+  EXPECT_FALSE(meter.offer(0, 1));  // bucket empty, no time passed
+  EXPECT_EQ(meter.excess_bytes(), 1u);
+}
+
+TEST(LeakyBucketMeter, TokensRefillAtRate) {
+  LeakyBucketMeter meter(descriptor(1000.0, 5000), 0);
+  EXPECT_TRUE(meter.offer(0, 5000));
+  // After 2 seconds, 2000 tokens have accrued.
+  EXPECT_TRUE(meter.offer(2 * kSecond, 2000));
+  EXPECT_FALSE(meter.offer(2 * kSecond, 1));
+}
+
+TEST(LeakyBucketMeter, RefillCapsAtBurst) {
+  LeakyBucketMeter meter(descriptor(1000.0, 5000), 0);
+  EXPECT_TRUE(meter.offer(0, 5000));
+  // An hour passes; tokens cap at the burst depth, not rate*3600.
+  EXPECT_TRUE(meter.offer(3600 * kSecond, 5000));
+  EXPECT_FALSE(meter.offer(3600 * kSecond, 1));
+}
+
+TEST(LeakyBucketMeter, NonConformingDoesNotConsumeTokens) {
+  LeakyBucketMeter meter(descriptor(1000.0, 1000), 0);
+  EXPECT_FALSE(meter.offer(0, 2000));  // too big: rejected
+  EXPECT_TRUE(meter.offer(0, 1000));   // tokens untouched by rejection
+}
+
+TEST(LeakyBucketMeter, SustainedRateAtDescriptorConforms) {
+  LeakyBucketMeter meter(descriptor(1'000'000.0, 10'000), 0);
+  // 1 MB/s offered as 1000-byte packets every millisecond: conforming.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(meter.offer(i * 1'000'000ULL, 1000)) << i;
+  }
+  EXPECT_EQ(meter.excess_bytes(), 0u);
+}
+
+TEST(LeakyBucketMeter, SustainedRateAboveDescriptorViolates) {
+  LeakyBucketMeter meter(descriptor(1'000'000.0, 10'000), 0);
+  // 2 MB/s offered: roughly half the bytes are excess.
+  common::ByteCount offered = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    (void)meter.offer(i * 1'000'000ULL, 2000);
+    offered += 2000;
+  }
+  EXPECT_GT(meter.excess_bytes(), offered / 3);
+  EXPECT_LT(meter.excess_bytes(), offered * 2 / 3);
+}
+
+packet::FlowKey key(std::uint32_t i) {
+  return packet::FlowKey::destination_ip(i);
+}
+
+RateViolationDetectorConfig detector_config() {
+  RateViolationDetectorConfig config;
+  config.descriptor = descriptor(1'000'000.0, 20'000);  // 1 MB/s
+  config.byte_sampling_probability = 1e-3;
+  config.max_tracked_flows = 1024;
+  config.seed = 11;
+  return config;
+}
+
+TEST(RateViolationDetector, FlagsTheSpeeder) {
+  RateViolationDetector detector(detector_config());
+  // Flow 1: 5 MB/s for 0.2 s. Flow 2: 0.2 MB/s for 1 s.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    detector.observe(key(1), i * 200'000ULL, 1000);   // 5x descriptor
+    detector.observe(key(2), i * 1'000'000ULL, 200);  // conforming
+  }
+  const auto violations = detector.end_epoch();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].flow, key(1));
+  EXPECT_GT(violations[0].excess_bytes, 500'000u);
+  EXPECT_NEAR(static_cast<double>(violations[0].observed_bytes), 1e6,
+              2e4);  // held almost immediately at p=1e-3
+}
+
+TEST(RateViolationDetector, IgnoresUnsampledMice) {
+  RateViolationDetectorConfig config = detector_config();
+  config.byte_sampling_probability = 1e-9;  // effectively never sample
+  RateViolationDetector detector(config);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    detector.observe(key(1), i, 100);
+  }
+  EXPECT_EQ(detector.tracked_flows(), 0u);
+  EXPECT_TRUE(detector.end_epoch().empty());
+}
+
+TEST(RateViolationDetector, TableCapacityRespected) {
+  RateViolationDetectorConfig config = detector_config();
+  config.byte_sampling_probability = 1.0;
+  config.max_tracked_flows = 8;
+  RateViolationDetector detector(config);
+  for (std::uint32_t f = 0; f < 100; ++f) {
+    detector.observe(key(f), 0, 1000);
+  }
+  EXPECT_EQ(detector.tracked_flows(), 8u);
+}
+
+TEST(RateViolationDetector, EpochClearsState) {
+  RateViolationDetectorConfig config = detector_config();
+  config.byte_sampling_probability = 1.0;
+  RateViolationDetector detector(config);
+  detector.observe(key(1), 0, 100'000);  // violates instantly
+  EXPECT_FALSE(detector.end_epoch().empty());
+  EXPECT_EQ(detector.tracked_flows(), 0u);
+  EXPECT_TRUE(detector.end_epoch().empty());
+}
+
+TEST(RateViolationDetector, ViolationsSortedByExcess) {
+  RateViolationDetectorConfig config = detector_config();
+  config.byte_sampling_probability = 1.0;
+  RateViolationDetector detector(config);
+  detector.observe(key(1), 0, 50'000);
+  detector.observe(key(2), 0, 500'000);
+  const auto violations = detector.end_epoch();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].flow, key(2));
+  EXPECT_GT(violations[0].excess_bytes, violations[1].excess_bytes);
+}
+
+}  // namespace
+}  // namespace nd::core

@@ -1,0 +1,100 @@
+#include "core/multi_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/exact_oracle.hpp"
+#include "core/multistage_filter.hpp"
+
+namespace nd::core {
+namespace {
+
+using std::chrono_literals::operator""s;
+
+constexpr common::TimestampNs kSecond = 1'000'000'000ULL;
+
+packet::PacketRecord packet_at(common::TimestampNs ts, std::uint32_t src,
+                               std::uint32_t dst, std::uint32_t size) {
+  packet::PacketRecord p;
+  p.timestamp_ns = ts;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = 1;
+  p.dst_port = 2;
+  p.protocol = packet::IpProtocol::kTcp;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(MultiDefinitionMonitor, InstancesSeeTheSameStream) {
+  MultiDefinitionMonitor monitor(5s);
+  monitor.add_instance("by-dst", std::make_unique<baseline::ExactOracle>(),
+                       packet::FlowDefinition::destination_ip());
+  monitor.add_instance("by-5tuple",
+                       std::make_unique<baseline::ExactOracle>(),
+                       packet::FlowDefinition::five_tuple());
+  ASSERT_EQ(monitor.instances(), 2u);
+
+  // Two sources to one destination.
+  monitor.observe(packet_at(0, 1, 100, 500));
+  monitor.observe(packet_at(1000, 2, 100, 300));
+  const auto all = monitor.finish();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].label, "by-dst");
+  ASSERT_EQ(all[0].reports.size(), 1u);
+  // dst-IP view: one aggregate of 800 bytes.
+  ASSERT_EQ(all[0].reports[0].flows.size(), 1u);
+  EXPECT_EQ(all[0].reports[0].flows[0].estimated_bytes, 800u);
+  // 5-tuple view: two flows.
+  EXPECT_EQ(all[1].reports[0].flows.size(), 2u);
+  EXPECT_EQ(monitor.packets_observed(), 2u);
+}
+
+TEST(MultiDefinitionMonitor, SharedIntervalClock) {
+  MultiDefinitionMonitor monitor(5s);
+  monitor.add_instance("a", std::make_unique<baseline::ExactOracle>(),
+                       packet::FlowDefinition::destination_ip());
+  monitor.add_instance("b", std::make_unique<baseline::ExactOracle>(),
+                       packet::FlowDefinition::five_tuple());
+  monitor.observe(packet_at(1 * kSecond, 1, 2, 100));
+  monitor.observe(packet_at(7 * kSecond, 1, 2, 100));  // closes [0,5)
+  const auto drained = monitor.drain_reports();
+  EXPECT_EQ(drained[0].reports.size(), 1u);
+  EXPECT_EQ(drained[1].reports.size(), 1u);
+  EXPECT_EQ(drained[0].reports[0].interval,
+            drained[1].reports[0].interval);
+}
+
+TEST(MultiDefinitionMonitor, DrainIsIncremental) {
+  MultiDefinitionMonitor monitor(1s);
+  monitor.add_instance("a", std::make_unique<baseline::ExactOracle>(),
+                       packet::FlowDefinition::destination_ip());
+  monitor.observe(packet_at(0, 1, 2, 10));
+  monitor.observe(packet_at(1 * kSecond, 1, 2, 10));
+  EXPECT_EQ(monitor.drain_reports()[0].reports.size(), 1u);
+  EXPECT_TRUE(monitor.drain_reports()[0].reports.empty());  // drained
+  EXPECT_EQ(monitor.finish()[0].reports.size(), 1u);        // the partial
+}
+
+TEST(MultiDefinitionMonitor, MixedDeviceTypes) {
+  MultiDefinitionMonitor monitor(1s);
+  MultistageFilterConfig filter_config;
+  filter_config.flow_memory_entries = 64;
+  filter_config.depth = 2;
+  filter_config.buckets_per_stage = 64;
+  filter_config.threshold = 500;
+  monitor.add_instance("filter",
+                       std::make_unique<MultistageFilter>(filter_config),
+                       packet::FlowDefinition::destination_ip());
+  monitor.add_instance("oracle", std::make_unique<baseline::ExactOracle>(),
+                       packet::FlowDefinition::destination_ip());
+  monitor.observe(packet_at(0, 1, 9, 600));  // above the filter threshold
+  monitor.observe(packet_at(10, 1, 8, 100));  // below
+  const auto all = monitor.finish();
+  EXPECT_EQ(all[0].reports[0].flows.size(), 1u);  // filter: heavy only
+  EXPECT_EQ(all[1].reports[0].flows.size(), 2u);  // oracle: everything
+}
+
+}  // namespace
+}  // namespace nd::core

@@ -1,0 +1,147 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::eval {
+namespace {
+
+packet::FlowKey key(std::uint32_t i) {
+  return packet::FlowKey::destination_ip(i);
+}
+
+core::Report make_report(
+    std::initializer_list<std::pair<std::uint32_t, common::ByteCount>>
+        flows) {
+  core::Report report;
+  for (const auto& [id, bytes] : flows) {
+    report.flows.push_back(core::ReportedFlow{key(id), bytes, false});
+  }
+  return report;
+}
+
+TruthMap make_truth(
+    std::initializer_list<std::pair<std::uint32_t, common::ByteCount>>
+        flows) {
+  TruthMap truth;
+  for (const auto& [id, bytes] : flows) {
+    truth[key(id)] = bytes;
+  }
+  return truth;
+}
+
+TEST(ThresholdMetrics, PerfectReport) {
+  const auto truth = make_truth({{1, 2000}, {2, 500}});
+  const auto report = make_report({{1, 2000}});
+  const auto m = threshold_metrics(report, truth, 1000);
+  EXPECT_EQ(m.true_large_flows, 1u);
+  EXPECT_EQ(m.identified_large_flows, 1u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(m.false_negative_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_error_large, 0.0);
+}
+
+TEST(ThresholdMetrics, MissedLargeFlowCountsFullSize) {
+  const auto truth = make_truth({{1, 2000}, {2, 4000}});
+  const auto report = make_report({{1, 1800}});
+  const auto m = threshold_metrics(report, truth, 1000);
+  EXPECT_EQ(m.true_large_flows, 2u);
+  EXPECT_EQ(m.identified_large_flows, 1u);
+  EXPECT_DOUBLE_EQ(m.false_negative_fraction(), 0.5);
+  // Errors: |2000-1800| + 4000 (missed) over 2 flows.
+  EXPECT_DOUBLE_EQ(m.avg_error_large, (200.0 + 4000.0) / 2.0);
+  EXPECT_DOUBLE_EQ(m.avg_error_over_threshold, 2100.0 / 1000.0);
+}
+
+TEST(ThresholdMetrics, FalsePositivesCountedAgainstSmallFlows) {
+  const auto truth = make_truth({{1, 5000}, {2, 10}, {3, 20}, {4, 30}});
+  const auto report = make_report({{1, 5000}, {2, 10}, {9, 99}});
+  const auto m = threshold_metrics(report, truth, 1000);
+  // key(2) is a reported small flow; key(9) is not even in the truth
+  // (treated as size 0, also a false positive).
+  EXPECT_EQ(m.false_positives, 2u);
+  EXPECT_NEAR(m.false_positive_percentage, 100.0 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(ThresholdMetrics, EmptyTruth) {
+  const auto m = threshold_metrics(make_report({}), TruthMap{}, 1000);
+  EXPECT_EQ(m.true_large_flows, 0u);
+  EXPECT_DOUBLE_EQ(m.false_negative_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_percentage, 0.0);
+}
+
+TEST(ThresholdMetrics, OverestimateCountsAsError) {
+  const auto truth = make_truth({{1, 2000}});
+  const auto report = make_report({{1, 2600}});  // NetFlow-style overshoot
+  const auto m = threshold_metrics(report, truth, 1000);
+  EXPECT_DOUBLE_EQ(m.avg_error_large, 600.0);
+}
+
+TEST(PaperGroups, ThreeGroupsWithPaperBoundaries) {
+  const auto groups = paper_groups();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_DOUBLE_EQ(groups[0].lower_fraction, 0.001);
+  EXPECT_DOUBLE_EQ(groups[1].lower_fraction, 0.0001);
+  EXPECT_DOUBLE_EQ(groups[1].upper_fraction, 0.001);
+  EXPECT_DOUBLE_EQ(groups[2].lower_fraction, 0.00001);
+}
+
+TEST(GroupAccuracy, ClassifiesByCapacityFraction) {
+  // Capacity 1,000,000: groups are >1000, 100..1000, 10..100 bytes.
+  GroupAccuracyAccumulator acc(paper_groups(), 1'000'000);
+  const auto truth = make_truth({{1, 5000}, {2, 500}, {3, 50}});
+  const auto report = make_report({{1, 4800}, {2, 400}});
+  acc.observe(report, truth);
+  const auto results = acc.results();
+  ASSERT_EQ(results.size(), 3u);
+
+  EXPECT_EQ(results[0].true_flows, 1u);
+  EXPECT_DOUBLE_EQ(results[0].unidentified_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(results[0].relative_avg_error, 200.0 / 5000.0);
+
+  EXPECT_EQ(results[1].true_flows, 1u);
+  EXPECT_DOUBLE_EQ(results[1].relative_avg_error, 100.0 / 500.0);
+
+  EXPECT_EQ(results[2].true_flows, 1u);
+  EXPECT_DOUBLE_EQ(results[2].unidentified_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(results[2].relative_avg_error, 1.0);  // full size
+}
+
+TEST(GroupAccuracy, AggregatesAcrossIntervals) {
+  GroupAccuracyAccumulator acc(paper_groups(), 1'000'000);
+  acc.observe(make_report({{1, 5000}}), make_truth({{1, 5000}}));
+  acc.observe(make_report({}), make_truth({{1, 5000}}));
+  const auto results = acc.results();
+  EXPECT_EQ(results[0].true_flows, 2u);
+  EXPECT_EQ(results[0].unidentified_flows, 1u);
+  EXPECT_DOUBLE_EQ(results[0].unidentified_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(results[0].relative_avg_error, 5000.0 / 10000.0);
+}
+
+TEST(GroupAccuracy, BoundariesAreHalfOpen) {
+  GroupAccuracyAccumulator acc(paper_groups(), 1'000'000);
+  // Exactly 0.1% of capacity = 1000 bytes: belongs to the TOP group
+  // (lower bound inclusive).
+  acc.observe(make_report({}), make_truth({{1, 1000}}));
+  const auto results = acc.results();
+  EXPECT_EQ(results[0].true_flows, 1u);
+  EXPECT_EQ(results[1].true_flows, 0u);
+}
+
+TEST(GroupAccuracy, FlowsBelowAllGroupsIgnored) {
+  GroupAccuracyAccumulator acc(paper_groups(), 1'000'000);
+  acc.observe(make_report({}), make_truth({{1, 5}}));  // < 0.001%
+  for (const auto& r : acc.results()) {
+    EXPECT_EQ(r.true_flows, 0u);
+  }
+}
+
+TEST(Mean, Accumulates) {
+  Mean mean;
+  EXPECT_DOUBLE_EQ(mean.value(), 0.0);
+  mean.observe(1.0);
+  mean.observe(3.0);
+  EXPECT_DOUBLE_EQ(mean.value(), 2.0);
+}
+
+}  // namespace
+}  // namespace nd::eval

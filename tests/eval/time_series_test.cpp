@@ -1,0 +1,77 @@
+#include "eval/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/exact_oracle.hpp"
+#include "eval/driver.hpp"
+#include "trace/presets.hpp"
+
+namespace nd::eval {
+namespace {
+
+TimePoint point(common::IntervalIndex i, common::ByteCount threshold) {
+  TimePoint p;
+  p.interval = i;
+  p.threshold = threshold;
+  p.entries_used = 10 * i;
+  p.avg_error_over_threshold = 0.5;
+  return p;
+}
+
+TEST(TimeSeries, CsvHasHeaderAndRows) {
+  TimeSeries series("device-a");
+  series.record(point(0, 1000));
+  series.record(point(1, 2000));
+  const std::string csv = series.to_csv();
+  EXPECT_NE(csv.find("interval,threshold,entries_used"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,1000,0,"), std::string::npos);
+  EXPECT_NE(csv.find("1,2000,10,"), std::string::npos);
+  // header + 2 rows = 3 newline-terminated lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(TimeSeries, LongCsvCombinesSeries) {
+  TimeSeries a("a");
+  a.record(point(0, 1));
+  TimeSeries b("b");
+  b.record(point(0, 2));
+  const std::string csv = to_long_csv({a, b});
+  EXPECT_NE(csv.find("label,interval"), std::string::npos);
+  EXPECT_NE(csv.find("a,0,1,"), std::string::npos);
+  EXPECT_NE(csv.find("b,0,2,"), std::string::npos);
+}
+
+TEST(TimeSeries, DriverRecordsWhenEnabled) {
+  baseline::ExactOracle oracle;
+  auto config = trace::scaled(trace::Presets::cos(), 0.1);
+  config.num_intervals = 4;
+  DriverOptions options;
+  options.metric_threshold = 10'000;
+  options.record_time_series = true;
+  options.warmup_intervals = 1;
+  const auto result = run_single(oracle, config,
+                                 packet::FlowDefinition::five_tuple(),
+                                 options);
+  ASSERT_EQ(result.time_series.size(), 3u);  // 4 intervals - 1 warmup
+  EXPECT_EQ(result.time_series[0].interval, 1u);
+  for (const auto& p : result.time_series) {
+    EXPECT_GT(p.entries_used, 0u);
+    EXPECT_DOUBLE_EQ(p.false_negative_fraction, 0.0);  // oracle
+  }
+}
+
+TEST(TimeSeries, DriverSkipsWhenDisabled) {
+  baseline::ExactOracle oracle;
+  auto config = trace::scaled(trace::Presets::cos(), 0.1);
+  config.num_intervals = 2;
+  const auto result = run_single(oracle, config,
+                                 packet::FlowDefinition::five_tuple(),
+                                 DriverOptions{});
+  EXPECT_TRUE(result.time_series.empty());
+}
+
+}  // namespace
+}  // namespace nd::eval

@@ -1,0 +1,156 @@
+#include "flowmem/cam_flow_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::flowmem {
+namespace {
+
+packet::FlowKey key(std::uint32_t i) {
+  return packet::FlowKey::destination_ip(i);
+}
+
+CamFlowMemoryConfig small_config() {
+  CamFlowMemoryConfig config;
+  config.hash_slots = 64;
+  config.max_probe = 2;
+  config.cam_entries = 4;
+  config.seed = 9;
+  return config;
+}
+
+TEST(CamFlowMemory, InsertFindRoundTrip) {
+  CamFlowMemory memory(small_config());
+  FlowEntry* e = memory.insert(key(1), 0);
+  ASSERT_NE(e, nullptr);
+  FlowMemory::add_bytes(*e, 123);
+  FlowEntry* found = memory.find(key(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->bytes_current, 123u);
+}
+
+TEST(CamFlowMemory, MissingKeyNotFound) {
+  CamFlowMemory memory(small_config());
+  EXPECT_EQ(memory.find(key(42)), nullptr);
+}
+
+TEST(CamFlowMemory, OverflowGoesToCam) {
+  // A 1-slot window over a tiny table forces collisions into the CAM.
+  CamFlowMemoryConfig config;
+  config.hash_slots = 8;
+  config.max_probe = 1;
+  config.cam_entries = 8;
+  config.seed = 3;
+  CamFlowMemory memory(config);
+
+  std::size_t inserted = 0;
+  for (std::uint32_t i = 0; i < 16 && inserted < 12; ++i) {
+    if (memory.insert(key(i), 0) != nullptr) ++inserted;
+  }
+  EXPECT_GT(memory.cam_used(), 0u);
+  EXPECT_EQ(memory.entries_used(), inserted);
+  // Everything inserted must still be findable (hash or CAM).
+  std::size_t found = 0;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    if (memory.find(key(i)) != nullptr) ++found;
+  }
+  EXPECT_EQ(found, inserted);
+}
+
+TEST(CamFlowMemory, FailsWhenWindowAndCamFull) {
+  CamFlowMemoryConfig config;
+  config.hash_slots = 8;
+  config.max_probe = 8;  // window spans whole table
+  config.cam_entries = 2;
+  config.seed = 5;
+  CamFlowMemory memory(config);
+  std::size_t successes = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    if (memory.insert(key(i), 0) != nullptr) ++successes;
+  }
+  EXPECT_EQ(successes, 10u);  // 8 slots + 2 CAM
+  EXPECT_GT(memory.failed_inserts(), 0u);
+}
+
+TEST(CamFlowMemory, CamHighWaterSticks) {
+  CamFlowMemoryConfig config;
+  config.hash_slots = 8;
+  config.max_probe = 1;
+  config.cam_entries = 8;
+  config.seed = 7;
+  CamFlowMemory memory(config);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    (void)memory.insert(key(i), 0);
+  }
+  const std::size_t high = memory.cam_high_water();
+  EXPECT_GT(high, 0u);
+  memory.end_interval(EndIntervalPolicy{});  // clear
+  EXPECT_EQ(memory.cam_used(), 0u);
+  EXPECT_EQ(memory.cam_high_water(), high);
+}
+
+TEST(CamFlowMemory, PreservePolicyAppliesAcrossBothStores) {
+  CamFlowMemoryConfig config;
+  config.hash_slots = 8;
+  config.max_probe = 1;
+  config.cam_entries = 8;
+  config.seed = 11;
+  CamFlowMemory memory(config);
+
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    FlowEntry* e = memory.insert(key(i), 0);
+    if (e != nullptr) {
+      FlowMemory::add_bytes(*e, i < 6 ? 10'000u : 10u);
+    }
+  }
+  const std::size_t before = memory.entries_used();
+  ASSERT_GT(before, 6u);
+
+  EndIntervalPolicy policy;
+  policy.policy = PreservePolicy::kPreserve;
+  policy.threshold = 1000;
+  memory.end_interval(policy);
+  // All entries were created this interval, so all survive...
+  EXPECT_EQ(memory.entries_used(), before);
+  memory.end_interval(policy);
+  // ...but only the large ones survive a second interval.
+  std::size_t survivors = 0;
+  memory.for_each([&](const FlowEntry& entry) {
+    EXPECT_GE(entry.bytes_lifetime, 10'000u);
+    ++survivors;
+  });
+  EXPECT_EQ(memory.entries_used(), survivors);
+  EXPECT_LE(survivors, 6u);
+}
+
+TEST(CamFlowMemory, SurvivorsExactAndZeroed) {
+  CamFlowMemory memory(small_config());
+  FlowEntry* e = memory.insert(key(1), 0);
+  FlowMemory::add_bytes(*e, 5000);
+  EndIntervalPolicy policy;
+  policy.policy = PreservePolicy::kPreserve;
+  policy.threshold = 1000;
+  memory.end_interval(policy);
+  FlowEntry* survivor = memory.find(key(1));
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_TRUE(survivor->exact_this_interval);
+  EXPECT_EQ(survivor->bytes_current, 0u);
+}
+
+TEST(CamFlowMemory, ForEachVisitsBothStores) {
+  CamFlowMemoryConfig config;
+  config.hash_slots = 8;
+  config.max_probe = 1;
+  config.cam_entries = 8;
+  config.seed = 13;
+  CamFlowMemory memory(config);
+  for (std::uint32_t i = 0; i < 14; ++i) {
+    (void)memory.insert(key(i), 0);
+  }
+  std::size_t visited = 0;
+  memory.for_each([&](const FlowEntry&) { ++visited; });
+  EXPECT_EQ(visited, memory.entries_used());
+  EXPECT_GT(memory.cam_used(), 0u);
+}
+
+}  // namespace
+}  // namespace nd::flowmem

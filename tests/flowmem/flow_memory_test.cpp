@@ -1,0 +1,226 @@
+#include "flowmem/flow_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nd::flowmem {
+namespace {
+
+packet::FlowKey key(std::uint32_t i) {
+  return packet::FlowKey::destination_ip(i);
+}
+
+TEST(FlowMemory, FindMissingReturnsNull) {
+  FlowMemory memory(16, 1);
+  EXPECT_EQ(memory.find(key(1)), nullptr);
+}
+
+TEST(FlowMemory, InsertThenFind) {
+  FlowMemory memory(16, 1);
+  FlowEntry* inserted = memory.insert(key(1), 0);
+  ASSERT_NE(inserted, nullptr);
+  FlowMemory::add_bytes(*inserted, 100);
+  FlowEntry* found = memory.find(key(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->bytes_current, 100u);
+  EXPECT_EQ(found, inserted);
+}
+
+TEST(FlowMemory, CapacityEnforced) {
+  FlowMemory memory(4, 2);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_NE(memory.insert(key(i), 0), nullptr);
+  }
+  EXPECT_EQ(memory.insert(key(99), 0), nullptr);  // full
+  EXPECT_EQ(memory.entries_used(), 4u);
+}
+
+TEST(FlowMemory, ZeroCapacityRejectsAll) {
+  FlowMemory memory(0, 3);
+  EXPECT_EQ(memory.insert(key(1), 0), nullptr);
+}
+
+TEST(FlowMemory, ManyEntriesAllRetrievable) {
+  // Stresses collision handling: 1000 entries in a 1000-capacity table.
+  FlowMemory memory(1000, 4);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    FlowEntry* e = memory.insert(key(i), 0);
+    ASSERT_NE(e, nullptr) << i;
+    FlowMemory::add_bytes(*e, i + 1);
+  }
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    FlowEntry* e = memory.find(key(i));
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->bytes_current, i + 1);
+  }
+}
+
+TEST(FlowMemory, AddBytesAccumulatesLifetime) {
+  FlowMemory memory(8, 5);
+  FlowEntry* e = memory.insert(key(1), 0);
+  FlowMemory::add_bytes(*e, 10);
+  FlowMemory::add_bytes(*e, 20);
+  EXPECT_EQ(e->bytes_current, 30u);
+  EXPECT_EQ(e->bytes_lifetime, 30u);
+}
+
+TEST(FlowMemory, ClearPolicyEmptiesTable) {
+  FlowMemory memory(8, 6);
+  (void)memory.insert(key(1), 0);
+  (void)memory.insert(key(2), 0);
+  memory.end_interval(EndIntervalPolicy{});
+  EXPECT_EQ(memory.entries_used(), 0u);
+  EXPECT_EQ(memory.find(key(1)), nullptr);
+}
+
+TEST(FlowMemory, PreserveKeepsLargeAndNewEntries) {
+  FlowMemory memory(8, 7);
+  // A large flow from a previous interval...
+  FlowEntry* large = memory.insert(key(1), 0);
+  FlowMemory::add_bytes(*large, 1000);
+  // ...and a small flow created this interval.
+  FlowEntry* fresh = memory.insert(key(2), 0);
+  FlowMemory::add_bytes(*fresh, 10);
+
+  EndIntervalPolicy policy;
+  policy.policy = PreservePolicy::kPreserve;
+  policy.threshold = 500;
+  memory.end_interval(policy);
+
+  // Both survive: the large one by size, the fresh one because it was
+  // added this interval (it may be a large flow that entered late).
+  EXPECT_EQ(memory.entries_used(), 2u);
+}
+
+TEST(FlowMemory, PreserveDropsOldSmallEntries) {
+  FlowMemory memory(8, 8);
+  FlowEntry* entry = memory.insert(key(1), 0);
+  FlowMemory::add_bytes(*entry, 10);
+
+  EndIntervalPolicy preserve;
+  preserve.policy = PreservePolicy::kPreserve;
+  preserve.threshold = 500;
+  memory.end_interval(preserve);   // survives: created this interval
+  ASSERT_EQ(memory.entries_used(), 1u);
+  memory.end_interval(preserve);   // dropped: old and small
+  EXPECT_EQ(memory.entries_used(), 0u);
+}
+
+TEST(FlowMemory, SurvivorsBecomeExactWithZeroedCounter) {
+  FlowMemory memory(8, 9);
+  FlowEntry* entry = memory.insert(key(1), 0);
+  FlowMemory::add_bytes(*entry, 900);
+  EXPECT_FALSE(entry->exact_this_interval);
+
+  EndIntervalPolicy policy;
+  policy.policy = PreservePolicy::kPreserve;
+  policy.threshold = 500;
+  memory.end_interval(policy);
+
+  FlowEntry* survivor = memory.find(key(1));
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_TRUE(survivor->exact_this_interval);
+  EXPECT_FALSE(survivor->created_this_interval);
+  EXPECT_EQ(survivor->bytes_current, 0u);
+  EXPECT_EQ(survivor->bytes_lifetime, 900u);
+}
+
+TEST(FlowMemory, EarlyRemovalDropsBelowR) {
+  FlowMemory memory(8, 10);
+  FlowEntry* tiny = memory.insert(key(1), 0);
+  FlowMemory::add_bytes(*tiny, 50);
+  FlowEntry* medium = memory.insert(key(2), 0);
+  FlowMemory::add_bytes(*medium, 200);
+  FlowEntry* large = memory.insert(key(3), 0);
+  FlowMemory::add_bytes(*large, 2000);
+
+  EndIntervalPolicy policy;
+  policy.policy = PreservePolicy::kEarlyRemoval;
+  policy.threshold = 1000;
+  policy.early_removal_threshold = 150;  // R = 0.15 T
+  memory.end_interval(policy);
+
+  EXPECT_EQ(memory.find(key(1)), nullptr);   // below R
+  EXPECT_NE(memory.find(key(2)), nullptr);   // >= R, new this interval
+  EXPECT_NE(memory.find(key(3)), nullptr);   // >= T
+  EXPECT_EQ(memory.entries_used(), 2u);
+}
+
+TEST(FlowMemory, EarlyRemovalOldEntriesNeedFullThreshold) {
+  FlowMemory memory(8, 11);
+  FlowEntry* entry = memory.insert(key(1), 0);
+  FlowMemory::add_bytes(*entry, 200);
+
+  EndIntervalPolicy policy;
+  policy.policy = PreservePolicy::kEarlyRemoval;
+  policy.threshold = 1000;
+  policy.early_removal_threshold = 150;
+  memory.end_interval(policy);
+  ASSERT_EQ(memory.entries_used(), 1u);  // new + >= R
+
+  // Next interval it counts only 200 again — an old entry now, and
+  // 200 < T, so it is dropped even though 200 >= R.
+  FlowEntry* survivor = memory.find(key(1));
+  FlowMemory::add_bytes(*survivor, 200);
+  memory.end_interval(policy);
+  EXPECT_EQ(memory.entries_used(), 0u);
+}
+
+TEST(FlowMemory, FindAfterRebuildHandlesCollisions) {
+  // Fill, preserve everything, then verify lookups after the rebuild.
+  FlowMemory memory(64, 12);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    FlowEntry* e = memory.insert(key(i), 0);
+    ASSERT_NE(e, nullptr);
+    FlowMemory::add_bytes(*e, 1'000'000);  // all "large"
+  }
+  EndIntervalPolicy policy;
+  policy.policy = PreservePolicy::kPreserve;
+  policy.threshold = 1;
+  memory.end_interval(policy);
+  EXPECT_EQ(memory.entries_used(), 64u);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_NE(memory.find(key(i)), nullptr) << i;
+  }
+}
+
+TEST(FlowMemory, HighWaterPersistsAcrossIntervals) {
+  FlowMemory memory(8, 13);
+  (void)memory.insert(key(1), 0);
+  (void)memory.insert(key(2), 0);
+  (void)memory.insert(key(3), 0);
+  EXPECT_EQ(memory.high_water(), 3u);
+  memory.end_interval(EndIntervalPolicy{});
+  EXPECT_EQ(memory.high_water(), 3u);
+  (void)memory.insert(key(4), 0);
+  EXPECT_EQ(memory.high_water(), 3u);  // usage 1 < old high water
+}
+
+TEST(FlowMemory, ForEachVisitsExactlyOccupied) {
+  FlowMemory memory(16, 14);
+  (void)memory.insert(key(1), 0);
+  (void)memory.insert(key(2), 0);
+  std::vector<packet::FlowKey> seen;
+  memory.for_each([&](const FlowEntry& e) { seen.push_back(e.key); });
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(FlowMemory, MemoryAccessesCounted) {
+  FlowMemory memory(8, 15);
+  const auto before = memory.memory_accesses();
+  (void)memory.find(key(1));
+  (void)memory.insert(key(1), 0);
+  (void)memory.find(key(1));
+  EXPECT_EQ(memory.memory_accesses(), before + 3);
+}
+
+TEST(FlowMemory, CreatedIntervalRecorded) {
+  FlowMemory memory(8, 16);
+  FlowEntry* e = memory.insert(key(5), 7);
+  EXPECT_EQ(e->created_interval, 7u);
+  EXPECT_TRUE(e->created_this_interval);
+}
+
+}  // namespace
+}  // namespace nd::flowmem

@@ -1,0 +1,88 @@
+#include "hwmodel/chip_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::hwmodel {
+namespace {
+
+TEST(ChipModel, PaperDesignSramBudget) {
+  // Section 8 / [12]: 4 stages x 4K counters + 3,584-entry flow memory.
+  const auto chip = paper_oc192_design();
+  const auto result = analyze(chip, LinkConfig{});
+  // 4 x 4096 x 32 bits = 512 Kbit of stage counters.
+  EXPECT_EQ(result.stage_sram_bits, 4ull * 4096 * 32);
+  // 3584 x 256 bits = 896 Kbit of flow memory.
+  EXPECT_EQ(result.flow_memory_sram_bits, 3584ull * 256);
+  EXPECT_EQ(result.total_sram_bits,
+            result.stage_sram_bits + result.flow_memory_sram_bits);
+}
+
+TEST(ChipModel, PaperDesignFeasibleAtOc192) {
+  LinkConfig link;
+  link.line_rate_bps = kOc192Bps;
+  link.min_packet_bytes = 40;
+  const auto result = analyze(paper_oc192_design(), link);
+  // 40-byte packets at OC-192 arrive every ~32 ns; with parallel stage
+  // banks the critical path is 3 accesses x 5 ns = 15 ns.
+  EXPECT_NEAR(result.packet_arrival_ns, 32.15, 0.2);
+  EXPECT_EQ(result.critical_path_accesses, 3u);
+  EXPECT_NEAR(result.packet_processing_ns, 15.0, 1e-9);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(ChipModel, SerialBanksInfeasibleAtOc192) {
+  // Without parallel banks the critical path is 2d+1 = 9 accesses =
+  // 45 ns > 32 ns: the Section 3.2 parallel-access note is load-bearing.
+  ChipConfig chip = paper_oc192_design();
+  chip.parallel_stage_banks = false;
+  LinkConfig link;
+  link.line_rate_bps = kOc192Bps;
+  const auto result = analyze(chip, link);
+  EXPECT_EQ(result.critical_path_accesses, 9u);
+  EXPECT_FALSE(result.feasible);
+  // But the same serial design still keeps up at OC-48.
+  link.line_rate_bps = kOc48Bps;
+  EXPECT_TRUE(analyze(chip, link).feasible);
+}
+
+TEST(ChipModel, MaxLineRateConsistent) {
+  const auto result = analyze(paper_oc192_design(), LinkConfig{});
+  // The design is feasible exactly up to its reported max line rate.
+  LinkConfig at_max;
+  at_max.line_rate_bps = result.max_line_rate_bps * 0.999;
+  EXPECT_TRUE(analyze(paper_oc192_design(), at_max).feasible);
+  at_max.line_rate_bps = result.max_line_rate_bps * 1.01;
+  EXPECT_FALSE(analyze(paper_oc192_design(), at_max).feasible);
+}
+
+TEST(ChipModel, TotalAccessesCountBandwidth) {
+  const auto result = analyze(paper_oc192_design(), LinkConfig{});
+  // 2 per stage + 1 flow memory = 9, regardless of banking.
+  EXPECT_EQ(result.total_accesses, 9u);
+}
+
+TEST(ChipModel, LargerPacketsRelaxTheBudget) {
+  ChipConfig chip = paper_oc192_design();
+  chip.parallel_stage_banks = false;  // infeasible at 40 B
+  LinkConfig link;
+  link.line_rate_bps = kOc192Bps;
+  link.min_packet_bytes = 1500;
+  EXPECT_TRUE(analyze(chip, link).feasible);
+}
+
+TEST(ChipModel, StagesForFlowCountLogScaling) {
+  // Section 3.2: "If the number of flows increases to 1 million, we
+  // simply add a fifth hash stage" — log10 scaling at k = 10.
+  EXPECT_EQ(stages_for_flow_count(100'000, 10.0, 16.0), 4u);
+  EXPECT_EQ(stages_for_flow_count(1'000'000, 10.0, 16.0), 5u);
+  EXPECT_EQ(stages_for_flow_count(10'000'000, 10.0, 16.0), 6u);
+}
+
+TEST(ChipModel, StagesForFlowCountEdgeCases) {
+  EXPECT_EQ(stages_for_flow_count(0.0, 10.0, 1.0), 1u);
+  EXPECT_EQ(stages_for_flow_count(1000.0, 1.0, 1.0), 1u);  // k<=1 degenerate
+  EXPECT_GE(stages_for_flow_count(1000.0, 2.0, 1.0), 10u);
+}
+
+}  // namespace
+}  // namespace nd::hwmodel

@@ -1,0 +1,150 @@
+// End-to-end comparison of complete measurement devices on a scaled MAG
+// trace — the qualitative claims of Section 7.2 (Tables 5-7): both new
+// algorithms beat sampled NetFlow on large flows, despite NetFlow's
+// unbounded memory.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/sampled_netflow.hpp"
+#include "core/adaptive_device.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "eval/driver.hpp"
+#include "trace/presets.hpp"
+
+namespace nd::eval {
+namespace {
+
+class DeviceComparison : public ::testing::Test {
+ protected:
+  static constexpr double kScale = 0.05;
+  // Memory budget: the paper gives 4,096 entries to a full MAG trace.
+  // Expected sample-and-hold entries scale as O(s1/T (1 + ln(n T/O s1)))
+  // — logarithmic in n, so a 5% trace needs more than 5% of the
+  // entries for the threshold to stabilize at a comparable fraction of
+  // link capacity. 1,024 entries puts the stable threshold near 0.03%
+  // of capacity, matching the paper's regime (threshold well under the
+  // 0.1% group boundary).
+  static constexpr std::size_t kMemoryBudget = 1024;
+
+  void SetUp() override {
+    config_ = trace::scaled(trace::Presets::mag(), kScale);
+    config_.num_intervals = 16;
+
+    core::SampleAndHoldConfig sh;
+    sh.flow_memory_entries = kMemoryBudget;
+    // Start near the expected stable point; like the paper, the first 10
+    // intervals are ignored while the adaptor settles.
+    sh.threshold = config_.link_capacity_per_interval / 300;
+    sh.oversampling = 4.0;
+    sh.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+    sh.early_removal_fraction = 0.15;
+    sh.seed = 71;
+    sample_and_hold_ = std::make_unique<core::AdaptiveDevice>(
+        std::make_unique<core::SampleAndHold>(sh),
+        core::sample_and_hold_adaptor());
+
+    core::MultistageFilterConfig msf;
+    // Budget split as in Section 7.2: part counters, part flow memory.
+    msf.flow_memory_entries = kMemoryBudget * 5 / 8;
+    msf.buckets_per_stage = kMemoryBudget * 3 / 8 * 10 / 4;
+    msf.depth = 4;
+    msf.threshold = config_.link_capacity_per_interval / 300;
+    msf.conservative_update = true;
+    msf.shielding = true;
+    msf.preserve = flowmem::PreservePolicy::kPreserve;
+    msf.seed = 72;
+    multistage_ = std::make_unique<core::AdaptiveDevice>(
+        std::make_unique<core::MultistageFilter>(msf),
+        core::multistage_adaptor());
+
+    baseline::SampledNetFlowConfig nf;
+    nf.sampling_divisor = 16;
+    nf.seed = 73;
+    netflow_ = std::make_unique<baseline::SampledNetFlow>(nf);
+
+    DriverOptions options;
+    options.warmup_intervals = 10;
+    options.link_capacity = config_.link_capacity_per_interval;
+    options.groups = paper_groups();
+    Driver driver(packet::FlowDefinition::five_tuple(), options);
+    driver.add_device("sample-and-hold", *sample_and_hold_);
+    driver.add_device("multistage", *multistage_);
+    driver.add_device("netflow", *netflow_);
+    trace::TraceSynthesizer synth(config_);
+    driver.run(synth);
+    results_ = driver.results();
+  }
+
+  trace::TraceConfig config_;
+  std::unique_ptr<core::AdaptiveDevice> sample_and_hold_;
+  std::unique_ptr<core::AdaptiveDevice> multistage_;
+  std::unique_ptr<baseline::SampledNetFlow> netflow_;
+  std::vector<DeviceResult> results_;
+};
+
+TEST_F(DeviceComparison, AllDevicesSawTraffic) {
+  for (const auto& result : results_) {
+    EXPECT_GT(result.packets, 10'000u) << result.label;
+    ASSERT_EQ(result.groups.size(), 3u) << result.label;
+  }
+  EXPECT_GT(results_[0].groups[0].true_flows, 0u);
+}
+
+TEST_F(DeviceComparison, NewAlgorithmsFindAllVeryLargeFlows) {
+  // Table 5 row 1: 0% unidentified in the > 0.1% group for both (the
+  // multistage filter deterministically; sample and hold up to its
+  // ~e^-12 miss probability at 3x threshold).
+  EXPECT_LE(results_[0].groups[0].unidentified_fraction, 0.005);
+  EXPECT_DOUBLE_EQ(results_[1].groups[0].unidentified_fraction, 0.0);
+}
+
+TEST_F(DeviceComparison, NewAlgorithmsBeatNetFlowOnVeryLargeFlows) {
+  // Table 5 row 1: errors 0.075% / 0.037% vs NetFlow's 9.02%.
+  const double sh = results_[0].groups[0].relative_avg_error;
+  const double msf = results_[1].groups[0].relative_avg_error;
+  const double nf = results_[2].groups[0].relative_avg_error;
+  EXPECT_LT(sh, nf / 5.0);
+  EXPECT_LT(msf, nf / 5.0);
+}
+
+TEST_F(DeviceComparison, NewAlgorithmsBeatNetFlowOnLargeFlows) {
+  // Table 5 row 2 (0.1%..0.01% group).
+  const double sh = results_[0].groups[1].relative_avg_error;
+  const double msf = results_[1].groups[1].relative_avg_error;
+  const double nf = results_[2].groups[1].relative_avg_error;
+  EXPECT_LT(sh, nf);
+  EXPECT_LT(msf, nf);
+}
+
+TEST_F(DeviceComparison, EveryoneMissesManyMediumFlows) {
+  // Table 5 row 3: the medium group (0.01%..0.001%) sits below the
+  // stabilized thresholds, so our devices miss most of those flows —
+  // and 1-in-16 NetFlow misses the short ones too (its row 3 shows 18%
+  // missed on the real MAG+; on the synthetic trace medium flows are
+  // fewer packets, so it misses more).
+  EXPECT_GT(results_[0].groups[2].unidentified_fraction, 0.3);
+  EXPECT_GT(results_[1].groups[2].unidentified_fraction, 0.3);
+  EXPECT_GT(results_[2].groups[2].unidentified_fraction, 0.1);
+}
+
+TEST_F(DeviceComparison, BoundedMemoryRespected) {
+  EXPECT_LE(results_[0].max_entries_used, kMemoryBudget);
+  EXPECT_LE(results_[1].max_entries_used, kMemoryBudget * 5 / 8);
+  // NetFlow's DRAM table grows past the multistage filter's SRAM flow
+  // memory (it keeps an entry for every sampled flow, large or small).
+  EXPECT_GT(netflow_->high_water_entries(), results_[1].max_entries_used);
+}
+
+TEST_F(DeviceComparison, AdaptiveThresholdsStabilized) {
+  // Both adaptive devices must have moved their threshold off the
+  // initial guess and kept usage below capacity.
+  EXPECT_GT(results_[0].entries_used.value(), 0.0);
+  EXPECT_LT(results_[0].entries_used.value(),
+            static_cast<double>(kMemoryBudget));
+  EXPECT_GT(results_[1].final_threshold, 0u);
+}
+
+}  // namespace
+}  // namespace nd::eval

@@ -1,0 +1,220 @@
+// Trace-level validation of the Section 7.1 claims:
+//  * measured memory/error far below the general bounds, below the Zipf
+//    bounds (Table 4 ordering);
+//  * false positives fall ~exponentially with filter depth; conservative
+//    update beats the plain parallel filter (Figure 7 ordering);
+//  * preserving entries slashes the error of large-flow estimates;
+//  * shielding reduces false positives.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/multistage_bounds.hpp"
+#include "analysis/sample_hold_bounds.hpp"
+#include "analysis/zipf_bounds.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "eval/driver.hpp"
+#include "trace/presets.hpp"
+
+namespace nd::eval {
+namespace {
+
+trace::TraceConfig test_trace(std::uint64_t seed = 5) {
+  auto config = trace::scaled(trace::Presets::mag(), 0.04);
+  config.num_intervals = 6;
+  config.seed = seed;
+  return config;
+}
+
+DeviceResult run_device(core::MeasurementDevice& device,
+                        const trace::TraceConfig& config,
+                        common::ByteCount metric_threshold) {
+  DriverOptions options;
+  options.metric_threshold = metric_threshold;
+  return run_single(device, config, packet::FlowDefinition::five_tuple(),
+                    options);
+}
+
+TEST(Table4Ordering, MeasuredMemoryBelowZipfBelowGeneral) {
+  const auto config = test_trace();
+  const common::ByteCount threshold =
+      config.link_capacity_per_interval / 4000;  // T = 0.025% of link
+
+  core::SampleAndHoldConfig sh;
+  sh.flow_memory_entries = 1u << 16;  // effectively unbounded: we want
+                                      // the true usage, not a cap
+  sh.threshold = threshold;
+  sh.oversampling = 4.0;
+  sh.seed = 21;
+  core::SampleAndHold device(sh);
+  const auto result = run_device(device, config, threshold);
+
+  analysis::SampleHoldParams params;
+  params.oversampling = 4.0;
+  params.threshold = threshold;
+  params.capacity = config.link_capacity_per_interval;
+  const double general = analysis::entries_bound(params, 0.001);
+  const auto sizes = analysis::zipf_flow_sizes(
+      config.flow_count, config.zipf_alpha, config.bytes_per_interval);
+  const double zipf =
+      analysis::sample_hold_entries_zipf(params, sizes, false, 0.001);
+
+  EXPECT_LT(static_cast<double>(result.max_entries_used), zipf);
+  EXPECT_LT(zipf, general);
+}
+
+TEST(Table4Ordering, PreserveEntriesCutsErrorRaisesMemory) {
+  // Section 7.1.1: "preserving entries reduces the average error by
+  // 70%-95% and increases memory usage by 40%-70%" (we accept a wider
+  // band on synthetic traces).
+  const auto config = test_trace(9);
+  const common::ByteCount threshold =
+      config.link_capacity_per_interval / 4000;
+
+  core::SampleAndHoldConfig base;
+  base.flow_memory_entries = 1u << 16;
+  base.threshold = threshold;
+  base.oversampling = 4.0;
+  base.seed = 31;
+
+  core::SampleAndHold plain(base);
+  base.preserve = flowmem::PreservePolicy::kPreserve;
+  core::SampleAndHold preserving(base);
+
+  const auto plain_result = run_device(plain, config, threshold);
+  const auto preserve_result = run_device(preserving, config, threshold);
+
+  EXPECT_LT(preserve_result.avg_error_over_threshold.value(),
+            plain_result.avg_error_over_threshold.value() * 0.6);
+  EXPECT_GT(preserve_result.max_entries_used,
+            plain_result.max_entries_used);
+}
+
+TEST(Table4Ordering, EarlyRemovalCutsMemoryVsPreserve) {
+  // Section 7.1.1: "an early removal threshold of 15% reduces the memory
+  // usage by 20%-30%".
+  const auto config = test_trace(13);
+  const common::ByteCount threshold =
+      config.link_capacity_per_interval / 4000;
+
+  core::SampleAndHoldConfig base;
+  base.flow_memory_entries = 1u << 16;
+  base.threshold = threshold;
+  base.oversampling = 4.7;  // paper compensates the higher miss rate
+  base.seed = 37;
+
+  base.preserve = flowmem::PreservePolicy::kPreserve;
+  core::SampleAndHold preserving(base);
+  base.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+  base.early_removal_fraction = 0.15;
+  core::SampleAndHold early(base);
+
+  const auto preserve_result = run_device(preserving, config, threshold);
+  const auto early_result = run_device(early, config, threshold);
+  EXPECT_LT(early_result.max_entries_used,
+            preserve_result.max_entries_used);
+}
+
+struct Figure7Point {
+  double measured_fp_pct;
+  double zipf_bound_pct;
+  double general_bound;
+};
+
+Figure7Point figure7_point(std::uint32_t depth, bool conservative,
+                           bool serial, const trace::TraceConfig& config,
+                           common::ByteCount threshold,
+                           common::ByteCount buckets) {
+  core::MultistageFilterConfig msf;
+  msf.flow_memory_entries = 1u << 16;
+  msf.depth = depth;
+  msf.buckets_per_stage = static_cast<std::uint32_t>(buckets);
+  msf.threshold = threshold;
+  msf.conservative_update = conservative;
+  msf.serial = serial;
+  msf.shielding = false;
+  msf.seed = 91;
+  core::MultistageFilter device(msf);
+  const auto result = run_device(device, config, threshold);
+
+  analysis::MultistageParams params;
+  params.buckets = static_cast<std::uint32_t>(buckets);
+  params.depth = depth;
+  params.flows = config.flow_count;
+  params.capacity = config.bytes_per_interval;  // max traffic, not link
+  params.threshold = threshold;
+  const auto sizes = analysis::zipf_flow_sizes(
+      config.flow_count, config.zipf_alpha, config.bytes_per_interval);
+  return Figure7Point{
+      result.false_positive_percentage.value(),
+      analysis::multistage_false_positive_percentage_zipf(params, sizes),
+      analysis::expected_flows_passing(params)};
+}
+
+TEST(Figure7, ConservativeBeatsPlainAndBoundsHold) {
+  const auto config = test_trace(17);
+  // Stage strength k = 3 over the actual traffic, as in Figure 7.
+  const common::ByteCount buckets = 3'000;
+  const common::ByteCount threshold =
+      config.bytes_per_interval * 3 / buckets;
+
+  for (const std::uint32_t depth : {2u, 3u, 4u}) {
+    const auto plain =
+        figure7_point(depth, false, false, config, threshold, buckets);
+    const auto conservative =
+        figure7_point(depth, true, false, config, threshold, buckets);
+    // Measured below the Zipf-aware analytical bound.
+    EXPECT_LT(plain.measured_fp_pct, plain.zipf_bound_pct + 0.5)
+        << "depth " << depth;
+    // Conservative update strictly helps (Figure 7's bottom line).
+    EXPECT_LE(conservative.measured_fp_pct, plain.measured_fp_pct)
+        << "depth " << depth;
+  }
+}
+
+TEST(Figure7, FalsePositivesDecayWithDepth) {
+  const auto config = test_trace(19);
+  const common::ByteCount buckets = 3'000;
+  const common::ByteCount threshold =
+      config.bytes_per_interval * 3 / buckets;
+  double last = 1e9;
+  for (const std::uint32_t depth : {1u, 2u, 3u, 4u}) {
+    const auto point =
+        figure7_point(depth, false, false, config, threshold, buckets);
+    EXPECT_LE(point.measured_fp_pct, last + 0.01) << "depth " << depth;
+    last = point.measured_fp_pct;
+  }
+  // Depth 4 should be dramatically below depth 1.
+  const auto d1 = figure7_point(1, false, false, config, threshold, buckets);
+  const auto d4 = figure7_point(4, false, false, config, threshold, buckets);
+  EXPECT_LT(d4.measured_fp_pct, d1.measured_fp_pct / 4.0);
+}
+
+TEST(Shielding, ReducesFalsePositivesAcrossIntervals) {
+  const auto config = test_trace(23);
+  const common::ByteCount threshold =
+      config.link_capacity_per_interval / 2000;
+
+  auto make = [&](bool shielding) {
+    core::MultistageFilterConfig msf;
+    msf.flow_memory_entries = 1u << 16;
+    msf.depth = 4;
+    msf.buckets_per_stage = 1000;
+    msf.threshold = threshold;
+    msf.conservative_update = false;
+    msf.shielding = shielding;
+    msf.preserve = flowmem::PreservePolicy::kPreserve;
+    msf.seed = 97;
+    return std::make_unique<core::MultistageFilter>(msf);
+  };
+  auto with = make(true);
+  auto without = make(false);
+  const auto with_result = run_device(*with, config, threshold);
+  const auto without_result = run_device(*without, config, threshold);
+  EXPECT_LE(with_result.false_positive_percentage.value(),
+            without_result.false_positive_percentage.value());
+}
+
+}  // namespace
+}  // namespace nd::eval

@@ -1,0 +1,94 @@
+#include "packet/as_resolver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::packet {
+namespace {
+
+TEST(AsResolver, EmptyHasNoAnswer) {
+  AsResolver resolver;
+  EXPECT_FALSE(resolver.resolve(0x0A000001).has_value());
+}
+
+TEST(AsResolver, DefaultRouteCatchesAll) {
+  AsResolver resolver;
+  resolver.add_route(PrefixRoute{0, 0, 64512});
+  EXPECT_EQ(resolver.resolve(0x01020304).value(), 64512u);
+  EXPECT_EQ(resolver.resolve(0xFFFFFFFF).value(), 64512u);
+}
+
+TEST(AsResolver, LongestPrefixWins) {
+  AsResolver resolver;
+  resolver.add_route(PrefixRoute{0, 0, 1});                    // /0
+  resolver.add_route(PrefixRoute{0x0A000000, 8, 2});           // 10/8
+  resolver.add_route(PrefixRoute{0x0A010000, 16, 3});          // 10.1/16
+  resolver.add_route(PrefixRoute{0x0A010200, 24, 4});          // 10.1.2/24
+
+  EXPECT_EQ(resolver.resolve(0x0B000001).value(), 1u);   // only default
+  EXPECT_EQ(resolver.resolve(0x0A630001).value(), 2u);   // 10.99.0.1
+  EXPECT_EQ(resolver.resolve(0x0A010001).value(), 3u);   // 10.1.0.1
+  EXPECT_EQ(resolver.resolve(0x0A010203).value(), 4u);   // 10.1.2.3
+}
+
+TEST(AsResolver, ExactDuplicateOverwrites) {
+  AsResolver resolver;
+  resolver.add_route(PrefixRoute{0x0A000000, 8, 7});
+  resolver.add_route(PrefixRoute{0x0A000000, 8, 9});
+  EXPECT_EQ(resolver.resolve(0x0A123456).value(), 9u);
+  EXPECT_EQ(resolver.route_count(), 1u);
+}
+
+TEST(AsResolver, HostRouteMatchesOnlyItself) {
+  AsResolver resolver;
+  resolver.add_route(PrefixRoute{0x0A000001, 32, 5});
+  EXPECT_EQ(resolver.resolve(0x0A000001).value(), 5u);
+  EXPECT_FALSE(resolver.resolve(0x0A000002).has_value());
+}
+
+TEST(AsResolver, RouteCountTracksInserts) {
+  AsResolver resolver;
+  EXPECT_EQ(resolver.route_count(), 0u);
+  resolver.add_route(PrefixRoute{0, 0, 1});
+  resolver.add_route(PrefixRoute{0x0A000000, 8, 2});
+  EXPECT_EQ(resolver.route_count(), 2u);
+}
+
+TEST(AsResolver, SyntheticCoversWholeSpace) {
+  common::Rng rng(1);
+  const auto resolver = AsResolver::synthetic(50, rng, 64512, 4);
+  // Any address resolves thanks to the default route.
+  EXPECT_TRUE(resolver.resolve(0xC0A80101).has_value());
+  // Addresses inside the dealt 10/8 space resolve to synthetic ASes.
+  const auto as = resolver.resolve(0x0A000001);
+  ASSERT_TRUE(as.has_value());
+  EXPECT_GE(*as, 1000u);
+  EXPECT_LT(*as, 1050u);
+}
+
+TEST(AsResolver, SyntheticDealsConsecutiveRuns) {
+  common::Rng rng(2);
+  const auto resolver = AsResolver::synthetic(10, rng, 64512, 3);
+  // /24 index k belongs to AS 1000 + k/3.
+  EXPECT_EQ(resolver.resolve((10u << 24) | (0 << 8) | 1).value(), 1000u);
+  EXPECT_EQ(resolver.resolve((10u << 24) | (2 << 8) | 1).value(), 1000u);
+  EXPECT_EQ(resolver.resolve((10u << 24) | (3 << 8) | 1).value(), 1001u);
+  EXPECT_EQ(resolver.resolve((10u << 24) | (29 << 8) | 1).value(), 1009u);
+  // Past the dealt space: default AS.
+  EXPECT_EQ(resolver.resolve((10u << 24) | (30 << 8) | 1).value(), 64512u);
+}
+
+TEST(AsResolver, SyntheticSlash24CountCapped) {
+  EXPECT_EQ(AsResolver::synthetic_slash24_count(10, 3), 30u);
+  EXPECT_EQ(AsResolver::synthetic_slash24_count(1'000'000, 1000), 65'536u);
+  EXPECT_EQ(AsResolver::synthetic_slash24_count(5, 0), 5u);  // min 1 each
+}
+
+TEST(AsResolver, MoveSemantics) {
+  common::Rng rng(3);
+  AsResolver a = AsResolver::synthetic(5, rng, 64512, 2);
+  const AsResolver b = std::move(a);
+  EXPECT_TRUE(b.resolve(0x0A000001).has_value());
+}
+
+}  // namespace
+}  // namespace nd::packet

@@ -1,0 +1,112 @@
+#include "packet/flow_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace nd::packet {
+namespace {
+
+TEST(FlowKey, FiveTupleEquality) {
+  const auto a = FlowKey::five_tuple(1, 2, 3, 4, IpProtocol::kTcp);
+  const auto b = FlowKey::five_tuple(1, 2, 3, 4, IpProtocol::kTcp);
+  const auto c = FlowKey::five_tuple(1, 2, 3, 5, IpProtocol::kTcp);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FlowKey, ProtocolDistinguishes) {
+  const auto tcp = FlowKey::five_tuple(1, 2, 3, 4, IpProtocol::kTcp);
+  const auto udp = FlowKey::five_tuple(1, 2, 3, 4, IpProtocol::kUdp);
+  EXPECT_FALSE(tcp == udp);
+  EXPECT_NE(tcp.fingerprint(), udp.fingerprint());
+}
+
+TEST(FlowKey, KindDistinguishesSameFields) {
+  // A dst-IP key and an AS-pair key with identical numeric fields must
+  // not collide.
+  const auto dst = FlowKey::destination_ip(42);
+  const auto as = FlowKey::as_pair(0, 42);
+  EXPECT_FALSE(dst == as);
+  EXPECT_NE(dst.fingerprint(), as.fingerprint());
+}
+
+TEST(FlowKey, FingerprintDeterministic) {
+  const auto a = FlowKey::five_tuple(10, 20, 30, 40, IpProtocol::kUdp);
+  const auto b = FlowKey::five_tuple(10, 20, 30, 40, IpProtocol::kUdp);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FlowKey, FingerprintsCollisionFree) {
+  // 100k random-ish distinct keys should produce distinct fingerprints.
+  std::unordered_set<std::uint64_t> fingerprints;
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    fingerprints.insert(FlowKey::five_tuple(i, i * 7 + 1,
+                                            static_cast<std::uint16_t>(i),
+                                            static_cast<std::uint16_t>(i >> 3),
+                                            IpProtocol::kTcp)
+                            .fingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(), 100'000u);
+}
+
+TEST(FlowKey, AccessorsRoundTrip) {
+  const auto key =
+      FlowKey::five_tuple(0x0A000001, 0x0A000002, 1234, 80, IpProtocol::kTcp);
+  EXPECT_EQ(key.src_ip(), 0x0A000001u);
+  EXPECT_EQ(key.dst_ip(), 0x0A000002u);
+  EXPECT_EQ(key.src_port(), 1234);
+  EXPECT_EQ(key.dst_port(), 80);
+  EXPECT_EQ(key.protocol(), IpProtocol::kTcp);
+  EXPECT_EQ(key.kind(), FlowKeyKind::kFiveTuple);
+}
+
+TEST(FlowKey, AsPairAccessors) {
+  const auto key = FlowKey::as_pair(64512, 1000);
+  EXPECT_EQ(key.src_as(), 64512u);
+  EXPECT_EQ(key.dst_as(), 1000u);
+  EXPECT_EQ(key.kind(), FlowKeyKind::kAsPair);
+}
+
+TEST(FlowKey, ToStringRenders) {
+  const auto five =
+      FlowKey::five_tuple(0x0A000001, 0x0A000002, 1234, 80, IpProtocol::kTcp);
+  EXPECT_EQ(five.to_string(), "10.0.0.1:1234 -> 10.0.0.2:80 tcp");
+  EXPECT_EQ(FlowKey::destination_ip(0x0A0000FF).to_string(),
+            "dst 10.0.0.255");
+  EXPECT_EQ(FlowKey::as_pair(1, 2).to_string(), "AS1 -> AS2");
+}
+
+TEST(FlowKey, KindNames) {
+  EXPECT_STREQ(to_string(FlowKeyKind::kFiveTuple), "5-tuple");
+  EXPECT_STREQ(to_string(FlowKeyKind::kDestinationIp), "destination IP");
+  EXPECT_STREQ(to_string(FlowKeyKind::kAsPair), "AS pair");
+}
+
+TEST(FlowKey, NetworkPairAccessors) {
+  const auto key = FlowKey::network_pair(0x0A010200, 0x0A020300, 24);
+  EXPECT_EQ(key.kind(), FlowKeyKind::kNetworkPair);
+  EXPECT_EQ(key.src_network(), 0x0A010200u);
+  EXPECT_EQ(key.dst_network(), 0x0A020300u);
+  EXPECT_EQ(key.prefix_len(), 24);
+  EXPECT_EQ(key.to_string(), "10.1.2.0/24 -> 10.2.3.0/24");
+  EXPECT_STREQ(to_string(FlowKeyKind::kNetworkPair), "network pair");
+}
+
+TEST(FlowKey, NetworkPairPrefixLenDistinguishes) {
+  const auto a = FlowKey::network_pair(0x0A000000, 0x0B000000, 8);
+  const auto b = FlowKey::network_pair(0x0A000000, 0x0B000000, 16);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FlowKeyHasher, UsableInUnorderedContainers) {
+  std::unordered_set<FlowKey, FlowKeyHasher> set;
+  set.insert(FlowKey::destination_ip(1));
+  set.insert(FlowKey::destination_ip(1));
+  set.insert(FlowKey::destination_ip(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nd::packet

@@ -1,0 +1,170 @@
+#include "pcap/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+namespace nd::pcap {
+namespace {
+
+packet::PacketRecord make_record(std::uint32_t i) {
+  packet::PacketRecord r;
+  r.timestamp_ns = 1'000'000ULL * i;
+  r.src_ip = 0x0A000000 + i;
+  r.dst_ip = 0x0A010000 + i;
+  r.src_port = static_cast<std::uint16_t>(1000 + i);
+  r.dst_port = 80;
+  r.protocol = i % 2 == 0 ? packet::IpProtocol::kTcp
+                          : packet::IpProtocol::kUdp;
+  r.size_bytes = 40 + (i % 1400);
+  return r;
+}
+
+TEST(Pcap, WriteReadRoundTripInMemory) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream);
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      writer.write(make_record(i));
+    }
+    EXPECT_EQ(writer.packets_written(), 50u);
+  }
+  PcapReader reader(stream);
+  EXPECT_FALSE(reader.swapped());
+  EXPECT_EQ(reader.link_type(), kLinkTypeEthernet);
+  std::uint32_t count = 0;
+  while (auto record = reader.next_record()) {
+    const auto expected = make_record(count);
+    // pcap stores microsecond timestamps; ours are whole microseconds.
+    EXPECT_EQ(record->timestamp_ns, expected.timestamp_ns);
+    EXPECT_EQ(record->src_ip, expected.src_ip);
+    EXPECT_EQ(record->dst_ip, expected.dst_ip);
+    EXPECT_EQ(record->size_bytes, expected.size_bytes);
+    ++count;
+  }
+  EXPECT_EQ(count, 50u);
+}
+
+TEST(Pcap, EmptyFileThrows) {
+  std::stringstream stream;
+  EXPECT_THROW(PcapReader reader(stream), PcapError);
+}
+
+TEST(Pcap, BadMagicThrows) {
+  std::stringstream stream;
+  stream.write("\x12\x34\x56\x78" "aaaaaaaaaaaaaaaaaaaa", 24);
+  EXPECT_THROW(PcapReader reader(stream), PcapError);
+}
+
+TEST(Pcap, TruncatedGlobalHeaderThrows) {
+  std::stringstream stream;
+  stream.write("\xd4\xc3\xb2\xa1\x02\x00", 6);
+  EXPECT_THROW(PcapReader reader(stream), PcapError);
+}
+
+TEST(Pcap, TruncatedPacketBodyThrows) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream);
+    writer.write(make_record(0));
+  }
+  std::string data = stream.str();
+  data.resize(data.size() - 10);  // chop the last packet's tail
+  std::stringstream broken(data);
+  PcapReader reader(broken);
+  EXPECT_THROW((void)reader.next(), PcapError);
+}
+
+TEST(Pcap, SwappedByteOrderRead) {
+  // Build a minimal byte-swapped capture by hand: global header +
+  // one 20-byte packet.
+  std::stringstream stream;
+  auto put_be32 = [&](std::uint32_t v) {
+    // Big-endian payload read by a reader expecting little-endian
+    // means "swapped" magic handling kicks in.
+    char b[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                 static_cast<char>(v >> 8), static_cast<char>(v)};
+    stream.write(b, 4);
+  };
+  auto put_be16 = [&](std::uint16_t v) {
+    char b[2] = {static_cast<char>(v >> 8), static_cast<char>(v)};
+    stream.write(b, 2);
+  };
+  put_be32(kMagicNative);  // written BE => reader sees 0xD4C3B2A1
+  put_be16(2);
+  put_be16(4);
+  put_be32(0);
+  put_be32(0);
+  put_be32(65535);
+  put_be32(kLinkTypeEthernet);
+  put_be32(1);    // ts_sec
+  put_be32(500);  // ts_usec
+  put_be32(20);   // caplen
+  put_be32(20);   // origlen
+  stream.write(std::string(20, '\0').data(), 20);
+
+  PcapReader reader(stream);
+  EXPECT_TRUE(reader.swapped());
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->timestamp_ns, 1'000'500'000ULL);
+  EXPECT_EQ(pkt->data.size(), 20u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Pcap, SnaplenTruncatesButKeepsOriginalLength) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream, /*snaplen=*/100);
+    auto record = make_record(3);
+    record.size_bytes = 1400;
+    writer.write(record);
+  }
+  PcapReader reader(stream);
+  const auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->data.size(), 100u);
+  EXPECT_EQ(pkt->original_length, 1400u + packet::kEthernetHeaderSize);
+}
+
+TEST(Pcap, SnaplenTruncatedFramesStillYieldRecords) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream, /*snaplen=*/64);
+    auto record = make_record(4);
+    record.size_bytes = 1200;
+    writer.write(record);
+  }
+  PcapReader reader(stream);
+  const auto record = reader.next_record();
+  ASSERT_TRUE(record.has_value());
+  // The true IP size survives truncation via the IP total-length field.
+  EXPECT_EQ(record->size_bytes, 1200u);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "nd_pcap_test.pcap").string();
+  std::vector<packet::PacketRecord> records;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    records.push_back(make_record(i));
+  }
+  EXPECT_EQ(write_pcap_file(path, records), 20u);
+  const auto loaded = read_pcap_file(path);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].src_ip, records[i].src_ip);
+    EXPECT_EQ(loaded[i].size_bytes, records[i].size_bytes);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, MissingFileThrows) {
+  EXPECT_THROW(read_pcap_file("/nonexistent/dir/file.pcap"), PcapError);
+}
+
+}  // namespace
+}  // namespace nd::pcap

@@ -1,0 +1,108 @@
+#include "reporting/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::reporting {
+namespace {
+
+core::ReportedFlow five_tuple_flow(std::uint32_t src, std::uint32_t dst,
+                                   std::uint16_t sport,
+                                   common::ByteCount bytes,
+                                   bool exact = true) {
+  return core::ReportedFlow{
+      packet::FlowKey::five_tuple(src, dst, sport, 80,
+                                  packet::IpProtocol::kTcp),
+      bytes, exact};
+}
+
+TEST(Aggregator, DestinationIpSumsAcrossSources) {
+  core::Report report;
+  report.interval = 4;
+  report.threshold = 100;
+  report.flows.push_back(five_tuple_flow(1, 0x0A000001, 1111, 500));
+  report.flows.push_back(five_tuple_flow(2, 0x0A000001, 2222, 300));
+  report.flows.push_back(five_tuple_flow(3, 0x0A000002, 3333, 50));
+
+  const auto aggregated = aggregate_to_destination_ip(report);
+  EXPECT_EQ(aggregated.interval, 4u);
+  ASSERT_EQ(aggregated.flows.size(), 2u);
+  // Sorted by size: the 800-byte aggregate first.
+  EXPECT_EQ(aggregated.flows[0].key,
+            packet::FlowKey::destination_ip(0x0A000001));
+  EXPECT_EQ(aggregated.flows[0].estimated_bytes, 800u);
+  EXPECT_EQ(aggregated.flows[1].estimated_bytes, 50u);
+}
+
+TEST(Aggregator, ExactOnlyIfAllContributorsExact) {
+  core::Report report;
+  report.flows.push_back(five_tuple_flow(1, 9, 1, 100, true));
+  report.flows.push_back(five_tuple_flow(2, 9, 2, 100, false));
+  report.flows.push_back(five_tuple_flow(3, 8, 3, 100, true));
+  const auto aggregated = aggregate_to_destination_ip(report);
+  for (const auto& flow : aggregated.flows) {
+    if (flow.key.dst_ip() == 9) {
+      EXPECT_FALSE(flow.exact);
+    } else {
+      EXPECT_TRUE(flow.exact);
+    }
+  }
+}
+
+TEST(Aggregator, NetworkPairMasks) {
+  core::Report report;
+  report.flows.push_back(
+      five_tuple_flow(0x0A000001, 0x0B000001, 1, 100));
+  report.flows.push_back(
+      five_tuple_flow(0x0A0000FE, 0x0B0000FE, 2, 200));  // same /24s
+  report.flows.push_back(
+      five_tuple_flow(0x0A000101, 0x0B000001, 3, 50));   // other src /24
+
+  const auto aggregated = aggregate_to_network_pair(report, 24);
+  ASSERT_EQ(aggregated.flows.size(), 2u);
+  EXPECT_EQ(aggregated.flows[0].estimated_bytes, 300u);
+  EXPECT_EQ(aggregated.flows[0].key.kind(),
+            packet::FlowKeyKind::kNetworkPair);
+  EXPECT_EQ(aggregated.flows[0].key.src_network(), 0x0A000000u);
+  EXPECT_EQ(aggregated.flows[0].key.prefix_len(), 24);
+}
+
+TEST(Aggregator, PrefixZeroCollapsesToOneAggregate) {
+  core::Report report;
+  report.flows.push_back(five_tuple_flow(1, 2, 1, 10));
+  report.flows.push_back(five_tuple_flow(0xFF000000, 0xEE000000, 2, 20));
+  const auto aggregated = aggregate_to_network_pair(report, 0);
+  ASSERT_EQ(aggregated.flows.size(), 1u);
+  EXPECT_EQ(aggregated.flows[0].estimated_bytes, 30u);
+}
+
+TEST(Aggregator, EmptyReportStaysEmpty) {
+  core::Report report;
+  report.interval = 9;
+  const auto aggregated = aggregate_to_destination_ip(report);
+  EXPECT_TRUE(aggregated.flows.empty());
+  EXPECT_EQ(aggregated.interval, 9u);
+}
+
+TEST(Aggregator, TotalBytesConserved) {
+  core::Report report;
+  common::ByteCount total = 0;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    const common::ByteCount bytes = 100 + i * 7;
+    report.flows.push_back(
+        five_tuple_flow(i % 5, i % 3, static_cast<std::uint16_t>(i),
+                        bytes));
+    total += bytes;
+  }
+  for (const auto& aggregated :
+       {aggregate_to_destination_ip(report),
+        aggregate_to_network_pair(report, 16)}) {
+    common::ByteCount sum = 0;
+    for (const auto& flow : aggregated.flows) {
+      sum += flow.estimated_bytes;
+    }
+    EXPECT_EQ(sum, total);
+  }
+}
+
+}  // namespace
+}  // namespace nd::reporting

@@ -1,0 +1,65 @@
+#include "reporting/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::reporting {
+namespace {
+
+core::Report report_with(std::size_t flows) {
+  core::Report report;
+  for (std::size_t i = 0; i < flows; ++i) {
+    report.flows.push_back(core::ReportedFlow{
+        packet::FlowKey::destination_ip(static_cast<std::uint32_t>(i)),
+        1000 * (flows - i),  // largest first
+        false});
+  }
+  return report;
+}
+
+TEST(CollectionChannel, DeliversWhollyUnderBudget) {
+  CollectionChannel channel(10'000);
+  const auto delivered = channel.deliver(report_with(10));
+  EXPECT_EQ(delivered.flows.size(), 10u);
+  EXPECT_DOUBLE_EQ(channel.stats().record_loss_rate(), 0.0);
+  EXPECT_EQ(channel.stats().bytes_offered,
+            channel.stats().bytes_delivered);
+}
+
+TEST(CollectionChannel, TruncatesOverBudget) {
+  // Budget for header + 3 records.
+  CollectionChannel channel(kHeaderBytes + 3 * kRecordBytes);
+  const auto delivered = channel.deliver(report_with(10));
+  EXPECT_EQ(delivered.flows.size(), 3u);
+  // Records are delivered in order: the heavy hitters survive.
+  EXPECT_EQ(delivered.flows[0].estimated_bytes, 10'000u);
+  EXPECT_NEAR(channel.stats().record_loss_rate(), 0.7, 1e-9);
+}
+
+TEST(CollectionChannel, TinyBudgetDeliversNothing) {
+  CollectionChannel channel(4);
+  const auto delivered = channel.deliver(report_with(5));
+  EXPECT_TRUE(delivered.flows.empty());
+  EXPECT_DOUBLE_EQ(channel.stats().record_loss_rate(), 1.0);
+}
+
+TEST(CollectionChannel, StatsAccumulateAcrossIntervals) {
+  CollectionChannel channel(kHeaderBytes + 2 * kRecordBytes);
+  (void)channel.deliver(report_with(4));
+  (void)channel.deliver(report_with(1));
+  const auto& stats = channel.stats();
+  EXPECT_EQ(stats.reports_offered, 2u);
+  EXPECT_EQ(stats.records_offered, 5u);
+  EXPECT_EQ(stats.records_delivered, 3u);  // 2 + 1
+  EXPECT_LT(stats.bytes_delivered, stats.bytes_offered);
+}
+
+TEST(CollectionChannel, NinetyPercentLossScenario) {
+  // Section 2's "loss rates of up to 90% using basic NetFlow": offer
+  // 10x more records than the channel carries.
+  CollectionChannel channel(kHeaderBytes + 100 * kRecordBytes);
+  (void)channel.deliver(report_with(1000));
+  EXPECT_NEAR(channel.stats().record_loss_rate(), 0.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace nd::reporting

@@ -1,0 +1,125 @@
+#include "reporting/record_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::reporting {
+namespace {
+
+core::Report sample_report() {
+  core::Report report;
+  report.interval = 7;
+  report.threshold = 1'000'000;
+  report.flows.push_back(core::ReportedFlow{
+      packet::FlowKey::five_tuple(0x0A000001, 0x0A000002, 80, 443,
+                                  packet::IpProtocol::kTcp),
+      123'456'789ULL, true});
+  report.flows.push_back(core::ReportedFlow{
+      packet::FlowKey::five_tuple(0x0A000003, 0x0A000004, 53, 9999,
+                                  packet::IpProtocol::kUdp),
+      42ULL, false});
+  return report;
+}
+
+TEST(RecordCodec, EncodedSizeFormula) {
+  const auto report = sample_report();
+  EXPECT_EQ(encoded_size(report), kHeaderBytes + 2 * kRecordBytes);
+  EXPECT_EQ(encode(report, packet::FlowKeyKind::kFiveTuple).size(),
+            encoded_size(report));
+}
+
+TEST(RecordCodec, RoundTripFiveTuple) {
+  const auto report = sample_report();
+  const auto decoded =
+      decode(encode(report, packet::FlowKeyKind::kFiveTuple));
+  EXPECT_EQ(decoded.interval, report.interval);
+  EXPECT_EQ(decoded.threshold, report.threshold);
+  ASSERT_EQ(decoded.flows.size(), report.flows.size());
+  for (std::size_t i = 0; i < report.flows.size(); ++i) {
+    EXPECT_EQ(decoded.flows[i].key, report.flows[i].key) << i;
+    EXPECT_EQ(decoded.flows[i].estimated_bytes,
+              report.flows[i].estimated_bytes);
+    EXPECT_EQ(decoded.flows[i].exact, report.flows[i].exact);
+  }
+}
+
+TEST(RecordCodec, RoundTripDestinationIp) {
+  core::Report report;
+  report.interval = 1;
+  report.flows.push_back(core::ReportedFlow{
+      packet::FlowKey::destination_ip(0xC0A80101), 999ULL, false});
+  const auto decoded =
+      decode(encode(report, packet::FlowKeyKind::kDestinationIp));
+  EXPECT_EQ(decoded.flows[0].key, report.flows[0].key);
+}
+
+TEST(RecordCodec, RoundTripAsPair) {
+  core::Report report;
+  report.flows.push_back(core::ReportedFlow{
+      packet::FlowKey::as_pair(64512, 1701), 5'000'000ULL, true});
+  const auto decoded = decode(encode(report, packet::FlowKeyKind::kAsPair));
+  EXPECT_EQ(decoded.flows[0].key.src_as(), 64512u);
+  EXPECT_EQ(decoded.flows[0].key.dst_as(), 1701u);
+}
+
+TEST(RecordCodec, RoundTripNetworkPair) {
+  core::Report report;
+  report.flows.push_back(core::ReportedFlow{
+      packet::FlowKey::network_pair(0x0A010200, 0x0A020300, 24),
+      777'000ULL, false});
+  const auto decoded =
+      decode(encode(report, packet::FlowKeyKind::kNetworkPair));
+  EXPECT_EQ(decoded.flows[0].key, report.flows[0].key);
+  EXPECT_EQ(decoded.flows[0].key.prefix_len(), 24);
+}
+
+TEST(RecordCodec, EmptyReportRoundTrips) {
+  core::Report report;
+  report.interval = 3;
+  const auto decoded =
+      decode(encode(report, packet::FlowKeyKind::kFiveTuple));
+  EXPECT_EQ(decoded.interval, 3u);
+  EXPECT_TRUE(decoded.flows.empty());
+}
+
+TEST(RecordCodec, MixedKindsRejected) {
+  core::Report report;
+  report.flows.push_back(core::ReportedFlow{
+      packet::FlowKey::destination_ip(1), 1ULL, false});
+  EXPECT_THROW((void)encode(report, packet::FlowKeyKind::kFiveTuple),
+               CodecError);
+}
+
+TEST(RecordCodec, BadMagicRejected) {
+  auto data = encode(sample_report(), packet::FlowKeyKind::kFiveTuple);
+  data[0] ^= 0xFF;
+  EXPECT_THROW((void)decode(data), CodecError);
+}
+
+TEST(RecordCodec, BadVersionRejected) {
+  auto data = encode(sample_report(), packet::FlowKeyKind::kFiveTuple);
+  data[5] = 99;
+  EXPECT_THROW((void)decode(data), CodecError);
+}
+
+TEST(RecordCodec, TruncationRejected) {
+  auto data = encode(sample_report(), packet::FlowKeyKind::kFiveTuple);
+  data.pop_back();
+  EXPECT_THROW((void)decode(data), CodecError);
+  EXPECT_THROW((void)decode(std::span<const std::uint8_t>(data.data(), 10)),
+               CodecError);
+}
+
+TEST(RecordCodec, TrailingBytesRejected) {
+  auto data = encode(sample_report(), packet::FlowKeyKind::kFiveTuple);
+  data.push_back(0);
+  EXPECT_THROW((void)decode(data), CodecError);
+}
+
+TEST(RecordCodec, CountMismatchRejected) {
+  auto data = encode(sample_report(), packet::FlowKeyKind::kFiveTuple);
+  data[15] = 5;  // claim 5 records, carry 2
+  EXPECT_THROW((void)decode(data), CodecError);
+}
+
+}  // namespace
+}  // namespace nd::reporting

@@ -1,0 +1,78 @@
+#include "trace/packet_size_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nd::trace {
+namespace {
+
+TEST(PacketSizeModel, FixedAlwaysFixed) {
+  const PacketSizeModel model(PacketSizePattern::kFixed, 500);
+  common::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(rng, 1'000'000), 500u);
+  }
+}
+
+TEST(PacketSizeModel, FixedSizeClamped) {
+  const PacketSizeModel too_small(PacketSizePattern::kFixed, 1);
+  const PacketSizeModel too_big(PacketSizePattern::kFixed, 9000);
+  common::Rng rng(2);
+  EXPECT_EQ(too_small.sample(rng, 1'000'000), kMinPacketBytes);
+  EXPECT_EQ(too_big.sample(rng, 1'000'000), kMaxPacketBytes);
+}
+
+TEST(PacketSizeModel, NeverExceedsRemaining) {
+  const PacketSizeModel model(PacketSizePattern::kTrimodal);
+  common::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LE(model.sample(rng, 100), 100u);
+  }
+}
+
+TEST(PacketSizeModel, RuntRemainderEmittedWhole) {
+  const PacketSizeModel model(PacketSizePattern::kTrimodal);
+  common::Rng rng(4);
+  EXPECT_EQ(model.sample(rng, 13), 13u);
+  EXPECT_EQ(model.sample(rng, kMinPacketBytes), kMinPacketBytes);
+}
+
+TEST(PacketSizeModel, TrimodalMeanNearModel) {
+  const PacketSizeModel model(PacketSizePattern::kTrimodal);
+  common::Rng rng(5);
+  double sum = 0.0;
+  constexpr int kTrials = 200'000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += model.sample(rng, 1'000'000'000);
+  }
+  EXPECT_NEAR(sum / kTrials, model.mean_size(), model.mean_size() * 0.05);
+}
+
+TEST(PacketSizeModel, TrimodalWithinLimits) {
+  const PacketSizeModel model(PacketSizePattern::kTrimodal);
+  common::Rng rng(6);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto s = model.sample(rng, 1'000'000);
+    EXPECT_GE(s, kMinPacketBytes);
+    EXPECT_LE(s, kMaxPacketBytes);
+  }
+}
+
+TEST(PacketSizeModel, BulkSkewsToMtu) {
+  const PacketSizeModel model(PacketSizePattern::kBulk);
+  common::Rng rng(7);
+  int mtu = 0;
+  constexpr int kTrials = 10'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (model.sample(rng, 1'000'000) == kMaxPacketBytes) ++mtu;
+  }
+  EXPECT_GT(mtu, kTrials * 3 / 4);
+}
+
+TEST(PacketSizeModel, MeanSizeConsistency) {
+  EXPECT_DOUBLE_EQ(
+      PacketSizeModel(PacketSizePattern::kFixed, 777).mean_size(), 777.0);
+  EXPECT_GT(PacketSizeModel(PacketSizePattern::kBulk).mean_size(), 1000.0);
+}
+
+}  // namespace
+}  // namespace nd::trace

@@ -1,0 +1,121 @@
+// Calibration tests: the presets must land near the paper's Table 3.
+// These run the full-size MAG/IND/COS generators for a few intervals, so
+// they are the slowest unit tests (~2 s total).
+#include "trace/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/flow_definition.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthesizer.hpp"
+
+namespace nd::trace {
+namespace {
+
+struct Measured {
+  double five_tuple;
+  double dst_ip;
+  double as_pair;
+  double megabytes;
+};
+
+Measured measure(TraceConfig config, std::uint32_t intervals = 3) {
+  config.num_intervals = intervals;
+  TraceSynthesizer synth(config);
+  TraceStats s5(packet::FlowDefinition::five_tuple());
+  TraceStats sd(packet::FlowDefinition::destination_ip());
+  TraceStats sa(packet::FlowDefinition::as_pair(synth.as_resolver()));
+  for (;;) {
+    const auto packets = synth.next_interval();
+    if (packets.empty()) break;
+    s5.observe_interval(packets);
+    sd.observe_interval(packets);
+    sa.observe_interval(packets);
+  }
+  return Measured{s5.flows_per_interval().avg(), sd.flows_per_interval().avg(),
+                  sa.flows_per_interval().avg(),
+                  s5.bytes_per_interval().avg() / 1e6};
+}
+
+void expect_near_target(double measured, double target, double tolerance,
+                        const char* what) {
+  EXPECT_NEAR(measured, target, target * tolerance) << what;
+}
+
+TEST(Presets, MagMatchesTable3) {
+  const auto m = measure(Presets::mag());
+  expect_near_target(m.five_tuple, 100'105, 0.05, "5-tuple flows");
+  expect_near_target(m.dst_ip, 43'575, 0.10, "dst-IP flows");
+  expect_near_target(m.as_pair, 7'408, 0.15, "AS-pair flows");
+  expect_near_target(m.megabytes, 264.7, 0.05, "MB/interval");
+}
+
+TEST(Presets, IndMatchesTable3) {
+  const auto m = measure(Presets::ind());
+  expect_near_target(m.five_tuple, 14'349, 0.05, "5-tuple flows");
+  expect_near_target(m.dst_ip, 8'933, 0.10, "dst-IP flows");
+  expect_near_target(m.megabytes, 96.04, 0.05, "MB/interval");
+}
+
+TEST(Presets, CosMatchesTable3) {
+  const auto m = measure(Presets::cos());
+  expect_near_target(m.five_tuple, 5'497, 0.05, "5-tuple flows");
+  expect_near_target(m.dst_ip, 1'146, 0.10, "dst-IP flows");
+  expect_near_target(m.megabytes, 16.63, 0.05, "MB/interval");
+}
+
+TEST(Presets, MagPlusInheritsShape) {
+  const auto config = Presets::mag_plus();
+  EXPECT_EQ(config.num_intervals, 903u);  // 4515 s at 5 s intervals
+  EXPECT_EQ(config.bytes_per_interval, 256'000'000u);
+}
+
+TEST(Presets, LinkUtilizationInPaperRange) {
+  // "Our traces use only between 13% and 27% of their respective link
+  // capacities."
+  for (const auto& config :
+       {Presets::mag(), Presets::ind(), Presets::cos()}) {
+    const double utilization =
+        static_cast<double>(config.bytes_per_interval) /
+        static_cast<double>(config.link_capacity_per_interval);
+    EXPECT_GE(utilization, 0.13) << config.name;
+    EXPECT_LE(utilization, 0.27) << config.name;
+  }
+}
+
+TEST(Presets, ScaledShrinksEverything) {
+  const auto base = Presets::mag();
+  const auto small = scaled(base, 0.1);
+  EXPECT_NEAR(small.flow_count, base.flow_count / 10.0,
+              base.flow_count * 0.01);
+  EXPECT_NEAR(static_cast<double>(small.bytes_per_interval),
+              static_cast<double>(base.bytes_per_interval) / 10.0,
+              static_cast<double>(base.bytes_per_interval) * 0.01);
+  EXPECT_EQ(small.num_intervals, base.num_intervals);
+}
+
+TEST(Presets, ScaledPreservesUtilization) {
+  const auto base = Presets::ind();
+  const auto small = scaled(base, 0.05);
+  const double base_util = static_cast<double>(base.bytes_per_interval) /
+                           static_cast<double>(base.link_capacity_per_interval);
+  const double small_util =
+      static_cast<double>(small.bytes_per_interval) /
+      static_cast<double>(small.link_capacity_per_interval);
+  EXPECT_NEAR(small_util, base_util, base_util * 0.02);
+}
+
+TEST(Presets, ScaledClampsFactor) {
+  const auto same = scaled(Presets::cos(), 5.0);  // clamped to 1.0
+  EXPECT_EQ(same.flow_count, Presets::cos().flow_count);
+}
+
+TEST(Presets, ScaledKeepsShapeOfFlowCounts) {
+  // A 10% MAG still has ~10x more 5-tuple flows than dst-IP groups.
+  const auto m = measure(scaled(Presets::mag(), 0.1), 2);
+  EXPECT_GT(m.five_tuple, m.dst_ip * 1.8);
+  EXPECT_GT(m.dst_ip, m.as_pair);
+}
+
+}  // namespace
+}  // namespace nd::trace

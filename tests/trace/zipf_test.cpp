@@ -1,0 +1,122 @@
+#include "trace/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace nd::trace {
+namespace {
+
+TEST(ZipfSizes, EmptyCount) {
+  EXPECT_TRUE(zipf_sizes(0, 1.0, 1000).empty());
+}
+
+TEST(ZipfSizes, SumsApproximatelyToTotal) {
+  const auto sizes = zipf_sizes(1000, 1.0, 10'000'000);
+  const auto total = std::accumulate(sizes.begin(), sizes.end(),
+                                     common::ByteCount{0});
+  EXPECT_NEAR(static_cast<double>(total), 1e7, 1e7 * 0.02);
+}
+
+TEST(ZipfSizes, MonotoneNonIncreasing) {
+  const auto sizes = zipf_sizes(500, 1.2, 5'000'000);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i - 1], sizes[i]);
+  }
+}
+
+TEST(ZipfSizes, RespectsMinimum) {
+  const auto sizes = zipf_sizes(10'000, 1.5, 1'000'000, 40);
+  for (const auto s : sizes) {
+    EXPECT_GE(s, 40u);
+  }
+}
+
+TEST(ZipfSizes, AlphaOneRatioLaw) {
+  // With alpha = 1, size(1)/size(10) ~ 10.
+  const auto sizes = zipf_sizes(1000, 1.0, 100'000'000);
+  const double ratio = static_cast<double>(sizes[0]) /
+                       static_cast<double>(sizes[9]);
+  EXPECT_NEAR(ratio, 10.0, 0.2);
+}
+
+TEST(ZipfSizes, HeavyHitterConcentration) {
+  // The paper's Figure 6: top 10% of flows carry >= ~85% of bytes for
+  // Zipf-like traffic. With pure Zipf(1) over 10k flows the top decile
+  // carries ln(1000)/ln(10000) ~ 75%+.
+  const auto sizes = zipf_sizes(10'000, 1.0, 1'000'000'000);
+  common::ByteCount total = 0;
+  for (const auto s : sizes) total += s;
+  common::ByteCount top = 0;
+  for (std::size_t i = 0; i < 1000; ++i) top += sizes[i];
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.70);
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  const ZipfSampler sampler(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    sum += sampler.probability(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(sampler.probability(100), 0.0);
+}
+
+TEST(ZipfSampler, ProbabilityDecreasesWithRank) {
+  const ZipfSampler sampler(50, 0.8);
+  for (std::size_t i = 1; i < 50; ++i) {
+    EXPECT_GT(sampler.probability(i - 1), sampler.probability(i));
+  }
+}
+
+TEST(ZipfSampler, SamplesInRange) {
+  const ZipfSampler sampler(10, 1.0);
+  common::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(sampler.sample(rng), 10u);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalMatchesTheoretical) {
+  const ZipfSampler sampler(20, 1.0);
+  common::Rng rng(2);
+  std::vector<int> hits(20, 0);
+  constexpr int kTrials = 200'000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++hits[sampler.sample(rng)];
+  }
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double expected = sampler.probability(r) * kTrials;
+    EXPECT_NEAR(hits[r], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  const ZipfSampler sampler(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(sampler.probability(i), 0.1, 1e-12);
+  }
+}
+
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, SizesSumAndOrder) {
+  const double alpha = GetParam();
+  const auto sizes = zipf_sizes(2000, alpha, 50'000'000);
+  ASSERT_EQ(sizes.size(), 2000u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i - 1], sizes[i]);
+  }
+  const auto total = std::accumulate(sizes.begin(), sizes.end(),
+                                     common::ByteCount{0});
+  // min_size padding may push the sum slightly above the target.
+  EXPECT_GT(total, 48'000'000u);
+  EXPECT_LT(total, 60'000'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.1, 1.3));
+
+}  // namespace
+}  // namespace nd::trace

@@ -1,0 +1,344 @@
+// ndtm — the command-line front end to the library.
+//
+//   ndtm synthesize --preset mag --scale 0.1 --intervals 6 --out t.pcap
+//       Write a calibrated synthetic trace as a standard pcap file.
+//
+//   ndtm measure --in t.pcap --algorithm multistage --flow-def dstip
+//                --threshold 100000 --interval 5 [--export reports.bin]
+//       Stream a pcap through a measurement device in fixed intervals
+//       and print (and optionally export) the heavy hitters per
+//       interval. Algorithms: sample-and-hold, multistage, netflow.
+//       Flow definitions: 5tuple, dstip, netpair:<prefixlen>.
+//
+//   ndtm bounds --threshold 1000000 --capacity 100000000
+//                --oversampling 20 --buckets 1000 --depth 4
+//                --flows 100000
+//       Evaluate the paper's analytical bounds for a configuration.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/dimensioning.hpp"
+#include "analysis/multistage_bounds.hpp"
+#include "analysis/sample_hold_bounds.hpp"
+#include "baseline/sampled_netflow.hpp"
+#include "common/format.hpp"
+#include "core/measurement_session.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "packet/flow_definition.hpp"
+#include "pcap/pcap.hpp"
+#include "reporting/record_codec.hpp"
+#include "trace/presets.hpp"
+#include "trace/synthesizer.hpp"
+
+using namespace nd;
+
+namespace {
+
+/// Minimal --key value parser; every subcommand shares it.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        std::fprintf(stderr, "bad or valueless flag: %s\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+trace::TraceConfig preset_by_name(const std::string& name,
+                                  std::uint64_t seed) {
+  if (name == "mag") return trace::Presets::mag(seed);
+  if (name == "mag+") return trace::Presets::mag_plus(seed);
+  if (name == "ind") return trace::Presets::ind(seed);
+  if (name == "cos") return trace::Presets::cos(seed);
+  std::fprintf(stderr, "unknown preset: %s (mag, mag+, ind, cos)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int cmd_synthesize(const Args& args) {
+  const std::string out = args.get("out", "trace.pcap");
+  auto config = preset_by_name(args.get("preset", "cos"),
+                               args.get_u64("seed", 42));
+  config.num_intervals =
+      static_cast<std::uint32_t>(args.get_u64("intervals", 6));
+  const double scale = args.get_double("scale", 0.1);
+  if (scale < 1.0) config = trace::scaled(config, scale);
+  if (args.get("arrivals", "uniform") == "bursty") {
+    config.arrival_model = trace::TraceConfig::ArrivalModel::kBursty;
+  }
+
+  std::ofstream stream(out, std::ios::binary);
+  if (!stream) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  pcap::PcapWriter writer(
+      stream, static_cast<std::uint32_t>(args.get_u64("snaplen", 96)));
+  trace::TraceSynthesizer synth(config);
+  common::ByteCount bytes = 0;
+  for (;;) {
+    const auto packets = synth.next_interval();
+    if (packets.empty()) break;
+    for (const auto& packet : packets) {
+      writer.write(packet);
+      bytes += packet.size_bytes;
+    }
+  }
+  std::printf("%s: %llu packets, %s across %u intervals -> %s\n",
+              config.name.c_str(),
+              static_cast<unsigned long long>(writer.packets_written()),
+              common::format_bytes(bytes).c_str(), config.num_intervals,
+              out.c_str());
+  return 0;
+}
+
+packet::FlowDefinition flow_def_by_name(const std::string& name) {
+  if (name == "5tuple") return packet::FlowDefinition::five_tuple();
+  if (name == "dstip") return packet::FlowDefinition::destination_ip();
+  if (name.rfind("netpair:", 0) == 0) {
+    return packet::FlowDefinition::network_pair(
+        static_cast<std::uint8_t>(std::atoi(name.c_str() + 8)));
+  }
+  std::fprintf(stderr,
+               "unknown flow definition: %s (5tuple, dstip, "
+               "netpair:<len>)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<core::MeasurementDevice> device_by_name(
+    const std::string& name, common::ByteCount threshold,
+    std::size_t entries, std::uint64_t seed) {
+  if (name == "sample-and-hold") {
+    core::SampleAndHoldConfig config;
+    config.flow_memory_entries = entries;
+    config.threshold = threshold;
+    config.oversampling = 4.0;
+    config.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+    config.seed = seed;
+    return std::make_unique<core::SampleAndHold>(config);
+  }
+  if (name == "multistage") {
+    core::MultistageFilterConfig config;
+    config.flow_memory_entries = entries;
+    config.depth = 4;
+    config.buckets_per_stage =
+        static_cast<std::uint32_t>(std::max<std::size_t>(entries, 64));
+    config.threshold = threshold;
+    config.preserve = flowmem::PreservePolicy::kPreserve;
+    config.seed = seed;
+    return std::make_unique<core::MultistageFilter>(config);
+  }
+  if (name == "netflow") {
+    baseline::SampledNetFlowConfig config;
+    config.sampling_divisor = 16;
+    config.seed = seed;
+    return std::make_unique<baseline::SampledNetFlow>(config);
+  }
+  std::fprintf(stderr,
+               "unknown algorithm: %s (sample-and-hold, multistage, "
+               "netflow)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int cmd_measure(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "measure: --in <file.pcap> is required\n");
+    return 2;
+  }
+  const common::ByteCount threshold = args.get_u64("threshold", 100'000);
+  const auto definition = flow_def_by_name(args.get("flow-def", "5tuple"));
+  auto device = device_by_name(args.get("algorithm", "multistage"),
+                               threshold, args.get_u64("entries", 4096),
+                               args.get_u64("seed", 1));
+  const auto interval = std::chrono::seconds(
+      static_cast<long>(args.get_u64("interval", 5)));
+  const packet::FlowKeyKind key_kind = definition.kind();
+  core::MeasurementSession session(std::move(device), definition,
+                                   interval);
+
+  std::ifstream stream(in, std::ios::binary);
+  if (!stream) {
+    std::fprintf(stderr, "cannot open %s\n", in.c_str());
+    return 1;
+  }
+
+  std::ofstream export_stream;
+  const std::string export_path = args.get("export", "");
+  if (!export_path.empty()) {
+    export_stream.open(export_path, std::ios::binary);
+    if (!export_stream) {
+      std::fprintf(stderr, "cannot open %s for export\n",
+                   export_path.c_str());
+      return 1;
+    }
+  }
+
+  auto handle_reports = [&](std::vector<core::Report> reports) {
+    for (auto& report : reports) {
+      core::sort_by_size(report);
+      std::printf("interval %u: %zu flows tracked\n", report.interval,
+                  report.flows.size());
+      for (const auto& flow : report.flows) {
+        if (flow.estimated_bytes < threshold) break;
+        std::printf("  %-45s %14s%s\n", flow.key.to_string().c_str(),
+                    common::format_bytes(flow.estimated_bytes).c_str(),
+                    flow.exact ? "  (exact)" : "");
+      }
+      if (export_stream.is_open()) {
+        const auto encoded = reporting::encode(report, key_kind);
+        export_stream.write(
+            reinterpret_cast<const char*>(encoded.data()),
+            static_cast<std::streamsize>(encoded.size()));
+      }
+    }
+  };
+
+  try {
+    pcap::PcapReader reader(stream);
+    while (const auto record = reader.next_record()) {
+      session.observe(*record);
+      handle_reports(session.drain_reports());
+    }
+    handle_reports(session.finish());
+  } catch (const pcap::PcapError& error) {
+    std::fprintf(stderr, "pcap error: %s\n", error.what());
+    return 1;
+  }
+  std::printf(
+      "done: %llu packets (%llu unmatched by the flow pattern), %u "
+      "intervals\n",
+      static_cast<unsigned long long>(session.packets_observed()),
+      static_cast<unsigned long long>(session.packets_unclassified()),
+      session.intervals_closed());
+  return 0;
+}
+
+int cmd_bounds(const Args& args) {
+  analysis::SampleHoldParams sh;
+  sh.oversampling = args.get_double("oversampling", 20.0);
+  sh.threshold = args.get_u64("threshold", 1'000'000);
+  sh.capacity = args.get_u64("capacity", 100'000'000);
+
+  std::printf("sample and hold (O=%.1f, T=%s, C=%s):\n", sh.oversampling,
+              common::format_bytes(sh.threshold).c_str(),
+              common::format_bytes(sh.capacity).c_str());
+  std::printf("  P[miss at threshold]      = %s\n",
+              common::format_scientific(
+                  analysis::miss_probability(sh, sh.threshold))
+                  .c_str());
+  std::printf("  relative error at T       = %s\n",
+              common::format_percent(
+                  analysis::relative_error_at_threshold(sh), 2)
+                  .c_str());
+  std::printf("  expected entries          = %.0f\n",
+              analysis::expected_entries(sh));
+  std::printf("  entries bound @99.9%%      = %.0f\n",
+              analysis::entries_bound(sh, 0.001));
+
+  analysis::MultistageParams msf;
+  msf.buckets =
+      static_cast<std::uint32_t>(args.get_u64("buckets", 1000));
+  msf.depth = static_cast<std::uint32_t>(args.get_u64("depth", 4));
+  msf.flows = args.get_double("flows", 100'000);
+  msf.capacity = sh.capacity;
+  msf.threshold = sh.threshold;
+  std::printf(
+      "multistage filter (d=%u, b=%u, n=%.0f, k=%.2f):\n", msf.depth,
+      msf.buckets, msf.flows, analysis::stage_strength(msf));
+  std::printf("  E[flows passing] (Thm 3)  = %.1f\n",
+              analysis::expected_flows_passing(msf));
+  std::printf("  flows passing @99.9%%      = %.0f\n",
+              analysis::flows_passing_bound(msf, 0.001));
+  std::printf("  P[T/10 flow passes]       = %s\n",
+              common::format_scientific(analysis::pass_probability_bound(
+                  msf, msf.threshold / 10))
+                  .c_str());
+  return 0;
+}
+
+int cmd_dimension(const Args& args) {
+  analysis::DimensioningInput input;
+  input.total_entries = args.get_u64("entries", 4096);
+  input.expected_flows = args.get_double("flows", 100'000);
+  input.traffic_per_interval = args.get_u64("traffic", 256'000'000);
+  input.oversampling = args.get_double("oversampling", 4.0);
+
+  const auto sh = analysis::dimension_sample_and_hold(input);
+  const auto msf = analysis::dimension_multistage(input);
+  std::printf(
+      "budget: %zu entries, %.0f flows, %s traffic per interval\n\n",
+      input.total_entries, input.expected_flows,
+      common::format_bytes(input.traffic_per_interval).c_str());
+  std::printf("sample and hold:\n");
+  std::printf("  flow memory entries     = %zu\n",
+              sh.flow_memory_entries);
+  std::printf("  initial threshold       = %s (oversampling %.1f, early "
+              "removal R=0.15T)\n",
+              common::format_bytes(sh.threshold).c_str(),
+              sh.oversampling);
+  std::printf("multistage filter:\n");
+  std::printf("  stages                  = %u\n", msf.depth);
+  std::printf("  counters per stage      = %u\n", msf.buckets_per_stage);
+  std::printf("  flow memory entries     = %zu\n",
+              msf.flow_memory_entries);
+  std::printf("  initial threshold       = %s (conservative update + "
+              "shielding + preserve)\n",
+              common::format_bytes(msf.threshold).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: ndtm <synthesize|measure|bounds|dimension> [--flags]\n"
+                 "see the header of tools/ndtm.cpp for details\n");
+    return 2;
+  }
+  const Args args(argc, argv, 2);
+  const std::string command = argv[1];
+  if (command == "synthesize") return cmd_synthesize(args);
+  if (command == "measure") return cmd_measure(args);
+  if (command == "bounds") return cmd_bounds(args);
+  if (command == "dimension") return cmd_dimension(args);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

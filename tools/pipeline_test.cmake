@@ -1,0 +1,19 @@
+# End-to-end CLI pipeline: synthesize a pcap, measure it, export reports.
+execute_process(
+  COMMAND ${NDTM} synthesize --preset cos --scale 0.2 --intervals 2
+          --out ${WORKDIR}/smoke.pcap
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "ndtm synthesize failed: ${rv}")
+endif()
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap
+          --algorithm sample-and-hold --flow-def dstip
+          --threshold 100000 --export ${WORKDIR}/smoke_reports.bin
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "ndtm measure failed: ${rv}")
+endif()
+if(NOT EXISTS ${WORKDIR}/smoke_reports.bin)
+  message(FATAL_ERROR "ndtm measure produced no export")
+endif()
