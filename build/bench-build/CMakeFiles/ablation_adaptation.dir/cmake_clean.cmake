@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptation"
+  "../bench/ablation_adaptation.pdb"
+  "CMakeFiles/ablation_adaptation.dir/ablation_adaptation.cpp.o"
+  "CMakeFiles/ablation_adaptation.dir/ablation_adaptation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/accounting_z_sweep"
+  "../bench/accounting_z_sweep.pdb"
+  "CMakeFiles/accounting_z_sweep.dir/accounting_z_sweep.cpp.o"
+  "CMakeFiles/accounting_z_sweep.dir/accounting_z_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_z_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

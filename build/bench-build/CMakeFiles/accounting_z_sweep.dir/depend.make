@@ -1,0 +1,2 @@
+# Empty dependencies file for accounting_z_sweep.
+# This may be replaced when dependencies are built.

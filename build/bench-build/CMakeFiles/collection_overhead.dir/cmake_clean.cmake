@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/collection_overhead"
+  "../bench/collection_overhead.pdb"
+  "CMakeFiles/collection_overhead.dir/collection_overhead.cpp.o"
+  "CMakeFiles/collection_overhead.dir/collection_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure6_flow_cdf.cpp" "bench-build/CMakeFiles/figure6_flow_cdf.dir/figure6_flow_cdf.cpp.o" "gcc" "bench-build/CMakeFiles/figure6_flow_cdf.dir/figure6_flow_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nd_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_reporting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_flowmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

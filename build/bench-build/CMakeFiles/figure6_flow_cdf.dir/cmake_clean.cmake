@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure6_flow_cdf"
+  "../bench/figure6_flow_cdf.pdb"
+  "CMakeFiles/figure6_flow_cdf.dir/figure6_flow_cdf.cpp.o"
+  "CMakeFiles/figure6_flow_cdf.dir/figure6_flow_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_flow_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

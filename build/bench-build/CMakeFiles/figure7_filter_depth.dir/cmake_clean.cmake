@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure7_filter_depth"
+  "../bench/figure7_filter_depth.pdb"
+  "CMakeFiles/figure7_filter_depth.dir/figure7_filter_depth.cpp.o"
+  "CMakeFiles/figure7_filter_depth.dir/figure7_filter_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_filter_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

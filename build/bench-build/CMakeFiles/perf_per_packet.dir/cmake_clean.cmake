@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_per_packet"
+  "../bench/perf_per_packet.pdb"
+  "CMakeFiles/perf_per_packet.dir/perf_per_packet.cpp.o"
+  "CMakeFiles/perf_per_packet.dir/perf_per_packet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_per_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/section8_chip_feasibility"
+  "../bench/section8_chip_feasibility.pdb"
+  "CMakeFiles/section8_chip_feasibility.dir/section8_chip_feasibility.cpp.o"
+  "CMakeFiles/section8_chip_feasibility.dir/section8_chip_feasibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section8_chip_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for section8_chip_feasibility.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_core_comparison"
+  "../bench/table1_core_comparison.pdb"
+  "CMakeFiles/table1_core_comparison.dir/table1_core_comparison.cpp.o"
+  "CMakeFiles/table1_core_comparison.dir/table1_core_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_core_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_device_comparison"
+  "../bench/table2_device_comparison.pdb"
+  "CMakeFiles/table2_device_comparison.dir/table2_device_comparison.cpp.o"
+  "CMakeFiles/table2_device_comparison.dir/table2_device_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_device_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_traces"
+  "../bench/table3_traces.pdb"
+  "CMakeFiles/table3_traces.dir/table3_traces.cpp.o"
+  "CMakeFiles/table3_traces.dir/table3_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_sample_and_hold"
+  "../bench/table4_sample_and_hold.pdb"
+  "CMakeFiles/table4_sample_and_hold.dir/table4_sample_and_hold.cpp.o"
+  "CMakeFiles/table4_sample_and_hold.dir/table4_sample_and_hold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sample_and_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

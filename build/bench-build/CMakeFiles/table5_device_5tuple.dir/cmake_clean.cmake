@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_device_5tuple"
+  "../bench/table5_device_5tuple.pdb"
+  "CMakeFiles/table5_device_5tuple.dir/table5_device_5tuple.cpp.o"
+  "CMakeFiles/table5_device_5tuple.dir/table5_device_5tuple.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_device_5tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_device_dstip"
+  "../bench/table6_device_dstip.pdb"
+  "CMakeFiles/table6_device_dstip.dir/table6_device_dstip.cpp.o"
+  "CMakeFiles/table6_device_dstip.dir/table6_device_dstip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_device_dstip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

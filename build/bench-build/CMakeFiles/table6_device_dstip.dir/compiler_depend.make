@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_device_dstip.
+# This may be replaced when dependencies are built.

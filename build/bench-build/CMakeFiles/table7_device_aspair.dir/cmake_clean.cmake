@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_device_aspair"
+  "../bench/table7_device_aspair.pdb"
+  "CMakeFiles/table7_device_aspair.dir/table7_device_aspair.cpp.o"
+  "CMakeFiles/table7_device_aspair.dir/table7_device_aspair.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_device_aspair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_detection.dir/dos_detection.cpp.o"
+  "CMakeFiles/dos_detection.dir/dos_detection.cpp.o.d"
+  "dos_detection"
+  "dos_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

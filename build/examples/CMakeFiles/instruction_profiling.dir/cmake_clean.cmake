@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instruction_profiling.dir/instruction_profiling.cpp.o"
+  "CMakeFiles/instruction_profiling.dir/instruction_profiling.cpp.o.d"
+  "instruction_profiling"
+  "instruction_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

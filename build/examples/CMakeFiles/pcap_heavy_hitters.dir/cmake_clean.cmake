@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_heavy_hitters.dir/pcap_heavy_hitters.cpp.o"
+  "CMakeFiles/pcap_heavy_hitters.dir/pcap_heavy_hitters.cpp.o.d"
+  "pcap_heavy_hitters"
+  "pcap_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

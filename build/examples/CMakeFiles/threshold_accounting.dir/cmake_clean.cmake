@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_accounting.dir/threshold_accounting.cpp.o"
+  "CMakeFiles/threshold_accounting.dir/threshold_accounting.cpp.o.d"
+  "threshold_accounting"
+  "threshold_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

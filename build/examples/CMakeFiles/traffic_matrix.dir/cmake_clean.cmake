@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_matrix.dir/traffic_matrix.cpp.o"
+  "CMakeFiles/traffic_matrix.dir/traffic_matrix.cpp.o.d"
+  "traffic_matrix"
+  "traffic_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_accounting.dir/accounting/threshold_accounting.cpp.o"
+  "CMakeFiles/nd_accounting.dir/accounting/threshold_accounting.cpp.o.d"
+  "libnd_accounting.a"
+  "libnd_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

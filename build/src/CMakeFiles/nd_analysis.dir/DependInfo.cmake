@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/core_comparison.cpp" "src/CMakeFiles/nd_analysis.dir/analysis/core_comparison.cpp.o" "gcc" "src/CMakeFiles/nd_analysis.dir/analysis/core_comparison.cpp.o.d"
+  "/root/repo/src/analysis/dimensioning.cpp" "src/CMakeFiles/nd_analysis.dir/analysis/dimensioning.cpp.o" "gcc" "src/CMakeFiles/nd_analysis.dir/analysis/dimensioning.cpp.o.d"
+  "/root/repo/src/analysis/monte_carlo.cpp" "src/CMakeFiles/nd_analysis.dir/analysis/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/nd_analysis.dir/analysis/monte_carlo.cpp.o.d"
+  "/root/repo/src/analysis/multistage_bounds.cpp" "src/CMakeFiles/nd_analysis.dir/analysis/multistage_bounds.cpp.o" "gcc" "src/CMakeFiles/nd_analysis.dir/analysis/multistage_bounds.cpp.o.d"
+  "/root/repo/src/analysis/normal.cpp" "src/CMakeFiles/nd_analysis.dir/analysis/normal.cpp.o" "gcc" "src/CMakeFiles/nd_analysis.dir/analysis/normal.cpp.o.d"
+  "/root/repo/src/analysis/sample_hold_bounds.cpp" "src/CMakeFiles/nd_analysis.dir/analysis/sample_hold_bounds.cpp.o" "gcc" "src/CMakeFiles/nd_analysis.dir/analysis/sample_hold_bounds.cpp.o.d"
+  "/root/repo/src/analysis/zipf_bounds.cpp" "src/CMakeFiles/nd_analysis.dir/analysis/zipf_bounds.cpp.o" "gcc" "src/CMakeFiles/nd_analysis.dir/analysis/zipf_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_flowmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_analysis.dir/analysis/core_comparison.cpp.o"
+  "CMakeFiles/nd_analysis.dir/analysis/core_comparison.cpp.o.d"
+  "CMakeFiles/nd_analysis.dir/analysis/dimensioning.cpp.o"
+  "CMakeFiles/nd_analysis.dir/analysis/dimensioning.cpp.o.d"
+  "CMakeFiles/nd_analysis.dir/analysis/monte_carlo.cpp.o"
+  "CMakeFiles/nd_analysis.dir/analysis/monte_carlo.cpp.o.d"
+  "CMakeFiles/nd_analysis.dir/analysis/multistage_bounds.cpp.o"
+  "CMakeFiles/nd_analysis.dir/analysis/multistage_bounds.cpp.o.d"
+  "CMakeFiles/nd_analysis.dir/analysis/normal.cpp.o"
+  "CMakeFiles/nd_analysis.dir/analysis/normal.cpp.o.d"
+  "CMakeFiles/nd_analysis.dir/analysis/sample_hold_bounds.cpp.o"
+  "CMakeFiles/nd_analysis.dir/analysis/sample_hold_bounds.cpp.o.d"
+  "CMakeFiles/nd_analysis.dir/analysis/zipf_bounds.cpp.o"
+  "CMakeFiles/nd_analysis.dir/analysis/zipf_bounds.cpp.o.d"
+  "libnd_analysis.a"
+  "libnd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

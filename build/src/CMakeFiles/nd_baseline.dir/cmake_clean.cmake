@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_baseline.dir/baseline/exact_oracle.cpp.o"
+  "CMakeFiles/nd_baseline.dir/baseline/exact_oracle.cpp.o.d"
+  "CMakeFiles/nd_baseline.dir/baseline/ordinary_sampling.cpp.o"
+  "CMakeFiles/nd_baseline.dir/baseline/ordinary_sampling.cpp.o.d"
+  "CMakeFiles/nd_baseline.dir/baseline/sampled_netflow.cpp.o"
+  "CMakeFiles/nd_baseline.dir/baseline/sampled_netflow.cpp.o.d"
+  "CMakeFiles/nd_baseline.dir/baseline/smallest_counter_eviction.cpp.o"
+  "CMakeFiles/nd_baseline.dir/baseline/smallest_counter_eviction.cpp.o.d"
+  "libnd_baseline.a"
+  "libnd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_common.dir/common/format.cpp.o"
+  "CMakeFiles/nd_common.dir/common/format.cpp.o.d"
+  "CMakeFiles/nd_common.dir/common/rng.cpp.o"
+  "CMakeFiles/nd_common.dir/common/rng.cpp.o.d"
+  "libnd_common.a"
+  "libnd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

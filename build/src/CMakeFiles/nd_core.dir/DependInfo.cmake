@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_device.cpp" "src/CMakeFiles/nd_core.dir/core/adaptive_device.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/adaptive_device.cpp.o.d"
+  "/root/repo/src/core/leaky_bucket.cpp" "src/CMakeFiles/nd_core.dir/core/leaky_bucket.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/leaky_bucket.cpp.o.d"
+  "/root/repo/src/core/measurement_session.cpp" "src/CMakeFiles/nd_core.dir/core/measurement_session.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/measurement_session.cpp.o.d"
+  "/root/repo/src/core/multi_monitor.cpp" "src/CMakeFiles/nd_core.dir/core/multi_monitor.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/multi_monitor.cpp.o.d"
+  "/root/repo/src/core/multistage_filter.cpp" "src/CMakeFiles/nd_core.dir/core/multistage_filter.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/multistage_filter.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/nd_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sample_and_hold.cpp" "src/CMakeFiles/nd_core.dir/core/sample_and_hold.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/sample_and_hold.cpp.o.d"
+  "/root/repo/src/core/threshold_adaptor.cpp" "src/CMakeFiles/nd_core.dir/core/threshold_adaptor.cpp.o" "gcc" "src/CMakeFiles/nd_core.dir/core/threshold_adaptor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nd_flowmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_core.dir/core/adaptive_device.cpp.o"
+  "CMakeFiles/nd_core.dir/core/adaptive_device.cpp.o.d"
+  "CMakeFiles/nd_core.dir/core/leaky_bucket.cpp.o"
+  "CMakeFiles/nd_core.dir/core/leaky_bucket.cpp.o.d"
+  "CMakeFiles/nd_core.dir/core/measurement_session.cpp.o"
+  "CMakeFiles/nd_core.dir/core/measurement_session.cpp.o.d"
+  "CMakeFiles/nd_core.dir/core/multi_monitor.cpp.o"
+  "CMakeFiles/nd_core.dir/core/multi_monitor.cpp.o.d"
+  "CMakeFiles/nd_core.dir/core/multistage_filter.cpp.o"
+  "CMakeFiles/nd_core.dir/core/multistage_filter.cpp.o.d"
+  "CMakeFiles/nd_core.dir/core/report.cpp.o"
+  "CMakeFiles/nd_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/nd_core.dir/core/sample_and_hold.cpp.o"
+  "CMakeFiles/nd_core.dir/core/sample_and_hold.cpp.o.d"
+  "CMakeFiles/nd_core.dir/core/threshold_adaptor.cpp.o"
+  "CMakeFiles/nd_core.dir/core/threshold_adaptor.cpp.o.d"
+  "libnd_core.a"
+  "libnd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

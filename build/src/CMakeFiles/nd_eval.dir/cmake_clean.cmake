@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_eval.dir/eval/driver.cpp.o"
+  "CMakeFiles/nd_eval.dir/eval/driver.cpp.o.d"
+  "CMakeFiles/nd_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/nd_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/nd_eval.dir/eval/table.cpp.o"
+  "CMakeFiles/nd_eval.dir/eval/table.cpp.o.d"
+  "CMakeFiles/nd_eval.dir/eval/time_series.cpp.o"
+  "CMakeFiles/nd_eval.dir/eval/time_series.cpp.o.d"
+  "libnd_eval.a"
+  "libnd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

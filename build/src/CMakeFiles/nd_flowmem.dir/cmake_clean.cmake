@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_flowmem.dir/flowmem/cam_flow_memory.cpp.o"
+  "CMakeFiles/nd_flowmem.dir/flowmem/cam_flow_memory.cpp.o.d"
+  "CMakeFiles/nd_flowmem.dir/flowmem/flow_memory.cpp.o"
+  "CMakeFiles/nd_flowmem.dir/flowmem/flow_memory.cpp.o.d"
+  "libnd_flowmem.a"
+  "libnd_flowmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_flowmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_hash.dir/hash/hash.cpp.o"
+  "CMakeFiles/nd_hash.dir/hash/hash.cpp.o.d"
+  "libnd_hash.a"
+  "libnd_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

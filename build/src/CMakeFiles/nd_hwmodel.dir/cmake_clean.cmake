@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_hwmodel.dir/hwmodel/chip_model.cpp.o"
+  "CMakeFiles/nd_hwmodel.dir/hwmodel/chip_model.cpp.o.d"
+  "libnd_hwmodel.a"
+  "libnd_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/as_resolver.cpp" "src/CMakeFiles/nd_packet.dir/packet/as_resolver.cpp.o" "gcc" "src/CMakeFiles/nd_packet.dir/packet/as_resolver.cpp.o.d"
+  "/root/repo/src/packet/flow_definition.cpp" "src/CMakeFiles/nd_packet.dir/packet/flow_definition.cpp.o" "gcc" "src/CMakeFiles/nd_packet.dir/packet/flow_definition.cpp.o.d"
+  "/root/repo/src/packet/flow_key.cpp" "src/CMakeFiles/nd_packet.dir/packet/flow_key.cpp.o" "gcc" "src/CMakeFiles/nd_packet.dir/packet/flow_key.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/CMakeFiles/nd_packet.dir/packet/headers.cpp.o" "gcc" "src/CMakeFiles/nd_packet.dir/packet/headers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

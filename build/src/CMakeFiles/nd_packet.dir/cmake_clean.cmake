@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_packet.dir/packet/as_resolver.cpp.o"
+  "CMakeFiles/nd_packet.dir/packet/as_resolver.cpp.o.d"
+  "CMakeFiles/nd_packet.dir/packet/flow_definition.cpp.o"
+  "CMakeFiles/nd_packet.dir/packet/flow_definition.cpp.o.d"
+  "CMakeFiles/nd_packet.dir/packet/flow_key.cpp.o"
+  "CMakeFiles/nd_packet.dir/packet/flow_key.cpp.o.d"
+  "CMakeFiles/nd_packet.dir/packet/headers.cpp.o"
+  "CMakeFiles/nd_packet.dir/packet/headers.cpp.o.d"
+  "libnd_packet.a"
+  "libnd_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_pcap.dir/pcap/pcap.cpp.o"
+  "CMakeFiles/nd_pcap.dir/pcap/pcap.cpp.o.d"
+  "libnd_pcap.a"
+  "libnd_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

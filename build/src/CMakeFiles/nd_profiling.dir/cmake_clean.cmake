@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_profiling.dir/profiling/instruction_profiler.cpp.o"
+  "CMakeFiles/nd_profiling.dir/profiling/instruction_profiler.cpp.o.d"
+  "libnd_profiling.a"
+  "libnd_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_reporting.dir/reporting/aggregator.cpp.o"
+  "CMakeFiles/nd_reporting.dir/reporting/aggregator.cpp.o.d"
+  "CMakeFiles/nd_reporting.dir/reporting/collector.cpp.o"
+  "CMakeFiles/nd_reporting.dir/reporting/collector.cpp.o.d"
+  "CMakeFiles/nd_reporting.dir/reporting/record_codec.cpp.o"
+  "CMakeFiles/nd_reporting.dir/reporting/record_codec.cpp.o.d"
+  "libnd_reporting.a"
+  "libnd_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

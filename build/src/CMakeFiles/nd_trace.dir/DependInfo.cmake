@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/packet_size_model.cpp" "src/CMakeFiles/nd_trace.dir/trace/packet_size_model.cpp.o" "gcc" "src/CMakeFiles/nd_trace.dir/trace/packet_size_model.cpp.o.d"
+  "/root/repo/src/trace/presets.cpp" "src/CMakeFiles/nd_trace.dir/trace/presets.cpp.o" "gcc" "src/CMakeFiles/nd_trace.dir/trace/presets.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/CMakeFiles/nd_trace.dir/trace/stats.cpp.o" "gcc" "src/CMakeFiles/nd_trace.dir/trace/stats.cpp.o.d"
+  "/root/repo/src/trace/synthesizer.cpp" "src/CMakeFiles/nd_trace.dir/trace/synthesizer.cpp.o" "gcc" "src/CMakeFiles/nd_trace.dir/trace/synthesizer.cpp.o.d"
+  "/root/repo/src/trace/zipf.cpp" "src/CMakeFiles/nd_trace.dir/trace/zipf.cpp.o" "gcc" "src/CMakeFiles/nd_trace.dir/trace/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nd_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_trace.dir/trace/packet_size_model.cpp.o"
+  "CMakeFiles/nd_trace.dir/trace/packet_size_model.cpp.o.d"
+  "CMakeFiles/nd_trace.dir/trace/presets.cpp.o"
+  "CMakeFiles/nd_trace.dir/trace/presets.cpp.o.d"
+  "CMakeFiles/nd_trace.dir/trace/stats.cpp.o"
+  "CMakeFiles/nd_trace.dir/trace/stats.cpp.o.d"
+  "CMakeFiles/nd_trace.dir/trace/synthesizer.cpp.o"
+  "CMakeFiles/nd_trace.dir/trace/synthesizer.cpp.o.d"
+  "CMakeFiles/nd_trace.dir/trace/zipf.cpp.o"
+  "CMakeFiles/nd_trace.dir/trace/zipf.cpp.o.d"
+  "libnd_trace.a"
+  "libnd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

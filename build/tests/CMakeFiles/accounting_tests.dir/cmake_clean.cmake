@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_tests.dir/accounting/threshold_accounting_test.cpp.o"
+  "CMakeFiles/accounting_tests.dir/accounting/threshold_accounting_test.cpp.o.d"
+  "accounting_tests"
+  "accounting_tests.pdb"
+  "accounting_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/core_comparison_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/core_comparison_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/dimensioning_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/dimensioning_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/monte_carlo_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/monte_carlo_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/multistage_bounds_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/multistage_bounds_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/normal_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/normal_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/sample_hold_bounds_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/sample_hold_bounds_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/zipf_bounds_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/zipf_bounds_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/leaky_bucket_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/leaky_bucket_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/measurement_session_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/measurement_session_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_monitor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multi_monitor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multistage_filter_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multistage_filter_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multistage_properties_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multistage_properties_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sample_and_hold_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sample_and_hold_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/threshold_adaptor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/threshold_adaptor_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowmem_tests.dir/flowmem/cam_flow_memory_test.cpp.o"
+  "CMakeFiles/flowmem_tests.dir/flowmem/cam_flow_memory_test.cpp.o.d"
+  "CMakeFiles/flowmem_tests.dir/flowmem/flow_memory_stress_test.cpp.o"
+  "CMakeFiles/flowmem_tests.dir/flowmem/flow_memory_stress_test.cpp.o.d"
+  "CMakeFiles/flowmem_tests.dir/flowmem/flow_memory_test.cpp.o"
+  "CMakeFiles/flowmem_tests.dir/flowmem/flow_memory_test.cpp.o.d"
+  "flowmem_tests"
+  "flowmem_tests.pdb"
+  "flowmem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowmem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

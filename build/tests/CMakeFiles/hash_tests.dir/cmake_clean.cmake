@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_tests.dir/hash/hash_test.cpp.o"
+  "CMakeFiles/hash_tests.dir/hash/hash_test.cpp.o.d"
+  "hash_tests"
+  "hash_tests.pdb"
+  "hash_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwmodel_tests.dir/hwmodel/chip_model_test.cpp.o"
+  "CMakeFiles/hwmodel_tests.dir/hwmodel/chip_model_test.cpp.o.d"
+  "hwmodel_tests"
+  "hwmodel_tests.pdb"
+  "hwmodel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwmodel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_tests.dir/packet/as_resolver_test.cpp.o"
+  "CMakeFiles/packet_tests.dir/packet/as_resolver_test.cpp.o.d"
+  "CMakeFiles/packet_tests.dir/packet/flow_definition_test.cpp.o"
+  "CMakeFiles/packet_tests.dir/packet/flow_definition_test.cpp.o.d"
+  "CMakeFiles/packet_tests.dir/packet/flow_key_test.cpp.o"
+  "CMakeFiles/packet_tests.dir/packet/flow_key_test.cpp.o.d"
+  "CMakeFiles/packet_tests.dir/packet/headers_test.cpp.o"
+  "CMakeFiles/packet_tests.dir/packet/headers_test.cpp.o.d"
+  "packet_tests"
+  "packet_tests.pdb"
+  "packet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

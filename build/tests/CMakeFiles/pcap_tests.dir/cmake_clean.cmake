@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_tests.dir/pcap/pcap_fuzz_test.cpp.o"
+  "CMakeFiles/pcap_tests.dir/pcap/pcap_fuzz_test.cpp.o.d"
+  "CMakeFiles/pcap_tests.dir/pcap/pcap_test.cpp.o"
+  "CMakeFiles/pcap_tests.dir/pcap/pcap_test.cpp.o.d"
+  "pcap_tests"
+  "pcap_tests.pdb"
+  "pcap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

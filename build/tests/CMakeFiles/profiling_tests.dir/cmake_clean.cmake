@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_tests.dir/profiling/instruction_profiler_test.cpp.o"
+  "CMakeFiles/profiling_tests.dir/profiling/instruction_profiler_test.cpp.o.d"
+  "profiling_tests"
+  "profiling_tests.pdb"
+  "profiling_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reporting_tests.dir/reporting/aggregator_test.cpp.o"
+  "CMakeFiles/reporting_tests.dir/reporting/aggregator_test.cpp.o.d"
+  "CMakeFiles/reporting_tests.dir/reporting/collector_test.cpp.o"
+  "CMakeFiles/reporting_tests.dir/reporting/collector_test.cpp.o.d"
+  "CMakeFiles/reporting_tests.dir/reporting/record_codec_test.cpp.o"
+  "CMakeFiles/reporting_tests.dir/reporting/record_codec_test.cpp.o.d"
+  "reporting_tests"
+  "reporting_tests.pdb"
+  "reporting_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reporting_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

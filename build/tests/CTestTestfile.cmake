@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/hash_tests[1]_include.cmake")
+include("/root/repo/build/tests/packet_tests[1]_include.cmake")
+include("/root/repo/build/tests/pcap_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/flowmem_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/hwmodel_tests[1]_include.cmake")
+include("/root/repo/build/tests/reporting_tests[1]_include.cmake")
+include("/root/repo/build/tests/accounting_tests[1]_include.cmake")
+include("/root/repo/build/tests/profiling_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

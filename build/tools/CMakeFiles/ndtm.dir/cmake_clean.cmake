@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndtm.dir/ndtm.cpp.o"
+  "CMakeFiles/ndtm.dir/ndtm.cpp.o.d"
+  "ndtm"
+  "ndtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

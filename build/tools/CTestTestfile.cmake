@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ndtm_bounds "/root/repo/build/tools/ndtm" "bounds" "--oversampling" "20")
+set_tests_properties(ndtm_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ndtm_dimension "/root/repo/build/tools/ndtm" "dimension" "--entries" "4096")
+set_tests_properties(ndtm_dimension PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ndtm_pipeline "/usr/bin/cmake" "-DNDTM=/root/repo/build/tools/ndtm" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/pipeline_test.cmake")
+set_tests_properties(ndtm_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
