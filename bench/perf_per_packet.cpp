@@ -3,7 +3,11 @@
 // and to the Section 8 feasibility discussion.
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "baseline/ordinary_sampling.hpp"
@@ -12,14 +16,22 @@
 #include "trace/zipf.hpp"
 #include "baseline/sampled_netflow.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/multistage_filter.hpp"
 #include "core/sample_and_hold.hpp"
+#include "core/sharded_device.hpp"
 #include "flowmem/flow_memory.hpp"
 #include "hash/hash.hpp"
 
 namespace {
 
 using namespace nd;
+
+/// Shared stream length. run_device's wrap-around masking requires a
+/// power of two; keep the guarantee at compile time.
+constexpr std::size_t kStreamPackets = 1 << 16;
+static_assert(std::has_single_bit(kStreamPackets),
+              "run_device's index masking needs a power-of-two stream");
 
 /// Pre-generated skewed packet stream shared by the device benches.
 std::vector<std::pair<packet::FlowKey, std::uint32_t>> make_stream(
@@ -38,7 +50,20 @@ std::vector<std::pair<packet::FlowKey, std::uint32_t>> make_stream(
 }
 
 const auto& stream() {
-  static const auto s = make_stream(10'000, 1 << 16);
+  static const auto s = make_stream(10'000, kStreamPackets);
+  return s;
+}
+
+/// The same stream pre-classified for the observe_batch benches.
+const std::vector<packet::ClassifiedPacket>& classified_stream() {
+  static const auto s = [] {
+    std::vector<packet::ClassifiedPacket> classified;
+    classified.reserve(stream().size());
+    for (const auto& [key, size] : stream()) {
+      classified.push_back(packet::ClassifiedPacket::from(key, size));
+    }
+    return classified;
+  }();
   return s;
 }
 
@@ -46,12 +71,46 @@ template <typename Device>
 void run_device(benchmark::State& state, Device& device) {
   std::size_t i = 0;
   const auto& packets = stream();
+  // The `& (size - 1)` wrap silently corrupts indexing for any
+  // non-power-of-two stream; fail loudly instead (NDEBUG strips
+  // assert() in RelWithDebInfo, so check explicitly).
+  if (!std::has_single_bit(packets.size())) {
+    std::fprintf(stderr,
+                 "run_device: stream size %zu is not a power of two\n",
+                 packets.size());
+    std::abort();
+  }
   for (auto _ : state) {
     const auto& [key, size] = packets[i];
     device.observe(key, size);
     i = (i + 1) & (packets.size() - 1);
   }
   state.SetItemsProcessed(state.iterations());
+}
+
+/// Batched counterpart of run_device: sweeps the classified stream in
+/// chunks through observe_batch. Items processed = packets, so items/sec
+/// is directly comparable with the scalar benches.
+template <typename Device>
+void run_device_batched(benchmark::State& state, Device& device,
+                        std::size_t chunk = 1024) {
+  const auto& packets = classified_stream();
+  if (!std::has_single_bit(packets.size())) {
+    std::fprintf(stderr,
+                 "run_device_batched: stream size %zu is not a power of "
+                 "two\n",
+                 packets.size());
+    std::abort();
+  }
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    device.observe_batch(
+        std::span<const packet::ClassifiedPacket>(packets).subspan(offset,
+                                                                   chunk));
+    offset = (offset + chunk) & (packets.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chunk));
 }
 
 void BM_SampleAndHold(benchmark::State& state) {
@@ -101,6 +160,60 @@ void BM_MultistageSerial(benchmark::State& state) {
   run_device(state, device);
 }
 BENCHMARK(BM_MultistageSerial);
+
+// Batched fast path of the parallel filter — same configuration as
+// BM_MultistageParallel, so the scalar/batch delta is the virtual-call
+// amortization + flow-memory prefetch.
+void BM_MultistageParallelBatch(benchmark::State& state) {
+  core::MultistageFilterConfig config;
+  config.flow_memory_entries = 8192;
+  config.depth = static_cast<std::uint32_t>(state.range(0));
+  config.buckets_per_stage = 4096;
+  config.threshold = 1'000'000;
+  config.conservative_update = false;
+  config.shielding = false;
+  core::MultistageFilter device(config);
+  run_device_batched(state, device);
+}
+BENCHMARK(BM_MultistageParallelBatch)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SampleAndHoldBatch(benchmark::State& state) {
+  core::SampleAndHoldConfig config;
+  config.flow_memory_entries = 8192;
+  config.threshold = 1'000'000;
+  config.oversampling = 4.0;
+  core::SampleAndHold device(config);
+  run_device_batched(state, device);
+}
+BENCHMARK(BM_SampleAndHoldBatch);
+
+/// RSS-style sharded multistage filter, Arg = shard count. The resource
+/// budget (flow memory, stage counters) is split across shards so the
+/// aggregate SRAM matches BM_MultistageConservative; items/sec is
+/// aggregate packets/sec across all shards.
+void BM_ShardedDevice(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  common::ThreadPool pool(shards > 1 ? shards - 1 : 0);
+  core::ShardedDeviceConfig sharded;
+  sharded.shards = shards;
+  sharded.seed = 1;
+  sharded.pool = shards > 1 ? &pool : nullptr;
+  core::ShardedDevice device(
+      sharded, [&](std::uint32_t, std::uint64_t shard_seed_value) {
+        core::MultistageFilterConfig config;
+        config.flow_memory_entries = 8192 / shards;
+        config.depth = 4;
+        config.buckets_per_stage = 4096 / shards;
+        config.threshold = 1'000'000;
+        config.conservative_update = true;
+        config.shielding = true;
+        config.seed = shard_seed_value;
+        return std::make_unique<core::MultistageFilter>(config);
+      });
+  run_device_batched(state, device);
+}
+BENCHMARK(BM_ShardedDevice)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_SampledNetFlow(benchmark::State& state) {
   baseline::SampledNetFlowConfig config;

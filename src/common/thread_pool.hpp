@@ -1,0 +1,57 @@
+// A small reusable worker pool for the sharded/batched pipeline.
+//
+// The measurement pipeline needs exactly three kinds of parallelism —
+// shard fan-out inside a ShardedDevice, device fan-out inside the
+// experiment driver, and background synthesis of the next interval — and
+// all three are fork/join over a handful of tasks. This pool keeps the
+// threads alive across intervals so the per-interval cost is one mutex
+// round trip per task, not thread creation.
+//
+// Determinism contract: the pool never reorders results. Callers submit
+// tasks that own disjoint state, keep the returned futures, and join in
+// submission order; every consumer in this repo merges in a fixed
+// (shard/device) order afterwards, so outputs are identical for any pool
+// size, including 0 (inline execution on the caller's thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nd::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` degrades to inline execution: submit() runs the task
+  /// on the calling thread and returns a ready future.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future becomes ready when it finishes (or holds
+  /// its exception).
+  std::future<void> submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// A sensible worker count for this machine (>= 1).
+  [[nodiscard]] static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_{false};
+};
+
+}  // namespace nd::common

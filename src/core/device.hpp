@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "packet/classified_packet.hpp"
 #include "packet/flow_key.hpp"
 
 namespace nd::core {
@@ -49,6 +51,18 @@ class MeasurementDevice {
 
   /// Process one packet of `bytes` bytes belonging to flow `key`.
   virtual void observe(const packet::FlowKey& key, std::uint32_t bytes) = 0;
+
+  /// Process a batch of pre-classified packets, in order. Semantically
+  /// identical to calling observe() per packet — overrides MUST produce
+  /// bit-identical state (the equivalence tests enforce this) — but one
+  /// virtual call amortizes over the whole batch and implementations run
+  /// tight non-virtual inner loops with software prefetch.
+  virtual void observe_batch(
+      std::span<const packet::ClassifiedPacket> batch) {
+    for (const packet::ClassifiedPacket& packet : batch) {
+      observe(packet.key, packet.bytes);
+    }
+  }
 
   /// Close the current measurement interval and report.
   virtual Report end_interval() = 0;

@@ -36,6 +36,26 @@ void MultistageFilter::admit(const packet::FlowKey& key,
 
 void MultistageFilter::observe(const packet::FlowKey& key,
                                std::uint32_t bytes) {
+  observe_impl(key, key.fingerprint(), bytes);
+}
+
+void MultistageFilter::observe_batch(
+    std::span<const packet::ClassifiedPacket> batch) {
+  const std::size_t n = batch.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pull packet i+1's flow-memory home slot toward the cache while
+    // packet i runs its stage lookups; the first access every packet
+    // makes is that find().
+    if (i + 1 < n) {
+      memory_.prefetch(batch[i + 1].fingerprint);
+    }
+    const packet::ClassifiedPacket& packet = batch[i];
+    observe_impl(packet.key, packet.fingerprint, packet.bytes);
+  }
+}
+
+void MultistageFilter::observe_impl(const packet::FlowKey& key,
+                                    std::uint64_t fp, std::uint32_t bytes) {
   ++packets_;
   if (flowmem::FlowEntry* entry = memory_.find(key)) {
     flowmem::FlowMemory::add_bytes(*entry, bytes);
@@ -44,7 +64,6 @@ void MultistageFilter::observe(const packet::FlowKey& key,
     }
     // Without shielding the packet still feeds the stage counters (it
     // can never "pass" again — the flow is already tracked).
-    const std::uint64_t fp = key.fingerprint();
     for (std::uint32_t d = 0; d < config_.depth; ++d) {
       stages_[d][hashes_[d].bucket(fp)] += bytes;
     }
@@ -52,15 +71,15 @@ void MultistageFilter::observe(const packet::FlowKey& key,
     return;
   }
   if (config_.serial) {
-    observe_serial(key, bytes);
+    observe_serial(key, fp, bytes);
   } else {
-    observe_parallel(key, bytes);
+    observe_parallel(key, fp, bytes);
   }
 }
 
 void MultistageFilter::observe_parallel(const packet::FlowKey& key,
+                                        std::uint64_t fp,
                                         std::uint32_t bytes) {
-  const std::uint64_t fp = key.fingerprint();
   common::ByteCount min_counter = ~common::ByteCount{0};
   for (std::uint32_t d = 0; d < config_.depth; ++d) {
     bucket_scratch_[d] = hashes_[d].bucket(fp);
@@ -97,8 +116,8 @@ void MultistageFilter::observe_parallel(const packet::FlowKey& key,
 }
 
 void MultistageFilter::observe_serial(const packet::FlowKey& key,
+                                      std::uint64_t fp,
                                       std::uint32_t bytes) {
-  const std::uint64_t fp = key.fingerprint();
   if (config_.conservative_update) {
     // Second rule needs the pass decision before any update: the packet
     // passes iff every stage counter would reach T/d.

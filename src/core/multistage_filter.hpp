@@ -55,6 +55,8 @@ class MultistageFilter final : public MeasurementDevice {
   explicit MultistageFilter(const MultistageFilterConfig& config);
 
   void observe(const packet::FlowKey& key, std::uint32_t bytes) override;
+  void observe_batch(
+      std::span<const packet::ClassifiedPacket> batch) override;
   Report end_interval() override;
 
   [[nodiscard]] std::string name() const override {
@@ -89,8 +91,14 @@ class MultistageFilter final : public MeasurementDevice {
   }
 
  private:
-  void observe_parallel(const packet::FlowKey& key, std::uint32_t bytes);
-  void observe_serial(const packet::FlowKey& key, std::uint32_t bytes);
+  /// Shared scalar/batch packet path; `fp` is the caller-cached
+  /// key.fingerprint().
+  void observe_impl(const packet::FlowKey& key, std::uint64_t fp,
+                    std::uint32_t bytes);
+  void observe_parallel(const packet::FlowKey& key, std::uint64_t fp,
+                        std::uint32_t bytes);
+  void observe_serial(const packet::FlowKey& key, std::uint64_t fp,
+                      std::uint32_t bytes);
   void admit(const packet::FlowKey& key, std::uint32_t bytes);
 
   MultistageFilterConfig config_;

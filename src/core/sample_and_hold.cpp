@@ -56,6 +56,19 @@ bool SampleAndHold::sample_packet(std::uint32_t bytes) {
   return rng_.bernoulli(ps);
 }
 
+void SampleAndHold::observe_batch(
+    std::span<const packet::ClassifiedPacket> batch) {
+  const std::size_t n = batch.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Every packet starts with a flow-memory find(); overlap packet
+    // i+1's slot fetch with packet i's sampling arithmetic.
+    if (i + 1 < n) {
+      memory_.prefetch(batch[i + 1].fingerprint);
+    }
+    observe(batch[i].key, batch[i].bytes);  // non-virtual: class is final
+  }
+}
+
 void SampleAndHold::observe(const packet::FlowKey& key, std::uint32_t bytes) {
   ++packets_;
   if (flowmem::FlowEntry* entry = memory_.find(key)) {

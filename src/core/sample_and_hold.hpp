@@ -57,6 +57,8 @@ class SampleAndHold final : public MeasurementDevice {
   explicit SampleAndHold(const SampleAndHoldConfig& config);
 
   void observe(const packet::FlowKey& key, std::uint32_t bytes) override;
+  void observe_batch(
+      std::span<const packet::ClassifiedPacket> batch) override;
   Report end_interval() override;
 
   [[nodiscard]] std::string name() const override { return "sample-and-hold"; }

@@ -1,0 +1,147 @@
+#include "core/sharded_device.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "hash/hash.hpp"
+
+namespace nd::core {
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard) {
+  return hash::splitmix64(base_seed ^
+                          (0xA24BAED4963EE407ULL * (shard + 1ULL)));
+}
+
+ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
+                             const Factory& factory)
+    : route_salt_(hash::splitmix64(config.seed ^ 0x5AD0FF5E7ULL)),
+      pool_(config.pool) {
+  const std::uint32_t shards = std::max<std::uint32_t>(config.shards, 1);
+  shards_.reserve(shards);
+  shard_batches_.resize(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shards_.push_back(factory(s, shard_seed(config.seed, s)));
+  }
+}
+
+std::uint32_t ShardedDevice::shard_of(std::uint64_t fingerprint) const {
+  // splitmix the salted fingerprint so shard routing stays uncorrelated
+  // with the inner devices' stage hashes and flow-memory placement.
+  return static_cast<std::uint32_t>(hash::reduce_to_range(
+      hash::splitmix64(fingerprint ^ route_salt_), shards_.size()));
+}
+
+void ShardedDevice::observe(const packet::FlowKey& key,
+                            std::uint32_t bytes) {
+  shards_[shard_of(key.fingerprint())]->observe(key, bytes);
+}
+
+void ShardedDevice::observe_batch(
+    std::span<const packet::ClassifiedPacket> batch) {
+  if (shards_.size() == 1) {
+    shards_.front()->observe_batch(batch);
+    return;
+  }
+  // Partition in arrival order: each shard sees its flows' packets in
+  // the same relative order as the unsharded stream would.
+  for (auto& shard_batch : shard_batches_) {
+    shard_batch.clear();
+  }
+  for (const packet::ClassifiedPacket& packet : batch) {
+    shard_batches_[shard_of(packet.fingerprint)].push_back(packet);
+  }
+  if (pool_ == nullptr || pool_->size() == 0) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->observe_batch(shard_batches_[s]);
+    }
+    return;
+  }
+  // Fan shards 1..N-1 out to the pool and run shard 0 on this thread,
+  // so the caller contributes a core instead of blocking idle.
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards_.size() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    pending.push_back(pool_->submit([this, s] {
+      shards_[s]->observe_batch(shard_batches_[s]);
+    }));
+  }
+  shards_.front()->observe_batch(shard_batches_.front());
+  for (std::future<void>& future : pending) {
+    future.get();
+  }
+}
+
+Report ShardedDevice::end_interval() {
+  // Close every shard's interval (in parallel when a pool is attached —
+  // the per-shard flow-memory rebuilds are independent), then merge in
+  // shard order so the merged report is deterministic.
+  std::vector<Report> reports(shards_.size());
+  if (pool_ != nullptr && pool_->size() > 0 && shards_.size() > 1) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards_.size() - 1);
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      pending.push_back(pool_->submit(
+          [this, s, &reports] { reports[s] = shards_[s]->end_interval(); }));
+    }
+    reports[0] = shards_[0]->end_interval();
+    for (std::future<void>& future : pending) {
+      future.get();
+    }
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      reports[s] = shards_[s]->end_interval();
+    }
+  }
+
+  Report merged;
+  merged.interval = reports.front().interval;
+  merged.threshold = reports.front().threshold;
+  std::size_t flows = 0;
+  for (const Report& report : reports) {
+    flows += report.flows.size();
+    merged.entries_used += report.entries_used;
+  }
+  merged.flows.reserve(flows);
+  for (Report& report : reports) {
+    merged.flows.insert(merged.flows.end(), report.flows.begin(),
+                        report.flows.end());
+  }
+  return merged;
+}
+
+std::string ShardedDevice::name() const {
+  return "sharded(" + shards_.front()->name() + ")x" +
+         std::to_string(shards_.size());
+}
+
+void ShardedDevice::set_threshold(common::ByteCount threshold) {
+  for (auto& replica : shards_) {
+    replica->set_threshold(threshold);
+  }
+}
+
+std::size_t ShardedDevice::flow_memory_capacity() const {
+  std::size_t total = 0;
+  for (const auto& replica : shards_) {
+    total += replica->flow_memory_capacity();
+  }
+  return total;
+}
+
+std::uint64_t ShardedDevice::memory_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : shards_) {
+    total += replica->memory_accesses();
+  }
+  return total;
+}
+
+std::uint64_t ShardedDevice::packets_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : shards_) {
+    total += replica->packets_processed();
+  }
+  return total;
+}
+
+}  // namespace nd::core

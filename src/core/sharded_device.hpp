@@ -1,0 +1,89 @@
+// ShardedDevice: RSS-style partitioning of the flow space across N
+// replicas of an inner measurement device.
+//
+// Hardware heavy-hitter pipelines (HashPipe, PRECISION) get their speed
+// from partitioned, pipelined processing; the software analogue is
+// receive-side scaling: hash each packet's flow fingerprint to one of N
+// shards and let each shard run an independent, smaller device. Because
+// the mapping is by flow, every packet of a flow lands on the same shard
+// and per-shard results are exact partitions of the unsharded problem —
+// merging the N per-shard reports at end_interval() yields one report
+// over the whole flow space.
+//
+// Determinism contract: for a fixed shard count the merged output is a
+// pure function of the input stream — shard routing is a seeded hash of
+// the flow fingerprint, each shard owns a deterministic per-shard seed,
+// batches are partitioned in arrival order, and reports are merged in
+// shard order. Running shards on a ThreadPool (or none) changes wall
+// clock only, never output; the repeated-run determinism test enforces
+// this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/device.hpp"
+
+namespace nd::core {
+
+struct ShardedDeviceConfig {
+  std::uint32_t shards{8};
+  /// Salts the fingerprint->shard routing hash and derives the
+  /// per-shard seeds handed to the factory.
+  std::uint64_t seed{1};
+  /// Worker pool for shard fan-out; nullptr runs shards on the calling
+  /// thread. Not owned; must outlive the device.
+  common::ThreadPool* pool{nullptr};
+};
+
+class ShardedDevice final : public MeasurementDevice {
+ public:
+  /// Builds the replica for `shard`; `shard_seed` is a deterministic
+  /// per-shard seed derived from ShardedDeviceConfig::seed. A factory
+  /// for a 1-shard device may ignore `shard_seed` to reproduce an
+  /// unsharded device bit-for-bit.
+  using Factory = std::function<std::unique_ptr<MeasurementDevice>(
+      std::uint32_t shard, std::uint64_t shard_seed)>;
+
+  ShardedDevice(const ShardedDeviceConfig& config, const Factory& factory);
+
+  void observe(const packet::FlowKey& key, std::uint32_t bytes) override;
+  void observe_batch(
+      std::span<const packet::ClassifiedPacket> batch) override;
+  Report end_interval() override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] common::ByteCount threshold() const override {
+    return shards_.front()->threshold();
+  }
+  void set_threshold(common::ByteCount threshold) override;
+  [[nodiscard]] std::size_t flow_memory_capacity() const override;
+  [[nodiscard]] std::uint64_t memory_accesses() const override;
+  [[nodiscard]] std::uint64_t packets_processed() const override;
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Which shard a flow fingerprint routes to, in [0, shard_count()).
+  [[nodiscard]] std::uint32_t shard_of(std::uint64_t fingerprint) const;
+  [[nodiscard]] const MeasurementDevice& shard(std::uint32_t index) const {
+    return *shards_[index];
+  }
+
+ private:
+  std::vector<std::unique_ptr<MeasurementDevice>> shards_;
+  /// Routing salt mixed into the fingerprint before shard reduction, so
+  /// shard routing is independent of the devices' own stage hashes.
+  std::uint64_t route_salt_;
+  common::ThreadPool* pool_;
+  /// Per-shard sub-batches, reused across observe_batch calls.
+  std::vector<std::vector<packet::ClassifiedPacket>> shard_batches_;
+};
+
+/// Deterministic per-shard seed derivation (exposed for tests).
+[[nodiscard]] std::uint64_t shard_seed(std::uint64_t base_seed,
+                                       std::uint32_t shard);
+
+}  // namespace nd::core

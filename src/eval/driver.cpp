@@ -1,6 +1,7 @@
 #include "eval/driver.hpp"
 
 #include <algorithm>
+#include <future>
 
 #include "trace/stats.hpp"
 
@@ -21,67 +22,105 @@ void Driver::add_device(std::string label, core::MeasurementDevice& device) {
   devices_.push_back(std::move(slot));
 }
 
+void Driver::process_slot(DeviceSlot& slot, bool evaluated) {
+  slot.device->observe_batch(batch_);
+  const common::ByteCount device_threshold = slot.device->threshold();
+  core::Report report = slot.device->end_interval();
+  if (!evaluated) return;
+
+  const common::ByteCount metric_threshold =
+      options_.metric_threshold > 0 ? options_.metric_threshold
+                                    : device_threshold;
+  const ThresholdMetrics metrics =
+      threshold_metrics(report, truth_, std::max<common::ByteCount>(
+                                            metric_threshold, 1));
+  DeviceResult& result = slot.result;
+  result.false_negative_fraction.observe(metrics.false_negative_fraction());
+  result.false_positive_percentage.observe(
+      metrics.false_positive_percentage);
+  result.avg_error_over_threshold.observe(
+      metrics.avg_error_over_threshold);
+  result.entries_used.observe(static_cast<double>(report.entries_used));
+  result.max_entries_used =
+      std::max(result.max_entries_used, report.entries_used);
+  result.final_threshold = slot.device->threshold();
+  if (slot.groups) {
+    slot.groups->observe(report, truth_);
+  }
+  if (options_.record_time_series) {
+    TimePoint point;
+    point.interval = report.interval;
+    point.threshold = device_threshold;
+    point.entries_used = report.entries_used;
+    point.false_negative_fraction = metrics.false_negative_fraction();
+    point.false_positive_percentage =
+        metrics.false_positive_percentage;
+    point.avg_error_over_threshold = metrics.avg_error_over_threshold;
+    result.time_series.push_back(point);
+  }
+}
+
 void Driver::observe_interval(
     std::span<const packet::PacketRecord> packets) {
-  // Classify once; all devices see the identical key stream.
-  std::vector<std::pair<packet::FlowKey, std::uint32_t>> classified;
-  classified.reserve(packets.size());
-  TruthMap truth;
+  // Classify once, into the reusable batch buffer; all devices see the
+  // identical classified stream through the batched fast path.
+  batch_.clear();
+  batch_.reserve(packets.size());
+  truth_.clear();
   for (const auto& packet : packets) {
     if (const auto key = definition_.classify(packet)) {
-      classified.emplace_back(*key, packet.size_bytes);
-      truth[*key] += packet.size_bytes;
+      batch_.push_back(
+          packet::ClassifiedPacket::from(*key, packet.size_bytes));
+      truth_[*key] += packet.size_bytes;
     }
   }
 
   const bool evaluated = interval_index_ >= options_.warmup_intervals;
-  for (DeviceSlot& slot : devices_) {
-    for (const auto& [key, bytes] : classified) {
-      slot.device->observe(key, bytes);
+  common::ThreadPool* pool = options_.pool;
+  if (pool == nullptr || pool->size() == 0 || devices_.size() <= 1) {
+    for (DeviceSlot& slot : devices_) {
+      process_slot(slot, evaluated);
     }
-    const common::ByteCount device_threshold = slot.device->threshold();
-    core::Report report = slot.device->end_interval();
-    if (!evaluated) continue;
-
-    const common::ByteCount metric_threshold =
-        options_.metric_threshold > 0 ? options_.metric_threshold
-                                      : device_threshold;
-    const ThresholdMetrics metrics =
-        threshold_metrics(report, truth, std::max<common::ByteCount>(
-                                             metric_threshold, 1));
-    DeviceResult& result = slot.result;
-    result.false_negative_fraction.observe(metrics.false_negative_fraction());
-    result.false_positive_percentage.observe(
-        metrics.false_positive_percentage);
-    result.avg_error_over_threshold.observe(
-        metrics.avg_error_over_threshold);
-    result.entries_used.observe(static_cast<double>(report.entries_used));
-    result.max_entries_used =
-        std::max(result.max_entries_used, report.entries_used);
-    result.final_threshold = slot.device->threshold();
-    if (slot.groups) {
-      slot.groups->observe(report, truth);
+  } else {
+    // Devices are independent (own state, own metric accumulators, and
+    // only read truth_/batch_): fan them out and keep one on this
+    // thread. Per-slot work is identical to the sequential path, so
+    // results are too.
+    std::vector<std::future<void>> pending;
+    pending.reserve(devices_.size() - 1);
+    for (std::size_t d = 1; d < devices_.size(); ++d) {
+      pending.push_back(pool->submit(
+          [this, d, evaluated] { process_slot(devices_[d], evaluated); }));
     }
-    if (options_.record_time_series) {
-      TimePoint point;
-      point.interval = report.interval;
-      point.threshold = device_threshold;
-      point.entries_used = report.entries_used;
-      point.false_negative_fraction = metrics.false_negative_fraction();
-      point.false_positive_percentage =
-          metrics.false_positive_percentage;
-      point.avg_error_over_threshold = metrics.avg_error_over_threshold;
-      result.time_series.push_back(point);
+    process_slot(devices_.front(), evaluated);
+    for (std::future<void>& future : pending) {
+      future.get();
     }
   }
   ++interval_index_;
 }
 
 void Driver::run(trace::TraceSynthesizer& synthesizer) {
-  while (true) {
-    const auto packets = synthesizer.next_interval();
-    if (packets.empty()) break;
-    observe_interval(packets);
+  common::ThreadPool* pool = options_.pool;
+  if (pool == nullptr || pool->size() == 0) {
+    while (true) {
+      const auto packets = synthesizer.next_interval();
+      if (packets.empty()) break;
+      observe_interval(packets);
+    }
+    return;
+  }
+  // Double-buffered synthesis: generate interval k+1 on a pool worker
+  // while the devices consume interval k. The synthesizer is only ever
+  // touched by one task at a time (the future is joined before the next
+  // submit), so the packet stream is identical to the sequential path.
+  std::vector<packet::PacketRecord> next = synthesizer.next_interval();
+  while (!next.empty()) {
+    const std::vector<packet::PacketRecord> current = std::move(next);
+    std::future<void> synthesis = pool->submit(
+        [&synthesizer, &next] { next = synthesizer.next_interval(); });
+    observe_interval(current);
+    synthesis.get();
   }
 }
 

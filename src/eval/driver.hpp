@@ -1,6 +1,16 @@
 // The experiment driver: streams a synthesized trace through one or more
 // measurement devices interval by interval, classifying packets once and
 // computing ground truth once per interval.
+//
+// The interval pipeline is production-shaped: each interval is classified
+// exactly once into a reusable batch of ClassifiedPackets, devices
+// consume it through the batched observe_batch fast path, and — when a
+// ThreadPool is attached via DriverOptions::pool — independent devices
+// fan out across workers while interval k+1 is synthesized on a
+// background worker (double buffering). Results are bit-identical with
+// and without a pool: every device owns its state, metrics accumulate
+// per device slot, and the shared ground-truth map is read-only during
+// the fan-out.
 #pragma once
 
 #include <functional>
@@ -9,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/device.hpp"
 #include "eval/metrics.hpp"
 #include "eval/time_series.hpp"
+#include "packet/classified_packet.hpp"
 #include "packet/flow_definition.hpp"
 #include "trace/synthesizer.hpp"
 
@@ -29,6 +41,11 @@ struct DriverOptions {
   std::vector<GroupSpec> groups{};
   /// Record a per-interval TimePoint for each device (post-warmup).
   bool record_time_series{false};
+  /// Optional worker pool: fans independent devices out per interval and
+  /// overlaps synthesis of interval k+1 with measurement of interval k.
+  /// Purely a throughput knob — results are identical with or without
+  /// it. Not owned; must outlive the driver.
+  common::ThreadPool* pool{nullptr};
 };
 
 struct DeviceResult {
@@ -70,10 +87,18 @@ class Driver {
     std::unique_ptr<GroupAccuracyAccumulator> groups;
   };
 
+  /// Run one device over the already-classified current interval:
+  /// observe_batch, end_interval, then metric accumulation.
+  void process_slot(DeviceSlot& slot, bool evaluated);
+
   packet::FlowDefinition definition_;
   DriverOptions options_;
   std::vector<DeviceSlot> devices_;
   std::uint32_t interval_index_{0};
+  /// Reusable classified-batch buffer and ground truth for the interval
+  /// being processed (truth_ is read-only while devices fan out).
+  std::vector<packet::ClassifiedPacket> batch_;
+  TruthMap truth_;
 };
 
 /// Convenience for single-device experiments: run `device` over a fresh

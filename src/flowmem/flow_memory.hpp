@@ -59,6 +59,22 @@ class FlowMemory {
   /// Find the entry for `key`, or nullptr. Counts one memory access.
   [[nodiscard]] FlowEntry* find(const packet::FlowKey& key);
 
+  /// Hint that the flow with this fingerprint is about to be looked up:
+  /// pulls its home slot toward the cache. Does not count as a memory
+  /// access (it is a hint, not a probe) and never changes state — the
+  /// batched device loops issue it for packet i+1 while processing
+  /// packet i.
+  void prefetch(std::uint64_t fingerprint) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::size_t slot =
+        static_cast<std::size_t>(family_.scramble(fingerprint)) &
+        (slots_.size() - 1);
+    __builtin_prefetch(&slots_[slot], 0, 1);
+#else
+    (void)fingerprint;
+#endif
+  }
+
   /// Insert a new entry (bytes zeroed). Returns nullptr when the table
   /// is full — the caller loses the flow, exactly like real SRAM
   /// exhaustion. Precondition: key not present.

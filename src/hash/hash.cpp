@@ -27,14 +27,15 @@ TabulationHash::TabulationHash(common::Rng& seed_source) {
 
 StageHash::StageHash(HashKind kind, common::Rng& seed_source,
                      std::uint64_t buckets)
-    : kind_(kind), ms_(seed_source), tab_(seed_source), buckets_(buckets) {}
-
-std::uint64_t StageHash::bucket(std::uint64_t key_fingerprint) const {
-  const std::uint64_t h = kind_ == HashKind::kMultiplyShift
-                              ? ms_(key_fingerprint)
-                              : tab_(key_fingerprint);
-  return reduce_to_range(h, buckets_);
-}
+    // The multiply-shift constants are always drawn first so the
+    // tabulation tables consume exactly the same seed words as before
+    // the active-only storage change — tabulation-mode experiments stay
+    // bit-identical across that refactor.
+    : ms_(seed_source),
+      tab_(kind == HashKind::kTabulation
+               ? std::make_shared<const TabulationHash>(seed_source)
+               : nullptr),
+      buckets_(buckets) {}
 
 HashFamily::HashFamily(std::uint64_t master_seed, HashKind kind)
     : kind_(kind),

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -87,19 +88,35 @@ class TabulationHash {
 enum class HashKind { kMultiplyShift, kTabulation };
 
 /// A single stage hash: seeded function + bucket count.
+///
+/// Only the *active* family's state is stored: the multiply-shift
+/// constants live inline (16 bytes) and the ~16 KB tabulation tables are
+/// heap-allocated only in tabulation mode (shared on copy — they are
+/// immutable after seeding). A d-stage filter in multiply-shift mode
+/// used to drag d unused 16 KB tables through the cache on every packet
+/// walk of its hashes_ vector; now sizeof(StageHash) is a few dozen
+/// bytes regardless of kind.
 class StageHash {
  public:
   StageHash(HashKind kind, common::Rng& seed_source, std::uint64_t buckets);
 
   /// Bucket index in [0, buckets()).
-  [[nodiscard]] std::uint64_t bucket(std::uint64_t key_fingerprint) const;
+  [[nodiscard]] std::uint64_t bucket(std::uint64_t key_fingerprint) const {
+    const std::uint64_t h =
+        tab_ != nullptr ? (*tab_)(key_fingerprint) : ms_(key_fingerprint);
+    return reduce_to_range(h, buckets_);
+  }
 
   [[nodiscard]] std::uint64_t buckets() const { return buckets_; }
+  [[nodiscard]] HashKind kind() const {
+    return tab_ != nullptr ? HashKind::kTabulation
+                           : HashKind::kMultiplyShift;
+  }
 
  private:
-  HashKind kind_;
   MultiplyShiftHash ms_;
-  TabulationHash tab_;
+  /// Set only in tabulation mode.
+  std::shared_ptr<const TabulationHash> tab_;
   std::uint64_t buckets_;
 };
 

@@ -1,0 +1,222 @@
+// observe_batch() must be bit-identical to the per-packet observe()
+// loop for every device — the contract that lets the driver and the
+// sharded pipeline batch freely without changing any measurement.
+//
+// Each case builds two instances of a device from the same config/seed,
+// feeds one via observe() and the other via observe_batch() over several
+// synthesized intervals, and compares the reports field by field.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../support/report_testing.hpp"
+#include "baseline/exact_oracle.hpp"
+#include "baseline/ordinary_sampling.hpp"
+#include "baseline/sampled_netflow.hpp"
+#include "baseline/smallest_counter_eviction.hpp"
+#include "core/adaptive_device.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+
+namespace nd::core {
+namespace {
+
+using nd::testing::classify_trace;
+using nd::testing::expect_reports_equal;
+
+trace::TraceConfig small_trace() {
+  trace::TraceConfig config;
+  config.flow_count = 600;
+  config.bytes_per_interval = 3'000'000;
+  config.num_intervals = 3;
+  config.seed = 77;
+  return config;
+}
+
+/// Drive `scalar` packet by packet and `batched` via observe_batch over
+/// the same classified trace; reports must match exactly each interval.
+void expect_batch_equivalent(MeasurementDevice& scalar,
+                             MeasurementDevice& batched) {
+  const auto intervals =
+      classify_trace(small_trace(), packet::FlowDefinition::five_tuple());
+  ASSERT_FALSE(intervals.empty());
+  for (const auto& interval : intervals) {
+    for (const auto& packet : interval) {
+      scalar.observe(packet.key, packet.bytes);
+    }
+    batched.observe_batch(interval);
+    const Report a = scalar.end_interval();
+    const Report b = batched.end_interval();
+    expect_reports_equal(a, b);
+  }
+  EXPECT_EQ(scalar.packets_processed(), batched.packets_processed());
+  EXPECT_EQ(scalar.memory_accesses(), batched.memory_accesses());
+}
+
+MultistageFilterConfig filter_config() {
+  MultistageFilterConfig config;
+  config.flow_memory_entries = 256;
+  config.depth = 3;
+  config.buckets_per_stage = 128;
+  config.threshold = 40'000;
+  config.seed = 9;
+  return config;
+}
+
+TEST(BatchEquivalence, MultistageParallelConservative) {
+  const auto config = filter_config();
+  MultistageFilter scalar(config);
+  MultistageFilter batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, MultistageParallelPlain) {
+  auto config = filter_config();
+  config.conservative_update = false;
+  config.shielding = false;
+  MultistageFilter scalar(config);
+  MultistageFilter batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, MultistageSerial) {
+  auto config = filter_config();
+  config.serial = true;
+  config.preserve = flowmem::PreservePolicy::kPreserve;
+  MultistageFilter scalar(config);
+  MultistageFilter batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, MultistageMultiplyShiftEarlyRemoval) {
+  auto config = filter_config();
+  config.hash_kind = hash::HashKind::kMultiplyShift;
+  config.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+  MultistageFilter scalar(config);
+  MultistageFilter batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, SampleAndHold) {
+  SampleAndHoldConfig config;
+  config.flow_memory_entries = 256;
+  config.threshold = 40'000;
+  config.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+  config.seed = 5;
+  SampleAndHold scalar(config);
+  SampleAndHold batched(config);
+  // RNG-driven sampling: equivalence also proves the batch path consumes
+  // the random stream identically.
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, AdaptiveDeviceForwardsBatches) {
+  auto make = [] {
+    SampleAndHoldConfig config;
+    config.flow_memory_entries = 256;
+    config.threshold = 40'000;
+    config.seed = 5;
+    return std::make_unique<SampleAndHold>(config);
+  };
+  ThresholdAdaptorConfig adaptor;
+  AdaptiveDevice scalar(make(), adaptor);
+  AdaptiveDevice batched(make(), adaptor);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, OrdinarySampling) {
+  baseline::OrdinarySamplingConfig config;
+  config.flow_memory_entries = 256;
+  config.byte_sampling_probability = 1e-4;
+  config.seed = 3;
+  baseline::OrdinarySampling scalar(config);
+  baseline::OrdinarySampling batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, SampledNetFlow) {
+  baseline::SampledNetFlowConfig config;
+  config.sampling_divisor = 16;
+  config.seed = 11;
+  baseline::SampledNetFlow scalar(config);
+  baseline::SampledNetFlow batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, SampledNetFlowDeterministic) {
+  baseline::SampledNetFlowConfig config;
+  config.sampling_divisor = 8;
+  config.deterministic = true;
+  baseline::SampledNetFlow scalar(config);
+  baseline::SampledNetFlow batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, SmallestCounterEviction) {
+  baseline::SmallestCounterEvictionConfig config;
+  config.flow_memory_entries = 128;
+  baseline::SmallestCounterEviction scalar(config);
+  baseline::SmallestCounterEviction batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, ExactOracle) {
+  baseline::ExactOracle scalar;
+  baseline::ExactOracle batched;
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, DefaultFallbackMatchesForUnoverriddenDevice) {
+  // A device relying on the base-class default loop is trivially
+  // equivalent; exercised through a thin wrapper that hides overrides.
+  class DefaultBatch : public MeasurementDevice {
+   public:
+    explicit DefaultBatch(const SampleAndHoldConfig& config)
+        : inner_(config) {}
+    void observe(const packet::FlowKey& key, std::uint32_t bytes) override {
+      inner_.observe(key, bytes);
+    }
+    Report end_interval() override { return inner_.end_interval(); }
+    [[nodiscard]] std::string name() const override { return "default"; }
+    [[nodiscard]] common::ByteCount threshold() const override {
+      return inner_.threshold();
+    }
+    void set_threshold(common::ByteCount threshold) override {
+      inner_.set_threshold(threshold);
+    }
+    [[nodiscard]] std::size_t flow_memory_capacity() const override {
+      return inner_.flow_memory_capacity();
+    }
+    [[nodiscard]] std::uint64_t memory_accesses() const override {
+      return inner_.memory_accesses();
+    }
+    [[nodiscard]] std::uint64_t packets_processed() const override {
+      return inner_.packets_processed();
+    }
+
+   private:
+    SampleAndHold inner_;
+  };
+
+  SampleAndHoldConfig config;
+  config.flow_memory_entries = 256;
+  config.threshold = 40'000;
+  config.seed = 21;
+  DefaultBatch scalar(config);
+  DefaultBatch batched(config);
+  expect_batch_equivalent(scalar, batched);
+}
+
+TEST(BatchEquivalence, FingerprintCacheMatchesKeyFingerprint) {
+  const auto intervals =
+      classify_trace(small_trace(), packet::FlowDefinition::five_tuple());
+  for (const auto& interval : intervals) {
+    for (const auto& packet : interval) {
+      ASSERT_EQ(packet.fingerprint, packet.key.fingerprint());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nd::core

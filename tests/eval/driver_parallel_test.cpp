@@ -1,0 +1,177 @@
+// The parallel driver path (device fan-out + double-buffered synthesis)
+// must be a pure throughput knob: results with a ThreadPool attached are
+// bit-identical to the sequential driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "core/sharded_device.hpp"
+#include "eval/driver.hpp"
+
+namespace nd::eval {
+namespace {
+
+trace::TraceConfig small_trace() {
+  trace::TraceConfig config;
+  config.flow_count = 500;
+  config.bytes_per_interval = 2'500'000;
+  config.num_intervals = 4;
+  config.seed = 31;
+  return config;
+}
+
+/// Fresh devices + driver run over the trace; pool == nullptr gives the
+/// sequential reference.
+std::vector<DeviceResult> run_driver(common::ThreadPool* pool) {
+  core::SampleAndHoldConfig sah;
+  sah.flow_memory_entries = 256;
+  sah.threshold = 30'000;
+  sah.seed = 5;
+  core::SampleAndHold sample_and_hold(sah);
+
+  core::MultistageFilterConfig msf;
+  msf.flow_memory_entries = 256;
+  msf.depth = 3;
+  msf.buckets_per_stage = 128;
+  msf.threshold = 30'000;
+  msf.seed = 5;
+  core::MultistageFilter multistage(msf);
+
+  core::MultistageFilterConfig serial = msf;
+  serial.serial = true;
+  core::MultistageFilter serial_multistage(serial);
+
+  DriverOptions options;
+  options.metric_threshold = 30'000;
+  options.record_time_series = true;
+  options.pool = pool;
+  Driver driver(packet::FlowDefinition::five_tuple(), options);
+  driver.add_device("sah", sample_and_hold);
+  driver.add_device("msf", multistage);
+  driver.add_device("serial", serial_multistage);
+
+  trace::TraceSynthesizer synthesizer(small_trace());
+  driver.run(synthesizer);
+  return driver.results();
+}
+
+void expect_results_equal(const std::vector<DeviceResult>& a,
+                          const std::vector<DeviceResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].packets, b[i].packets);
+    EXPECT_EQ(a[i].memory_accesses, b[i].memory_accesses);
+    EXPECT_EQ(a[i].max_entries_used, b[i].max_entries_used);
+    EXPECT_EQ(a[i].final_threshold, b[i].final_threshold);
+    // Means must match exactly, not approximately: the parallel path may
+    // not change accumulation order within a device.
+    EXPECT_EQ(a[i].false_negative_fraction.value(),
+              b[i].false_negative_fraction.value());
+    EXPECT_EQ(a[i].false_positive_percentage.value(),
+              b[i].false_positive_percentage.value());
+    EXPECT_EQ(a[i].avg_error_over_threshold.value(),
+              b[i].avg_error_over_threshold.value());
+    EXPECT_EQ(a[i].entries_used.value(), b[i].entries_used.value());
+    ASSERT_EQ(a[i].time_series.size(), b[i].time_series.size());
+    for (std::size_t t = 0; t < a[i].time_series.size(); ++t) {
+      EXPECT_EQ(a[i].time_series[t].entries_used,
+                b[i].time_series[t].entries_used);
+      EXPECT_EQ(a[i].time_series[t].threshold, b[i].time_series[t].threshold);
+    }
+  }
+}
+
+TEST(DriverParallel, PoolProducesIdenticalResults) {
+  const auto sequential = run_driver(nullptr);
+  common::ThreadPool pool(3);
+  const auto parallel = run_driver(&pool);
+  expect_results_equal(sequential, parallel);
+}
+
+TEST(DriverParallel, SingleWorkerPoolProducesIdenticalResults) {
+  // Degenerate pool: double buffering still engages, fan-out still takes
+  // the parallel code path with one worker.
+  const auto sequential = run_driver(nullptr);
+  common::ThreadPool pool(1);
+  const auto parallel = run_driver(&pool);
+  expect_results_equal(sequential, parallel);
+}
+
+TEST(DriverParallel, RepeatedParallelRunsAreDeterministic) {
+  common::ThreadPool pool(4);
+  const auto first = run_driver(&pool);
+  const auto second = run_driver(&pool);
+  expect_results_equal(first, second);
+}
+
+TEST(DriverParallel, ShardedDeviceUnderParallelDriver) {
+  // The full pipeline: sharded device inside the parallel driver, both
+  // sharing one pool — results still bit-identical to the serial run.
+  auto factory = [](std::uint32_t, std::uint64_t seed) {
+    core::MultistageFilterConfig config;
+    config.flow_memory_entries = 64;
+    config.depth = 3;
+    config.buckets_per_stage = 64;
+    config.threshold = 30'000;
+    config.seed = seed;
+    return std::make_unique<core::MultistageFilter>(config);
+  };
+  auto run = [&factory](common::ThreadPool* pool) {
+    core::ShardedDeviceConfig config;
+    config.shards = 4;
+    config.seed = 8;
+    config.pool = pool;
+    core::ShardedDevice sharded(config, factory);
+    DriverOptions options;
+    options.metric_threshold = 30'000;
+    options.pool = pool;
+    Driver driver(packet::FlowDefinition::five_tuple(), options);
+    driver.add_device("sharded", sharded);
+    trace::TraceSynthesizer synthesizer(small_trace());
+    driver.run(synthesizer);
+    return driver.results();
+  };
+  const auto serial = run(nullptr);
+  common::ThreadPool pool(4);
+  const auto parallel = run(&pool);
+  expect_results_equal(serial, parallel);
+}
+
+TEST(DriverParallel, ObserveIntervalMatchesRunPath) {
+  // Hand-feeding intervals through observe_interval must agree with
+  // run(): run() is just observe_interval plus double buffering.
+  auto make_device = [] {
+    core::SampleAndHoldConfig config;
+    config.flow_memory_entries = 256;
+    config.threshold = 30'000;
+    config.seed = 7;
+    return std::make_unique<core::SampleAndHold>(config);
+  };
+  auto by_hand = make_device();
+  DriverOptions options;
+  options.metric_threshold = 30'000;
+  Driver manual(packet::FlowDefinition::five_tuple(), options);
+  manual.add_device("sah", *by_hand);
+  trace::TraceSynthesizer synthesizer(small_trace());
+  for (;;) {
+    const auto packets = synthesizer.next_interval();
+    if (packets.empty()) break;
+    manual.observe_interval(packets);
+  }
+
+  auto by_run = make_device();
+  Driver automatic(packet::FlowDefinition::five_tuple(), options);
+  automatic.add_device("sah", *by_run);
+  trace::TraceSynthesizer synthesizer2(small_trace());
+  automatic.run(synthesizer2);
+
+  expect_results_equal(manual.results(), automatic.results());
+}
+
+}  // namespace
+}  // namespace nd::eval

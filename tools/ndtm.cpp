@@ -5,15 +5,19 @@
 //
 //   ndtm measure --in t.pcap --algorithm multistage --flow-def dstip
 //                --threshold 100000 --interval 5 [--export reports.bin]
+//                [--shards N]
 //       Stream a pcap through a measurement device in fixed intervals
 //       and print (and optionally export) the heavy hitters per
 //       interval. Algorithms: sample-and-hold, multistage, netflow.
 //       Flow definitions: 5tuple, dstip, netpair:<prefixlen>.
+//       --shards N > 1 partitions the flow space RSS-style across N
+//       replicas of the device running on a worker pool.
 //
 //   ndtm bounds --threshold 1000000 --capacity 100000000
 //                --oversampling 20 --buckets 1000 --depth 4
 //                --flows 100000
 //       Evaluate the paper's analytical bounds for a configuration.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,9 +30,11 @@
 #include "analysis/sample_hold_bounds.hpp"
 #include "baseline/sampled_netflow.hpp"
 #include "common/format.hpp"
+#include "common/thread_pool.hpp"
 #include "core/measurement_session.hpp"
 #include "core/multistage_filter.hpp"
 #include "core/sample_and_hold.hpp"
+#include "core/sharded_device.hpp"
 #include "packet/flow_definition.hpp"
 #include "pcap/pcap.hpp"
 #include "reporting/record_codec.hpp"
@@ -184,9 +190,32 @@ int cmd_measure(const Args& args) {
   }
   const common::ByteCount threshold = args.get_u64("threshold", 100'000);
   const auto definition = flow_def_by_name(args.get("flow-def", "5tuple"));
-  auto device = device_by_name(args.get("algorithm", "multistage"),
-                               threshold, args.get_u64("entries", 4096),
-                               args.get_u64("seed", 1));
+  const std::string algorithm = args.get("algorithm", "multistage");
+  const std::size_t entries = args.get_u64("entries", 4096);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const auto shards =
+      static_cast<std::uint32_t>(std::max<std::uint64_t>(
+          args.get_u64("shards", 1), 1));
+  std::unique_ptr<common::ThreadPool> pool;  // outlives the session
+  std::unique_ptr<core::MeasurementDevice> device;
+  if (shards > 1) {
+    pool = std::make_unique<common::ThreadPool>(std::min<std::size_t>(
+        shards - 1, common::ThreadPool::default_thread_count()));
+    core::ShardedDeviceConfig sharded;
+    sharded.shards = shards;
+    sharded.seed = seed;
+    sharded.pool = pool.get();
+    // Split the memory budget across shards (>= 64 entries each).
+    const std::size_t per_shard =
+        std::max<std::size_t>(entries / shards, 64);
+    device = std::make_unique<core::ShardedDevice>(
+        sharded, [&](std::uint32_t, std::uint64_t shard_seed_value) {
+          return device_by_name(algorithm, threshold, per_shard,
+                                shard_seed_value);
+        });
+  } else {
+    device = device_by_name(algorithm, threshold, entries, seed);
+  }
   const auto interval = std::chrono::seconds(
       static_cast<long>(args.get_u64("interval", 5)));
   const packet::FlowKeyKind key_kind = definition.kind();

@@ -17,3 +17,16 @@ endif()
 if(NOT EXISTS ${WORKDIR}/smoke_reports.bin)
   message(FATAL_ERROR "ndtm measure produced no export")
 endif()
+# Same capture through the RSS-style sharded pipeline: exercises
+# ShardedDevice + ThreadPool end to end from the CLI.
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap
+          --algorithm multistage --flow-def dstip --shards 4
+          --threshold 100000 --export ${WORKDIR}/smoke_sharded.bin
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "ndtm measure --shards 4 failed: ${rv}")
+endif()
+if(NOT EXISTS ${WORKDIR}/smoke_sharded.bin)
+  message(FATAL_ERROR "sharded ndtm measure produced no export")
+endif()

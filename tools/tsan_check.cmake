@@ -1,0 +1,38 @@
+# Configure, build and run the concurrency tests (ThreadPool,
+# ShardedDevice, batched driver) under ThreadSanitizer in a nested build
+# tree. Driven by the `tsan_check` custom target so the instrumented
+# build never slows the tier-1 test pass:
+#
+#   cmake --build build --target tsan_check
+#
+# Expects -DSOURCE_DIR=<repo root> -DBUILD_DIR=<scratch build dir>.
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR "tsan_check.cmake needs -DSOURCE_DIR and -DBUILD_DIR")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DND_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "tsan_check: configure failed: ${rv}")
+endif()
+
+# Only the targets the concurrency tests need — not the whole tree.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
+          --target common_tests core_tests eval_tests
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "tsan_check: build failed: ${rv}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_CTEST_COMMAND} --output-on-failure
+          -R "ThreadPool|Sharded|BatchEquivalence|DriverParallel"
+  WORKING_DIRECTORY ${BUILD_DIR}
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "tsan_check: ThreadSanitizer run failed: ${rv}")
+endif()
+message(STATUS "tsan_check: concurrency tests clean under ThreadSanitizer")
