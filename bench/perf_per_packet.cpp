@@ -20,6 +20,8 @@
 #include "core/multistage_filter.hpp"
 #include "core/sample_and_hold.hpp"
 #include "core/sharded_device.hpp"
+#include "core/threshold_adaptor.hpp"
+#include "eval/metrics.hpp"
 #include "flowmem/flow_memory.hpp"
 #include "hash/hash.hpp"
 
@@ -187,6 +189,34 @@ void BM_SampleAndHoldBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleAndHoldBatch);
 
+std::unique_ptr<core::MeasurementDevice> make_shard_filter(
+    std::uint32_t shards, std::uint64_t shard_seed_value) {
+  core::MultistageFilterConfig config;
+  config.flow_memory_entries = 8192 / shards;
+  config.depth = 4;
+  config.buckets_per_stage = 4096 / shards;
+  config.threshold = 1'000'000;
+  config.conservative_update = true;
+  config.shielding = true;
+  config.seed = shard_seed_value;
+  return std::make_unique<core::MultistageFilter>(config);
+}
+
+/// Per-shard usage counters for BENCH_*.json: surfaces each shard's
+/// usage plus the min/mean/max spread so regressions in the shard
+/// balance (not just throughput) show up in the tracked JSON.
+void report_shard_usage(benchmark::State& state,
+                        const core::Report& report) {
+  const eval::ShardUsageSummary summary = eval::summarize_shards(report);
+  state.counters["usage_min"] = summary.min_usage;
+  state.counters["usage_mean"] = summary.mean_usage;
+  state.counters["usage_max"] = summary.max_usage;
+  for (std::size_t s = 0; s < report.shards.size(); ++s) {
+    state.counters["shard" + std::to_string(s) + "_usage"] =
+        report.shards[s].smoothed_usage;
+  }
+}
+
 /// RSS-style sharded multistage filter, Arg = shard count. The resource
 /// budget (flow memory, stage counters) is split across shards so the
 /// aggregate SRAM matches BM_MultistageConservative; items/sec is
@@ -200,19 +230,42 @@ void BM_ShardedDevice(benchmark::State& state) {
   sharded.pool = shards > 1 ? &pool : nullptr;
   core::ShardedDevice device(
       sharded, [&](std::uint32_t, std::uint64_t shard_seed_value) {
-        core::MultistageFilterConfig config;
-        config.flow_memory_entries = 8192 / shards;
-        config.depth = 4;
-        config.buckets_per_stage = 4096 / shards;
-        config.threshold = 1'000'000;
-        config.conservative_update = true;
-        config.shielding = true;
-        config.seed = shard_seed_value;
-        return std::make_unique<core::MultistageFilter>(config);
+        return make_shard_filter(shards, shard_seed_value);
       });
   run_device_batched(state, device);
+  report_shard_usage(state, device.end_interval());
 }
 BENCHMARK(BM_ShardedDevice)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+/// Same device with per-shard threshold adaptation on — the adaptors
+/// run only at interval boundaries, so per-packet throughput should
+/// match BM_ShardedDevice; the counters track where adaptation steers
+/// each shard's usage.
+void BM_ShardedAdaptiveDevice(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  common::ThreadPool pool(shards > 1 ? shards - 1 : 0);
+  core::ShardedDeviceConfig sharded;
+  sharded.shards = shards;
+  sharded.seed = 1;
+  sharded.pool = shards > 1 ? &pool : nullptr;
+  sharded.adaptor = core::multistage_adaptor();
+  core::ShardedDevice device(
+      sharded, [&](std::uint32_t, std::uint64_t shard_seed_value) {
+        return make_shard_filter(shards, shard_seed_value);
+      });
+  run_device_batched(state, device);
+  // Replay the stream as whole intervals so the per-shard adaptors walk
+  // the (deliberately high) bench threshold to equilibrium; the counters
+  // then record where adaptation steered each shard's usage.
+  core::Report report;
+  for (int i = 0; i < 30; ++i) {
+    device.observe_batch(classified_stream());
+    report = device.end_interval();
+  }
+  report_shard_usage(state, report);
+}
+BENCHMARK(BM_ShardedAdaptiveDevice)->Arg(1)->Arg(4)->Arg(8)
     ->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_SampledNetFlow(benchmark::State& state) {

@@ -1,9 +1,26 @@
 #include "core/adaptive_device.hpp"
 
+#include "core/sharded_device.hpp"
+
 namespace nd::core {
+
+AdaptiveDevice::AdaptiveDevice(std::unique_ptr<MeasurementDevice> device,
+                               const ThresholdAdaptorConfig& adaptor_config)
+    : device_(std::move(device)), adaptor_(adaptor_config) {
+  if (auto* sharded = dynamic_cast<ShardedDevice*>(device_.get())) {
+    sharded->enable_adaptation(adaptor_config);
+    sharded_ = sharded;
+  }
+}
 
 Report AdaptiveDevice::end_interval() {
   Report report = device_->end_interval();
+  if (sharded_ != nullptr) {
+    // The sharded device already ran one adaptor per shard inside its
+    // end_interval; a global set_threshold here would overwrite the
+    // heterogeneous per-shard thresholds it just installed.
+    return report;
+  }
   const common::ByteCount next = adaptor_.update(
       device_->threshold(), report.entries_used,
       device_->flow_memory_capacity());

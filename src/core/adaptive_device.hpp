@@ -1,5 +1,11 @@
 // AdaptiveDevice: a measurement device under closed-loop threshold
 // control — the "complete traffic measurement device" of Section 7.2.
+//
+// Wrapping a ShardedDevice delegates control to the sharded path: the
+// wrapper enables one private adaptor per shard on the inner device
+// (heterogeneous thresholds, Section 6 run per replica) instead of
+// running a single global adaptor whose set_threshold would clobber the
+// per-shard state every interval.
 #pragma once
 
 #include <memory>
@@ -10,11 +16,12 @@
 
 namespace nd::core {
 
+class ShardedDevice;
+
 class AdaptiveDevice final : public MeasurementDevice {
  public:
   AdaptiveDevice(std::unique_ptr<MeasurementDevice> device,
-                 const ThresholdAdaptorConfig& adaptor_config)
-      : device_(std::move(device)), adaptor_(adaptor_config) {}
+                 const ThresholdAdaptorConfig& adaptor_config);
 
   void observe(const packet::FlowKey& key, std::uint32_t bytes) override {
     device_->observe(key, bytes);
@@ -47,10 +54,15 @@ class AdaptiveDevice final : public MeasurementDevice {
   }
 
   [[nodiscard]] MeasurementDevice& inner() { return *device_; }
+  /// Non-null when threshold control is delegated to per-shard adaptors
+  /// on the wrapped ShardedDevice.
+  [[nodiscard]] const ShardedDevice* sharded() const { return sharded_; }
 
  private:
   std::unique_ptr<MeasurementDevice> device_;
+  /// Global adaptor; unused (and never updated) when sharded_ is set.
   ThresholdAdaptor adaptor_;
+  ShardedDevice* sharded_{nullptr};
 };
 
 }  // namespace nd::core

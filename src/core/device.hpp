@@ -27,6 +27,21 @@ struct ReportedFlow {
   bool exact{false};
 };
 
+/// Per-shard annotation a ShardedDevice attaches to its merged report.
+/// Unsharded devices leave Report::shards empty.
+struct ShardStatus {
+  /// Threshold the shard operated with during the reported interval.
+  common::ByteCount threshold{0};
+  /// Threshold the shard carries into the next interval. Equals
+  /// `threshold` unless per-shard adaptation is enabled.
+  common::ByteCount next_threshold{0};
+  /// The shard adaptor's moving-average usage; for non-adaptive shards
+  /// this is the instantaneous entries_used / capacity of the interval.
+  double smoothed_usage{0.0};
+  std::size_t entries_used{0};
+  std::size_t capacity{0};
+};
+
 struct Report {
   common::IntervalIndex interval{0};
   std::vector<ReportedFlow> flows;
@@ -34,8 +49,14 @@ struct Report {
   /// threshold adaptor steers on).
   std::size_t entries_used{0};
   /// Threshold the device operated with during this interval (devices
-  /// without a threshold report 0).
+  /// without a threshold report 0). For sharded reports with
+  /// heterogeneous per-shard thresholds this is the *effective*
+  /// threshold — see effective_threshold() below.
   common::ByteCount threshold{0};
+  /// Per-shard breakdown (empty for unsharded devices). entries_used is
+  /// the sum of the per-shard entries; threshold is the effective
+  /// threshold over the per-shard ones.
+  std::vector<ShardStatus> shards;
 };
 
 /// Sort a report's flows by descending estimated size (stable for ties).
@@ -44,6 +65,14 @@ void sort_by_size(Report& report);
 /// Find a flow in a report; nullptr when absent.
 [[nodiscard]] const ReportedFlow* find_flow(const Report& report,
                                             const packet::FlowKey& key);
+
+/// The threshold above which the report's no-false-negative guarantee
+/// holds for every flow regardless of shard placement: the maximum
+/// per-shard threshold, or Report::threshold for unsharded reports.
+/// Metrics and dimensioning treat it exactly like a scalar device's
+/// threshold — a flow above it clears the threshold of whichever shard
+/// it routes to.
+[[nodiscard]] common::ByteCount effective_threshold(const Report& report);
 
 class MeasurementDevice {
  public:

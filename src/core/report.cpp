@@ -19,4 +19,12 @@ const ReportedFlow* find_flow(const Report& report,
   return nullptr;
 }
 
+common::ByteCount effective_threshold(const Report& report) {
+  common::ByteCount max = report.threshold;
+  for (const ShardStatus& shard : report.shards) {
+    max = std::max(max, shard.threshold);
+  }
+  return max;
+}
+
 }  // namespace nd::core

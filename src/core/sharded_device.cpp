@@ -22,6 +22,17 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
   for (std::uint32_t s = 0; s < shards; ++s) {
     shards_.push_back(factory(s, shard_seed(config.seed, s)));
   }
+  baseline_thresholds_.reserve(shards);
+  for (const auto& replica : shards_) {
+    baseline_thresholds_.push_back(replica->threshold());
+  }
+  if (config.adaptor) {
+    enable_adaptation(*config.adaptor);
+  }
+}
+
+void ShardedDevice::enable_adaptation(const ThresholdAdaptorConfig& config) {
+  adaptors_.assign(shards_.size(), ThresholdAdaptor(config));
 }
 
 std::uint32_t ShardedDevice::shard_of(std::uint64_t fingerprint) const {
@@ -93,11 +104,34 @@ Report ShardedDevice::end_interval() {
     }
   }
 
+  // Per-shard adaptation: each shard's private adaptor sees only that
+  // shard's usage, so skewed slices of the flow space settle on their
+  // own thresholds instead of inheriting a global compromise.
   Report merged;
   merged.interval = reports.front().interval;
-  merged.threshold = reports.front().threshold;
+  merged.shards.resize(shards_.size());
   std::size_t flows = 0;
-  for (const Report& report : reports) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Report& report = reports[s];
+    ShardStatus& status = merged.shards[s];
+    status.threshold = report.threshold;
+    status.entries_used = report.entries_used;
+    status.capacity = shards_[s]->flow_memory_capacity();
+    if (adaptive()) {
+      const common::ByteCount next = adaptors_[s].update(
+          shards_[s]->threshold(), report.entries_used, status.capacity);
+      shards_[s]->set_threshold(next);
+      status.next_threshold = next;
+      status.smoothed_usage = adaptors_[s].smoothed_usage();
+    } else {
+      status.next_threshold = status.threshold;
+      status.smoothed_usage =
+          status.capacity == 0
+              ? 0.0
+              : static_cast<double>(report.entries_used) /
+                    static_cast<double>(status.capacity);
+    }
+    merged.threshold = std::max(merged.threshold, report.threshold);
     flows += report.flows.size();
     merged.entries_used += report.entries_used;
   }
@@ -109,14 +143,33 @@ Report ShardedDevice::end_interval() {
   return merged;
 }
 
+common::ByteCount ShardedDevice::threshold() const {
+  common::ByteCount max = 0;
+  for (const auto& replica : shards_) {
+    max = std::max(max, replica->threshold());
+  }
+  return max;
+}
+
 std::string ShardedDevice::name() const {
-  return "sharded(" + shards_.front()->name() + ")x" +
-         std::to_string(shards_.size());
+  return std::string(adaptive() ? "sharded-adaptive(" : "sharded(") +
+         shards_.front()->name() + ")x" + std::to_string(shards_.size());
 }
 
 void ShardedDevice::set_threshold(common::ByteCount threshold) {
-  for (auto& replica : shards_) {
-    replica->set_threshold(threshold);
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    set_shard_threshold(s, threshold);
+  }
+}
+
+void ShardedDevice::set_shard_threshold(std::uint32_t index,
+                                        common::ByteCount threshold) {
+  baseline_thresholds_[index] = threshold;
+  shards_[index]->set_threshold(threshold);
+  if (adaptive()) {
+    // Restart this shard's adaptor so steering resumes from the
+    // override instead of from usage observed under the old threshold.
+    adaptors_[index].reset();
   }
 }
 

@@ -16,15 +16,25 @@
 // batches are partitioned in arrival order, and reports are merged in
 // shard order. Running shards on a ThreadPool (or none) changes wall
 // clock only, never output; the repeated-run determinism test enforces
-// this.
+// this. Per-shard threshold adaptation (Section 6 run once per replica)
+// keeps that determinism — the adaptors are fed the deterministic
+// per-shard usage — but intentionally breaks bit-equality with a
+// globally-adapted scalar device: each shard carries its own threshold
+// into the next interval, so the merged report is only bound-checked
+// (no false negatives above the effective threshold, usage steered into
+// the target band) against the scalar adaptive path. The differential
+// harness (tests/support/differential_harness.hpp) pins down both
+// halves of this contract.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/device.hpp"
+#include "core/threshold_adaptor.hpp"
 
 namespace nd::core {
 
@@ -36,6 +46,11 @@ struct ShardedDeviceConfig {
   /// Worker pool for shard fan-out; nullptr runs shards on the calling
   /// thread. Not owned; must outlive the device.
   common::ThreadPool* pool{nullptr};
+  /// When set, every shard runs a private ThresholdAdaptor on its own
+  /// entries_used/capacity at interval boundaries and carries a
+  /// heterogeneous threshold into the next interval. Unset reproduces
+  /// the uniform-threshold device bit for bit.
+  std::optional<ThresholdAdaptorConfig> adaptor{};
 };
 
 class ShardedDevice final : public MeasurementDevice {
@@ -55,13 +70,44 @@ class ShardedDevice final : public MeasurementDevice {
   Report end_interval() override;
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] common::ByteCount threshold() const override {
-    return shards_.front()->threshold();
-  }
+  /// The effective threshold: the maximum per-shard threshold. A flow
+  /// above it clears the threshold of whichever shard it routes to, so
+  /// the no-false-negative guarantee and metrics/dimensioning carry
+  /// over unchanged from the scalar device. With uniform thresholds
+  /// (no adaptation, no per-shard overrides) this is exactly the shared
+  /// threshold.
+  [[nodiscard]] common::ByteCount threshold() const override;
+  /// Records `threshold` as every shard's manual baseline and restarts
+  /// the per-shard adaptors (when adaptive) from it, so operator
+  /// overrides and adaptation compose: the override takes effect
+  /// immediately and adaptation steers from there instead of snapping
+  /// back to stale usage history.
   void set_threshold(common::ByteCount threshold) override;
+  /// Per-shard manual override; same baseline/adaptor-reset semantics
+  /// as set_threshold but for one shard.
+  void set_shard_threshold(std::uint32_t index, common::ByteCount threshold);
   [[nodiscard]] std::size_t flow_memory_capacity() const override;
   [[nodiscard]] std::uint64_t memory_accesses() const override;
   [[nodiscard]] std::uint64_t packets_processed() const override;
+
+  /// Switch on per-shard threshold adaptation (idempotent; replaces any
+  /// previous adaptor configuration and restarts from the shards'
+  /// current thresholds). ShardedDeviceConfig::adaptor routes here.
+  void enable_adaptation(const ThresholdAdaptorConfig& config);
+  [[nodiscard]] bool adaptive() const { return !adaptors_.empty(); }
+  /// The shard's private adaptor; only valid when adaptive().
+  [[nodiscard]] const ThresholdAdaptor& shard_adaptor(
+      std::uint32_t index) const {
+    return adaptors_[index];
+  }
+  /// The per-shard manual baseline recorded by the last
+  /// set_threshold/set_shard_threshold (initially each replica's
+  /// configured threshold). Adaptation floors itself here via the
+  /// adaptor's min_threshold, never below.
+  [[nodiscard]] const std::vector<common::ByteCount>& baseline_thresholds()
+      const {
+    return baseline_thresholds_;
+  }
 
   [[nodiscard]] std::uint32_t shard_count() const {
     return static_cast<std::uint32_t>(shards_.size());
@@ -80,6 +126,11 @@ class ShardedDevice final : public MeasurementDevice {
   common::ThreadPool* pool_;
   /// Per-shard sub-batches, reused across observe_batch calls.
   std::vector<std::vector<packet::ClassifiedPacket>> shard_batches_;
+  /// One private adaptor per shard when adaptation is on; empty
+  /// otherwise.
+  std::vector<ThresholdAdaptor> adaptors_;
+  /// Per-shard manual baseline (see baseline_thresholds()).
+  std::vector<common::ByteCount> baseline_thresholds_;
 };
 
 /// Deterministic per-shard seed derivation (exposed for tests).

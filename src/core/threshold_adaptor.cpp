@@ -20,6 +20,11 @@ ThresholdAdaptorConfig multistage_adaptor() {
 ThresholdAdaptor::ThresholdAdaptor(const ThresholdAdaptorConfig& config)
     : config_(config) {}
 
+void ThresholdAdaptor::reset() {
+  usage_history_.clear();
+  intervals_since_increase_ = 0;
+}
+
 double ThresholdAdaptor::smoothed_usage() const {
   if (usage_history_.empty()) return 0.0;
   double sum = 0.0;

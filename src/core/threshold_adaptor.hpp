@@ -48,6 +48,26 @@ class ThresholdAdaptor {
 
   [[nodiscard]] double smoothed_usage() const;
 
+  [[nodiscard]] const ThresholdAdaptorConfig& config() const {
+    return config_;
+  }
+  /// Intervals since the last threshold increase; a decrease is only
+  /// allowed once this reaches config().patience.
+  [[nodiscard]] int intervals_since_increase() const {
+    return intervals_since_increase_;
+  }
+  /// Usage samples currently in the moving-average window (most recent
+  /// last; shorter than config().usage_window until it fills).
+  [[nodiscard]] const std::deque<double>& usage_history() const {
+    return usage_history_;
+  }
+
+  /// Forget all usage history and patience state, as if freshly
+  /// constructed. Used when the operator overrides the threshold: the
+  /// next adaptation restarts from the override instead of steering on
+  /// usage observed under the old threshold.
+  void reset();
+
  private:
   ThresholdAdaptorConfig config_;
   std::deque<double> usage_history_;

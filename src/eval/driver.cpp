@@ -44,6 +44,18 @@ void Driver::process_slot(DeviceSlot& slot, bool evaluated) {
   result.max_entries_used =
       std::max(result.max_entries_used, report.entries_used);
   result.final_threshold = slot.device->threshold();
+  if (!report.shards.empty()) {
+    result.shards.resize(report.shards.size());
+    for (std::size_t s = 0; s < report.shards.size(); ++s) {
+      const core::ShardStatus& status = report.shards[s];
+      DeviceResult::ShardTrack& track = result.shards[s];
+      track.final_threshold = status.next_threshold;
+      track.final_usage = status.smoothed_usage;
+      track.usage.observe(status.smoothed_usage);
+      track.max_entries_used =
+          std::max(track.max_entries_used, status.entries_used);
+    }
+  }
   if (slot.groups) {
     slot.groups->observe(report, truth_);
   }

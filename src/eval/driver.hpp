@@ -56,12 +56,27 @@ struct DeviceResult {
   Mean avg_error_over_threshold;
   Mean entries_used;
   std::size_t max_entries_used{0};
+  /// For sharded devices this is the effective (max per-shard)
+  /// threshold; per-shard finals live in `shards`.
   common::ByteCount final_threshold{0};
   std::uint64_t packets{0};
   std::uint64_t memory_accesses{0};
   std::vector<GroupAccuracyAccumulator::Result> groups;
   /// Present when DriverOptions::record_time_series is set.
   std::vector<TimePoint> time_series;
+
+  /// Per-shard threshold/usage trajectory, filled for devices whose
+  /// reports carry core::ShardStatus annotations (empty otherwise).
+  struct ShardTrack {
+    /// Threshold the shard carries out of the last evaluated interval.
+    common::ByteCount final_threshold{0};
+    /// Smoothed usage at the last evaluated interval.
+    double final_usage{0.0};
+    /// Mean smoothed usage over the evaluated intervals.
+    Mean usage;
+    std::size_t max_entries_used{0};
+  };
+  std::vector<ShardTrack> shards;
 };
 
 class Driver {

@@ -57,6 +57,25 @@ ThresholdMetrics threshold_metrics(const core::Report& report,
   return metrics;
 }
 
+ShardUsageSummary summarize_shards(const core::Report& report) {
+  ShardUsageSummary summary;
+  if (report.shards.empty()) return summary;
+  summary.shard_count = report.shards.size();
+  summary.min_usage = report.shards.front().smoothed_usage;
+  summary.min_threshold = report.shards.front().threshold;
+  double usage_sum = 0.0;
+  for (const core::ShardStatus& shard : report.shards) {
+    summary.min_usage = std::min(summary.min_usage, shard.smoothed_usage);
+    summary.max_usage = std::max(summary.max_usage, shard.smoothed_usage);
+    summary.min_threshold = std::min(summary.min_threshold, shard.threshold);
+    summary.max_threshold = std::max(summary.max_threshold, shard.threshold);
+    usage_sum += shard.smoothed_usage;
+  }
+  summary.mean_usage =
+      usage_sum / static_cast<double>(summary.shard_count);
+  return summary;
+}
+
 std::vector<GroupSpec> paper_groups() {
   return {
       GroupSpec{"> 0.1%", 0.001, 1.0},

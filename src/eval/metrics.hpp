@@ -46,6 +46,27 @@ struct ThresholdMetrics {
     const core::Report& report, const TruthMap& truth,
     common::ByteCount threshold);
 
+/// Spread of the per-shard threshold vector and usage a ShardedDevice
+/// annotates its merged report with. Usage is the shard's smoothed
+/// (adaptive) or instantaneous (uniform) entries/capacity, as recorded
+/// in core::ShardStatus. Empty reports yield shard_count == 0 with all
+/// fields zero.
+struct ShardUsageSummary {
+  std::size_t shard_count{0};
+  double min_usage{0.0};
+  double max_usage{0.0};
+  double mean_usage{0.0};
+  common::ByteCount min_threshold{0};
+  common::ByteCount max_threshold{0};
+  /// True when every shard's usage lies in [lo, hi] — the Section 6
+  /// target-band check applied shard by shard.
+  [[nodiscard]] bool within_band(double lo, double hi) const {
+    return shard_count > 0 && min_usage >= lo && max_usage <= hi;
+  }
+};
+
+[[nodiscard]] ShardUsageSummary summarize_shards(const core::Report& report);
+
 /// One Section 7.2 size group, as fractions of link capacity.
 struct GroupSpec {
   std::string label;

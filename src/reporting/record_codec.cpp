@@ -36,17 +36,21 @@ std::uint64_t get_u64(std::span<const std::uint8_t> d, std::size_t off) {
 }  // namespace
 
 std::size_t encoded_size(const core::Report& report) {
-  return kHeaderBytes + report.flows.size() * kRecordBytes;
+  return kHeaderBytes + report.flows.size() * kRecordBytes +
+         report.shards.size() * kShardRecordBytes;
 }
 
 std::vector<std::uint8_t> encode(const core::Report& report,
                                  packet::FlowKeyKind kind) {
+  if (report.shards.size() > kMaxShards) {
+    throw CodecError("reporting: too many shards for the wire format");
+  }
   std::vector<std::uint8_t> out;
   out.reserve(encoded_size(report));
   put_u32(out, kMagic);
   put_u16(out, kVersion);
   out.push_back(static_cast<std::uint8_t>(kind));
-  out.push_back(0);  // reserved
+  out.push_back(static_cast<std::uint8_t>(report.shards.size()));
   put_u32(out, report.interval);
   put_u32(out, static_cast<std::uint32_t>(report.flows.size()));
   put_u64(out, report.threshold);
@@ -68,6 +72,17 @@ std::vector<std::uint8_t> encode(const core::Report& report,
     put_u16(out, 0);  // reserved / alignment
     put_u64(out, flow.estimated_bytes);
   }
+  for (const auto& shard : report.shards) {
+    put_u64(out, shard.threshold);
+    put_u64(out, shard.next_threshold);
+    put_u64(out, shard.entries_used);
+    put_u64(out, shard.capacity);
+    // Smoothed usage in micro-units; entries never exceed capacity, so
+    // 1e6 bounds the value and u32 is ample.
+    put_u32(out, static_cast<std::uint32_t>(shard.smoothed_usage * 1e6 +
+                                            0.5));
+    put_u32(out, 0);  // reserved
+  }
   return out;
 }
 
@@ -78,16 +93,21 @@ core::Report decode(std::span<const std::uint8_t> data) {
   if (get_u32(data, 0) != kMagic) {
     throw CodecError("reporting: bad magic");
   }
-  if (get_u16(data, 4) != kVersion) {
+  const std::uint16_t version = get_u16(data, 4);
+  if (version != 1 && version != kVersion) {
     throw CodecError("reporting: unsupported version");
   }
   const auto kind = static_cast<packet::FlowKeyKind>(data[6]);
+  // Version 1 wrote a reserved zero where version 2 carries the shard
+  // count; reading it unconditionally keeps v1 payloads decoding.
+  const std::size_t shard_count = data[7];
   core::Report report;
   report.interval = get_u32(data, 8);
   const std::uint32_t count = get_u32(data, 12);
   report.threshold = get_u64(data, 16);
 
-  if (data.size() != kHeaderBytes + count * kRecordBytes) {
+  if (data.size() !=
+      kHeaderBytes + count * kRecordBytes + shard_count * kShardRecordBytes) {
     throw CodecError("reporting: size does not match record count");
   }
   report.flows.reserve(count);
@@ -120,6 +140,18 @@ core::Report decode(std::span<const std::uint8_t> data) {
         throw CodecError("reporting: unknown flow-key kind");
     }
     report.flows.push_back(core::ReportedFlow{key, bytes, exact});
+  }
+  report.shards.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t off =
+        kHeaderBytes + count * kRecordBytes + s * kShardRecordBytes;
+    core::ShardStatus status;
+    status.threshold = get_u64(data, off);
+    status.next_threshold = get_u64(data, off + 8);
+    status.entries_used = get_u64(data, off + 16);
+    status.capacity = get_u64(data, off + 24);
+    status.smoothed_usage = static_cast<double>(get_u32(data, off + 32)) / 1e6;
+    report.shards.push_back(status);
   }
   return report;
 }

@@ -1,0 +1,187 @@
+// Property tests for ThresholdAdaptor (Section 6): randomized usage
+// sequences checked against invariants and an independent reference
+// implementation of Figure 5's update rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/threshold_adaptor.hpp"
+
+namespace nd::core {
+namespace {
+
+/// Straight-line transcription of the Section 6 rule, kept independent
+/// of the production class so both would have to contain the same bug
+/// to agree: 3-interval moving average, power-law increase when above
+/// target, patience-gated power-law decrease below it, floored at
+/// min_threshold.
+class ReferenceAdaptor {
+ public:
+  explicit ReferenceAdaptor(const ThresholdAdaptorConfig& config)
+      : config_(config) {}
+
+  common::ByteCount update(common::ByteCount threshold,
+                           std::size_t entries_used, std::size_t capacity) {
+    if (capacity == 0) return threshold;
+    window_.push_back(static_cast<double>(entries_used) /
+                      static_cast<double>(capacity));
+    if (window_.size() > config_.usage_window) window_.pop_front();
+    double sum = 0.0;
+    for (const double u : window_) sum += u;
+    smoothed_ = sum / static_cast<double>(window_.size());
+
+    double factor = 1.0;
+    if (smoothed_ > config_.target_usage) {
+      factor = std::pow(smoothed_ / config_.target_usage, config_.adjust_up);
+      quiet_ = 0;
+    } else if (++quiet_ >= config_.patience) {
+      factor = std::pow(std::max(smoothed_ / config_.target_usage, 1e-3),
+                        config_.adjust_down);
+    }
+    return static_cast<common::ByteCount>(
+        std::max(static_cast<double>(threshold) * factor,
+                 static_cast<double>(config_.min_threshold)));
+  }
+
+  [[nodiscard]] double smoothed() const { return smoothed_; }
+
+ private:
+  ThresholdAdaptorConfig config_;
+  std::deque<double> window_;
+  int quiet_{0};
+  double smoothed_{0.0};
+};
+
+struct Step {
+  std::size_t entries;
+  std::size_t capacity;
+};
+
+/// Random usage trajectory mixing calm stretches, overload spikes and
+/// near-empty intervals, the regimes Figure 5 exercises.
+std::vector<Step> random_trajectory(common::Rng& rng, std::size_t length) {
+  std::vector<Step> steps;
+  steps.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::size_t capacity = 64 + rng.uniform(512);
+    const double regime = rng.real();
+    double usage = 0.0;
+    if (regime < 0.2) {
+      usage = rng.real() * 0.2;  // near-empty
+    } else if (regime < 0.8) {
+      usage = 0.6 + rng.real() * 0.35;  // around target
+    } else {
+      usage = 0.95 + rng.real() * 0.05;  // overload
+    }
+    steps.push_back(
+        {static_cast<std::size_t>(usage * static_cast<double>(capacity)),
+         capacity});
+  }
+  return steps;
+}
+
+TEST(ThresholdAdaptorProperty, MatchesReferenceImplementationExactly) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    common::Rng rng(seed);
+    const ThresholdAdaptorConfig config =
+        seed % 2 == 0 ? multistage_adaptor() : sample_and_hold_adaptor();
+    ThresholdAdaptor adaptor(config);
+    ReferenceAdaptor reference(config);
+    common::ByteCount threshold = 1'000'000;
+    common::ByteCount reference_threshold = threshold;
+    for (const Step& step : random_trajectory(rng, 200)) {
+      threshold = adaptor.update(threshold, step.entries, step.capacity);
+      reference_threshold =
+          reference.update(reference_threshold, step.entries, step.capacity);
+      ASSERT_EQ(threshold, reference_threshold);
+      ASSERT_DOUBLE_EQ(adaptor.smoothed_usage(), reference.smoothed());
+    }
+  }
+}
+
+TEST(ThresholdAdaptorProperty, NeverDropsBelowMinThreshold) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    common::Rng rng(seed);
+    ThresholdAdaptorConfig config = multistage_adaptor();
+    config.min_threshold = 5'000;
+    ThresholdAdaptor adaptor(config);
+    common::ByteCount threshold = 6'000;
+    for (const Step& step : random_trajectory(rng, 300)) {
+      threshold = adaptor.update(threshold, step.entries, step.capacity);
+      ASSERT_GE(threshold, config.min_threshold);
+    }
+  }
+}
+
+TEST(ThresholdAdaptorProperty, NoDecreaseWithinPatienceOfAnIncrease) {
+  for (std::uint64_t seed = 11; seed <= 18; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    common::Rng rng(seed);
+    const ThresholdAdaptorConfig config = multistage_adaptor();
+    ThresholdAdaptor adaptor(config);
+    common::ByteCount threshold = 500'000;
+    int since_increase = config.patience;  // no increase seen yet
+    for (const Step& step : random_trajectory(rng, 300)) {
+      const common::ByteCount next =
+          adaptor.update(threshold, step.entries, step.capacity);
+      if (next > threshold) {
+        since_increase = 0;
+      } else {
+        ++since_increase;
+        if (since_increase < config.patience) {
+          // Inside the patience window the rule may only hold steady.
+          ASSERT_EQ(next, threshold)
+              << "decrease " << since_increase
+              << " intervals after an increase";
+        }
+      }
+      threshold = next;
+    }
+  }
+}
+
+TEST(ThresholdAdaptorProperty, SmoothedUsageIsWindowedMovingAverage) {
+  common::Rng rng(42);
+  ThresholdAdaptorConfig config;  // usage_window = 3
+  ThresholdAdaptor adaptor(config);
+  std::deque<double> window;
+  common::ByteCount threshold = 100'000;
+  for (const Step& step : random_trajectory(rng, 100)) {
+    threshold = adaptor.update(threshold, step.entries, step.capacity);
+    window.push_back(static_cast<double>(step.entries) /
+                     static_cast<double>(step.capacity));
+    if (window.size() > config.usage_window) window.pop_front();
+    double sum = 0.0;
+    for (const double u : window) sum += u;
+    ASSERT_DOUBLE_EQ(adaptor.smoothed_usage(),
+                     sum / static_cast<double>(window.size()));
+    ASSERT_EQ(adaptor.usage_history().size(), window.size());
+  }
+}
+
+TEST(ThresholdAdaptorProperty, ResetForgetsHistoryAndPatience) {
+  ThresholdAdaptorConfig config;  // patience = 3
+  ThresholdAdaptor adaptor(config);
+  // Two quiet intervals put the adaptor one step from a decrease...
+  (void)adaptor.update(1000, 10, 100);
+  (void)adaptor.update(1000, 10, 100);
+  ASSERT_EQ(adaptor.intervals_since_increase(), 2);
+  // ...but a reset (operator override) restarts the patience clock and
+  // the moving-average window from scratch.
+  adaptor.reset();
+  EXPECT_EQ(adaptor.intervals_since_increase(), 0);
+  EXPECT_TRUE(adaptor.usage_history().empty());
+  EXPECT_EQ(adaptor.update(1000, 10, 100), 1000u);
+  EXPECT_EQ(adaptor.update(1000, 10, 100), 1000u);
+  EXPECT_LT(adaptor.update(1000, 10, 100), 1000u);
+}
+
+}  // namespace
+}  // namespace nd::core

@@ -143,5 +143,28 @@ TEST(Mean, Accumulates) {
   EXPECT_DOUBLE_EQ(mean.value(), 2.0);
 }
 
+TEST(ShardUsage, SummarizesAnnotatedReport) {
+  core::Report report;
+  report.shards.push_back(core::ShardStatus{60'000, 54'000, 0.92, 118, 128});
+  report.shards.push_back(core::ShardStatus{40'000, 40'000, 0.84, 107, 128});
+  report.shards.push_back(core::ShardStatus{50'000, 55'000, 0.88, 112, 128});
+  const ShardUsageSummary summary = summarize_shards(report);
+  EXPECT_EQ(summary.shard_count, 3u);
+  EXPECT_DOUBLE_EQ(summary.min_usage, 0.84);
+  EXPECT_DOUBLE_EQ(summary.max_usage, 0.92);
+  EXPECT_DOUBLE_EQ(summary.mean_usage, (0.92 + 0.84 + 0.88) / 3.0);
+  EXPECT_EQ(summary.min_threshold, 40'000u);
+  EXPECT_EQ(summary.max_threshold, 60'000u);
+  EXPECT_TRUE(summary.within_band(0.80, 0.95));
+  EXPECT_FALSE(summary.within_band(0.85, 0.95));
+  EXPECT_FALSE(summary.within_band(0.80, 0.90));
+}
+
+TEST(ShardUsage, UnshardedReportYieldsEmptySummary) {
+  const ShardUsageSummary summary = summarize_shards(core::Report{});
+  EXPECT_EQ(summary.shard_count, 0u);
+  EXPECT_FALSE(summary.within_band(0.0, 1.0));
+}
+
 }  // namespace
 }  // namespace nd::eval

@@ -121,5 +121,60 @@ TEST(RecordCodec, CountMismatchRejected) {
   EXPECT_THROW((void)decode(data), CodecError);
 }
 
+TEST(RecordCodec, ShardTrailerRoundTrips) {
+  auto report = sample_report();
+  report.shards.push_back(
+      core::ShardStatus{60'000, 54'000, 0.913, 115, 128});
+  report.shards.push_back(
+      core::ShardStatus{48'500, 48'500, 0.787, 100, 128});
+  EXPECT_EQ(encoded_size(report),
+            kHeaderBytes + 2 * kRecordBytes + 2 * kShardRecordBytes);
+
+  const auto data = encode(report, packet::FlowKeyKind::kFiveTuple);
+  ASSERT_EQ(data.size(), encoded_size(report));
+  EXPECT_EQ(data[7], 2u);  // shard count in the former reserved byte
+
+  const auto decoded = decode(data);
+  ASSERT_EQ(decoded.shards.size(), 2u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(decoded.shards[s].threshold, report.shards[s].threshold) << s;
+    EXPECT_EQ(decoded.shards[s].next_threshold,
+              report.shards[s].next_threshold);
+    EXPECT_EQ(decoded.shards[s].entries_used, report.shards[s].entries_used);
+    EXPECT_EQ(decoded.shards[s].capacity, report.shards[s].capacity);
+    // Usage travels in micro-units, so round-trips to 1e-6.
+    EXPECT_NEAR(decoded.shards[s].smoothed_usage,
+                report.shards[s].smoothed_usage, 1e-6);
+  }
+  EXPECT_EQ(core::effective_threshold(decoded), 1'000'000u);
+}
+
+TEST(RecordCodec, VersionOnePayloadStillDecodes) {
+  // A v1 sender wrote version 1 and a reserved zero where v2 carries the
+  // shard count; such payloads must keep decoding unchanged.
+  auto data = encode(sample_report(), packet::FlowKeyKind::kFiveTuple);
+  ASSERT_EQ(data[7], 0u);  // no shard section on an unsharded report
+  data[5] = 1;             // patch the version byte back to v1
+  const auto decoded = decode(data);
+  EXPECT_EQ(decoded.interval, 7u);
+  EXPECT_EQ(decoded.flows.size(), 2u);
+  EXPECT_TRUE(decoded.shards.empty());
+}
+
+TEST(RecordCodec, ShardTrailerTruncationRejected) {
+  auto report = sample_report();
+  report.shards.push_back(core::ShardStatus{60'000, 54'000, 0.9, 115, 128});
+  auto data = encode(report, packet::FlowKeyKind::kFiveTuple);
+  data.pop_back();
+  EXPECT_THROW((void)decode(data), CodecError);
+}
+
+TEST(RecordCodec, TooManyShardsRejected) {
+  core::Report report;
+  report.shards.resize(kMaxShards + 1);
+  EXPECT_THROW((void)encode(report, packet::FlowKeyKind::kFiveTuple),
+               CodecError);
+}
+
 }  // namespace
 }  // namespace nd::reporting

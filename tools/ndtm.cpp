@@ -5,13 +5,20 @@
 //
 //   ndtm measure --in t.pcap --algorithm multistage --flow-def dstip
 //                --threshold 100000 --interval 5 [--export reports.bin]
-//                [--shards N]
+//                [--shards N] [--adaptive 1] [--shard-usage 1]
 //       Stream a pcap through a measurement device in fixed intervals
 //       and print (and optionally export) the heavy hitters per
 //       interval. Algorithms: sample-and-hold, multistage, netflow.
 //       Flow definitions: 5tuple, dstip, netpair:<prefixlen>.
 //       --shards N > 1 partitions the flow space RSS-style across N
-//       replicas of the device running on a worker pool.
+//       replicas of the device running on a worker pool; --threshold is
+//       only the starting point, not a fixed global value. With
+//       --adaptive 1 each shard steers its own threshold toward 90%
+//       flow-memory usage (Section 6 run per replica; with one shard a
+//       single global adaptor runs instead), and the printed cutoff is
+//       the effective — maximum per-shard — threshold. --shard-usage 1
+//       dumps each shard's threshold, entries and smoothed usage per
+//       interval.
 //
 //   ndtm bounds --threshold 1000000 --capacity 100000000
 //                --oversampling 20 --buckets 1000 --depth 4
@@ -31,6 +38,7 @@
 #include "baseline/sampled_netflow.hpp"
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
+#include "core/adaptive_device.hpp"
 #include "core/measurement_session.hpp"
 #include "core/multistage_filter.hpp"
 #include "core/sample_and_hold.hpp"
@@ -196,6 +204,17 @@ int cmd_measure(const Args& args) {
   const auto shards =
       static_cast<std::uint32_t>(std::max<std::uint64_t>(
           args.get_u64("shards", 1), 1));
+  const bool adaptive = args.get_u64("adaptive", 0) != 0;
+  const bool shard_usage_dump = args.get_u64("shard-usage", 0) != 0;
+  if (adaptive && algorithm == "netflow") {
+    std::fprintf(stderr,
+                 "measure: --adaptive needs a thresholded algorithm "
+                 "(sample-and-hold, multistage)\n");
+    return 2;
+  }
+  const core::ThresholdAdaptorConfig adaptor_config =
+      algorithm == "sample-and-hold" ? core::sample_and_hold_adaptor()
+                                     : core::multistage_adaptor();
   std::unique_ptr<common::ThreadPool> pool;  // outlives the session
   std::unique_ptr<core::MeasurementDevice> device;
   if (shards > 1) {
@@ -205,6 +224,7 @@ int cmd_measure(const Args& args) {
     sharded.shards = shards;
     sharded.seed = seed;
     sharded.pool = pool.get();
+    if (adaptive) sharded.adaptor = adaptor_config;
     // Split the memory budget across shards (>= 64 entries each).
     const std::size_t per_shard =
         std::max<std::size_t>(entries / shards, 64);
@@ -215,6 +235,10 @@ int cmd_measure(const Args& args) {
         });
   } else {
     device = device_by_name(algorithm, threshold, entries, seed);
+    if (adaptive) {
+      device = std::make_unique<core::AdaptiveDevice>(std::move(device),
+                                                      adaptor_config);
+    }
   }
   const auto interval = std::chrono::seconds(
       static_cast<long>(args.get_u64("interval", 5)));
@@ -242,10 +266,25 @@ int cmd_measure(const Args& args) {
   auto handle_reports = [&](std::vector<core::Report> reports) {
     for (auto& report : reports) {
       core::sort_by_size(report);
+      // Under adaptation the operative cutoff is the report's effective
+      // (max per-shard) threshold, not the CLI starting value.
+      const common::ByteCount cutoff =
+          adaptive ? std::max<common::ByteCount>(
+                         core::effective_threshold(report), 1)
+                   : threshold;
       std::printf("interval %u: %zu flows tracked\n", report.interval,
                   report.flows.size());
+      if (shard_usage_dump) {
+        for (std::size_t s = 0; s < report.shards.size(); ++s) {
+          const core::ShardStatus& status = report.shards[s];
+          std::printf("  shard %zu: T=%-12s entries=%zu/%zu usage=%.1f%%\n",
+                      s, common::format_bytes(status.threshold).c_str(),
+                      status.entries_used, status.capacity,
+                      100.0 * status.smoothed_usage);
+        }
+      }
       for (const auto& flow : report.flows) {
-        if (flow.estimated_bytes < threshold) break;
+        if (flow.estimated_bytes < cutoff) break;
         std::printf("  %-45s %14s%s\n", flow.key.to_string().c_str(),
                     common::format_bytes(flow.estimated_bytes).c_str(),
                     flow.exact ? "  (exact)" : "");
