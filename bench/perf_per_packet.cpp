@@ -24,6 +24,8 @@
 #include "eval/metrics.hpp"
 #include "flowmem/flow_memory.hpp"
 #include "hash/hash.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -267,6 +269,122 @@ void BM_ShardedAdaptiveDevice(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedAdaptiveDevice)->Arg(1)->Arg(4)->Arg(8)
     ->MeasureProcessCPUTime()->UseRealTime();
+
+// --- Telemetry overhead series -------------------------------------
+//
+// The telemetry-off cost is already in BM_SampleAndHold /
+// BM_MultistageConservative above: those devices carry the null
+// instrument handles and pay the one predictable `enabled()` branch per
+// packet the overhead contract allows (< 2%). The *Telemetry variants
+// below run the identical configuration with a registry attached, so
+// (BM_X vs BM_XTelemetry) in BENCH_perf_per_packet.json is the measured
+// cost of telemetry-on, and BM_Telemetry* price the raw instruments.
+
+void BM_SampleAndHoldTelemetry(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  core::SampleAndHoldConfig config;
+  config.flow_memory_entries = 8192;
+  config.threshold = 1'000'000;
+  config.oversampling = 4.0;
+  config.metrics = &registry;
+  core::SampleAndHold device(config);
+  run_device(state, device);
+  state.counters["telemetry_series"] =
+      static_cast<double>(registry.size());
+}
+BENCHMARK(BM_SampleAndHoldTelemetry);
+
+void BM_MultistageConservativeTelemetry(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  core::MultistageFilterConfig config;
+  config.flow_memory_entries = 8192;
+  config.depth = 4;
+  config.buckets_per_stage = 4096;
+  config.threshold = 1'000'000;
+  config.conservative_update = true;
+  config.shielding = true;
+  config.metrics = &registry;
+  core::MultistageFilter device(config);
+  run_device(state, device);
+  state.counters["telemetry_series"] =
+      static_cast<double>(registry.size());
+}
+BENCHMARK(BM_MultistageConservativeTelemetry);
+
+/// Sharded device with the registry attached at both layers (sharded
+/// mirror + per-shard inner instruments sharing series via labels) —
+/// compare with BM_ShardedDevice at the same Arg.
+void BM_ShardedDeviceTelemetry(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  telemetry::MetricsRegistry registry;
+  common::ThreadPool pool(shards > 1 ? shards - 1 : 0);
+  core::ShardedDeviceConfig sharded;
+  sharded.shards = shards;
+  sharded.seed = 1;
+  sharded.pool = shards > 1 ? &pool : nullptr;
+  sharded.metrics = &registry;
+  core::ShardedDevice device(
+      sharded, [&](std::uint32_t shard, std::uint64_t shard_seed_value) {
+        core::MultistageFilterConfig config;
+        config.flow_memory_entries = 8192 / shards;
+        config.depth = 4;
+        config.buckets_per_stage = 4096 / shards;
+        config.threshold = 1'000'000;
+        config.conservative_update = true;
+        config.shielding = true;
+        config.seed = shard_seed_value;
+        config.metrics = &registry;
+        config.metric_labels = {{"shard", std::to_string(shard)}};
+        return std::make_unique<core::MultistageFilter>(config);
+      });
+  run_device_batched(state, device);
+  report_shard_usage(state, device.end_interval());
+  state.counters["telemetry_series"] =
+      static_cast<double>(registry.size());
+}
+BENCHMARK(BM_ShardedDeviceTelemetry)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_TelemetryCounterAdd(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& counter = registry.counter("bench_counter");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    counter.add(++v & 0xFF);
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  telemetry::Histogram& histogram = registry.histogram("bench_histogram");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    histogram.record(v += 97);
+  }
+  benchmark::DoNotOptimize(histogram.sum());
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
+
+/// Cold-path price of one interval-aligned snapshot + JSON line, over a
+/// realistically sized registry (what ndtm --metrics pays per interval).
+void BM_TelemetrySnapshotJson(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  for (int s = 0; s < 8; ++s) {
+    const telemetry::Labels labels{{"shard", std::to_string(s)}};
+    registry.counter("nd_shard_packets_total", labels).add(1000);
+    registry.counter("nd_shard_bytes_total", labels).add(1'000'000);
+    registry.gauge("nd_shard_occupancy", labels).set(0.9);
+    registry.histogram("nd_pool_task_ns", labels).record(12345);
+  }
+  std::uint64_t interval = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        telemetry::to_json_line(registry.snapshot(interval++)));
+  }
+}
+BENCHMARK(BM_TelemetrySnapshotJson);
 
 void BM_SampledNetFlow(benchmark::State& state) {
   baseline::SampledNetFlowConfig config;

@@ -23,16 +23,46 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::attach_telemetry(telemetry::MetricsRegistry* registry,
+                                  telemetry::Labels labels) {
+  telemetry::Gauge* depth = nullptr;
+  telemetry::Counter* tasks = nullptr;
+  telemetry::Histogram* latency = nullptr;
+  if (registry != nullptr) {
+    depth = &registry->gauge("nd_pool_queue_depth", labels);
+    tasks = &registry->counter("nd_pool_tasks_total", labels);
+    latency = &registry->histogram("nd_pool_task_ns", std::move(labels));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tm_queue_depth_ = depth;
+  tm_tasks_ = tasks;
+  tm_task_ns_ = latency;
+}
+
+void ThreadPool::run_task(std::packaged_task<void()>& task) {
+  telemetry::Histogram* latency;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    latency = tm_task_ns_;
+    if (tm_tasks_ != nullptr) tm_tasks_->increment();
+  }
+  const telemetry::ScopedTimer timer(latency);
+  task();  // packaged_task captures exceptions into the future
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   if (workers_.empty()) {
-    packaged();  // inline mode
+    run_task(packaged);  // inline mode
     return future;
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(packaged));
+    if (tm_queue_depth_ != nullptr) {
+      tm_queue_depth_->set(static_cast<double>(queue_.size()));
+    }
   }
   wake_.notify_one();
   return future;
@@ -41,13 +71,20 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
+    telemetry::Histogram* latency = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      latency = tm_task_ns_;
+      if (tm_tasks_ != nullptr) tm_tasks_->increment();
+      if (tm_queue_depth_ != nullptr) {
+        tm_queue_depth_->set(static_cast<double>(queue_.size()));
+      }
     }
+    const telemetry::ScopedTimer timer(latency);
     task();  // packaged_task captures exceptions into the future
   }
 }

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace nd::common {
 
 class ThreadPool {
@@ -41,17 +43,33 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Export pool telemetry into `registry` (nd_pool_queue_depth gauge,
+  /// nd_pool_tasks_total counter, nd_pool_task_ns latency histogram),
+  /// optionally tagged with `labels`. The instrument pointers are
+  /// published under the queue mutex, so attaching is safe while tasks
+  /// run; nullptr detaches. Updates happen at submit/execute time —
+  /// never on a path a caller's packet loop touches.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::Labels labels = {});
+
   /// A sensible worker count for this machine (>= 1).
   [[nodiscard]] static std::size_t default_thread_count();
 
  private:
   void worker_loop();
+  void run_task(std::packaged_task<void()>& task);
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_{false};
+  /// Telemetry instruments; null when no registry is attached. Guarded
+  /// by mutex_ for publication; readers load them under the same mutex
+  /// round trip every task already pays.
+  telemetry::Gauge* tm_queue_depth_{nullptr};
+  telemetry::Counter* tm_tasks_{nullptr};
+  telemetry::Histogram* tm_task_ns_{nullptr};
 };
 
 }  // namespace nd::common

@@ -40,6 +40,11 @@ struct ShardStatus {
   double smoothed_usage{0.0};
   std::size_t entries_used{0};
   std::size_t capacity{0};
+  /// Packets/bytes this shard received during the interval (always
+  /// tracked by ShardedDevice; zero for unsharded reports). These are
+  /// what the load-imbalance diagnostics summarize.
+  std::uint64_t packets{0};
+  common::ByteCount bytes{0};
 };
 
 struct Report {

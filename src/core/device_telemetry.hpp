@@ -1,0 +1,84 @@
+// Hot-path telemetry handles shared by the measurement devices.
+//
+// A device constructed without a registry leaves every pointer null and
+// pays exactly one predictable branch per packet (`enabled()`); with a
+// registry attached the per-packet cost is a handful of relaxed atomic
+// increments. All registration happens at construction — never on the
+// packet path — so two replicas asking for the same (name, labels)
+// series share one atomic and aggregate for free.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace nd::core {
+
+struct DeviceInstruments {
+  // Per-packet (hot; guard with enabled()).
+  telemetry::Counter* packets{nullptr};
+  telemetry::Counter* bytes{nullptr};
+  telemetry::Histogram* packet_size{nullptr};
+  telemetry::Counter* flowmem_hits{nullptr};
+  telemetry::Counter* flowmem_inserts{nullptr};
+  telemetry::Counter* flowmem_insert_drops{nullptr};
+  // Per-interval (cold; null-checked individually).
+  telemetry::Counter* flowmem_evictions{nullptr};
+  telemetry::Counter* intervals{nullptr};
+  telemetry::Gauge* flowmem_occupancy{nullptr};
+  telemetry::Gauge* threshold{nullptr};
+
+  [[nodiscard]] bool enabled() const { return packets != nullptr; }
+
+  /// Register the standard device series under `labels` plus a
+  /// device="<name>" tag. A null registry returns all-null handles.
+  static DeviceInstruments attach(telemetry::MetricsRegistry* registry,
+                                  telemetry::Labels labels,
+                                  const std::string& device_name) {
+    DeviceInstruments tm;
+    if (registry == nullptr) return tm;
+    labels.emplace_back("device", device_name);
+    tm.packets = &registry->counter("nd_device_packets_total", labels);
+    tm.bytes = &registry->counter("nd_device_bytes_total", labels);
+    tm.packet_size =
+        &registry->histogram("nd_device_packet_size_bytes", labels);
+    tm.flowmem_hits =
+        &registry->counter("nd_flowmem_hits_total", labels);
+    tm.flowmem_inserts =
+        &registry->counter("nd_flowmem_inserts_total", labels);
+    tm.flowmem_insert_drops =
+        &registry->counter("nd_flowmem_insert_drops_total", labels);
+    tm.flowmem_evictions =
+        &registry->counter("nd_flowmem_evictions_total", labels);
+    tm.intervals = &registry->counter("nd_device_intervals_total", labels);
+    tm.flowmem_occupancy =
+        &registry->gauge("nd_flowmem_occupancy", labels);
+    tm.threshold = &registry->gauge("nd_device_threshold", labels);
+    return tm;
+  }
+
+  /// Hot path: call only when enabled().
+  void on_packet(std::uint32_t packet_bytes) {
+    packets->increment();
+    bytes->add(packet_bytes);
+    packet_size->record(packet_bytes);
+  }
+
+  /// Cold path, once per interval: occupancy is the pre-cleanup usage
+  /// the threshold adaptor steers on; `evicted` the entries the
+  /// end-of-interval policy removed.
+  void on_end_interval(std::size_t entries_used, std::size_t capacity,
+                       std::size_t evicted,
+                       std::uint64_t current_threshold) {
+    if (!enabled()) return;
+    intervals->increment();
+    flowmem_evictions->add(evicted);
+    flowmem_occupancy->set(capacity == 0
+                               ? 0.0
+                               : static_cast<double>(entries_used) /
+                                     static_cast<double>(capacity));
+    threshold->set(static_cast<double>(current_threshold));
+  }
+};
+
+}  // namespace nd::core

@@ -13,10 +13,45 @@ MeasurementSession::MeasurementSession(
                                         : 1)),
       current_end_ns_(0) {}
 
+void MeasurementSession::attach_telemetry(
+    telemetry::MetricsRegistry* registry,
+    telemetry::JsonLinesExporter* exporter) {
+  tm_registry_ = registry;
+  tm_exporter_ = registry == nullptr ? nullptr : exporter;
+  if (registry == nullptr) {
+    tm_packets_ = nullptr;
+    tm_unclassified_ = nullptr;
+    tm_intervals_ = nullptr;
+    tm_effective_threshold_ = nullptr;
+    return;
+  }
+  tm_packets_ = &registry->counter("nd_session_packets_total");
+  tm_unclassified_ =
+      &registry->counter("nd_session_unclassified_total");
+  tm_intervals_ = &registry->counter("nd_session_intervals_total");
+  tm_effective_threshold_ =
+      &registry->gauge("nd_session_effective_threshold");
+}
+
+void MeasurementSession::on_interval_closed(const Report& report) {
+  if (tm_registry_ == nullptr) return;
+  tm_intervals_->increment();
+  tm_packets_->add(packets_ - tm_packets_flushed_);
+  tm_packets_flushed_ = packets_;
+  tm_unclassified_->add(unclassified_ - tm_unclassified_flushed_);
+  tm_unclassified_flushed_ = unclassified_;
+  tm_effective_threshold_->set(
+      static_cast<double>(effective_threshold(report)));
+  if (tm_exporter_ != nullptr) {
+    tm_exporter_->write(*tm_registry_, report.interval);
+  }
+}
+
 void MeasurementSession::close_intervals_until(
     common::TimestampNs timestamp_ns) {
   while (timestamp_ns >= current_end_ns_) {
     pending_.push_back(device_->end_interval());
+    on_interval_closed(pending_.back());
     ++intervals_closed_;
     current_end_ns_ += interval_ns_;
   }
@@ -48,6 +83,7 @@ std::vector<Report> MeasurementSession::drain_reports() {
 std::vector<Report> MeasurementSession::finish() {
   if (started_) {
     pending_.push_back(device_->end_interval());
+    on_interval_closed(pending_.back());
     ++intervals_closed_;
   }
   return drain_reports();

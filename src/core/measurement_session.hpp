@@ -15,6 +15,8 @@
 #include "core/device.hpp"
 #include "packet/flow_definition.hpp"
 #include "packet/packet.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace nd::core {
 
@@ -48,8 +50,20 @@ class MeasurementSession {
     return intervals_closed_;
   }
 
+  /// Export session telemetry into `registry` (packet/unclassified/
+  /// interval counters, effective-threshold gauge) and, when `exporter`
+  /// is also given, write one interval-aligned JSON-lines snapshot of
+  /// the whole registry per closed interval. Neither is owned; both
+  /// must outlive the session. The registry should be the same one the
+  /// device was constructed with so snapshots carry the device series
+  /// too. Null detaches.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::JsonLinesExporter* exporter = nullptr);
+
  private:
   void close_intervals_until(common::TimestampNs timestamp_ns);
+  /// Telemetry hook, called after each interval's report is queued.
+  void on_interval_closed(const Report& report);
 
   std::unique_ptr<MeasurementDevice> device_;
   packet::FlowDefinition definition_;
@@ -60,6 +74,17 @@ class MeasurementSession {
   std::uint64_t unclassified_{0};
   common::IntervalIndex intervals_closed_{0};
   std::vector<Report> pending_;
+  /// Telemetry state; null when detached.
+  telemetry::MetricsRegistry* tm_registry_{nullptr};
+  telemetry::JsonLinesExporter* tm_exporter_{nullptr};
+  telemetry::Counter* tm_packets_{nullptr};
+  telemetry::Counter* tm_unclassified_{nullptr};
+  telemetry::Counter* tm_intervals_{nullptr};
+  telemetry::Gauge* tm_effective_threshold_{nullptr};
+  /// Totals already flushed into the counters (counters advance by
+  /// interval deltas at each close).
+  std::uint64_t tm_packets_flushed_{0};
+  std::uint64_t tm_unclassified_flushed_{0};
 };
 
 }  // namespace nd::core

@@ -7,7 +7,26 @@ namespace nd::core {
 MultistageFilter::MultistageFilter(const MultistageFilterConfig& config)
     : config_(config),
       memory_(config.flow_memory_entries, config.seed ^ 0xF117E2ULL),
+      tm_(DeviceInstruments::attach(config.metrics, config.metric_labels,
+                                    config.serial
+                                        ? "serial-multistage-filter"
+                                        : "multistage-filter")),
       bucket_scratch_(config.depth) {
+  if (config_.metrics != nullptr) {
+    telemetry::Labels labels = config_.metric_labels;
+    labels.emplace_back("device", config_.serial
+                                      ? "serial-multistage-filter"
+                                      : "multistage-filter");
+    tm_shielded_ =
+        &config_.metrics->counter("nd_filter_shielded_total", labels);
+    tm_stage_pass_.reserve(config_.depth);
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      telemetry::Labels stage_labels = labels;
+      stage_labels.emplace_back("stage", std::to_string(d));
+      tm_stage_pass_.push_back(&config_.metrics->counter(
+          "nd_filter_stage_pass_total", stage_labels));
+    }
+  }
   hash::HashFamily family(config_.seed, config_.hash_kind);
   hashes_.reserve(config_.depth);
   stages_.reserve(config_.depth);
@@ -29,8 +48,10 @@ void MultistageFilter::admit(const packet::FlowKey& key,
   flowmem::FlowEntry* entry = memory_.insert(key, interval_);
   if (entry == nullptr) {
     ++dropped_passes_;
+    if (tm_.enabled()) tm_.flowmem_insert_drops->increment();
     return;
   }
+  if (tm_.enabled()) tm_.flowmem_inserts->increment();
   flowmem::FlowMemory::add_bytes(*entry, bytes);
 }
 
@@ -57,9 +78,12 @@ void MultistageFilter::observe_batch(
 void MultistageFilter::observe_impl(const packet::FlowKey& key,
                                     std::uint64_t fp, std::uint32_t bytes) {
   ++packets_;
+  if (tm_.enabled()) tm_.on_packet(bytes);
   if (flowmem::FlowEntry* entry = memory_.find(key)) {
     flowmem::FlowMemory::add_bytes(*entry, bytes);
+    if (tm_.enabled()) tm_.flowmem_hits->increment();
     if (config_.shielding) {
+      if (tm_.enabled()) tm_shielded_->increment();
       return;  // entry-holding flows no longer touch the filter
     }
     // Without shielding the packet still feeds the stage counters (it
@@ -91,6 +115,17 @@ void MultistageFilter::observe_parallel(const packet::FlowKey& key,
   // passes iff the *smallest* counter would reach the threshold.
   const common::ByteCount new_min = min_counter + bytes;
   const bool passes = new_min >= config_.threshold;
+
+  if (tm_.enabled()) {
+    // A stage "passes" when its counter alone would let the packet
+    // through; the ratio between consecutive stages is the Lemma 1
+    // attenuation the filter delivers on this trace.
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      if (stages_[d][bucket_scratch_[d]] + bytes >= config_.threshold) {
+        tm_stage_pass_[d]->increment();
+      }
+    }
+  }
 
   if (passes && config_.conservative_update) {
     // Second conservative-update rule: the admitted packet leaves the
@@ -124,7 +159,9 @@ void MultistageFilter::observe_serial(const packet::FlowKey& key,
     bool would_pass = true;
     for (std::uint32_t d = 0; d < config_.depth; ++d) {
       bucket_scratch_[d] = hashes_[d].bucket(fp);
-      if (stages_[d][bucket_scratch_[d]] + bytes < serial_stage_threshold_) {
+      if (stages_[d][bucket_scratch_[d]] + bytes >= serial_stage_threshold_) {
+        if (tm_.enabled()) tm_stage_pass_[d]->increment();
+      } else {
         would_pass = false;
         // Later stages never see the packet, but earlier ones (and this
         // one) do; stop resolving buckets past the blocking stage.
@@ -152,6 +189,7 @@ void MultistageFilter::observe_serial(const packet::FlowKey& key,
     if (counter < serial_stage_threshold_) {
       return;
     }
+    if (tm_.enabled()) tm_stage_pass_[d]->increment();
   }
   admit(key, bytes);
 }
@@ -173,6 +211,9 @@ Report MultistageFilter::end_interval() {
       config_.early_removal_fraction *
       static_cast<double>(config_.threshold));
   memory_.end_interval(policy);
+  tm_.on_end_interval(report.entries_used, memory_.capacity(),
+                      report.entries_used - memory_.entries_used(),
+                      config_.threshold);
 
   // "...only reinitializing stage counters" (Section 3.3.1).
   for (auto& stage : stages_) {

@@ -28,6 +28,7 @@
 
 #include "common/rng.hpp"
 #include "core/device.hpp"
+#include "core/device_telemetry.hpp"
 #include "flowmem/flow_memory.hpp"
 #include "hash/hash.hpp"
 
@@ -48,6 +49,12 @@ struct MultistageFilterConfig {
   double early_removal_fraction{0.15};
   hash::HashKind hash_kind{hash::HashKind::kTabulation};
   std::uint64_t seed{1};
+  /// Export runtime telemetry into this registry (not owned; must
+  /// outlive the device). Null — the default — compiles the hot path
+  /// down to one predictable branch per packet.
+  telemetry::MetricsRegistry* metrics{nullptr};
+  /// Extra labels for every series (e.g. {{"shard", "3"}}).
+  telemetry::Labels metric_labels{};
 };
 
 class MultistageFilter final : public MeasurementDevice {
@@ -103,6 +110,12 @@ class MultistageFilter final : public MeasurementDevice {
 
   MultistageFilterConfig config_;
   flowmem::FlowMemory memory_;
+  DeviceInstruments tm_;
+  /// Per-stage pass counters (nd_filter_stage_pass_total{stage="d"});
+  /// empty when telemetry is off.
+  std::vector<telemetry::Counter*> tm_stage_pass_;
+  /// Packets shielded by an existing flow-memory entry.
+  telemetry::Counter* tm_shielded_{nullptr};
   std::vector<hash::StageHash> hashes_;
   std::vector<std::vector<common::ByteCount>> stages_;
   /// Scratch bucket indices, sized depth (avoids per-packet allocation).

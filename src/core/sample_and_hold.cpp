@@ -8,7 +8,9 @@ namespace nd::core {
 SampleAndHold::SampleAndHold(const SampleAndHoldConfig& config)
     : config_(config),
       rng_(config.seed),
-      memory_(config.flow_memory_entries, config.seed ^ 0x5AD0115ULL) {
+      memory_(config.flow_memory_entries, config.seed ^ 0x5AD0115ULL),
+      tm_(DeviceInstruments::attach(config.metrics, config.metric_labels,
+                                    "sample-and-hold")) {
   refresh_probability();
   skip_ = rng_.geometric(probability_);
 }
@@ -71,16 +73,20 @@ void SampleAndHold::observe_batch(
 
 void SampleAndHold::observe(const packet::FlowKey& key, std::uint32_t bytes) {
   ++packets_;
+  if (tm_.enabled()) tm_.on_packet(bytes);
   if (flowmem::FlowEntry* entry = memory_.find(key)) {
     flowmem::FlowMemory::add_bytes(*entry, bytes);
+    if (tm_.enabled()) tm_.flowmem_hits->increment();
     return;
   }
   if (!sample_packet(bytes)) return;
   flowmem::FlowEntry* entry = memory_.insert(key, interval_);
   if (entry == nullptr) {
     ++dropped_samples_;
+    if (tm_.enabled()) tm_.flowmem_insert_drops->increment();
     return;
   }
+  if (tm_.enabled()) tm_.flowmem_inserts->increment();
   // The whole packet is counted, including bytes before the sampled one
   // (Section 7.1.1 notes the real algorithm is more accurate than the
   // byte model for exactly this reason).
@@ -113,6 +119,9 @@ Report SampleAndHold::end_interval() {
       config_.early_removal_fraction *
       static_cast<double>(config_.threshold));
   memory_.end_interval(policy);
+  tm_.on_end_interval(report.entries_used, memory_.capacity(),
+                      report.entries_used - memory_.entries_used(),
+                      config_.threshold);
 
   ++interval_;
   return report;

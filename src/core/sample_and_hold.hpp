@@ -25,6 +25,7 @@
 
 #include "common/rng.hpp"
 #include "core/device.hpp"
+#include "core/device_telemetry.hpp"
 #include "flowmem/flow_memory.hpp"
 
 namespace nd::core {
@@ -50,6 +51,12 @@ struct SampleAndHoldConfig {
   /// so this defaults off).
   bool add_sampling_correction{false};
   std::uint64_t seed{1};
+  /// Export runtime telemetry into this registry (not owned; must
+  /// outlive the device). Null — the default — compiles the hot path
+  /// down to one predictable branch per packet.
+  telemetry::MetricsRegistry* metrics{nullptr};
+  /// Extra labels for every series (e.g. {{"shard", "3"}}).
+  telemetry::Labels metric_labels{};
 };
 
 class SampleAndHold final : public MeasurementDevice {
@@ -90,6 +97,7 @@ class SampleAndHold final : public MeasurementDevice {
   SampleAndHoldConfig config_;
   common::Rng rng_;
   flowmem::FlowMemory memory_;
+  DeviceInstruments tm_;
   double probability_{0.0};
   /// Precomputed ps = 1-(1-p)^s for s = 0..1500 (table mode).
   std::vector<double> packet_probability_;

@@ -19,6 +19,8 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
   const std::uint32_t shards = std::max<std::uint32_t>(config.shards, 1);
   shards_.reserve(shards);
   shard_batches_.resize(shards);
+  interval_packets_.assign(shards, 0);
+  interval_bytes_.assign(shards, 0);
   for (std::uint32_t s = 0; s < shards; ++s) {
     shards_.push_back(factory(s, shard_seed(config.seed, s)));
   }
@@ -28,6 +30,34 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
   }
   if (config.adaptor) {
     enable_adaptation(*config.adaptor);
+  }
+  if (config.metrics != nullptr) {
+    telemetry::MetricsRegistry& registry = *config.metrics;
+    const telemetry::Labels& base = config.metric_labels;
+    tm_intervals_ = &registry.counter("nd_sharded_intervals_total", base);
+    tm_threshold_raises_ =
+        &registry.counter("nd_shard_threshold_raises_total", base);
+    tm_threshold_lowers_ =
+        &registry.counter("nd_shard_threshold_lowers_total", base);
+    tm_effective_threshold_ =
+        &registry.gauge("nd_sharded_effective_threshold", base);
+    tm_merge_ns_ = &registry.histogram("nd_shard_merge_ns", base);
+    tm_shard_packets_.reserve(shards);
+    tm_shard_bytes_.reserve(shards);
+    tm_shard_threshold_.reserve(shards);
+    tm_shard_occupancy_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      telemetry::Labels labels = base;
+      labels.emplace_back("shard", std::to_string(s));
+      tm_shard_packets_.push_back(
+          &registry.counter("nd_shard_packets_total", labels));
+      tm_shard_bytes_.push_back(
+          &registry.counter("nd_shard_bytes_total", labels));
+      tm_shard_threshold_.push_back(
+          &registry.gauge("nd_shard_threshold", labels));
+      tm_shard_occupancy_.push_back(
+          &registry.gauge("nd_shard_occupancy", labels));
+    }
   }
 }
 
@@ -44,12 +74,19 @@ std::uint32_t ShardedDevice::shard_of(std::uint64_t fingerprint) const {
 
 void ShardedDevice::observe(const packet::FlowKey& key,
                             std::uint32_t bytes) {
-  shards_[shard_of(key.fingerprint())]->observe(key, bytes);
+  const std::uint32_t s = shard_of(key.fingerprint());
+  ++interval_packets_[s];
+  interval_bytes_[s] += bytes;
+  shards_[s]->observe(key, bytes);
 }
 
 void ShardedDevice::observe_batch(
     std::span<const packet::ClassifiedPacket> batch) {
   if (shards_.size() == 1) {
+    interval_packets_[0] += batch.size();
+    for (const packet::ClassifiedPacket& packet : batch) {
+      interval_bytes_[0] += packet.bytes;
+    }
     shards_.front()->observe_batch(batch);
     return;
   }
@@ -59,7 +96,10 @@ void ShardedDevice::observe_batch(
     shard_batch.clear();
   }
   for (const packet::ClassifiedPacket& packet : batch) {
-    shard_batches_[shard_of(packet.fingerprint)].push_back(packet);
+    const std::uint32_t s = shard_of(packet.fingerprint);
+    ++interval_packets_[s];
+    interval_bytes_[s] += packet.bytes;
+    shard_batches_[s].push_back(packet);
   }
   if (pool_ == nullptr || pool_->size() == 0) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -86,6 +126,7 @@ Report ShardedDevice::end_interval() {
   // Close every shard's interval (in parallel when a pool is attached —
   // the per-shard flow-memory rebuilds are independent), then merge in
   // shard order so the merged report is deterministic.
+  const telemetry::ScopedTimer merge_timer(tm_merge_ns_);
   std::vector<Report> reports(shards_.size());
   if (pool_ != nullptr && pool_->size() > 0 && shards_.size() > 1) {
     std::vector<std::future<void>> pending;
@@ -117,12 +158,22 @@ Report ShardedDevice::end_interval() {
     status.threshold = report.threshold;
     status.entries_used = report.entries_used;
     status.capacity = shards_[s]->flow_memory_capacity();
+    status.packets = interval_packets_[s];
+    status.bytes = interval_bytes_[s];
     if (adaptive()) {
+      const common::ByteCount previous = shards_[s]->threshold();
       const common::ByteCount next = adaptors_[s].update(
-          shards_[s]->threshold(), report.entries_used, status.capacity);
+          previous, report.entries_used, status.capacity);
       shards_[s]->set_threshold(next);
       status.next_threshold = next;
       status.smoothed_usage = adaptors_[s].smoothed_usage();
+      // Adaptor decisions as events: how often shards steer, and in
+      // which direction.
+      if (next > previous && tm_threshold_raises_ != nullptr) {
+        tm_threshold_raises_->increment();
+      } else if (next < previous && tm_threshold_lowers_ != nullptr) {
+        tm_threshold_lowers_->increment();
+      }
     } else {
       status.next_threshold = status.threshold;
       status.smoothed_usage =
@@ -140,6 +191,27 @@ Report ShardedDevice::end_interval() {
     merged.flows.insert(merged.flows.end(), report.flows.begin(),
                         report.flows.end());
   }
+
+  // Mirror the interval tallies into the registry (interval deltas into
+  // counters, instantaneous state into gauges), then reset them.
+  if (tm_intervals_ != nullptr) {
+    tm_intervals_->increment();
+    tm_effective_threshold_->set(static_cast<double>(merged.threshold));
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const ShardStatus& status = merged.shards[s];
+      tm_shard_packets_[s]->add(status.packets);
+      tm_shard_bytes_[s]->add(status.bytes);
+      tm_shard_threshold_[s]->set(
+          static_cast<double>(status.next_threshold));
+      tm_shard_occupancy_[s]->set(
+          status.capacity == 0
+              ? 0.0
+              : static_cast<double>(status.entries_used) /
+                    static_cast<double>(status.capacity));
+    }
+  }
+  std::fill(interval_packets_.begin(), interval_packets_.end(), 0);
+  std::fill(interval_bytes_.begin(), interval_bytes_.end(), 0);
   return merged;
 }
 

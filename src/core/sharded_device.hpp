@@ -35,6 +35,7 @@
 #include "common/thread_pool.hpp"
 #include "core/device.hpp"
 #include "core/threshold_adaptor.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace nd::core {
 
@@ -51,6 +52,15 @@ struct ShardedDeviceConfig {
   /// heterogeneous threshold into the next interval. Unset reproduces
   /// the uniform-threshold device bit for bit.
   std::optional<ThresholdAdaptorConfig> adaptor{};
+  /// Export runtime telemetry into this registry (not owned; must
+  /// outlive the device). The sharded layer mirrors its always-on
+  /// per-shard tallies once per interval — the packet path never
+  /// touches an atomic, so a null registry costs literally nothing.
+  /// Inner-device telemetry is the factory's business: pass the same
+  /// registry with {"shard", "<s>"} labels to the replica configs.
+  telemetry::MetricsRegistry* metrics{nullptr};
+  /// Extra labels for every series this layer registers.
+  telemetry::Labels metric_labels{};
 };
 
 class ShardedDevice final : public MeasurementDevice {
@@ -120,6 +130,23 @@ class ShardedDevice final : public MeasurementDevice {
 
  private:
   std::vector<std::unique_ptr<MeasurementDevice>> shards_;
+  /// Always-on per-interval packet/byte tallies, indexed by shard.
+  /// Updated on the caller's thread (observe and the partition loop run
+  /// before any fan-out), reset at end_interval; they fill
+  /// ShardStatus::packets/bytes and feed the telemetry mirror.
+  std::vector<std::uint64_t> interval_packets_;
+  std::vector<common::ByteCount> interval_bytes_;
+  /// Telemetry handles; null/empty when no registry. Written only at
+  /// end_interval (interval deltas added to counters, gauges set).
+  std::vector<telemetry::Counter*> tm_shard_packets_;
+  std::vector<telemetry::Counter*> tm_shard_bytes_;
+  std::vector<telemetry::Gauge*> tm_shard_threshold_;
+  std::vector<telemetry::Gauge*> tm_shard_occupancy_;
+  telemetry::Counter* tm_intervals_{nullptr};
+  telemetry::Counter* tm_threshold_raises_{nullptr};
+  telemetry::Counter* tm_threshold_lowers_{nullptr};
+  telemetry::Gauge* tm_effective_threshold_{nullptr};
+  telemetry::Histogram* tm_merge_ns_{nullptr};
   /// Routing salt mixed into the fingerprint before shard reduction, so
   /// shard routing is independent of the devices' own stage hashes.
   std::uint64_t route_salt_;

@@ -1,14 +1,24 @@
 #include "eval/driver.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 
+#include "common/format.hpp"
+#include "eval/table.hpp"
 #include "trace/stats.hpp"
 
 namespace nd::eval {
 
 Driver::Driver(packet::FlowDefinition definition, DriverOptions options)
-    : definition_(std::move(definition)), options_(std::move(options)) {}
+    : definition_(std::move(definition)), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    tm_intervals_ = &options_.metrics->counter("nd_driver_intervals_total");
+    tm_packets_ = &options_.metrics->counter("nd_driver_packets_total");
+    tm_interval_ns_ =
+        &options_.metrics->histogram("nd_driver_interval_ns");
+  }
+}
 
 void Driver::add_device(std::string label, core::MeasurementDevice& device) {
   DeviceSlot slot;
@@ -54,6 +64,8 @@ void Driver::process_slot(DeviceSlot& slot, bool evaluated) {
       track.usage.observe(status.smoothed_usage);
       track.max_entries_used =
           std::max(track.max_entries_used, status.entries_used);
+      track.packets += status.packets;
+      track.bytes += status.bytes;
     }
   }
   if (slot.groups) {
@@ -74,6 +86,7 @@ void Driver::process_slot(DeviceSlot& slot, bool evaluated) {
 
 void Driver::observe_interval(
     std::span<const packet::PacketRecord> packets) {
+  const telemetry::ScopedTimer interval_timer(tm_interval_ns_);
   // Classify once, into the reusable batch buffer; all devices see the
   // identical classified stream through the batched fast path.
   batch_.clear();
@@ -107,6 +120,15 @@ void Driver::observe_interval(
     process_slot(devices_.front(), evaluated);
     for (std::future<void>& future : pending) {
       future.get();
+    }
+  }
+  if (tm_intervals_ != nullptr) {
+    tm_intervals_->increment();
+    tm_packets_->add(batch_.size());
+    // Interval-aligned snapshot: every device has closed its interval,
+    // so the registry state is a consistent end-of-interval view.
+    if (options_.snapshot_sink) {
+      options_.snapshot_sink(options_.metrics->snapshot(interval_index_));
     }
   }
   ++interval_index_;
@@ -160,6 +182,52 @@ DeviceResult run_single(core::MeasurementDevice& device,
   trace::TraceSynthesizer synthesizer(config);
   driver.run(synthesizer);
   return driver.results().front();
+}
+
+std::string shard_table(const DeviceResult& result) {
+  if (result.shards.empty()) return {};
+  std::uint64_t total_packets = 0;
+  std::uint64_t max_packets = 0;
+  common::ByteCount total_bytes = 0;
+  common::ByteCount max_bytes = 0;
+  for (const DeviceResult::ShardTrack& track : result.shards) {
+    total_packets += track.packets;
+    total_bytes += track.bytes;
+    max_packets = std::max(max_packets, track.packets);
+    max_bytes = std::max(max_bytes, track.bytes);
+  }
+
+  TextTable table({"Shard", "Final threshold", "Mean usage", "Max entries",
+                   "Packets", "Bytes", "Share"});
+  for (std::size_t s = 0; s < result.shards.size(); ++s) {
+    const DeviceResult::ShardTrack& track = result.shards[s];
+    const double share =
+        total_packets == 0
+            ? 0.0
+            : static_cast<double>(track.packets) /
+                  static_cast<double>(total_packets);
+    table.add_row({std::to_string(s),
+                   common::format_bytes(track.final_threshold),
+                   common::format_percent(track.usage.value(), 1),
+                   common::format_count(track.max_entries_used),
+                   common::format_count(track.packets),
+                   common::format_bytes(track.bytes),
+                   common::format_percent(share, 1)});
+  }
+
+  std::string out = table.to_string();
+  if (total_packets > 0 && total_bytes > 0) {
+    const double shards = static_cast<double>(result.shards.size());
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "load imbalance (max/mean): packets %.2f, bytes %.2f\n",
+                  static_cast<double>(max_packets) /
+                      (static_cast<double>(total_packets) / shards),
+                  static_cast<double>(max_bytes) /
+                      (static_cast<double>(total_bytes) / shards));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace nd::eval

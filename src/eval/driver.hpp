@@ -25,6 +25,7 @@
 #include "eval/time_series.hpp"
 #include "packet/classified_packet.hpp"
 #include "packet/flow_definition.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/synthesizer.hpp"
 
 namespace nd::eval {
@@ -46,6 +47,16 @@ struct DriverOptions {
   /// Purely a throughput knob — results are identical with or without
   /// it. Not owned; must outlive the driver.
   common::ThreadPool* pool{nullptr};
+  /// Export driver telemetry (interval latency histogram, packet and
+  /// interval counters) into this registry. Not owned; must outlive the
+  /// driver. Telemetry never feeds back into measurement, so results
+  /// are identical with or without it.
+  telemetry::MetricsRegistry* metrics{nullptr};
+  /// When set together with `metrics`, the driver takes one registry
+  /// snapshot after every interval (interval-aligned, after all devices
+  /// closed) and hands it here — wire a JsonLinesExporter::write or any
+  /// other consumer in.
+  std::function<void(const telemetry::Snapshot&)> snapshot_sink{};
 };
 
 struct DeviceResult {
@@ -75,6 +86,10 @@ struct DeviceResult {
     /// Mean smoothed usage over the evaluated intervals.
     Mean usage;
     std::size_t max_entries_used{0};
+    /// Traffic the shard received over the evaluated intervals (feeds
+    /// the load-imbalance columns).
+    std::uint64_t packets{0};
+    common::ByteCount bytes{0};
   };
   std::vector<ShardTrack> shards;
 };
@@ -110,6 +125,10 @@ class Driver {
   DriverOptions options_;
   std::vector<DeviceSlot> devices_;
   std::uint32_t interval_index_{0};
+  /// Driver-level instruments; null when DriverOptions::metrics unset.
+  telemetry::Counter* tm_intervals_{nullptr};
+  telemetry::Counter* tm_packets_{nullptr};
+  telemetry::Histogram* tm_interval_ns_{nullptr};
   /// Reusable classified-batch buffer and ground truth for the interval
   /// being processed (truth_ is read-only while devices fan out).
   std::vector<packet::ClassifiedPacket> batch_;
@@ -122,5 +141,12 @@ class Driver {
                                       const trace::TraceConfig& config,
                                       const packet::FlowDefinition& definition,
                                       const DriverOptions& options);
+
+/// Render a sharded device's per-shard columns — final threshold, mean
+/// usage, peak entries, and the traffic tallies with each shard's share
+/// — followed by the max/mean load-imbalance line (the same ratio
+/// eval::summarize_shards reports per interval, here over the whole
+/// run). Empty string for devices without ShardStatus annotations.
+[[nodiscard]] std::string shard_table(const DeviceResult& result);
 
 }  // namespace nd::eval

@@ -64,15 +64,32 @@ ShardUsageSummary summarize_shards(const core::Report& report) {
   summary.min_usage = report.shards.front().smoothed_usage;
   summary.min_threshold = report.shards.front().threshold;
   double usage_sum = 0.0;
+  std::uint64_t max_packets = 0;
+  common::ByteCount max_bytes = 0;
   for (const core::ShardStatus& shard : report.shards) {
     summary.min_usage = std::min(summary.min_usage, shard.smoothed_usage);
     summary.max_usage = std::max(summary.max_usage, shard.smoothed_usage);
     summary.min_threshold = std::min(summary.min_threshold, shard.threshold);
     summary.max_threshold = std::max(summary.max_threshold, shard.threshold);
     usage_sum += shard.smoothed_usage;
+    summary.total_packets += shard.packets;
+    summary.total_bytes += shard.bytes;
+    max_packets = std::max(max_packets, shard.packets);
+    max_bytes = std::max(max_bytes, shard.bytes);
   }
   summary.mean_usage =
       usage_sum / static_cast<double>(summary.shard_count);
+  const double shards = static_cast<double>(summary.shard_count);
+  if (summary.total_packets > 0) {
+    summary.packet_imbalance =
+        static_cast<double>(max_packets) /
+        (static_cast<double>(summary.total_packets) / shards);
+  }
+  if (summary.total_bytes > 0) {
+    summary.byte_imbalance =
+        static_cast<double>(max_bytes) /
+        (static_cast<double>(summary.total_bytes) / shards);
+  }
   return summary;
 }
 

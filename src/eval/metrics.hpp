@@ -58,6 +58,15 @@ struct ShardUsageSummary {
   double mean_usage{0.0};
   common::ByteCount min_threshold{0};
   common::ByteCount max_threshold{0};
+  /// Interval traffic totals from the per-shard packet/byte tallies.
+  std::uint64_t total_packets{0};
+  common::ByteCount total_bytes{0};
+  /// Load imbalance as max-shard over mean-shard load (1.0 = perfectly
+  /// balanced, k = the hottest shard sees k times its fair share; 0
+  /// when the interval carried no traffic). The RSS-style routing hash
+  /// should keep these near 1 for traces with many flows.
+  double packet_imbalance{0.0};
+  double byte_imbalance{0.0};
   /// True when every shard's usage lies in [lo, hi] — the Section 6
   /// target-band check applied shard by shard.
   [[nodiscard]] bool within_band(double lo, double hi) const {

@@ -23,4 +23,30 @@ core::Report CollectionChannel::deliver(const core::Report& report) {
   return delivered;
 }
 
+CollectionChannel::Delivered CollectionChannel::deliver(
+    const core::Report& report, std::string_view metrics_json) {
+  const std::uint64_t offered =
+      encoded_size(report, metrics_json.size());
+  Delivered out;
+  if (!metrics_json.empty() && offered <= budget_) {
+    // Everything fits: account for the trailer bytes on top of the
+    // regular record accounting.
+    out.report = deliver(report);
+    out.metrics_delivered = true;
+    const std::uint64_t trailer_bytes =
+        kTrailerLengthBytes + metrics_json.size();
+    stats_.bytes_offered += trailer_bytes;
+    stats_.bytes_delivered += trailer_bytes;
+    return out;
+  }
+  // Budget pressure (or no trailer): the trailer is dropped before any
+  // flow record is.
+  if (!metrics_json.empty()) {
+    stats_.bytes_offered += kTrailerLengthBytes + metrics_json.size();
+  }
+  out.report = deliver(report);
+  out.metrics_delivered = false;
+  return out;
+}
+
 }  // namespace nd::reporting

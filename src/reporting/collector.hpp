@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "core/device.hpp"
 #include "reporting/record_codec.hpp"
@@ -40,6 +41,17 @@ class CollectionChannel {
   /// Offer one interval's report; returns what actually arrives at the
   /// management station (a prefix of the report's records).
   core::Report deliver(const core::Report& report);
+
+  /// Offer a report plus a v3 metrics trailer. The trailer is the first
+  /// thing dropped under pressure — flow records keep priority on the
+  /// constrained link — so `metrics_delivered` is true only when the
+  /// whole payload (records and trailer) fit the interval budget.
+  struct Delivered {
+    core::Report report;
+    bool metrics_delivered{false};
+  };
+  Delivered deliver(const core::Report& report,
+                    std::string_view metrics_json);
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
 

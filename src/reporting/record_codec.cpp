@@ -40,13 +40,25 @@ std::size_t encoded_size(const core::Report& report) {
          report.shards.size() * kShardRecordBytes;
 }
 
+std::size_t encoded_size(const core::Report& report,
+                         std::size_t metrics_json_bytes) {
+  return encoded_size(report) +
+         (metrics_json_bytes == 0
+              ? 0
+              : kTrailerLengthBytes + metrics_json_bytes);
+}
+
 std::vector<std::uint8_t> encode(const core::Report& report,
-                                 packet::FlowKeyKind kind) {
+                                 packet::FlowKeyKind kind,
+                                 std::string_view metrics_json) {
   if (report.shards.size() > kMaxShards) {
     throw CodecError("reporting: too many shards for the wire format");
   }
+  if (metrics_json.size() > 0xFFFFFFFFULL) {
+    throw CodecError("reporting: metrics trailer too large");
+  }
   std::vector<std::uint8_t> out;
-  out.reserve(encoded_size(report));
+  out.reserve(encoded_size(report, metrics_json.size()));
   put_u32(out, kMagic);
   put_u16(out, kVersion);
   out.push_back(static_cast<std::uint8_t>(kind));
@@ -82,11 +94,17 @@ std::vector<std::uint8_t> encode(const core::Report& report,
     put_u32(out, static_cast<std::uint32_t>(shard.smoothed_usage * 1e6 +
                                             0.5));
     put_u32(out, 0);  // reserved
+    put_u64(out, shard.packets);
+    put_u64(out, shard.bytes);
+  }
+  if (!metrics_json.empty()) {
+    put_u32(out, static_cast<std::uint32_t>(metrics_json.size()));
+    out.insert(out.end(), metrics_json.begin(), metrics_json.end());
   }
   return out;
 }
 
-core::Report decode(std::span<const std::uint8_t> data) {
+DecodedReport decode_full(std::span<const std::uint8_t> data) {
   if (data.size() < kHeaderBytes) {
     throw CodecError("reporting: truncated header");
   }
@@ -94,21 +112,44 @@ core::Report decode(std::span<const std::uint8_t> data) {
     throw CodecError("reporting: bad magic");
   }
   const std::uint16_t version = get_u16(data, 4);
-  if (version != 1 && version != kVersion) {
+  if (version < 1 || version > kVersion) {
     throw CodecError("reporting: unsupported version");
   }
   const auto kind = static_cast<packet::FlowKeyKind>(data[6]);
-  // Version 1 wrote a reserved zero where version 2 carries the shard
-  // count; reading it unconditionally keeps v1 payloads decoding.
+  // Version 1 wrote a reserved zero where later versions carry the
+  // shard count; reading it unconditionally keeps v1 payloads decoding.
   const std::size_t shard_count = data[7];
-  core::Report report;
+  const std::size_t shard_record_bytes =
+      version == kVersion ? kShardRecordBytes : kShardRecordBytesV2;
+  DecodedReport decoded;
+  core::Report& report = decoded.report;
   report.interval = get_u32(data, 8);
   const std::uint32_t count = get_u32(data, 12);
   report.threshold = get_u64(data, 16);
 
-  if (data.size() !=
-      kHeaderBytes + count * kRecordBytes + shard_count * kShardRecordBytes) {
+  const std::size_t body_bytes = kHeaderBytes + count * kRecordBytes +
+                                 shard_count * shard_record_bytes;
+  if (data.size() < body_bytes) {
     throw CodecError("reporting: size does not match record count");
+  }
+  if (data.size() > body_bytes) {
+    // Only v3 may carry bytes past the shard records: the length-
+    // prefixed metrics trailer, which must account for them exactly.
+    if (version != kVersion) {
+      throw CodecError("reporting: size does not match record count");
+    }
+    if (data.size() < body_bytes + kTrailerLengthBytes) {
+      throw CodecError("reporting: truncated metrics trailer");
+    }
+    const std::size_t trailer_len = get_u32(data, body_bytes);
+    if (trailer_len == 0 ||
+        data.size() != body_bytes + kTrailerLengthBytes + trailer_len) {
+      throw CodecError("reporting: metrics trailer length mismatch");
+    }
+    decoded.metrics_json.assign(
+        reinterpret_cast<const char*>(
+            data.data() + body_bytes + kTrailerLengthBytes),
+        trailer_len);
   }
   report.flows.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -144,16 +185,24 @@ core::Report decode(std::span<const std::uint8_t> data) {
   report.shards.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     const std::size_t off =
-        kHeaderBytes + count * kRecordBytes + s * kShardRecordBytes;
+        kHeaderBytes + count * kRecordBytes + s * shard_record_bytes;
     core::ShardStatus status;
     status.threshold = get_u64(data, off);
     status.next_threshold = get_u64(data, off + 8);
     status.entries_used = get_u64(data, off + 16);
     status.capacity = get_u64(data, off + 24);
     status.smoothed_usage = static_cast<double>(get_u32(data, off + 32)) / 1e6;
+    if (version == kVersion) {
+      status.packets = get_u64(data, off + 40);
+      status.bytes = get_u64(data, off + 48);
+    }
     report.shards.push_back(status);
   }
-  return report;
+  return decoded;
+}
+
+core::Report decode(std::span<const std::uint8_t> data) {
+  return decode_full(data).report;
 }
 
 }  // namespace nd::reporting

@@ -1,0 +1,375 @@
+#include "telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace nd::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out += buffer;
+}
+
+void append_double(std::string& out, double value) {
+  char buffer[40];
+  // max_digits10 for double: round-trips through from_json_line exactly.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void append_labels_json(std::string& out, const Labels& labels) {
+  out += "\"labels\":{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    append_escaped(out, labels[i].first);
+    out += "\":\"";
+    append_escaped(out, labels[i].second);
+    out += '"';
+  }
+  out += "},";
+}
+
+/// Strict cursor over the emitted JSON subset. Skips no whitespace —
+/// to_json_line emits none, and strictness keeps the round-trip exact.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("expected '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+  }
+  [[nodiscard]] bool peek(char c) const {
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char esc = text_[pos_++];
+        if (esc == 'n') {
+          c = '\n';
+        } else if (esc == '"' || esc == '\\') {
+          c = esc;
+        } else {
+          fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' &&
+           text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected unsigned integer");
+    return std::strtoull(std::string(text_.substr(start, pos_ - start))
+                             .c_str(),
+                         nullptr, 10);
+  }
+
+  [[nodiscard]] double number() {
+    const std::size_t start = pos_;
+    auto numeric = [](char c) {
+      return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+             c == 'e' || c == 'E' || c == 'i' || c == 'n' || c == 'f';
+    };
+    while (pos_ < text_.size() && numeric(text_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::strtod(
+        std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+  }
+
+  void done() const {
+    if (pos_ != text_.size()) fail("trailing bytes after snapshot");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("telemetry: bad snapshot JSON at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+std::string_view kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+}  // namespace
+
+std::string to_json_line(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(64 + snapshot.samples.size() * 64);
+  out += "{\"interval\":";
+  append_u64(out, snapshot.interval);
+  out += ",\"metrics\":[";
+  for (std::size_t i = 0; i < snapshot.samples.size(); ++i) {
+    const Snapshot::Sample& sample = snapshot.samples[i];
+    if (i) out += ',';
+    out += "{\"name\":\"";
+    append_escaped(out, sample.name);
+    out += "\",";
+    if (!sample.labels.empty()) {
+      append_labels_json(out, sample.labels);
+    }
+    out += "\"kind\":\"";
+    out += kind_name(sample.kind);
+    out += '"';
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":";
+        append_u64(out, sample.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":";
+        append_double(out, sample.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"count\":";
+        append_u64(out, sample.histogram.count);
+        out += ",\"sum\":";
+        append_u64(out, sample.histogram.sum);
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b < sample.histogram.buckets.size(); ++b) {
+          if (b) out += ',';
+          out += '[';
+          append_u64(out, sample.histogram.buckets[b].first);
+          out += ',';
+          append_u64(out, sample.histogram.buckets[b].second);
+          out += ']';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Snapshot from_json_line(std::string_view line) {
+  Cursor cursor(line);
+  Snapshot snapshot;
+  cursor.expect('{');
+  cursor.expect_literal("\"interval\":");
+  snapshot.interval = cursor.u64();
+  cursor.expect_literal(",\"metrics\":[");
+  bool first = true;
+  while (!cursor.peek(']')) {
+    if (!first) cursor.expect(',');
+    first = false;
+    Snapshot::Sample sample;
+    cursor.expect('{');
+    cursor.expect_literal("\"name\":");
+    sample.name = cursor.string();
+    cursor.expect(',');
+    if (cursor.peek('"')) {
+      // Either "labels" or "kind"; disambiguate by reading the key.
+      const std::string key = cursor.string();
+      cursor.expect(':');
+      if (key == "labels") {
+        cursor.expect('{');
+        bool first_label = true;
+        while (!cursor.peek('}')) {
+          if (!first_label) cursor.expect(',');
+          first_label = false;
+          std::string label = cursor.string();
+          cursor.expect(':');
+          std::string value = cursor.string();
+          sample.labels.emplace_back(std::move(label), std::move(value));
+        }
+        cursor.expect('}');
+        cursor.expect_literal(",\"kind\":");
+      } else if (key != "kind") {
+        throw std::invalid_argument(
+            "telemetry: bad snapshot JSON: unexpected key '" + key + "'");
+      }
+    }
+    const std::string kind = cursor.string();
+    if (kind == "counter") {
+      sample.kind = MetricKind::kCounter;
+      cursor.expect_literal(",\"value\":");
+      sample.counter_value = cursor.u64();
+    } else if (kind == "gauge") {
+      sample.kind = MetricKind::kGauge;
+      cursor.expect_literal(",\"value\":");
+      sample.gauge_value = cursor.number();
+    } else if (kind == "histogram") {
+      sample.kind = MetricKind::kHistogram;
+      cursor.expect_literal(",\"count\":");
+      sample.histogram.count = cursor.u64();
+      cursor.expect_literal(",\"sum\":");
+      sample.histogram.sum = cursor.u64();
+      cursor.expect_literal(",\"buckets\":[");
+      bool first_bucket = true;
+      while (!cursor.peek(']')) {
+        if (!first_bucket) cursor.expect(',');
+        first_bucket = false;
+        cursor.expect('[');
+        const std::uint64_t bound = cursor.u64();
+        cursor.expect(',');
+        const std::uint64_t count = cursor.u64();
+        cursor.expect(']');
+        sample.histogram.buckets.emplace_back(bound, count);
+      }
+      cursor.expect(']');
+    } else {
+      throw std::invalid_argument(
+          "telemetry: bad snapshot JSON: unknown kind '" + kind + "'");
+    }
+    cursor.expect('}');
+    snapshot.samples.push_back(std::move(sample));
+  }
+  cursor.expect(']');
+  cursor.expect('}');
+  cursor.done();
+  return snapshot;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  auto append_series = [&](const std::string& name, const Labels& labels,
+                           const std::string& extra_label,
+                           const std::string& extra_value) {
+    out += name;
+    if (!labels.empty() || !extra_label.empty()) {
+      out += '{';
+      bool first = true;
+      for (const auto& [label, value] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += label;
+        out += "=\"";
+        append_escaped(out, value);
+        out += '"';
+      }
+      if (!extra_label.empty()) {
+        if (!first) out += ',';
+        out += extra_label;
+        out += "=\"";
+        out += extra_value;
+        out += '"';
+      }
+      out += '}';
+    }
+    out += ' ';
+  };
+
+  std::string last_name;
+  for (const Snapshot::Sample& sample : snapshot.samples) {
+    if (sample.name != last_name) {
+      out += "# TYPE ";
+      out += sample.name;
+      out += ' ';
+      out += kind_name(sample.kind);
+      out += '\n';
+      last_name = sample.name;
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        append_series(sample.name, sample.labels, "", "");
+        append_u64(out, sample.counter_value);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        append_series(sample.name, sample.labels, "", "");
+        append_double(out, sample.gauge_value);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (const auto& [bound, count] : sample.histogram.buckets) {
+          cumulative += count;
+          std::string le;
+          append_u64(le, bound);
+          append_series(sample.name + "_bucket", sample.labels, "le", le);
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        append_series(sample.name + "_bucket", sample.labels, "le",
+                      "+Inf");
+        append_u64(out, sample.histogram.count);
+        out += '\n';
+        append_series(sample.name + "_sum", sample.labels, "", "");
+        append_u64(out, sample.histogram.sum);
+        out += '\n';
+        append_series(sample.name + "_count", sample.labels, "", "");
+        append_u64(out, sample.histogram.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void JsonLinesExporter::write(const Snapshot& snapshot) {
+  *out_ << to_json_line(snapshot) << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+Snapshot JsonLinesExporter::write(const MetricsRegistry& registry,
+                                  std::uint64_t interval) {
+  Snapshot snapshot = registry.snapshot(interval);
+  write(snapshot);
+  return snapshot;
+}
+
+}  // namespace nd::telemetry

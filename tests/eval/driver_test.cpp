@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "baseline/exact_oracle.hpp"
 #include "core/multistage_filter.hpp"
 #include "core/sample_and_hold.hpp"
+#include "core/sharded_device.hpp"
 #include "trace/presets.hpp"
 
 namespace nd::eval {
@@ -100,6 +104,38 @@ TEST(Driver, TracksMaxEntries) {
                                  packet::FlowDefinition::five_tuple(),
                                  DriverOptions{});
   EXPECT_EQ(result.max_entries_used, 64u);
+}
+
+TEST(Driver, ShardTableRendersPerShardColumnsWithImbalance) {
+  core::ShardedDeviceConfig config;
+  config.shards = 2;
+  core::ShardedDevice device(
+      config, [](std::uint32_t, std::uint64_t seed) {
+        core::MultistageFilterConfig inner;
+        inner.flow_memory_entries = 64;
+        inner.depth = 2;
+        inner.buckets_per_stage = 64;
+        inner.threshold = 20'000;
+        inner.seed = seed;
+        return std::make_unique<core::MultistageFilter>(inner);
+      });
+  DriverOptions options;
+  options.metric_threshold = 10'000;
+  const auto result = run_single(device, tiny_trace(),
+                                 packet::FlowDefinition::five_tuple(),
+                                 options);
+  ASSERT_EQ(result.shards.size(), 2u);
+  EXPECT_GT(result.shards[0].packets + result.shards[1].packets, 0u);
+  const std::string table = shard_table(result);
+  EXPECT_NE(table.find("Shard"), std::string::npos);
+  EXPECT_NE(table.find("load imbalance"), std::string::npos);
+
+  // Devices without ShardStatus annotations render nothing.
+  baseline::ExactOracle oracle;
+  EXPECT_TRUE(shard_table(run_single(oracle, tiny_trace(),
+                                     packet::FlowDefinition::five_tuple(),
+                                     options))
+                  .empty());
 }
 
 TEST(Driver, AsPairDefinitionWorksEndToEnd) {

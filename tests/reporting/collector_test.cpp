@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace nd::reporting {
 namespace {
 
@@ -51,6 +53,52 @@ TEST(CollectionChannel, StatsAccumulateAcrossIntervals) {
   EXPECT_EQ(stats.records_offered, 5u);
   EXPECT_EQ(stats.records_delivered, 3u);  // 2 + 1
   EXPECT_LT(stats.bytes_delivered, stats.bytes_offered);
+}
+
+TEST(CollectionChannel, MetricsTrailerDeliveredUnderBudget) {
+  const std::string metrics = "{\"interval\":1,\"metrics\":[]}";
+  CollectionChannel channel(10'000);
+  const auto delivered = channel.deliver(report_with(10), metrics);
+  EXPECT_TRUE(delivered.metrics_delivered);
+  EXPECT_EQ(delivered.report.flows.size(), 10u);
+  EXPECT_EQ(channel.stats().bytes_offered,
+            channel.stats().bytes_delivered);
+  // The trailer's bytes are accounted on the channel.
+  EXPECT_EQ(channel.stats().bytes_delivered,
+            encoded_size(report_with(10), metrics.size()));
+}
+
+TEST(CollectionChannel, TrailerDroppedBeforeAnyFlowRecord) {
+  // Budget covers all records but not the trailer: flow records keep
+  // priority on the constrained link, the trailer is the first casualty.
+  const std::string metrics(200, 'x');
+  const auto report = report_with(10);
+  CollectionChannel channel(encoded_size(report) + 100);
+  const auto delivered = channel.deliver(report, metrics);
+  EXPECT_FALSE(delivered.metrics_delivered);
+  EXPECT_EQ(delivered.report.flows.size(), 10u);
+  // Offered bytes include the dropped trailer; delivered bytes do not.
+  EXPECT_EQ(channel.stats().bytes_offered,
+            encoded_size(report, metrics.size()));
+  EXPECT_EQ(channel.stats().bytes_delivered, encoded_size(report));
+}
+
+TEST(CollectionChannel, TrailerPressureStillTruncatesRecords) {
+  // Once the records alone exceed the budget, behavior degrades exactly
+  // like the trailer-less path: prefix of records, no trailer.
+  CollectionChannel channel(kHeaderBytes + 3 * kRecordBytes);
+  const auto delivered = channel.deliver(report_with(10), "{}");
+  EXPECT_FALSE(delivered.metrics_delivered);
+  EXPECT_EQ(delivered.report.flows.size(), 3u);
+}
+
+TEST(CollectionChannel, EmptyTrailerBehavesLikePlainDeliver) {
+  CollectionChannel channel(10'000);
+  const auto delivered = channel.deliver(report_with(2), "");
+  EXPECT_FALSE(delivered.metrics_delivered);
+  EXPECT_EQ(delivered.report.flows.size(), 2u);
+  EXPECT_EQ(channel.stats().bytes_offered,
+            channel.stats().bytes_delivered);
 }
 
 TEST(CollectionChannel, NinetyPercentLossScenario) {

@@ -176,5 +176,86 @@ TEST(RecordCodec, TooManyShardsRejected) {
                CodecError);
 }
 
+TEST(RecordCodec, ShardTrafficTalliesRoundTrip) {
+  // v3 widened the shard record by the per-interval packet/byte tallies.
+  auto report = sample_report();
+  core::ShardStatus status{60'000, 54'000, 0.913, 115, 128};
+  status.packets = 123'456;
+  status.bytes = 789'012'345;
+  report.shards.push_back(status);
+
+  const auto decoded = decode(encode(report, packet::FlowKeyKind::kFiveTuple));
+  ASSERT_EQ(decoded.shards.size(), 1u);
+  EXPECT_EQ(decoded.shards[0].packets, 123'456u);
+  EXPECT_EQ(decoded.shards[0].bytes, 789'012'345u);
+}
+
+TEST(RecordCodec, MetricsTrailerRoundTrips) {
+  const auto report = sample_report();
+  const std::string metrics =
+      "{\"interval\":7,\"metrics\":[{\"name\":\"nd_device_packets_total\","
+      "\"kind\":\"counter\",\"value\":9}]}";
+  EXPECT_EQ(encoded_size(report, metrics.size()),
+            encoded_size(report) + kTrailerLengthBytes + metrics.size());
+
+  const auto data = encode(report, packet::FlowKeyKind::kFiveTuple, metrics);
+  ASSERT_EQ(data.size(), encoded_size(report, metrics.size()));
+  const auto decoded = decode_full(data);
+  EXPECT_EQ(decoded.metrics_json, metrics);
+  EXPECT_EQ(decoded.report.flows.size(), report.flows.size());
+
+  // The report-only decoder skips the trailer without complaint.
+  EXPECT_EQ(decode(data).flows.size(), report.flows.size());
+}
+
+TEST(RecordCodec, EmptyTrailerEncodesAsV2Layout) {
+  const auto report = sample_report();
+  EXPECT_EQ(encoded_size(report, 0), encoded_size(report));
+  const auto data = encode(report, packet::FlowKeyKind::kFiveTuple, "");
+  EXPECT_EQ(data.size(), encoded_size(report));
+  EXPECT_TRUE(decode_full(data).metrics_json.empty());
+}
+
+TEST(RecordCodec, TruncatedTrailerRejected) {
+  const auto report = sample_report();
+  auto data = encode(report, packet::FlowKeyKind::kFiveTuple, "{\"x\":1}");
+  data.pop_back();  // length prefix no longer matches the payload
+  EXPECT_THROW((void)decode_full(data), CodecError);
+  // Chop into the length prefix itself.
+  data.resize(encoded_size(report) + 2);
+  EXPECT_THROW((void)decode_full(data), CodecError);
+}
+
+TEST(RecordCodec, VersionTwoShardPayloadStillDecodes) {
+  // Hand-build a v2 payload: 40-byte shard records, no tallies, no
+  // trailer. Encode with v3 and surgically strip the 16 tally bytes.
+  auto report = sample_report();
+  core::ShardStatus status{60'000, 54'000, 0.913, 115, 128};
+  status.packets = 111;  // must NOT survive a v2 round trip
+  status.bytes = 222;
+  report.shards.push_back(status);
+
+  auto data = encode(report, packet::FlowKeyKind::kFiveTuple);
+  ASSERT_EQ(data.size(), kHeaderBytes + 2 * kRecordBytes + kShardRecordBytes);
+  data.resize(data.size() - (kShardRecordBytes - kShardRecordBytesV2));
+  data[5] = 2;  // patch the version byte back to v2
+
+  const auto decoded = decode_full(data);
+  ASSERT_EQ(decoded.report.shards.size(), 1u);
+  EXPECT_EQ(decoded.report.shards[0].threshold, 60'000u);
+  EXPECT_EQ(decoded.report.shards[0].entries_used, 115u);
+  EXPECT_EQ(decoded.report.shards[0].packets, 0u);
+  EXPECT_EQ(decoded.report.shards[0].bytes, 0u);
+  EXPECT_TRUE(decoded.metrics_json.empty());
+}
+
+TEST(RecordCodec, TrailerOnOldVersionsRejected) {
+  // Excess bytes after the shard records are only legal on v3.
+  auto data = encode(sample_report(), packet::FlowKeyKind::kFiveTuple,
+                     "{\"x\":1}");
+  data[5] = 2;
+  EXPECT_THROW((void)decode_full(data), CodecError);
+}
+
 }  // namespace
 }  // namespace nd::reporting

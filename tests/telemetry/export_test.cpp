@@ -1,0 +1,156 @@
+// Exporter round-trip tests: the JSON-lines format parses back to an
+// identical snapshot (the property the record codec's v3 metrics
+// trailer relies on), and the Prometheus rendering follows the
+// exposition grammar with no duplicate series.
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nd::telemetry {
+namespace {
+
+/// A registry exercising every instrument kind, labels with characters
+/// that need JSON/Prometheus escaping, and an empty histogram.
+MetricsRegistry& populated_registry(MetricsRegistry& registry) {
+  registry.counter("nd_device_packets_total", {{"shard", "0"}}).add(1234);
+  registry.counter("nd_device_packets_total", {{"shard", "1"}}).add(56);
+  registry.gauge("nd_flowmem_occupancy").set(0.913);
+  registry.gauge("nd_device_threshold", {{"device", "s&h \"quoted\"\n"}})
+      .set(50'000.0);
+  Histogram& latency = registry.histogram("nd_pool_task_ns");
+  latency.record(0);
+  latency.record(700);
+  latency.record(1500);
+  (void)registry.histogram("nd_empty_ns");
+  return registry;
+}
+
+void expect_snapshots_equal(const Snapshot& a, const Snapshot& b) {
+  EXPECT_EQ(a.interval, b.interval);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& x = a.samples[i];
+    const auto& y = b.samples[i];
+    EXPECT_EQ(x.name, y.name) << i;
+    EXPECT_EQ(x.labels, y.labels) << i;
+    EXPECT_EQ(x.kind, y.kind) << i;
+    EXPECT_EQ(x.counter_value, y.counter_value) << i;
+    EXPECT_DOUBLE_EQ(x.gauge_value, y.gauge_value) << i;
+    EXPECT_EQ(x.histogram.count, y.histogram.count) << i;
+    EXPECT_EQ(x.histogram.sum, y.histogram.sum) << i;
+    EXPECT_EQ(x.histogram.buckets, y.histogram.buckets) << i;
+  }
+}
+
+TEST(JsonLines, RoundTripsEveryKind) {
+  MetricsRegistry registry;
+  const Snapshot snapshot = populated_registry(registry).snapshot(4);
+  const std::string line = to_json_line(snapshot);
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "escaped newlines must not break the one-line framing";
+  expect_snapshots_equal(from_json_line(line), snapshot);
+}
+
+TEST(JsonLines, RoundTripsEmptySnapshot) {
+  MetricsRegistry registry;
+  const Snapshot snapshot = registry.snapshot(0);
+  expect_snapshots_equal(from_json_line(to_json_line(snapshot)), snapshot);
+}
+
+TEST(JsonLines, ParserIsStrict) {
+  MetricsRegistry registry;
+  const std::string line =
+      to_json_line(populated_registry(registry).snapshot(4));
+  EXPECT_THROW((void)from_json_line(""), std::invalid_argument);
+  EXPECT_THROW((void)from_json_line("not json"), std::invalid_argument);
+  EXPECT_THROW((void)from_json_line("{}"), std::invalid_argument);
+  EXPECT_THROW((void)from_json_line(line + "x"), std::invalid_argument);
+  EXPECT_THROW((void)from_json_line(line.substr(0, line.size() - 1)),
+               std::invalid_argument);
+}
+
+TEST(JsonLinesExporter, WritesOneLinePerSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("nd_device_packets_total").add(7);
+  std::ostringstream out;
+  JsonLinesExporter exporter(out);
+  const Snapshot first = exporter.write(registry, 1);
+  registry.counter("nd_device_packets_total").add(3);
+  (void)exporter.write(registry, 2);
+  EXPECT_EQ(exporter.lines_written(), 2u);
+  EXPECT_EQ(first.interval, 1u);
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<Snapshot> parsed;
+  while (std::getline(in, line)) {
+    parsed.push_back(from_json_line(line));
+  }
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].find("nd_device_packets_total")->counter_value, 7u);
+  EXPECT_EQ(parsed[1].find("nd_device_packets_total")->counter_value, 10u);
+}
+
+TEST(Prometheus, FollowsTheExpositionGrammar) {
+  MetricsRegistry registry;
+  const std::string text =
+      to_prometheus(populated_registry(registry).snapshot(4));
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  // One `# TYPE` per series name, emitted before any sample of that
+  // name, and no sample line duplicated.
+  std::set<std::string> typed_names;
+  std::set<std::string> seen_lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank lines are not emitted";
+    EXPECT_TRUE(seen_lines.insert(line).second) << "duplicate: " << line;
+    if (line.starts_with("# TYPE ")) {
+      const std::string rest = line.substr(7);
+      const std::string name = rest.substr(0, rest.find(' '));
+      EXPECT_TRUE(typed_names.insert(name).second)
+          << "duplicate # TYPE for " << name;
+      continue;
+    }
+    ASSERT_FALSE(line.starts_with("#")) << "unexpected comment: " << line;
+    // Sample lines are `name{...} value` or `name value`; the name must
+    // have been typed already (histograms sample under suffixed names).
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    for (const std::string suffix : {"_bucket", "_sum", "_count"}) {
+      if (name.ends_with(suffix) &&
+          typed_names.count(name.substr(0, name.size() - suffix.size()))) {
+        name = name.substr(0, name.size() - suffix.size());
+        break;
+      }
+    }
+    EXPECT_TRUE(typed_names.count(name)) << "untyped sample: " << line;
+  }
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("nd_ns");
+  histogram.record(1);    // bucket le="1"
+  histogram.record(2);    // bucket le="3"
+  histogram.record(3);    // bucket le="3"
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("nd_ns_bucket{le=\"1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nd_ns_bucket{le=\"3\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nd_ns_bucket{le=\"+Inf\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nd_ns_sum 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("nd_ns_count 3"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace nd::telemetry

@@ -6,6 +6,7 @@
 //   ndtm measure --in t.pcap --algorithm multistage --flow-def dstip
 //                --threshold 100000 --interval 5 [--export reports.bin]
 //                [--shards N] [--adaptive 1] [--shard-usage 1]
+//                [--metrics[=path]]
 //       Stream a pcap through a measurement device in fixed intervals
 //       and print (and optionally export) the heavy hitters per
 //       interval. Algorithms: sample-and-hold, multistage, netflow.
@@ -17,8 +18,12 @@
 //       flow-memory usage (Section 6 run per replica; with one shard a
 //       single global adaptor runs instead), and the printed cutoff is
 //       the effective — maximum per-shard — threshold. --shard-usage 1
-//       dumps each shard's threshold, entries and smoothed usage per
-//       interval.
+//       dumps each shard's threshold, entries, smoothed usage and
+//       traffic (plus max/mean load-imbalance ratios) per interval.
+//       --metrics turns the zero-overhead-when-off telemetry layer on
+//       and writes one JSON-lines registry snapshot per interval to
+//       metrics.jsonl (or the given path); with --export the same
+//       snapshot also rides each report as the v3 metrics trailer.
 //
 //   ndtm bounds --threshold 1000000 --capacity 100000000
 //                --oversampling 20 --buckets 1000 --depth 4
@@ -43,9 +48,12 @@
 #include "core/multistage_filter.hpp"
 #include "core/sample_and_hold.hpp"
 #include "core/sharded_device.hpp"
+#include "eval/metrics.hpp"
 #include "packet/flow_definition.hpp"
 #include "pcap/pcap.hpp"
 #include "reporting/record_codec.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/presets.hpp"
 #include "trace/synthesizer.hpp"
 
@@ -53,17 +61,26 @@ using namespace nd;
 
 namespace {
 
-/// Minimal --key value parser; every subcommand shares it.
+/// Minimal flag parser; every subcommand shares it. Accepts
+/// `--key value`, `--key=value`, and bare `--key` (stored with an empty
+/// value — use has() to test presence).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
-        std::fprintf(stderr, "bad or valueless flag: %s\n", key.c_str());
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "bad flag: %s\n", key.c_str());
         std::exit(2);
       }
-      values_[key.substr(2)] = argv[++i];
+      key.erase(0, 2);
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // bare flag
+      }
     }
   }
 
@@ -156,7 +173,9 @@ packet::FlowDefinition flow_def_by_name(const std::string& name) {
 
 std::unique_ptr<core::MeasurementDevice> device_by_name(
     const std::string& name, common::ByteCount threshold,
-    std::size_t entries, std::uint64_t seed) {
+    std::size_t entries, std::uint64_t seed,
+    telemetry::MetricsRegistry* metrics = nullptr,
+    telemetry::Labels metric_labels = {}) {
   if (name == "sample-and-hold") {
     core::SampleAndHoldConfig config;
     config.flow_memory_entries = entries;
@@ -164,6 +183,8 @@ std::unique_ptr<core::MeasurementDevice> device_by_name(
     config.oversampling = 4.0;
     config.preserve = flowmem::PreservePolicy::kEarlyRemoval;
     config.seed = seed;
+    config.metrics = metrics;
+    config.metric_labels = std::move(metric_labels);
     return std::make_unique<core::SampleAndHold>(config);
   }
   if (name == "multistage") {
@@ -175,6 +196,8 @@ std::unique_ptr<core::MeasurementDevice> device_by_name(
     config.threshold = threshold;
     config.preserve = flowmem::PreservePolicy::kPreserve;
     config.seed = seed;
+    config.metrics = metrics;
+    config.metric_labels = std::move(metric_labels);
     return std::make_unique<core::MultistageFilter>(config);
   }
   if (name == "netflow") {
@@ -215,26 +238,53 @@ int cmd_measure(const Args& args) {
   const core::ThresholdAdaptorConfig adaptor_config =
       algorithm == "sample-and-hold" ? core::sample_and_hold_adaptor()
                                      : core::multistage_adaptor();
+
+  // --metrics / --metrics=path / --metrics path: turn the telemetry
+  // layer on. Off (the default) the devices are built with a null
+  // registry and the packet path carries zero telemetry cost.
+  const bool metrics_on = args.has("metrics");
+  const std::string metrics_arg = args.get("metrics", "");
+  const std::string metrics_path =
+      metrics_arg.empty() ? "metrics.jsonl" : metrics_arg;
+  telemetry::MetricsRegistry registry;
+  telemetry::MetricsRegistry* metrics =
+      metrics_on ? &registry : nullptr;
+  std::ofstream metrics_stream;
+  std::unique_ptr<telemetry::JsonLinesExporter> metrics_exporter;
+  if (metrics_on) {
+    metrics_stream.open(metrics_path);
+    if (!metrics_stream) {
+      std::fprintf(stderr, "cannot open %s for metrics\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    metrics_exporter =
+        std::make_unique<telemetry::JsonLinesExporter>(metrics_stream);
+  }
+
   std::unique_ptr<common::ThreadPool> pool;  // outlives the session
   std::unique_ptr<core::MeasurementDevice> device;
   if (shards > 1) {
     pool = std::make_unique<common::ThreadPool>(std::min<std::size_t>(
         shards - 1, common::ThreadPool::default_thread_count()));
+    pool->attach_telemetry(metrics);
     core::ShardedDeviceConfig sharded;
     sharded.shards = shards;
     sharded.seed = seed;
     sharded.pool = pool.get();
+    sharded.metrics = metrics;
     if (adaptive) sharded.adaptor = adaptor_config;
     // Split the memory budget across shards (>= 64 entries each).
     const std::size_t per_shard =
         std::max<std::size_t>(entries / shards, 64);
     device = std::make_unique<core::ShardedDevice>(
-        sharded, [&](std::uint32_t, std::uint64_t shard_seed_value) {
-          return device_by_name(algorithm, threshold, per_shard,
-                                shard_seed_value);
+        sharded, [&](std::uint32_t shard, std::uint64_t shard_seed_value) {
+          return device_by_name(
+              algorithm, threshold, per_shard, shard_seed_value, metrics,
+              telemetry::Labels{{"shard", std::to_string(shard)}});
         });
   } else {
-    device = device_by_name(algorithm, threshold, entries, seed);
+    device = device_by_name(algorithm, threshold, entries, seed, metrics);
     if (adaptive) {
       device = std::make_unique<core::AdaptiveDevice>(std::move(device),
                                                       adaptor_config);
@@ -245,6 +295,7 @@ int cmd_measure(const Args& args) {
   const packet::FlowKeyKind key_kind = definition.kind();
   core::MeasurementSession session(std::move(device), definition,
                                    interval);
+  session.attach_telemetry(metrics);
 
   std::ifstream stream(in, std::ios::binary);
   if (!stream) {
@@ -277,10 +328,22 @@ int cmd_measure(const Args& args) {
       if (shard_usage_dump) {
         for (std::size_t s = 0; s < report.shards.size(); ++s) {
           const core::ShardStatus& status = report.shards[s];
-          std::printf("  shard %zu: T=%-12s entries=%zu/%zu usage=%.1f%%\n",
-                      s, common::format_bytes(status.threshold).c_str(),
-                      status.entries_used, status.capacity,
-                      100.0 * status.smoothed_usage);
+          std::printf(
+              "  shard %zu: T=%-12s entries=%zu/%zu usage=%.1f%% "
+              "pkts=%llu bytes=%s\n",
+              s, common::format_bytes(status.threshold).c_str(),
+              status.entries_used, status.capacity,
+              100.0 * status.smoothed_usage,
+              static_cast<unsigned long long>(status.packets),
+              common::format_bytes(status.bytes).c_str());
+        }
+        const eval::ShardUsageSummary balance =
+            eval::summarize_shards(report);
+        if (balance.shard_count > 0) {
+          std::printf(
+              "  shard balance: packet max/mean=%.2f byte "
+              "max/mean=%.2f\n",
+              balance.packet_imbalance, balance.byte_imbalance);
         }
       }
       for (const auto& flow : report.flows) {
@@ -289,8 +352,17 @@ int cmd_measure(const Args& args) {
                     common::format_bytes(flow.estimated_bytes).c_str(),
                     flow.exact ? "  (exact)" : "");
       }
+      // One interval-aligned registry snapshot per report: a JSON line
+      // in the metrics file, and (with --export) the same line riding
+      // the encoded report as the v3 metrics trailer.
+      std::string metrics_line;
+      if (metrics_exporter) {
+        metrics_line = telemetry::to_json_line(
+            metrics_exporter->write(registry, report.interval));
+      }
       if (export_stream.is_open()) {
-        const auto encoded = reporting::encode(report, key_kind);
+        const auto encoded =
+            reporting::encode(report, key_kind, metrics_line);
         export_stream.write(
             reinterpret_cast<const char*>(encoded.data()),
             static_cast<std::streamsize>(encoded.size()));
@@ -308,6 +380,12 @@ int cmd_measure(const Args& args) {
   } catch (const pcap::PcapError& error) {
     std::fprintf(stderr, "pcap error: %s\n", error.what());
     return 1;
+  }
+  if (metrics_exporter) {
+    std::printf("metrics: %llu snapshots (%zu series) -> %s\n",
+                static_cast<unsigned long long>(
+                    metrics_exporter->lines_written()),
+                registry.size(), metrics_path.c_str());
   }
   std::printf(
       "done: %llu packets (%llu unmatched by the flow pattern), %u "

@@ -17,16 +17,32 @@ endif()
 if(NOT EXISTS ${WORKDIR}/smoke_reports.bin)
   message(FATAL_ERROR "ndtm measure produced no export")
 endif()
-# Same capture through the RSS-style sharded pipeline: exercises
-# ShardedDevice + ThreadPool end to end from the CLI.
+# Same capture through the RSS-style sharded pipeline with telemetry on:
+# exercises ShardedDevice + ThreadPool + the interval-aligned metrics
+# exporter end to end from the CLI.
 execute_process(
   COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap
           --algorithm multistage --flow-def dstip --shards 4
           --threshold 100000 --export ${WORKDIR}/smoke_sharded.bin
+          --metrics ${WORKDIR}/smoke_metrics.jsonl
   RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
   message(FATAL_ERROR "ndtm measure --shards 4 failed: ${rv}")
 endif()
 if(NOT EXISTS ${WORKDIR}/smoke_sharded.bin)
   message(FATAL_ERROR "sharded ndtm measure produced no export")
+endif()
+if(NOT EXISTS ${WORKDIR}/smoke_metrics.jsonl)
+  message(FATAL_ERROR "ndtm measure --metrics produced no snapshot file")
+endif()
+# One JSON-lines snapshot per interval, each carrying per-shard series.
+file(STRINGS ${WORKDIR}/smoke_metrics.jsonl metrics_lines)
+list(LENGTH metrics_lines metrics_line_count)
+if(metrics_line_count LESS 2)
+  message(FATAL_ERROR
+          "expected one metrics snapshot per interval, got ${metrics_line_count}")
+endif()
+list(GET metrics_lines 0 first_snapshot)
+if(NOT first_snapshot MATCHES "nd_shard_packets_total")
+  message(FATAL_ERROR "metrics snapshot is missing per-shard series")
 endif()

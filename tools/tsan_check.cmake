@@ -21,15 +21,18 @@ endif()
 # Only the targets the concurrency tests need — not the whole tree.
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
-          --target common_tests core_tests eval_tests
+          --target common_tests core_tests eval_tests telemetry_tests
   RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
   message(FATAL_ERROR "tsan_check: build failed: ${rv}")
 endif()
 
+# The telemetry label covers the registry's multi-writer hot path and
+# the instrumented pool/sharded fan-out; the regex keeps the original
+# concurrency suites.
 execute_process(
   COMMAND ${CMAKE_CTEST_COMMAND} --output-on-failure
-          -R "ThreadPool|Sharded|BatchEquivalence|DriverParallel"
+          -R "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments"
   WORKING_DIRECTORY ${BUILD_DIR}
   RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
