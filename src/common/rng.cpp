@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 
 namespace nd::common {
 
@@ -35,6 +37,22 @@ std::uint64_t Rng::geometric(double p) {
 
 double Rng::normal() {
   return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+std::string Rng::serialize() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::deserialize(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    throw std::invalid_argument("rng: malformed serialized engine state");
+  }
+  engine_ = engine;
 }
 
 Rng Rng::fork() {

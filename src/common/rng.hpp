@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 
 #include "common/types.hpp"
 
@@ -50,6 +51,15 @@ class Rng {
 
   /// Access to the raw engine for std:: distributions in tests.
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+  /// Checkpoint the engine state as text (the mt19937_64 stream form
+  /// the standard guarantees round-trips exactly). All distributions in
+  /// this wrapper are constructed per call, so the engine state is the
+  /// entire state: deserialize() resumes the stream bit for bit.
+  [[nodiscard]] std::string serialize() const;
+  /// Restore a serialize()d state; throws std::invalid_argument when the
+  /// text is not a valid engine state.
+  void deserialize(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

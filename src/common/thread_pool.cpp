@@ -50,7 +50,28 @@ void ThreadPool::run_task(std::packaged_task<void()>& task) {
   task();  // packaged_task captures exceptions into the future
 }
 
+void ThreadPool::attach_fault_injector(robustness::FaultInjector* faults) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  faults_ = faults;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  robustness::FaultInjector* faults;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    faults = faults_;
+  }
+  if (faults != nullptr) {
+    // Decide on the submitting thread (deterministic occurrence order),
+    // apply inside the task so a throw lands in the future like any
+    // organic task failure instead of unwinding the submitter.
+    if (const auto fault = faults->next("pool.task")) {
+      task = [decision = *fault, inner = std::move(task)] {
+        robustness::apply_compute_fault(decision, "pool.task");
+        inner();
+      };
+    }
+  }
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   if (workers_.empty()) {

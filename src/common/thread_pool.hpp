@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "robustness/fault.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace nd::common {
@@ -52,6 +53,15 @@ class ThreadPool {
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::Labels labels = {});
 
+  /// Attach a fault injector (site "pool.task": a submitted task throws
+  /// FaultInjectedError or stalls before running). The plan is consulted
+  /// on the submitting thread so fault occurrences are deterministic
+  /// regardless of worker interleaving; a throw decision surfaces
+  /// through the returned future exactly like an organic task failure.
+  /// Not owned; null (the default) detaches and costs one pointer test
+  /// per submit.
+  void attach_fault_injector(robustness::FaultInjector* faults);
+
   /// A sensible worker count for this machine (>= 1).
   [[nodiscard]] static std::size_t default_thread_count();
 
@@ -70,6 +80,8 @@ class ThreadPool {
   telemetry::Gauge* tm_queue_depth_{nullptr};
   telemetry::Counter* tm_tasks_{nullptr};
   telemetry::Histogram* tm_task_ns_{nullptr};
+  /// Fault injector; null when off. Guarded by mutex_ for publication.
+  robustness::FaultInjector* faults_{nullptr};
 };
 
 }  // namespace nd::common

@@ -13,6 +13,26 @@ AdaptiveDevice::AdaptiveDevice(std::unique_ptr<MeasurementDevice> device,
   }
 }
 
+void AdaptiveDevice::save_state(common::StateWriter& out) const {
+  out.put_u8(1);  // layout version
+  out.put_bool(sharded_ != nullptr);
+  if (sharded_ == nullptr) adaptor_.save_state(out);
+  device_->save_state(out);
+}
+
+void AdaptiveDevice::restore_state(common::StateReader& in) {
+  if (in.u8() != 1) {
+    throw common::StateError("adaptive device: unknown checkpoint layout");
+  }
+  if (in.boolean() != (sharded_ != nullptr)) {
+    throw common::StateError(
+        "adaptive device: checkpoint sharding mode does not match "
+        "configuration");
+  }
+  if (sharded_ == nullptr) adaptor_.restore_state(in);
+  device_->restore_state(in);
+}
+
 Report AdaptiveDevice::end_interval() {
   Report report = device_->end_interval();
   if (sharded_ != nullptr) {

@@ -53,6 +53,15 @@ class AdaptiveDevice final : public MeasurementDevice {
     return device_->packets_processed();
   }
 
+  /// Checkpointable iff the wrapped device is; the global adaptor's
+  /// steering state rides along (per-shard adaptors are the inner
+  /// ShardedDevice's own state).
+  [[nodiscard]] bool can_checkpoint() const override {
+    return device_->can_checkpoint();
+  }
+  void save_state(common::StateWriter& out) const override;
+  void restore_state(common::StateReader& in) override;
+
   [[nodiscard]] MeasurementDevice& inner() { return *device_; }
   /// Non-null when threshold control is delegated to per-shard adaptors
   /// on the wrapped ShardedDevice.

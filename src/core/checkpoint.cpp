@@ -1,0 +1,103 @@
+#include "core/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "hash/hash.hpp"
+
+namespace nd::core {
+
+std::vector<std::uint8_t> encode_checkpoint(
+    const SessionCheckpoint& checkpoint) {
+  common::StateWriter out;
+  out.put_u32(kCheckpointMagic);
+  out.put_u8(kCheckpointVersion);
+  out.put_u64(checkpoint.interval_ns);
+  out.put_u64(checkpoint.current_end_ns);
+  out.put_bool(checkpoint.started);
+  out.put_u64(checkpoint.packets);
+  out.put_u64(checkpoint.unclassified);
+  out.put_u32(checkpoint.intervals_closed);
+  out.put_string(checkpoint.device_name);
+  out.put_u32(static_cast<std::uint32_t>(checkpoint.device_state.size()));
+  out.put_bytes(checkpoint.device_state);
+  std::vector<std::uint8_t> bytes = out.take();
+  const std::uint32_t crc = hash::crc32(bytes);
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 24));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 16));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(crc));
+  return bytes;
+}
+
+SessionCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) {
+    throw common::StateError("checkpoint: buffer shorter than its CRC");
+  }
+  const std::size_t body = bytes.size() - 4;
+  const std::uint32_t stored =
+      (static_cast<std::uint32_t>(bytes[body]) << 24) |
+      (static_cast<std::uint32_t>(bytes[body + 1]) << 16) |
+      (static_cast<std::uint32_t>(bytes[body + 2]) << 8) |
+      static_cast<std::uint32_t>(bytes[body + 3]);
+  if (hash::crc32(bytes.subspan(0, body)) != stored) {
+    throw common::StateError("checkpoint: CRC mismatch (corrupt or torn)");
+  }
+  common::StateReader in(bytes.subspan(0, body));
+  if (in.u32() != kCheckpointMagic) {
+    throw common::StateError("checkpoint: bad magic");
+  }
+  if (in.u8() != kCheckpointVersion) {
+    throw common::StateError("checkpoint: unsupported version");
+  }
+  SessionCheckpoint checkpoint;
+  checkpoint.interval_ns = in.u64();
+  checkpoint.current_end_ns = in.u64();
+  checkpoint.started = in.boolean();
+  checkpoint.packets = in.u64();
+  checkpoint.unclassified = in.u64();
+  checkpoint.intervals_closed = in.u32();
+  checkpoint.device_name = in.string();
+  const std::uint32_t state_bytes = in.u32();
+  const std::span<const std::uint8_t> state = in.bytes(state_bytes);
+  checkpoint.device_state.assign(state.begin(), state.end());
+  in.expect_end();
+  return checkpoint;
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const SessionCheckpoint& checkpoint) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw common::StateError("checkpoint: cannot open " + tmp +
+                               " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw common::StateError("checkpoint: short write to " + tmp);
+    }
+  }
+  std::error_code error;
+  std::filesystem::rename(tmp, path, error);
+  if (error) {
+    throw common::StateError("checkpoint: cannot rename " + tmp + " to " +
+                             path + ": " + error.message());
+  }
+}
+
+SessionCheckpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw common::StateError("checkpoint: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return decode_checkpoint(bytes);
+}
+
+}  // namespace nd::core

@@ -1,0 +1,58 @@
+// Crash-safe session checkpoints.
+//
+// A SessionCheckpoint freezes a MeasurementSession mid-stream: the
+// interval clock, packet tallies, and the device's full serialized
+// state (flow-memory slot layout, RNG streams, thresholds, adaptor
+// history). MeasurementSession::resume() rebuilds a session that
+// replays the remaining packets bit for bit — the kill-and-resume
+// property the chaos differential suite checks.
+//
+// The on-disk encoding is the StateWriter byte stream wrapped with a
+// magic/version header and a trailing CRC32 over everything before it,
+// so a torn or corrupted checkpoint is detected (StateError) instead of
+// silently resuming from garbage. save_checkpoint_file() writes to a
+// temp file and renames it into place, so a crash mid-write leaves the
+// previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/state_buffer.hpp"
+#include "common/types.hpp"
+
+namespace nd::core {
+
+/// "NDCK" big-endian.
+inline constexpr std::uint32_t kCheckpointMagic = 0x4E44434B;
+inline constexpr std::uint8_t kCheckpointVersion = 1;
+
+struct SessionCheckpoint {
+  common::TimestampNs interval_ns{0};
+  common::TimestampNs current_end_ns{0};
+  bool started{false};
+  std::uint64_t packets{0};
+  std::uint64_t unclassified{0};
+  common::IntervalIndex intervals_closed{0};
+  /// MeasurementDevice::name() of the checkpointed device; resume()
+  /// refuses a device whose name does not match.
+  std::string device_name;
+  /// The device's save_state() byte stream.
+  std::vector<std::uint8_t> device_state;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
+    const SessionCheckpoint& checkpoint);
+/// Throws common::StateError on bad CRC, magic, version, or truncation.
+[[nodiscard]] SessionCheckpoint decode_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+/// Atomic file save: write `path` + ".tmp", then rename into place.
+void save_checkpoint_file(const std::string& path,
+                          const SessionCheckpoint& checkpoint);
+[[nodiscard]] SessionCheckpoint load_checkpoint_file(
+    const std::string& path);
+
+}  // namespace nd::core

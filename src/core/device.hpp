@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/state_buffer.hpp"
 #include "common/types.hpp"
 #include "packet/classified_packet.hpp"
 #include "packet/flow_key.hpp"
@@ -45,6 +46,12 @@ struct ShardStatus {
   /// what the load-imbalance diagnostics summarize.
   std::uint64_t packets{0};
   common::ByteCount bytes{0};
+  /// True when the shard missed the interval-close watchdog deadline:
+  /// its flows are absent from the merged report and entries_used /
+  /// smoothed_usage are unknown (reported 0), but packets/bytes still
+  /// tally what it received — the exact-loss accounting the chaos
+  /// differential suite checks.
+  bool degraded{false};
 };
 
 struct Report {
@@ -117,6 +124,26 @@ class MeasurementDevice {
   /// the per-packet access accounting of Tables 1 and 2.
   [[nodiscard]] virtual std::uint64_t memory_accesses() const = 0;
   [[nodiscard]] virtual std::uint64_t packets_processed() const = 0;
+
+  /// Crash-safe checkpoint support (MeasurementSession::checkpoint).
+  /// A device returning true from can_checkpoint() serializes its full
+  /// cross-interval state — flow-memory slot layout, RNG engines,
+  /// thresholds, adaptor history — such that restore_state() into a
+  /// freshly constructed device with the identical configuration
+  /// reproduces bit-identical reports from that point on. The defaults
+  /// decline: baselines without a serialization story stay honest
+  /// instead of silently resuming wrong.
+  [[nodiscard]] virtual bool can_checkpoint() const { return false; }
+  virtual void save_state(common::StateWriter& out) const {
+    (void)out;
+    throw common::StateError("device does not support checkpointing: " +
+                             name());
+  }
+  virtual void restore_state(common::StateReader& in) {
+    (void)in;
+    throw common::StateError("device does not support checkpointing: " +
+                             name());
+  }
 };
 
 }  // namespace nd::core

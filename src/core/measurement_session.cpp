@@ -89,4 +89,53 @@ std::vector<Report> MeasurementSession::finish() {
   return drain_reports();
 }
 
+SessionCheckpoint MeasurementSession::checkpoint() const {
+  if (!pending_.empty()) {
+    throw common::StateError(
+        "session: drain reports before checkpointing (pending reports "
+        "would be lost)");
+  }
+  if (!device_->can_checkpoint()) {
+    throw common::StateError("device does not support checkpointing: " +
+                             device_->name());
+  }
+  SessionCheckpoint checkpoint;
+  checkpoint.interval_ns = interval_ns_;
+  checkpoint.current_end_ns = current_end_ns_;
+  checkpoint.started = started_;
+  checkpoint.packets = packets_;
+  checkpoint.unclassified = unclassified_;
+  checkpoint.intervals_closed = intervals_closed_;
+  checkpoint.device_name = device_->name();
+  common::StateWriter state;
+  device_->save_state(state);
+  checkpoint.device_state = state.take();
+  return checkpoint;
+}
+
+MeasurementSession MeasurementSession::resume(
+    const SessionCheckpoint& checkpoint,
+    std::unique_ptr<MeasurementDevice> device,
+    packet::FlowDefinition definition) {
+  MeasurementSession session(
+      std::move(device), std::move(definition),
+      common::IntervalDuration(
+          static_cast<common::IntervalDuration::rep>(checkpoint.interval_ns)));
+  if (session.device_->name() != checkpoint.device_name) {
+    throw common::StateError(
+        "session: checkpoint was taken with device '" +
+        checkpoint.device_name + "', resuming with '" +
+        session.device_->name() + "'");
+  }
+  common::StateReader state(checkpoint.device_state);
+  session.device_->restore_state(state);
+  state.expect_end();
+  session.current_end_ns_ = checkpoint.current_end_ns;
+  session.started_ = checkpoint.started;
+  session.packets_ = checkpoint.packets;
+  session.unclassified_ = checkpoint.unclassified;
+  session.intervals_closed_ = checkpoint.intervals_closed;
+  return session;
+}
+
 }  // namespace nd::core

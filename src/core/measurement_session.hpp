@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/device.hpp"
 #include "packet/flow_definition.hpp"
 #include "packet/packet.hpp"
@@ -39,6 +40,22 @@ class MeasurementSession {
   /// Close the in-progress interval (end of stream) and return every
   /// remaining report.
   [[nodiscard]] std::vector<Report> finish();
+
+  /// Snapshot the session mid-stream (any point between packets, not
+  /// just interval boundaries). Throws common::StateError when pending
+  /// reports have not been drained — they would be lost — or when the
+  /// device declines checkpointing (can_checkpoint() false).
+  [[nodiscard]] SessionCheckpoint checkpoint() const;
+  /// Rebuild a session from a checkpoint. `device` must be freshly
+  /// constructed with the same configuration as the checkpointed one
+  /// (verified by name; deeper mismatches throw from restore_state) and
+  /// `definition` must match the original. Feeding the packets after
+  /// the checkpoint point reproduces the fault-free reports bit for
+  /// bit.
+  [[nodiscard]] static MeasurementSession resume(
+      const SessionCheckpoint& checkpoint,
+      std::unique_ptr<MeasurementDevice> device,
+      packet::FlowDefinition definition);
 
   [[nodiscard]] MeasurementDevice& device() { return *device_; }
   [[nodiscard]] std::uint64_t packets_observed() const { return packets_; }

@@ -194,6 +194,46 @@ void MultistageFilter::observe_serial(const packet::FlowKey& key,
   admit(key, bytes);
 }
 
+void MultistageFilter::save_state(common::StateWriter& out) const {
+  out.put_u8(1);  // layout version
+  out.put_u64(config_.threshold);
+  out.put_u32(interval_);
+  out.put_u64(packets_);
+  out.put_u64(counter_accesses_);
+  out.put_u64(dropped_passes_);
+  out.put_u32(config_.depth);
+  out.put_u32(config_.buckets_per_stage);
+  for (const auto& stage : stages_) {
+    for (const common::ByteCount counter : stage) {
+      out.put_u64(counter);
+    }
+  }
+  memory_.save_state(out);
+}
+
+void MultistageFilter::restore_state(common::StateReader& in) {
+  if (in.u8() != 1) {
+    throw common::StateError("multistage filter: unknown checkpoint layout");
+  }
+  set_threshold(in.u64());  // also rederives the serial stage threshold
+  interval_ = in.u32();
+  packets_ = in.u64();
+  counter_accesses_ = in.u64();
+  dropped_passes_ = in.u64();
+  if (in.u32() != config_.depth ||
+      in.u32() != config_.buckets_per_stage) {
+    throw common::StateError(
+        "multistage filter: checkpoint stage geometry does not match "
+        "configuration");
+  }
+  for (auto& stage : stages_) {
+    for (common::ByteCount& counter : stage) {
+      counter = in.u64();
+    }
+  }
+  memory_.restore_state(in);
+}
+
 Report MultistageFilter::end_interval() {
   Report report;
   report.interval = interval_;

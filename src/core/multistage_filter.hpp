@@ -84,6 +84,14 @@ class MultistageFilter final : public MeasurementDevice {
     return packets_;
   }
 
+  /// Full-state checkpointing: threshold, stage counters, and the flow
+  /// memory's exact slot layout round-trip (the stage hashes are
+  /// reconstructed from the seed), so a resumed filter replays the
+  /// remaining packets bit for bit.
+  [[nodiscard]] bool can_checkpoint() const override { return true; }
+  void save_state(common::StateWriter& out) const override;
+  void restore_state(common::StateReader& in) override;
+
   /// Flows that passed the filter but found the flow memory full.
   [[nodiscard]] std::uint64_t dropped_passes() const {
     return dropped_passes_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace nd::core {
 
@@ -91,6 +93,36 @@ void SampleAndHold::observe(const packet::FlowKey& key, std::uint32_t bytes) {
   // (Section 7.1.1 notes the real algorithm is more accurate than the
   // byte model for exactly this reason).
   flowmem::FlowMemory::add_bytes(*entry, bytes);
+}
+
+void SampleAndHold::save_state(common::StateWriter& out) const {
+  out.put_u8(1);  // layout version
+  out.put_u64(config_.threshold);
+  out.put_u64(skip_);
+  out.put_u32(interval_);
+  out.put_u64(packets_);
+  out.put_u64(dropped_samples_);
+  out.put_string(rng_.serialize());
+  memory_.save_state(out);
+}
+
+void SampleAndHold::restore_state(common::StateReader& in) {
+  if (in.u8() != 1) {
+    throw common::StateError("sample-and-hold: unknown checkpoint layout");
+  }
+  config_.threshold = in.u64();
+  refresh_probability();  // derive p (and the table) from the threshold
+  skip_ = in.u64();
+  interval_ = in.u32();
+  packets_ = in.u64();
+  dropped_samples_ = in.u64();
+  try {
+    rng_.deserialize(in.string());
+  } catch (const std::invalid_argument& error) {
+    throw common::StateError(std::string("sample-and-hold: ") +
+                             error.what());
+  }
+  memory_.restore_state(in);
 }
 
 Report SampleAndHold::end_interval() {

@@ -83,6 +83,13 @@ class SampleAndHold final : public MeasurementDevice {
     return packets_;
   }
 
+  /// Full-state checkpointing: threshold, geometric-skip state, RNG
+  /// stream, and the flow memory's exact slot layout round-trip, so a
+  /// resumed device replays the remaining packets bit for bit.
+  [[nodiscard]] bool can_checkpoint() const override { return true; }
+  void save_state(common::StateWriter& out) const override;
+  void restore_state(common::StateReader& in) override;
+
   /// Current byte sampling probability p = O / T.
   [[nodiscard]] double sampling_probability() const { return probability_; }
   /// Packets lost because the flow memory was full when sampled.

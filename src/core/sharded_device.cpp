@@ -1,7 +1,12 @@
 #include "core/sharded_device.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 #include <future>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "hash/hash.hpp"
 
@@ -15,18 +20,25 @@ std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard) {
 ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
                              const Factory& factory)
     : route_salt_(hash::splitmix64(config.seed ^ 0x5AD0FF5E7ULL)),
-      pool_(config.pool) {
+      pool_(config.pool),
+      watchdog_timeout_(config.watchdog_timeout),
+      faults_(config.faults) {
   const std::uint32_t shards = std::max<std::uint32_t>(config.shards, 1);
   shards_.reserve(shards);
   shard_batches_.resize(shards);
   interval_packets_.assign(shards, 0);
   interval_bytes_.assign(shards, 0);
+  stuck_.resize(shards);
   for (std::uint32_t s = 0; s < shards; ++s) {
     shards_.push_back(factory(s, shard_seed(config.seed, s)));
   }
   baseline_thresholds_.reserve(shards);
+  shard_capacity_.reserve(shards);
+  last_thresholds_.reserve(shards);
   for (const auto& replica : shards_) {
     baseline_thresholds_.push_back(replica->threshold());
+    shard_capacity_.push_back(replica->flow_memory_capacity());
+    last_thresholds_.push_back(replica->threshold());
   }
   if (config.adaptor) {
     enable_adaptation(*config.adaptor);
@@ -42,6 +54,7 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
     tm_effective_threshold_ =
         &registry.gauge("nd_sharded_effective_threshold", base);
     tm_merge_ns_ = &registry.histogram("nd_shard_merge_ns", base);
+    tm_degraded_ = &registry.counter("nd_shard_degraded_total", base);
     tm_shard_packets_.reserve(shards);
     tm_shard_bytes_.reserve(shards);
     tm_shard_threshold_.reserve(shards);
@@ -61,6 +74,21 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
   }
 }
 
+ShardedDevice::~ShardedDevice() { drain_stuck(); }
+
+void ShardedDevice::drain_stuck_slow() {
+  for (std::future<void>& future : stuck_) {
+    if (!future.valid()) continue;
+    try {
+      future.get();
+    } catch (...) {
+      // The shard's report was already discarded as degraded; whatever
+      // the stale close threw is of no further interest either.
+    }
+  }
+  any_stuck_ = false;
+}
+
 void ShardedDevice::enable_adaptation(const ThresholdAdaptorConfig& config) {
   adaptors_.assign(shards_.size(), ThresholdAdaptor(config));
 }
@@ -74,6 +102,7 @@ std::uint32_t ShardedDevice::shard_of(std::uint64_t fingerprint) const {
 
 void ShardedDevice::observe(const packet::FlowKey& key,
                             std::uint32_t bytes) {
+  drain_stuck();
   const std::uint32_t s = shard_of(key.fingerprint());
   ++interval_packets_[s];
   interval_bytes_[s] += bytes;
@@ -82,6 +111,7 @@ void ShardedDevice::observe(const packet::FlowKey& key,
 
 void ShardedDevice::observe_batch(
     std::span<const packet::ClassifiedPacket> batch) {
+  drain_stuck();
   if (shards_.size() == 1) {
     interval_packets_[0] += batch.size();
     for (const packet::ClassifiedPacket& packet : batch) {
@@ -108,7 +138,10 @@ void ShardedDevice::observe_batch(
     return;
   }
   // Fan shards 1..N-1 out to the pool and run shard 0 on this thread,
-  // so the caller contributes a core instead of blocking idle.
+  // so the caller contributes a core instead of blocking idle. Every
+  // future is joined even after a failure — abandoning one would leave
+  // its task racing against whatever the unwound caller does next — and
+  // the first failure (lowest shard index) resurfaces as ShardError.
   std::vector<std::future<void>> pending;
   pending.reserve(shards_.size() - 1);
   for (std::size_t s = 1; s < shards_.size(); ++s) {
@@ -116,9 +149,31 @@ void ShardedDevice::observe_batch(
       shards_[s]->observe_batch(shard_batches_[s]);
     }));
   }
-  shards_.front()->observe_batch(shard_batches_.front());
-  for (std::future<void>& future : pending) {
-    future.get();
+  std::exception_ptr error;
+  std::uint32_t error_shard = 0;
+  try {
+    shards_.front()->observe_batch(shard_batches_.front());
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    try {
+      pending[s - 1].get();
+    } catch (...) {
+      if (!error) {
+        error = std::current_exception();
+        error_shard = static_cast<std::uint32_t>(s);
+      }
+    }
+  }
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const ShardError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw ShardError(error_shard, e.what());
+    }
   }
 }
 
@@ -126,40 +181,134 @@ Report ShardedDevice::end_interval() {
   // Close every shard's interval (in parallel when a pool is attached —
   // the per-shard flow-memory rebuilds are independent), then merge in
   // shard order so the merged report is deterministic.
+  drain_stuck();
   const telemetry::ScopedTimer merge_timer(tm_merge_ns_);
-  std::vector<Report> reports(shards_.size());
-  if (pool_ != nullptr && pool_->size() > 0 && shards_.size() > 1) {
-    std::vector<std::future<void>> pending;
-    pending.reserve(shards_.size() - 1);
-    for (std::size_t s = 1; s < shards_.size(); ++s) {
-      pending.push_back(pool_->submit(
-          [this, s, &reports] { reports[s] = shards_[s]->end_interval(); }));
+  const std::size_t n = shards_.size();
+  // Heap-allocated report slots: each close task co-owns its slot, so a
+  // watchdog-abandoned task writes into memory that outlives this frame
+  // instead of a dead stack vector.
+  std::vector<std::shared_ptr<Report>> slots;
+  slots.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    slots.push_back(std::make_shared<Report>());
+  }
+  std::vector<char> degraded(n, 0);
+
+  // Consult the fault plan for every shard on this thread in shard
+  // order, so occurrence indices are deterministic under any pool size.
+  std::vector<std::optional<robustness::FaultDecision>> stalls(n);
+  if (faults_ != nullptr) {
+    for (std::size_t s = 0; s < n; ++s) {
+      stalls[s] = faults_->next("shard.stall");
     }
-    reports[0] = shards_[0]->end_interval();
-    for (std::future<void>& future : pending) {
-      future.get();
+  }
+
+  std::exception_ptr error;
+  std::uint32_t error_shard = 0;
+  const auto capture_first = [&error, &error_shard](std::size_t s) {
+    if (!error) {
+      error = std::current_exception();
+      error_shard = static_cast<std::uint32_t>(s);
+    }
+  };
+  const bool parallel = pool_ != nullptr && pool_->size() > 0 && n > 1;
+  const auto make_task = [this, &slots, &stalls](std::size_t s) {
+    return [this, s, slot = slots[s], stall = stalls[s]] {
+      if (stall) robustness::apply_compute_fault(*stall, "shard.stall");
+      *slot = shards_[s]->end_interval();
+    };
+  };
+
+  if (parallel && watchdog_timeout_.count() > 0) {
+    // Watchdog mode: all shards go to the pool (so any of them, not
+    // just 1..N-1, can be timed out) and share one deadline. A shard
+    // that misses it is merged as degraded; its future moves to stuck_
+    // and is joined before the shard is touched again.
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      pending.push_back(pool_->submit(make_task(s)));
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + watchdog_timeout_;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (pending[s].wait_until(deadline) == std::future_status::timeout) {
+        degraded[s] = 1;
+        stuck_[s] = std::move(pending[s]);
+        any_stuck_ = true;
+        if (tm_degraded_ != nullptr) tm_degraded_->increment();
+        continue;
+      }
+      try {
+        pending[s].get();
+      } catch (...) {
+        capture_first(s);
+      }
+    }
+  } else if (parallel) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(n - 1);
+    for (std::size_t s = 1; s < n; ++s) {
+      pending.push_back(pool_->submit(make_task(s)));
+    }
+    try {
+      make_task(0)();
+    } catch (...) {
+      capture_first(0);
+    }
+    for (std::size_t s = 1; s < n; ++s) {
+      try {
+        pending[s - 1].get();
+      } catch (...) {
+        capture_first(s);
+      }
     }
   } else {
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      reports[s] = shards_[s]->end_interval();
+    for (std::size_t s = 0; s < n; ++s) {
+      try {
+        make_task(s)();
+      } catch (...) {
+        // Keep closing the remaining shards so their interval counters
+        // stay aligned; only the first failure resurfaces.
+        capture_first(s);
+      }
+    }
+  }
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const ShardError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw ShardError(error_shard, e.what());
     }
   }
 
   // Per-shard adaptation: each shard's private adaptor sees only that
   // shard's usage, so skewed slices of the flow space settle on their
-  // own thresholds instead of inheriting a global compromise.
+  // own thresholds instead of inheriting a global compromise. Degraded
+  // shards are merged from cached capacity and last-known thresholds —
+  // never from the shard itself, which the stalled close still owns —
+  // and skip adaptation for the interval.
   Report merged;
-  merged.interval = reports.front().interval;
-  merged.shards.resize(shards_.size());
+  merged.interval = interval_index_++;
+  merged.shards.resize(n);
   std::size_t flows = 0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const Report& report = reports[s];
+  for (std::size_t s = 0; s < n; ++s) {
     ShardStatus& status = merged.shards[s];
-    status.threshold = report.threshold;
-    status.entries_used = report.entries_used;
-    status.capacity = shards_[s]->flow_memory_capacity();
+    status.capacity = shard_capacity_[s];
     status.packets = interval_packets_[s];
     status.bytes = interval_bytes_[s];
+    if (degraded[s]) {
+      status.degraded = true;
+      status.threshold = last_thresholds_[s];
+      status.next_threshold = last_thresholds_[s];
+      merged.threshold = std::max(merged.threshold, last_thresholds_[s]);
+      continue;
+    }
+    const Report& report = *slots[s];
+    status.threshold = report.threshold;
+    status.entries_used = report.entries_used;
     if (adaptive()) {
       const common::ByteCount previous = shards_[s]->threshold();
       const common::ByteCount next = adaptors_[s].update(
@@ -182,14 +331,16 @@ Report ShardedDevice::end_interval() {
               : static_cast<double>(report.entries_used) /
                     static_cast<double>(status.capacity);
     }
+    last_thresholds_[s] = status.next_threshold;
     merged.threshold = std::max(merged.threshold, report.threshold);
     flows += report.flows.size();
     merged.entries_used += report.entries_used;
   }
   merged.flows.reserve(flows);
-  for (Report& report : reports) {
-    merged.flows.insert(merged.flows.end(), report.flows.begin(),
-                        report.flows.end());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (degraded[s]) continue;
+    merged.flows.insert(merged.flows.end(), slots[s]->flows.begin(),
+                        slots[s]->flows.end());
   }
 
   // Mirror the interval tallies into the registry (interval deltas into
@@ -236,7 +387,9 @@ void ShardedDevice::set_threshold(common::ByteCount threshold) {
 
 void ShardedDevice::set_shard_threshold(std::uint32_t index,
                                         common::ByteCount threshold) {
+  drain_stuck();
   baseline_thresholds_[index] = threshold;
+  last_thresholds_[index] = threshold;
   shards_[index]->set_threshold(threshold);
   if (adaptive()) {
     // Restart this shard's adaptor so steering resumes from the
@@ -267,6 +420,64 @@ std::uint64_t ShardedDevice::packets_processed() const {
     total += replica->packets_processed();
   }
   return total;
+}
+
+bool ShardedDevice::can_checkpoint() const {
+  if (any_stuck_) return false;
+  for (const auto& replica : shards_) {
+    if (!replica->can_checkpoint()) return false;
+  }
+  return true;
+}
+
+void ShardedDevice::save_state(common::StateWriter& out) const {
+  if (any_stuck_) {
+    throw common::StateError(
+        "sharded device: cannot checkpoint while a watchdog-abandoned "
+        "shard task is still running");
+  }
+  out.put_u8(1);  // layout version
+  out.put_u32(shard_count());
+  out.put_u32(interval_index_);
+  out.put_bool(adaptive());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out.put_u64(baseline_thresholds_[s]);
+    out.put_u64(last_thresholds_[s]);
+    out.put_u64(interval_packets_[s]);
+    out.put_u64(interval_bytes_[s]);
+    if (adaptive()) adaptors_[s].save_state(out);
+  }
+  for (const auto& replica : shards_) {
+    replica->save_state(out);
+  }
+}
+
+void ShardedDevice::restore_state(common::StateReader& in) {
+  drain_stuck();
+  if (in.u8() != 1) {
+    throw common::StateError("sharded device: unknown checkpoint layout");
+  }
+  if (in.u32() != shard_count()) {
+    throw common::StateError(
+        "sharded device: checkpoint shard count does not match "
+        "configuration");
+  }
+  interval_index_ = in.u32();
+  if (in.boolean() != adaptive()) {
+    throw common::StateError(
+        "sharded device: checkpoint adaptation mode does not match "
+        "configuration");
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    baseline_thresholds_[s] = in.u64();
+    last_thresholds_[s] = in.u64();
+    interval_packets_[s] = in.u64();
+    interval_bytes_[s] = in.u64();
+    if (adaptive()) adaptors_[s].restore_state(in);
+  }
+  for (const auto& replica : shards_) {
+    replica->restore_state(in);
+  }
 }
 
 }  // namespace nd::core

@@ -27,17 +27,38 @@
 // halves of this contract.
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <future>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/device.hpp"
 #include "core/threshold_adaptor.hpp"
+#include "robustness/fault.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace nd::core {
+
+/// A shard task failed during fan-out; carries the shard index so the
+/// operator knows which replica to look at. Every merge path joins all
+/// futures before throwing, so no task is left running against freed
+/// state.
+class ShardError : public std::runtime_error {
+ public:
+  ShardError(std::uint32_t shard, const std::string& reason)
+      : std::runtime_error("shard " + std::to_string(shard) + ": " +
+                           reason),
+        shard_(shard) {}
+
+  [[nodiscard]] std::uint32_t shard() const { return shard_; }
+
+ private:
+  std::uint32_t shard_;
+};
 
 struct ShardedDeviceConfig {
   std::uint32_t shards{8};
@@ -61,6 +82,18 @@ struct ShardedDeviceConfig {
   telemetry::MetricsRegistry* metrics{nullptr};
   /// Extra labels for every series this layer registers.
   telemetry::Labels metric_labels{};
+  /// Interval-close watchdog: when > 0 and shards fan out to a pool,
+  /// end_interval waits at most this long (one shared deadline) for the
+  /// shard close tasks. A shard that misses the deadline is merged as
+  /// ShardStatus::degraded — its flows are lost from that report but
+  /// its packet/byte tallies still account the loss — and the abandoned
+  /// task is drained before the shard is touched again. 0 (the default)
+  /// waits forever, reproducing the pre-watchdog behaviour bit for bit.
+  std::chrono::milliseconds watchdog_timeout{0};
+  /// Fault-injection hook (site "shard.stall" delays a shard's interval
+  /// close; combine with watchdog_timeout to exercise degraded merges).
+  /// Not owned; null — the default — is zero-cost.
+  robustness::FaultInjector* faults{nullptr};
 };
 
 class ShardedDevice final : public MeasurementDevice {
@@ -73,6 +106,9 @@ class ShardedDevice final : public MeasurementDevice {
       std::uint32_t shard, std::uint64_t shard_seed)>;
 
   ShardedDevice(const ShardedDeviceConfig& config, const Factory& factory);
+  /// Joins any watchdog-abandoned shard task before the replicas are
+  /// destroyed (a stalled close may still be writing shard state).
+  ~ShardedDevice() override;
 
   void observe(const packet::FlowKey& key, std::uint32_t bytes) override;
   void observe_batch(
@@ -99,6 +135,12 @@ class ShardedDevice final : public MeasurementDevice {
   [[nodiscard]] std::size_t flow_memory_capacity() const override;
   [[nodiscard]] std::uint64_t memory_accesses() const override;
   [[nodiscard]] std::uint64_t packets_processed() const override;
+
+  /// Checkpointable iff every replica is. save_state refuses while a
+  /// watchdog-abandoned task may still be mutating a shard.
+  [[nodiscard]] bool can_checkpoint() const override;
+  void save_state(common::StateWriter& out) const override;
+  void restore_state(common::StateReader& in) override;
 
   /// Switch on per-shard threshold adaptation (idempotent; replaces any
   /// previous adaptor configuration and restarts from the shards'
@@ -129,6 +171,14 @@ class ShardedDevice final : public MeasurementDevice {
   }
 
  private:
+  /// Join every watchdog-abandoned shard task (swallowing its result)
+  /// so the shard's state is quiescent again. Called before any path
+  /// that touches shard state; the fast path is one predicted branch.
+  void drain_stuck() {
+    if (any_stuck_) drain_stuck_slow();
+  }
+  void drain_stuck_slow();
+
   std::vector<std::unique_ptr<MeasurementDevice>> shards_;
   /// Always-on per-interval packet/byte tallies, indexed by shard.
   /// Updated on the caller's thread (observe and the partition loop run
@@ -158,6 +208,23 @@ class ShardedDevice final : public MeasurementDevice {
   std::vector<ThresholdAdaptor> adaptors_;
   /// Per-shard manual baseline (see baseline_thresholds()).
   std::vector<common::ByteCount> baseline_thresholds_;
+  /// Per-shard flow-memory capacity, cached at construction so a
+  /// degraded merge never queries a shard a stalled task may still own.
+  std::vector<std::size_t> shard_capacity_;
+  /// Each shard's threshold as of the last merge (or override); the
+  /// value a degraded merge reports without touching the shard.
+  std::vector<common::ByteCount> last_thresholds_;
+  /// Futures of shard tasks that missed the watchdog deadline, held
+  /// until drain_stuck() joins them; empty future = shard not stuck.
+  std::vector<std::future<void>> stuck_;
+  bool any_stuck_{false};
+  /// Index of the next interval to close. Mirrors the replicas' own
+  /// counters but survives a fully-degraded merge where no replica
+  /// report is available to copy the index from.
+  common::IntervalIndex interval_index_{0};
+  std::chrono::milliseconds watchdog_timeout_{0};
+  robustness::FaultInjector* faults_{nullptr};
+  telemetry::Counter* tm_degraded_{nullptr};
 };
 
 /// Deterministic per-shard seed derivation (exposed for tests).

@@ -25,6 +25,28 @@ void ThresholdAdaptor::reset() {
   intervals_since_increase_ = 0;
 }
 
+void ThresholdAdaptor::save_state(common::StateWriter& out) const {
+  out.put_u32(static_cast<std::uint32_t>(usage_history_.size()));
+  for (const double usage : usage_history_) {
+    out.put_f64(usage);
+  }
+  out.put_u32(static_cast<std::uint32_t>(intervals_since_increase_));
+}
+
+void ThresholdAdaptor::restore_state(common::StateReader& in) {
+  const std::uint32_t samples = in.u32();
+  if (samples > config_.usage_window) {
+    throw common::StateError(
+        "threshold adaptor: checkpointed usage window exceeds configured "
+        "window");
+  }
+  usage_history_.clear();
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    usage_history_.push_back(in.f64());
+  }
+  intervals_since_increase_ = static_cast<int>(in.u32());
+}
+
 double ThresholdAdaptor::smoothed_usage() const {
   if (usage_history_.empty()) return 0.0;
   double sum = 0.0;

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "common/state_buffer.hpp"
 #include "common/types.hpp"
 
 namespace nd::core {
@@ -67,6 +68,11 @@ class ThresholdAdaptor {
   /// next adaptation restarts from the override instead of steering on
   /// usage observed under the old threshold.
   void reset();
+
+  /// Checkpoint the steering state (usage window + patience counter);
+  /// the config itself is the caller's to reconstruct.
+  void save_state(common::StateWriter& out) const;
+  void restore_state(common::StateReader& in);
 
  private:
   ThresholdAdaptorConfig config_;

@@ -100,6 +100,67 @@ void FlowMemory::end_interval(const EndIntervalPolicy& policy) {
   // The high-water mark intentionally persists across intervals.
 }
 
+void FlowMemory::save_state(common::StateWriter& out) const {
+  out.put_u64(static_cast<std::uint64_t>(slots_.size()));
+  out.put_u64(static_cast<std::uint64_t>(capacity_));
+  out.put_u64(static_cast<std::uint64_t>(used_));
+  out.put_u64(static_cast<std::uint64_t>(high_water_));
+  out.put_u64(accesses_);
+  std::uint64_t occupied = 0;
+  for (const FlowEntry& entry : slots_) {
+    if (entry.occupied) ++occupied;
+  }
+  out.put_u64(occupied);
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    const FlowEntry& entry = slots_[slot];
+    if (!entry.occupied) continue;
+    out.put_u64(static_cast<std::uint64_t>(slot));
+    packet::save_flow_key(out, entry.key);
+    out.put_u64(entry.bytes_current);
+    out.put_u64(entry.bytes_lifetime);
+    out.put_u32(entry.created_interval);
+    out.put_u8(static_cast<std::uint8_t>(
+        (entry.created_this_interval ? 1U : 0U) |
+        (entry.exact_this_interval ? 2U : 0U)));
+  }
+}
+
+void FlowMemory::restore_state(common::StateReader& in) {
+  if (in.u64() != slots_.size() || in.u64() != capacity_) {
+    throw common::StateError(
+        "flow memory: checkpoint geometry does not match configuration");
+  }
+  const std::uint64_t used = in.u64();
+  const std::uint64_t high_water = in.u64();
+  const std::uint64_t accesses = in.u64();
+  const std::uint64_t occupied = in.u64();
+  if (used > capacity_ || occupied != used) {
+    throw common::StateError("flow memory: inconsistent checkpoint counts");
+  }
+  std::fill(slots_.begin(), slots_.end(), FlowEntry{});
+  for (std::uint64_t i = 0; i < occupied; ++i) {
+    const std::uint64_t slot = in.u64();
+    if (slot >= slots_.size()) {
+      throw common::StateError("flow memory: checkpoint slot out of range");
+    }
+    FlowEntry& entry = slots_[slot];
+    if (entry.occupied) {
+      throw common::StateError("flow memory: duplicate checkpoint slot");
+    }
+    entry.key = packet::load_flow_key(in);
+    entry.bytes_current = in.u64();
+    entry.bytes_lifetime = in.u64();
+    entry.created_interval = in.u32();
+    const std::uint8_t flags = in.u8();
+    entry.created_this_interval = (flags & 1U) != 0;
+    entry.exact_this_interval = (flags & 2U) != 0;
+    entry.occupied = true;
+  }
+  used_ = static_cast<std::size_t>(used);
+  high_water_ = static_cast<std::size_t>(high_water);
+  accesses_ = accesses;
+}
+
 void FlowMemory::for_each(
     const std::function<void(const FlowEntry&)>& visit) const {
   for (const FlowEntry& entry : slots_) {

@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/state_buffer.hpp"
 #include "common/types.hpp"
 #include "hash/hash.hpp"
 #include "packet/flow_key.hpp"
@@ -103,6 +104,16 @@ class FlowMemory {
   /// Total find/insert probes performed; the per-packet memory-access
   /// accounting of Table 1 divides this by packets processed.
   [[nodiscard]] std::uint64_t memory_accesses() const { return accesses_; }
+
+  /// Checkpoint the table including exact slot placement. Open
+  /// addressing makes placement a function of insertion history, so
+  /// occupied entries are written with their slot index and restored in
+  /// place — re-inserting them in any canonical order would change the
+  /// probe-chain layout and break bit-identical resume. restore_state
+  /// requires a FlowMemory constructed with the same capacity and seed;
+  /// mismatches throw common::StateError.
+  void save_state(common::StateWriter& out) const;
+  void restore_state(common::StateReader& in);
 
  private:
   [[nodiscard]] std::size_t slot_of(const packet::FlowKey& key) const;

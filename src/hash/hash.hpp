@@ -40,6 +40,15 @@ namespace nd::hash {
 /// FNV-1a over raw bytes; used to fingerprint variable-length flow keys.
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
 
+/// CRC-32 (reflected, polynomial 0xEDB88320 — the IEEE 802.3 CRC) over
+/// raw bytes. Frames every exported report so a corrupted payload is
+/// detected and re-requested instead of silently mis-decoded; detects
+/// all single-byte errors, which is what the chaos suite's bit-flip
+/// tables rely on. `seed_crc` chains incremental computations (pass the
+/// previous return value; 0 starts fresh).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                  std::uint32_t seed_crc = 0);
+
 /// Map a 64-bit hash uniformly onto [0, range) without modulo bias
 /// (Lemire's multiply-high reduction).
 [[nodiscard]] constexpr std::uint64_t reduce_to_range(std::uint64_t h,

@@ -73,6 +73,35 @@ FlowKey FlowKey::network_pair(std::uint32_t src_network,
                  prefix_len, 0, IpProtocol::kTcp);
 }
 
+void save_flow_key(common::StateWriter& out, const FlowKey& key) {
+  out.put_u8(static_cast<std::uint8_t>(key.kind()));
+  out.put_u32(key.src_ip());
+  out.put_u32(key.dst_ip());
+  out.put_u16(key.src_port());
+  out.put_u16(key.dst_port());
+  out.put_u8(static_cast<std::uint8_t>(key.protocol()));
+}
+
+FlowKey load_flow_key(common::StateReader& in) {
+  const auto kind = static_cast<FlowKeyKind>(in.u8());
+  const std::uint32_t a = in.u32();
+  const std::uint32_t b = in.u32();
+  const std::uint16_t c = in.u16();
+  const std::uint16_t d = in.u16();
+  const auto proto = static_cast<IpProtocol>(in.u8());
+  switch (kind) {
+    case FlowKeyKind::kFiveTuple:
+      return FlowKey::five_tuple(a, b, c, d, proto);
+    case FlowKeyKind::kDestinationIp:
+      return FlowKey::destination_ip(b);
+    case FlowKeyKind::kAsPair:
+      return FlowKey::as_pair(a, b);
+    case FlowKeyKind::kNetworkPair:
+      return FlowKey::network_pair(a, b, static_cast<std::uint8_t>(c));
+  }
+  throw common::StateError("flow key: unknown kind tag in checkpoint");
+}
+
 std::string FlowKey::to_string() const {
   switch (kind_) {
     case FlowKeyKind::kFiveTuple: {

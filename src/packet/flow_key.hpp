@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "common/state_buffer.hpp"
 #include "packet/packet.hpp"
 
 namespace nd::packet {
@@ -89,6 +90,13 @@ class FlowKey {
   IpProtocol proto_{IpProtocol::kTcp};
   std::uint64_t fingerprint_{0};
 };
+
+/// Checkpoint serialization for flow keys: the discriminating fields
+/// are written and the key is rebuilt through its factory, so the
+/// fingerprint is recomputed rather than trusted from the buffer.
+/// load_flow_key throws common::StateError on an unknown kind tag.
+void save_flow_key(common::StateWriter& out, const FlowKey& key);
+[[nodiscard]] FlowKey load_flow_key(common::StateReader& in);
 
 struct FlowKeyHasher {
   [[nodiscard]] std::size_t operator()(const FlowKey& key) const {

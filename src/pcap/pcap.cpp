@@ -102,6 +102,11 @@ PcapReader::PcapReader(std::istream& in) : in_(in) {
   if (vmaj != 2) {
     throw PcapError("pcap: unsupported version " + std::to_string(vmaj));
   }
+  if (snaplen_ == 0 || snaplen_ > kMaxSnapLen) {
+    // A zero or absurd snaplen is header corruption; rejecting it here
+    // also bounds every subsequent per-packet allocation.
+    throw PcapError("pcap: implausible snaplen " + std::to_string(snaplen_));
+  }
 }
 
 std::optional<PcapPacket> PcapReader::next() {
@@ -116,8 +121,11 @@ std::optional<PcapPacket> PcapReader::next() {
       !get_u32(in_, swapped_, origlen)) {
     throw PcapError("pcap: truncated packet header");
   }
-  if (caplen > snaplen_ + 4096U) {
-    throw PcapError("pcap: implausible capture length");
+  // Strict bound: a capture can never exceed the file's own snaplen.
+  // (The old `snaplen_ + 4096` slack also overflowed u32 for snaplens
+  // near the maximum, letting absurd capture lengths through.)
+  if (caplen > snaplen_) {
+    throw PcapError("pcap: capture length exceeds snaplen");
   }
   PcapPacket pkt;
   pkt.timestamp_ns = static_cast<common::TimestampNs>(ts_sec) *
@@ -125,8 +133,20 @@ std::optional<PcapPacket> PcapReader::next() {
                      static_cast<common::TimestampNs>(ts_usec) * 1000ULL;
   pkt.original_length = origlen;
   pkt.data.resize(caplen);
-  if (!in_.read(reinterpret_cast<char*>(pkt.data.data()), caplen)) {
+  if (caplen > 0 &&
+      !in_.read(reinterpret_cast<char*>(pkt.data.data()), caplen)) {
     throw PcapError("pcap: truncated packet body");
+  }
+  if (faults_ != nullptr) {
+    // Capture-damage sites, applied after the full read so the stream
+    // stays aligned on the next packet header.
+    if (const auto fault = faults_->next("pcap.truncate")) {
+      pkt.data.resize(
+          robustness::truncated_size(pkt.data.size(), fault->salt));
+    }
+    if (const auto fault = faults_->next("pcap.corrupt")) {
+      robustness::corrupt_bytes(pkt.data, fault->salt);
+    }
   }
   return pkt;
 }

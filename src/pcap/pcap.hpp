@@ -16,12 +16,17 @@
 
 #include "packet/headers.hpp"
 #include "packet/packet.hpp"
+#include "robustness/fault.hpp"
 
 namespace nd::pcap {
 
 inline constexpr std::uint32_t kMagicNative = 0xA1B2C3D4;
 inline constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1;
 inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+/// Largest snaplen the reader accepts. Real captures use 65535 or
+/// less; the cap bounds every per-packet allocation, so a corrupt
+/// header field can never become a multi-gigabyte resize.
+inline constexpr std::uint32_t kMaxSnapLen = 262144;
 
 class PcapError : public std::runtime_error {
  public:
@@ -73,11 +78,20 @@ class PcapReader {
   [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
   [[nodiscard]] std::uint32_t link_type() const { return link_type_; }
 
+  /// Attach a fault injector simulating capture damage on the wire:
+  /// site "pcap.truncate" shortens the returned packet's data (the
+  /// stream stays aligned — the full capture is consumed first) and
+  /// "pcap.corrupt" flips a payload byte. Not owned; null detaches.
+  void attach_fault_injector(robustness::FaultInjector* faults) {
+    faults_ = faults;
+  }
+
  private:
   std::istream& in_;
   bool swapped_{false};
   std::uint32_t snaplen_{0};
   std::uint32_t link_type_{0};
+  robustness::FaultInjector* faults_{nullptr};
 };
 
 /// Write a whole trace to a file. Returns packets written.

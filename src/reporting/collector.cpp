@@ -10,6 +10,14 @@ core::Report CollectionChannel::deliver(const core::Report& report) {
   const std::uint64_t offered = encoded_size(report);
   stats_.bytes_offered += offered;
 
+  if (faults_ != nullptr && faults_->next("channel.drop")) {
+    ++stats_.reports_dropped;
+    core::Report lost;
+    lost.interval = report.interval;
+    lost.threshold = report.threshold;
+    return lost;
+  }
+
   core::Report delivered = report;
   if (offered > budget_) {
     const std::uint64_t record_budget =
@@ -30,13 +38,15 @@ CollectionChannel::Delivered CollectionChannel::deliver(
   Delivered out;
   if (!metrics_json.empty() && offered <= budget_) {
     // Everything fits: account for the trailer bytes on top of the
-    // regular record accounting.
+    // regular record accounting (unless the whole report was dropped in
+    // transit, which loses the trailer with it).
+    const std::uint64_t dropped_before = stats_.reports_dropped;
     out.report = deliver(report);
-    out.metrics_delivered = true;
+    out.metrics_delivered = stats_.reports_dropped == dropped_before;
     const std::uint64_t trailer_bytes =
         kTrailerLengthBytes + metrics_json.size();
     stats_.bytes_offered += trailer_bytes;
-    stats_.bytes_delivered += trailer_bytes;
+    if (out.metrics_delivered) stats_.bytes_delivered += trailer_bytes;
     return out;
   }
   // Budget pressure (or no trailer): the trailer is dropped before any

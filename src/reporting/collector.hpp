@@ -14,6 +14,7 @@
 
 #include "core/device.hpp"
 #include "reporting/record_codec.hpp"
+#include "robustness/fault.hpp"
 
 namespace nd::reporting {
 
@@ -23,6 +24,9 @@ struct ChannelStats {
   std::uint64_t records_delivered{0};
   std::uint64_t bytes_offered{0};
   std::uint64_t bytes_delivered{0};
+  /// Reports lost whole in transit (fault site "channel.drop"); their
+  /// records count as offered, never delivered.
+  std::uint64_t reports_dropped{0};
 
   [[nodiscard]] double record_loss_rate() const {
     return records_offered == 0
@@ -55,9 +59,19 @@ class CollectionChannel {
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
 
+  /// Attach a fault injector (site "channel.drop": the offered report is
+  /// lost whole — the returned report keeps its interval/threshold but
+  /// carries no records, and stats().reports_dropped advances, which is
+  /// how ResilientChannel detects the loss and retries). Not owned; null
+  /// detaches.
+  void attach_fault_injector(robustness::FaultInjector* faults) {
+    faults_ = faults;
+  }
+
  private:
   std::uint64_t budget_;
   ChannelStats stats_;
+  robustness::FaultInjector* faults_{nullptr};
 };
 
 }  // namespace nd::reporting

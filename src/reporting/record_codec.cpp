@@ -1,5 +1,7 @@
 #include "reporting/record_codec.hpp"
 
+#include "hash/hash.hpp"
+
 namespace nd::reporting {
 
 namespace {
@@ -93,7 +95,9 @@ std::vector<std::uint8_t> encode(const core::Report& report,
     // 1e6 bounds the value and u32 is ample.
     put_u32(out, static_cast<std::uint32_t>(shard.smoothed_usage * 1e6 +
                                             0.5));
-    put_u32(out, 0);  // reserved
+    // Former reserved word; bit 0 now carries the degraded flag (older
+    // encoders always wrote 0 here, so no version bump is needed).
+    put_u32(out, shard.degraded ? 1U : 0U);
     put_u64(out, shard.packets);
     put_u64(out, shard.bytes);
   }
@@ -192,6 +196,8 @@ DecodedReport decode_full(std::span<const std::uint8_t> data) {
     status.entries_used = get_u64(data, off + 16);
     status.capacity = get_u64(data, off + 24);
     status.smoothed_usage = static_cast<double>(get_u32(data, off + 32)) / 1e6;
+    // The flag word exists in v2 and v3 layouts alike (v2 wrote 0).
+    status.degraded = (get_u32(data, off + 36) & 1U) != 0;
     if (version == kVersion) {
       status.packets = get_u64(data, off + 40);
       status.bytes = get_u64(data, off + 48);
@@ -203,6 +209,49 @@ DecodedReport decode_full(std::span<const std::uint8_t> data) {
 
 core::Report decode(std::span<const std::uint8_t> data) {
   return decode_full(data).report;
+}
+
+std::vector<std::uint8_t> frame_payload(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() > 0xFFFFFFFFULL) {
+    throw CodecError("reporting: payload too large to frame");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, hash::crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_framed(const core::Report& report,
+                                        packet::FlowKeyKind kind,
+                                        std::string_view metrics_json) {
+  return frame_payload(encode(report, kind, metrics_json));
+}
+
+std::span<const std::uint8_t> unframe(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kFrameHeaderBytes) {
+    throw CodecError("reporting: truncated frame header");
+  }
+  if (get_u32(frame, 0) != kFrameMagic) {
+    throw CodecError("reporting: bad frame magic");
+  }
+  const std::size_t length = get_u32(frame, 4);
+  if (frame.size() != kFrameHeaderBytes + length) {
+    throw CodecError("reporting: frame length mismatch");
+  }
+  const std::span<const std::uint8_t> payload =
+      frame.subspan(kFrameHeaderBytes);
+  if (hash::crc32(payload) != get_u32(frame, 8)) {
+    throw CodecError("reporting: frame CRC mismatch (corrupt payload)");
+  }
+  return payload;
+}
+
+DecodedReport decode_framed(std::span<const std::uint8_t> frame) {
+  return decode_full(unframe(frame));
 }
 
 }  // namespace nd::reporting

@@ -1,0 +1,131 @@
+#include "reporting/resilient_channel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace nd::reporting {
+
+ResilientChannel::ResilientChannel(const ResilientChannelConfig& config)
+    : config_(config), channel_(config.bytes_per_interval) {
+  config_.max_attempts = std::max<std::uint32_t>(config_.max_attempts, 1);
+  channel_.attach_fault_injector(config_.faults);
+  if (config_.metrics != nullptr) {
+    telemetry::MetricsRegistry& registry = *config_.metrics;
+    const telemetry::Labels& labels = config_.metric_labels;
+    tm_retries_ = &registry.counter("nd_channel_retries_total", labels);
+    tm_drops_ = &registry.counter("nd_channel_drops_total", labels);
+    tm_corruptions_ =
+        &registry.counter("nd_channel_corruptions_total", labels);
+    tm_reorders_ = &registry.counter("nd_channel_reorders_total", labels);
+    tm_abandoned_ = &registry.counter("nd_channel_abandoned_total", labels);
+  }
+}
+
+void ResilientChannel::backoff(std::uint32_t retry_index) {
+  const auto delay = config_.backoff_base * (1ULL << retry_index);
+  stats_.backoff_us += static_cast<std::uint64_t>(delay.count());
+  ++stats_.retries;
+  if (tm_retries_ != nullptr) tm_retries_->increment();
+  if (config_.sleep_on_backoff) {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+DeliveryOutcome ResilientChannel::send(const core::Report& report,
+                                       std::string_view metrics_json) {
+  ++stats_.reports_sent;
+  // Largest-first shedding: the channel truncates to a prefix, so
+  // sorting by descending size guarantees whatever survives the budget
+  // is exactly the top-K heavy hitters.
+  core::Report ordered = report;
+  core::sort_by_size(ordered);
+  const packet::FlowKeyKind kind = ordered.flows.empty()
+                                       ? packet::FlowKeyKind::kFiveTuple
+                                       : ordered.flows.front().key.kind();
+
+  DeliveryOutcome outcome;
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts;
+       ++attempt) {
+    ++stats_.attempts;
+    outcome.attempts = attempt + 1;
+
+    const std::uint64_t dropped_before = channel_.stats().reports_dropped;
+    const CollectionChannel::Delivered delivered =
+        channel_.deliver(ordered, metrics_json);
+    if (channel_.stats().reports_dropped != dropped_before) {
+      // Whole report lost in transit; back off and resend.
+      ++stats_.drops;
+      if (tm_drops_ != nullptr) tm_drops_->increment();
+      backoff(attempt);
+      continue;
+    }
+
+    std::vector<std::uint8_t> frame = encode_framed(
+        delivered.report, kind,
+        delivered.metrics_delivered ? metrics_json : std::string_view{});
+    if (config_.faults != nullptr) {
+      if (const auto fault = config_.faults->next("channel.corrupt")) {
+        robustness::corrupt_bytes(frame, fault->salt);
+      }
+    }
+    core::Report arrived;
+    try {
+      arrived = decode_framed(frame).report;
+    } catch (const CodecError&) {
+      // The CRC caught the corruption; the collector re-requests the
+      // interval instead of ingesting garbage.
+      ++stats_.corruptions_detected;
+      if (tm_corruptions_ != nullptr) tm_corruptions_->increment();
+      backoff(attempt);
+      continue;
+    }
+
+    outcome.delivered = true;
+    outcome.records_delivered = arrived.flows.size();
+    outcome.records_shed = ordered.flows.size() - arrived.flows.size();
+    outcome.metrics_delivered = delivered.metrics_delivered;
+    stats_.records_shed += outcome.records_shed;
+
+    bool reorder = false;
+    if (config_.faults != nullptr) {
+      reorder = config_.faults->next("channel.reorder").has_value();
+    }
+    if (reorder) {
+      // Delay this frame: it surfaces after the next arrival (flush()
+      // covers end of stream). A frame already in limbo is pushed out
+      // first — the channel holds at most one frame back.
+      ++stats_.reorders;
+      if (tm_reorders_ != nullptr) tm_reorders_->increment();
+      flush();
+      limbo_ = std::move(arrived);
+    } else {
+      received_.push_back(std::move(arrived));
+      flush();
+    }
+    return outcome;
+  }
+  ++stats_.reports_abandoned;
+  if (tm_abandoned_ != nullptr) tm_abandoned_->increment();
+  return outcome;
+}
+
+void ResilientChannel::flush() {
+  if (limbo_) {
+    received_.push_back(std::move(*limbo_));
+    limbo_.reset();
+  }
+}
+
+std::vector<core::Report> ResilientChannel::drain_ordered() {
+  flush();
+  std::vector<core::Report> out;
+  out.swap(received_);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const core::Report& a, const core::Report& b) {
+                     return a.interval < b.interval;
+                   });
+  return out;
+}
+
+}  // namespace nd::reporting

@@ -1,0 +1,135 @@
+// ResilientChannel: self-healing delivery over a flaky collection path.
+//
+// CollectionChannel models the bandwidth constraint of the router →
+// management-station link; this wrapper adds the failure modes a real
+// export path suffers — whole reports lost in transit, payload bit
+// corruption, out-of-order arrival — and the recovery loop on top:
+//
+//   * largest-flow-first shedding: the report's records are sorted by
+//     descending size before the channel truncates to its byte budget,
+//     so whatever survives is exactly the heavy-hitter prefix (the
+//     paper's whole point is that those are the flows worth shipping);
+//   * CRC32 framing (record_codec.hpp): corruption is detected at the
+//     collector and the interval is re-requested instead of decoding
+//     plausible garbage;
+//   * bounded retry with exponential backoff: each lost or corrupted
+//     attempt doubles the recorded backoff; after max_attempts the
+//     report is abandoned and the loss shows up in stats() — never
+//     silently;
+//   * reorder absorption: a delayed frame is buffered and surfaced in
+//     arrival order; drain_ordered() restores interval order.
+//
+// Every failure path is visible in ResilientChannelStats, which is what
+// the chaos differential suite audits: under any fault plan, either the
+// received reports are bit-identical to a fault-free run, or every
+// missing record is accounted for here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/device.hpp"
+#include "reporting/collector.hpp"
+#include "robustness/fault.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace nd::reporting {
+
+struct ResilientChannelConfig {
+  /// Underlying CollectionChannel byte budget per interval.
+  std::uint64_t bytes_per_interval{1ULL << 20};
+  /// Delivery attempts per report before it is abandoned (>= 1).
+  std::uint32_t max_attempts{4};
+  /// First retry backoff; doubles per subsequent retry.
+  std::chrono::microseconds backoff_base{1000};
+  /// Actually sleep the backoff (real deployments) or only record it
+  /// (tests and simulations, the default — determinism stays intact
+  /// either way since the backoff never influences the data path).
+  bool sleep_on_backoff{false};
+  /// Fault hook for the transit sites "channel.drop" (report lost),
+  /// "channel.corrupt" (payload bit flip), "channel.reorder" (frame
+  /// delayed past its successor). Not owned; null is zero-cost.
+  robustness::FaultInjector* faults{nullptr};
+  /// Optional telemetry registry (not owned); labels tag every series.
+  telemetry::MetricsRegistry* metrics{nullptr};
+  telemetry::Labels metric_labels{};
+};
+
+struct ResilientChannelStats {
+  std::uint64_t reports_sent{0};
+  std::uint64_t attempts{0};
+  std::uint64_t retries{0};
+  /// Whole-report transit losses detected (and retried).
+  std::uint64_t drops{0};
+  /// Frames rejected by the CRC check (and retried).
+  std::uint64_t corruptions_detected{0};
+  std::uint64_t reorders{0};
+  /// Records truncated by the byte budget (smallest flows, by
+  /// construction — see largest-first shedding above).
+  std::uint64_t records_shed{0};
+  /// Reports given up on after max_attempts; the only unaccounted-for
+  /// loss is never silent — it lands here.
+  std::uint64_t reports_abandoned{0};
+  /// Total backoff the retry loop imposed (recorded even when
+  /// sleep_on_backoff is off).
+  std::uint64_t backoff_us{0};
+};
+
+/// The outcome of one send(): what reached the collector.
+struct DeliveryOutcome {
+  bool delivered{false};
+  std::uint32_t attempts{0};
+  std::uint64_t records_delivered{0};
+  std::uint64_t records_shed{0};
+  bool metrics_delivered{false};
+};
+
+class ResilientChannel {
+ public:
+  explicit ResilientChannel(const ResilientChannelConfig& config);
+
+  /// Ship one interval's report through the flaky channel, retrying
+  /// transit faults up to max_attempts times. Successfully received
+  /// reports accumulate in received(); a reorder fault delays a report
+  /// until after its successor arrives.
+  DeliveryOutcome send(const core::Report& report,
+                       std::string_view metrics_json = {});
+
+  /// Reports as the collector saw them arrive (reorders visible).
+  /// flush() surfaces a report still held in the reorder buffer when
+  /// the stream ends.
+  [[nodiscard]] const std::vector<core::Report>& received() const {
+    return received_;
+  }
+  void flush();
+
+  /// flush() + sort by interval index: the collector's reassembled,
+  /// in-order view of the measurement stream.
+  [[nodiscard]] std::vector<core::Report> drain_ordered();
+
+  [[nodiscard]] const ResilientChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const ChannelStats& channel_stats() const {
+    return channel_.stats();
+  }
+
+ private:
+  void backoff(std::uint32_t retry_index);
+
+  ResilientChannelConfig config_;
+  CollectionChannel channel_;
+  ResilientChannelStats stats_;
+  std::vector<core::Report> received_;
+  /// A frame delayed by "channel.reorder"; surfaces after the next
+  /// successful delivery (or at flush()).
+  std::optional<core::Report> limbo_;
+  telemetry::Counter* tm_retries_{nullptr};
+  telemetry::Counter* tm_drops_{nullptr};
+  telemetry::Counter* tm_corruptions_{nullptr};
+  telemetry::Counter* tm_reorders_{nullptr};
+  telemetry::Counter* tm_abandoned_{nullptr};
+};
+
+}  // namespace nd::reporting

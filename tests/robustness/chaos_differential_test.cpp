@@ -1,0 +1,286 @@
+// Chaos differential suite: the tentpole property of the robustness
+// layer, checked end-to-end over device -> report -> framed channel ->
+// collector.
+//
+// Under ANY fault plan, one of two things must hold for every interval:
+// either the collector's reassembled stream is bit-identical to a
+// fault-free run (the recovery paths healed the faults), or every
+// missing record is accounted for — in ResilientChannelStats for
+// transit losses, in ShardStatus::degraded plus the shard routing
+// function for watchdog losses — and whatever did survive is a
+// largest-flow-first prefix. Nothing is ever lost silently.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "../support/report_testing.hpp"
+#include "common/thread_pool.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sharded_device.hpp"
+#include "reporting/record_codec.hpp"
+#include "reporting/resilient_channel.hpp"
+#include "robustness/fault.hpp"
+#include "trace/presets.hpp"
+
+namespace nd {
+namespace {
+
+std::vector<std::vector<packet::ClassifiedPacket>> chaos_trace() {
+  auto config = trace::scaled(trace::Presets::cos(31), 0.02);
+  config.num_intervals = 5;
+  return testing::classify_trace(config,
+                                 packet::FlowDefinition::five_tuple());
+}
+
+std::unique_ptr<core::MeasurementDevice> make_device() {
+  core::MultistageFilterConfig config;
+  config.flow_memory_entries = 512;
+  config.depth = 3;
+  config.buckets_per_stage = 256;
+  config.threshold = 30'000;
+  config.preserve = flowmem::PreservePolicy::kPreserve;
+  config.seed = 3;
+  return std::make_unique<core::MultistageFilter>(config);
+}
+
+struct PipelineResult {
+  /// Per-interval device reports, sorted largest-first (what a
+  /// lossless channel would deliver).
+  std::vector<core::Report> produced;
+  /// The collector's reassembled in-order stream.
+  std::vector<core::Report> received;
+  reporting::ResilientChannelStats stats;
+  reporting::ChannelStats channel;
+};
+
+PipelineResult run_pipeline(
+    const std::vector<std::vector<packet::ClassifiedPacket>>& intervals,
+    robustness::FaultInjector* faults,
+    std::uint64_t bytes_per_interval = 1ULL << 20) {
+  reporting::ResilientChannelConfig config;
+  config.bytes_per_interval = bytes_per_interval;
+  config.max_attempts = 4;
+  config.faults = faults;
+  reporting::ResilientChannel channel(config);
+
+  auto device = make_device();
+  PipelineResult result;
+  for (const auto& batch : intervals) {
+    device->observe_batch(batch);
+    core::Report report = device->end_interval();
+    core::sort_by_size(report);
+    (void)channel.send(report);
+    // entries_used is device-local state the wire format omits; zero it
+    // so `produced` and the decoded `received` compare on the
+    // wire-visible fields.
+    report.entries_used = 0;
+    result.produced.push_back(std::move(report));
+  }
+  result.received = channel.drain_ordered();
+  result.stats = channel.stats();
+  result.channel = channel.channel_stats();
+  return result;
+}
+
+void expect_streams_equal(const std::vector<core::Report>& a,
+                          const std::vector<core::Report>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    testing::expect_reports_equal(a[i], b[i]);
+  }
+}
+
+TEST(ChaosDifferential, FaultFreePipelineDeliversEverything) {
+  const auto intervals = chaos_trace();
+  const PipelineResult result = run_pipeline(intervals, nullptr);
+  expect_streams_equal(result.received, result.produced);
+  EXPECT_EQ(result.stats.retries, 0u);
+  EXPECT_EQ(result.stats.records_shed, 0u);
+}
+
+TEST(ChaosDifferential, DropsWithRetriesHealBitIdentically) {
+  const auto intervals = chaos_trace();
+  const PipelineResult baseline = run_pipeline(intervals, nullptr);
+
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kDrop;
+  spec.schedule = {0, 2, 5};  // drop some attempts, never max_attempts
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(21).inject("channel.drop", spec));
+  const PipelineResult chaotic = run_pipeline(intervals, &faults);
+
+  expect_streams_equal(chaotic.received, baseline.received);
+  EXPECT_EQ(chaotic.stats.drops, 3u);
+  EXPECT_EQ(chaotic.stats.retries, 3u);
+  EXPECT_EQ(chaotic.channel.reports_dropped, 3u);
+  EXPECT_EQ(chaotic.stats.reports_abandoned, 0u);
+}
+
+TEST(ChaosDifferential, CorruptionIsDetectedAndHealedBitIdentically) {
+  const auto intervals = chaos_trace();
+  const PipelineResult baseline = run_pipeline(intervals, nullptr);
+
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kCorrupt;
+  spec.schedule = {0, 1, 3};  // two corruptions on report 0, one later
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(22).inject("channel.corrupt", spec));
+  const PipelineResult chaotic = run_pipeline(intervals, &faults);
+
+  expect_streams_equal(chaotic.received, baseline.received);
+  EXPECT_EQ(chaotic.stats.corruptions_detected, 3u);
+  EXPECT_EQ(chaotic.stats.reports_abandoned, 0u);
+}
+
+TEST(ChaosDifferential, ReorderedStreamReassemblesInOrder) {
+  const auto intervals = chaos_trace();
+  const PipelineResult baseline = run_pipeline(intervals, nullptr);
+
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kReorder;
+  spec.schedule = {0, 2};
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(23).inject("channel.reorder", spec));
+  const PipelineResult chaotic = run_pipeline(intervals, &faults);
+
+  // drain_ordered() undoes the reordering completely.
+  expect_streams_equal(chaotic.received, baseline.received);
+  EXPECT_EQ(chaotic.stats.reorders, 2u);
+}
+
+TEST(ChaosDifferential, PersistentDropIsAbandonedNeverSilent) {
+  const auto intervals = chaos_trace();
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kDrop;
+  spec.probability = 1.0;
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(24).inject("channel.drop", spec));
+  const PipelineResult chaotic = run_pipeline(intervals, &faults);
+
+  // Total loss — but fully accounted: every report abandoned after
+  // exactly max_attempts dropped attempts.
+  EXPECT_TRUE(chaotic.received.empty());
+  EXPECT_EQ(chaotic.stats.reports_abandoned, intervals.size());
+  EXPECT_EQ(chaotic.stats.drops, 4u * intervals.size());
+  EXPECT_EQ(chaotic.channel.reports_dropped, 4u * intervals.size());
+  EXPECT_EQ(chaotic.channel.records_delivered, 0u);
+}
+
+TEST(ChaosDifferential, BudgetPressureShedsLargestFirstWithExactCounts) {
+  const auto intervals = chaos_trace();
+  // Room for the header and a single record per interval: every
+  // interval with more than one heavy hitter must shed.
+  const std::uint64_t budget =
+      reporting::kHeaderBytes + 1 * reporting::kRecordBytes;
+  const PipelineResult squeezed = run_pipeline(intervals, nullptr, budget);
+
+  ASSERT_EQ(squeezed.received.size(), squeezed.produced.size());
+  std::uint64_t shed_total = 0;
+  for (std::size_t i = 0; i < squeezed.received.size(); ++i) {
+    const core::Report& full = squeezed.produced[i];
+    const core::Report& arrived = squeezed.received[i];
+    EXPECT_EQ(arrived.interval, full.interval);
+    ASSERT_LE(arrived.flows.size(), full.flows.size());
+    // Survivors are exactly the largest-first prefix of the full
+    // report: the heavy hitters the paper says are worth shipping.
+    for (std::size_t f = 0; f < arrived.flows.size(); ++f) {
+      EXPECT_EQ(arrived.flows[f].key, full.flows[f].key)
+          << "interval " << i << " flow " << f;
+      EXPECT_EQ(arrived.flows[f].estimated_bytes,
+                full.flows[f].estimated_bytes);
+    }
+    shed_total += full.flows.size() - arrived.flows.size();
+  }
+  EXPECT_GT(shed_total, 0u);
+  EXPECT_EQ(squeezed.stats.records_shed, shed_total);
+  EXPECT_EQ(squeezed.channel.records_offered -
+                squeezed.channel.records_delivered,
+            shed_total);
+}
+
+TEST(ChaosDifferential, WatchdogLossIsAttributedAndSurvivesTheWire) {
+  // The sharded end of the property: a stalled shard degrades instead
+  // of hanging the merge; every flow missing versus the fault-free run
+  // routes to that shard; and the degraded bit rides the framed wire
+  // format to the collector.
+  common::ThreadPool pool(3);
+  auto factory = [](std::uint32_t, std::uint64_t shard_seed) {
+    core::MultistageFilterConfig inner;
+    inner.flow_memory_entries = 128;
+    inner.depth = 2;
+    inner.buckets_per_stage = 128;
+    inner.threshold = 30'000;
+    inner.preserve = flowmem::PreservePolicy::kPreserve;
+    inner.seed = shard_seed;
+    return std::make_unique<core::MultistageFilter>(inner);
+  };
+  core::ShardedDeviceConfig clean_config;
+  clean_config.shards = 4;
+  clean_config.seed = 19;
+  clean_config.pool = &pool;
+
+  // Fault-free run first: it tells us which shard owns the largest
+  // heavy hitter, so the stall provably removes at least one flow.
+  core::ShardedDevice clean(clean_config, factory);
+  const auto intervals = chaos_trace();
+  clean.observe_batch(intervals[0]);
+  core::Report clean_report = clean.end_interval();
+  core::sort_by_size(clean_report);
+  ASSERT_FALSE(clean_report.flows.empty());
+  const std::uint32_t stuck =
+      clean.shard_of(clean_report.flows[0].key.fingerprint());
+
+  robustness::FaultSpec stall;
+  stall.kind = robustness::FaultKind::kStall;
+  // shard.stall occurrences run in shard order during the first
+  // interval close, so occurrence `stuck` is exactly that shard.
+  stall.schedule = {stuck};
+  stall.stall = std::chrono::milliseconds(300);
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(19).inject("shard.stall", stall));
+  core::ShardedDeviceConfig chaos_config = clean_config;
+  chaos_config.watchdog_timeout = std::chrono::milliseconds(40);
+  chaos_config.faults = &faults;
+
+  core::ShardedDevice chaotic(chaos_config, factory);
+  chaotic.observe_batch(intervals[0]);
+  core::Report degraded_report = chaotic.end_interval();
+  core::sort_by_size(degraded_report);
+
+  ASSERT_TRUE(degraded_report.shards[stuck].degraded);
+  std::size_t lost = 0;
+  for (const auto& flow : clean_report.flows) {
+    const bool on_stuck =
+        chaotic.shard_of(flow.key.fingerprint()) == stuck;
+    lost += on_stuck ? 1 : 0;
+    EXPECT_EQ(core::find_flow(degraded_report, flow.key) != nullptr,
+              !on_stuck)
+        << flow.key.to_string();
+  }
+  EXPECT_GT(lost, 0u);
+  EXPECT_EQ(degraded_report.flows.size(),
+            clean_report.flows.size() - lost);
+  // The degraded shard's traffic tallies still account what it saw.
+  EXPECT_EQ(degraded_report.shards[stuck].packets,
+            clean_report.shards[stuck].packets);
+  EXPECT_EQ(degraded_report.shards[stuck].bytes,
+            clean_report.shards[stuck].bytes);
+
+  // Ship it: the degraded flag must reach the collector through the
+  // framed codec so the loss stays visible end to end.
+  reporting::ResilientChannel channel(
+      reporting::ResilientChannelConfig{});
+  (void)channel.send(degraded_report);
+  ASSERT_EQ(channel.received().size(), 1u);
+  ASSERT_EQ(channel.received()[0].shards.size(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(channel.received()[0].shards[s].degraded, s == stuck)
+        << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace nd

@@ -1,0 +1,237 @@
+// ResilientChannel unit suite: each transit fault in isolation, with
+// exact accounting. The chaos differential suite composes them; here
+// every counter is pinned to its precise expected value.
+#include "reporting/resilient_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../support/report_testing.hpp"
+#include "core/device.hpp"
+#include "packet/flow_key.hpp"
+#include "reporting/record_codec.hpp"
+#include "robustness/fault.hpp"
+
+namespace nd::reporting {
+namespace {
+
+core::Report make_report(common::IntervalIndex interval,
+                         std::size_t flows) {
+  core::Report report;
+  report.interval = interval;
+  report.threshold = 50'000;
+  report.entries_used = flows;
+  for (std::size_t i = 0; i < flows; ++i) {
+    core::ReportedFlow flow;
+    flow.key = packet::FlowKey::five_tuple(
+        0x0A000001 + static_cast<std::uint32_t>(i), 0x0A0000FF,
+        static_cast<std::uint16_t>(1000 + i), 80,
+        packet::IpProtocol::kTcp);
+    // Distinct descending-when-sorted sizes so prefix checks are exact.
+    flow.estimated_bytes = 100'000 + 1'000 * ((i * 7) % flows);
+    report.flows.push_back(flow);
+  }
+  return report;
+}
+
+robustness::FaultPlan site_schedule(const std::string& site,
+                                    robustness::FaultKind kind,
+                                    std::vector<std::uint64_t> schedule) {
+  robustness::FaultSpec spec;
+  spec.kind = kind;
+  spec.schedule = std::move(schedule);
+  return robustness::FaultPlan(5).inject(site, spec);
+}
+
+TEST(ResilientChannel, FaultFreeDeliveryIsBitIdentical) {
+  ResilientChannelConfig config;
+  ResilientChannel channel(config);
+  const core::Report report = make_report(0, 8);
+  const DeliveryOutcome outcome = channel.send(report);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.records_delivered, 8u);
+  EXPECT_EQ(outcome.records_shed, 0u);
+
+  // The channel sorts largest-first before shipping; compare against
+  // the same ordering. entries_used is device-local state that the wire
+  // format deliberately omits, so it reads back as zero.
+  core::Report expected = report;
+  core::sort_by_size(expected);
+  expected.entries_used = 0;
+  ASSERT_EQ(channel.received().size(), 1u);
+  testing::expect_reports_equal(channel.received()[0], expected);
+
+  const ResilientChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.reports_sent, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(stats.corruptions_detected, 0u);
+  EXPECT_EQ(stats.reports_abandoned, 0u);
+  EXPECT_EQ(stats.backoff_us, 0u);
+}
+
+TEST(ResilientChannel, SingleDropIsRetriedAndRecovered) {
+  robustness::FaultPlan plan =
+      site_schedule("channel.drop", robustness::FaultKind::kDrop, {0});
+  robustness::FaultInjector faults(plan);
+  ResilientChannelConfig config;
+  config.faults = &faults;
+  config.backoff_base = std::chrono::microseconds(100);
+  ResilientChannel channel(config);
+
+  const DeliveryOutcome outcome = channel.send(make_report(0, 4));
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 2u);
+  const ResilientChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.drops, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.backoff_us, 100u);  // base * 2^0
+  EXPECT_EQ(channel.channel_stats().reports_dropped, 1u);
+  ASSERT_EQ(channel.received().size(), 1u);
+}
+
+TEST(ResilientChannel, PersistentDropIsAbandonedWithFullAccounting) {
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kDrop;
+  spec.probability = 1.0;
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(5).inject("channel.drop", spec));
+  ResilientChannelConfig config;
+  config.faults = &faults;
+  config.max_attempts = 3;
+  config.backoff_base = std::chrono::microseconds(100);
+  ResilientChannel channel(config);
+
+  const DeliveryOutcome outcome = channel.send(make_report(0, 4));
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 3u);
+  const ResilientChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.drops, 3u);
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.reports_abandoned, 1u);
+  // Exponential: 100 * (1 + 2 + 4).
+  EXPECT_EQ(stats.backoff_us, 700u);
+  EXPECT_TRUE(channel.received().empty());
+}
+
+TEST(ResilientChannel, CorruptionIsDetectedByCrcAndRetried) {
+  robustness::FaultPlan plan = site_schedule(
+      "channel.corrupt", robustness::FaultKind::kCorrupt, {0});
+  robustness::FaultInjector faults(plan);
+  ResilientChannelConfig config;
+  config.faults = &faults;
+  ResilientChannel channel(config);
+
+  const core::Report report = make_report(3, 6);
+  const DeliveryOutcome outcome = channel.send(report);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_EQ(channel.stats().corruptions_detected, 1u);
+
+  core::Report expected = report;
+  core::sort_by_size(expected);
+  expected.entries_used = 0;  // not carried on the wire
+  ASSERT_EQ(channel.received().size(), 1u);
+  testing::expect_reports_equal(channel.received()[0], expected);
+}
+
+TEST(ResilientChannel, BudgetShedsSmallestFlowsExactly) {
+  // Budget for the header plus three records: the survivors must be
+  // exactly the three largest flows, in descending order.
+  const core::Report report = make_report(0, 10);
+  ResilientChannelConfig config;
+  config.bytes_per_interval = kHeaderBytes + 3 * kRecordBytes;
+  ResilientChannel channel(config);
+
+  const DeliveryOutcome outcome = channel.send(report);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.records_delivered, 3u);
+  EXPECT_EQ(outcome.records_shed, 7u);
+  EXPECT_EQ(channel.stats().records_shed, 7u);
+
+  core::Report expected = report;
+  core::sort_by_size(expected);
+  ASSERT_EQ(channel.received().size(), 1u);
+  const core::Report& arrived = channel.received()[0];
+  ASSERT_EQ(arrived.flows.size(), 3u);
+  for (std::size_t i = 0; i < arrived.flows.size(); ++i) {
+    EXPECT_EQ(arrived.flows[i].key, expected.flows[i].key) << i;
+    EXPECT_EQ(arrived.flows[i].estimated_bytes,
+              expected.flows[i].estimated_bytes);
+  }
+}
+
+TEST(ResilientChannel, ReorderDelaysFramePastSuccessor) {
+  robustness::FaultPlan plan = site_schedule(
+      "channel.reorder", robustness::FaultKind::kReorder, {0});
+  robustness::FaultInjector faults(plan);
+  ResilientChannelConfig config;
+  config.faults = &faults;
+  ResilientChannel channel(config);
+
+  (void)channel.send(make_report(0, 2));  // delayed into limbo
+  EXPECT_TRUE(channel.received().empty());
+  // The delayed frame surfaces right after its successor, i.e. the two
+  // arrive swapped.
+  (void)channel.send(make_report(1, 2));
+  ASSERT_EQ(channel.received().size(), 2u);
+  EXPECT_EQ(channel.received()[0].interval, 1u);  // arrived out of order
+  EXPECT_EQ(channel.received()[1].interval, 0u);
+  EXPECT_EQ(channel.stats().reorders, 1u);
+
+  const std::vector<core::Report> ordered = channel.drain_ordered();
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_EQ(ordered[0].interval, 0u);
+  EXPECT_EQ(ordered[1].interval, 1u);
+}
+
+TEST(ResilientChannel, FlushSurfacesLimboAtEndOfStream) {
+  robustness::FaultPlan plan = site_schedule(
+      "channel.reorder", robustness::FaultKind::kReorder, {0});
+  robustness::FaultInjector faults(plan);
+  ResilientChannelConfig config;
+  config.faults = &faults;
+  ResilientChannel channel(config);
+
+  (void)channel.send(make_report(0, 2));
+  EXPECT_TRUE(channel.received().empty());
+  channel.flush();
+  ASSERT_EQ(channel.received().size(), 1u);
+  EXPECT_EQ(channel.received()[0].interval, 0u);
+}
+
+TEST(ResilientChannel, TelemetryCountsEveryFailurePath) {
+  telemetry::MetricsRegistry registry;
+  robustness::FaultPlan plan =
+      site_schedule("channel.drop", robustness::FaultKind::kDrop, {0});
+  robustness::FaultInjector faults(plan);
+  ResilientChannelConfig config;
+  config.faults = &faults;
+  config.metrics = &registry;
+  ResilientChannel channel(config);
+
+  (void)channel.send(make_report(0, 2));
+  EXPECT_EQ(registry.counter("nd_channel_drops_total").value(), 1u);
+  EXPECT_EQ(registry.counter("nd_channel_retries_total").value(), 1u);
+  EXPECT_EQ(registry.counter("nd_channel_abandoned_total").value(), 0u);
+}
+
+TEST(ResilientChannel, EmptyReportDeliversCleanly) {
+  ResilientChannel channel(ResilientChannelConfig{});
+  core::Report report;
+  report.interval = 9;
+  report.threshold = 1'000;
+  const DeliveryOutcome outcome = channel.send(report);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.records_delivered, 0u);
+  ASSERT_EQ(channel.received().size(), 1u);
+  EXPECT_EQ(channel.received()[0].interval, 9u);
+}
+
+}  // namespace
+}  // namespace nd::reporting

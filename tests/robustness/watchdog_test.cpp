@@ -1,0 +1,254 @@
+// ShardedDevice watchdog and failure-surfacing suite.
+//
+// Three contracts: (1) a shard that misses the interval-close deadline
+// is merged as degraded with its loss attributed exactly (every missing
+// flow routes to that shard; its packet/byte tallies survive); (2) the
+// abandoned task is drained before the shard is touched again, so the
+// next interval is bit-identical to a fault-free run; (3) no future is
+// ever silently dropped — a throwing shard task surfaces as ShardError
+// carrying the shard index.
+#include "core/sharded_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "../support/report_testing.hpp"
+#include "common/thread_pool.hpp"
+#include "core/multistage_filter.hpp"
+#include "packet/classified_packet.hpp"
+#include "packet/flow_key.hpp"
+#include "robustness/fault.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace nd::core {
+namespace {
+
+constexpr std::uint32_t kShards = 4;
+
+std::unique_ptr<MeasurementDevice> make_replica(std::uint64_t seed) {
+  MultistageFilterConfig config;
+  config.flow_memory_entries = 256;
+  config.depth = 2;
+  config.buckets_per_stage = 128;
+  config.threshold = 1'000;
+  config.preserve = flowmem::PreservePolicy::kPreserve;
+  config.seed = seed;
+  return std::make_unique<MultistageFilter>(config);
+}
+
+ShardedDeviceConfig base_config(common::ThreadPool* pool) {
+  ShardedDeviceConfig config;
+  config.shards = kShards;
+  config.seed = 17;
+  config.pool = pool;
+  return config;
+}
+
+ShardedDevice::Factory replica_factory() {
+  return [](std::uint32_t, std::uint64_t shard_seed) {
+    return make_replica(shard_seed);
+  };
+}
+
+/// A deterministic batch of `flows` distinct heavy flows (every one far
+/// above threshold) for interval `interval`.
+std::vector<packet::ClassifiedPacket> make_batch(std::size_t flows,
+                                                 std::uint32_t interval) {
+  std::vector<packet::ClassifiedPacket> batch;
+  batch.reserve(flows * 3);
+  for (std::size_t i = 0; i < flows; ++i) {
+    const packet::FlowKey key = packet::FlowKey::five_tuple(
+        0x0A010000 + static_cast<std::uint32_t>(i),
+        0x0A020000 + interval, static_cast<std::uint16_t>(2000 + i), 443,
+        packet::IpProtocol::kTcp);
+    for (int p = 0; p < 3; ++p) {
+      batch.push_back(packet::ClassifiedPacket::from(key, 40'000));
+    }
+  }
+  return batch;
+}
+
+robustness::FaultPlan stall_at(std::vector<std::uint64_t> schedule,
+                               std::chrono::milliseconds stall) {
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kStall;
+  spec.schedule = std::move(schedule);
+  spec.stall = stall;
+  return robustness::FaultPlan(17).inject("shard.stall", spec);
+}
+
+TEST(ShardWatchdog, DegradedShardLossIsAttributedExactly) {
+  common::ThreadPool pool(3);
+  telemetry::MetricsRegistry registry;
+
+  // shard.stall occurrences run in shard order, so occurrence 2 of the
+  // first end_interval is shard 2.
+  robustness::FaultPlan plan =
+      stall_at({2}, std::chrono::milliseconds(400));
+  robustness::FaultInjector faults(plan);
+
+  ShardedDeviceConfig faulted_config = base_config(&pool);
+  faulted_config.watchdog_timeout = std::chrono::milliseconds(40);
+  faulted_config.faults = &faults;
+  faulted_config.metrics = &registry;
+  ShardedDevice faulted(faulted_config, replica_factory());
+  ShardedDevice baseline(base_config(&pool), replica_factory());
+
+  const auto batch = make_batch(120, 0);
+  faulted.observe_batch(batch);
+  baseline.observe_batch(batch);
+  Report degraded_report = faulted.end_interval();
+  const Report clean_report = baseline.end_interval();
+
+  ASSERT_EQ(degraded_report.shards.size(), kShards);
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(degraded_report.shards[s].degraded, s == 2) << "shard " << s;
+    // The always-on tallies survive degradation: they were recorded on
+    // the caller's thread before the fan-out.
+    EXPECT_EQ(degraded_report.shards[s].packets,
+              clean_report.shards[s].packets);
+    EXPECT_EQ(degraded_report.shards[s].bytes,
+              clean_report.shards[s].bytes);
+  }
+  EXPECT_GT(degraded_report.shards[2].packets, 0u);
+  EXPECT_EQ(registry.counter("nd_shard_degraded_total").value(), 1u);
+
+  // Exact loss attribution: the degraded report is missing precisely
+  // the flows that route to shard 2, and keeps everything else.
+  std::size_t routed_to_stuck = 0;
+  for (const auto& flow : clean_report.flows) {
+    const bool on_stuck = faulted.shard_of(flow.key.fingerprint()) == 2;
+    routed_to_stuck += on_stuck ? 1 : 0;
+    EXPECT_EQ(find_flow(degraded_report, flow.key) != nullptr, !on_stuck)
+        << flow.key.to_string();
+  }
+  EXPECT_GT(routed_to_stuck, 0u);
+  EXPECT_EQ(degraded_report.flows.size(),
+            clean_report.flows.size() - routed_to_stuck);
+}
+
+TEST(ShardWatchdog, NextIntervalRecoversBitIdentically) {
+  common::ThreadPool pool(3);
+  robustness::FaultPlan plan =
+      stall_at({1}, std::chrono::milliseconds(300));
+  robustness::FaultInjector faults(plan);
+
+  ShardedDeviceConfig faulted_config = base_config(&pool);
+  faulted_config.watchdog_timeout = std::chrono::milliseconds(40);
+  faulted_config.faults = &faults;
+  ShardedDevice faulted(faulted_config, replica_factory());
+  ShardedDevice baseline(base_config(&pool), replica_factory());
+
+  const auto first = make_batch(100, 0);
+  faulted.observe_batch(first);
+  baseline.observe_batch(first);
+  const Report degraded_report = faulted.end_interval();
+  (void)baseline.end_interval();
+  ASSERT_TRUE(degraded_report.shards[1].degraded);
+
+  // The abandoned close finishes during the drain, before the shard
+  // sees interval-1 packets, so the replicas re-converge: interval 1
+  // must be bit-identical to the fault-free device, including the
+  // previously stuck shard's flows.
+  const auto second = make_batch(100, 1);
+  faulted.observe_batch(second);
+  baseline.observe_batch(second);
+  Report recovered = faulted.end_interval();
+  Report clean = baseline.end_interval();
+  sort_by_size(recovered);
+  sort_by_size(clean);
+  testing::expect_reports_equal(recovered, clean);
+  for (const auto& status : recovered.shards) {
+    EXPECT_FALSE(status.degraded);
+  }
+}
+
+TEST(ShardWatchdog, ZeroTimeoutWaitsOutTheStall) {
+  // watchdog_timeout 0 is the pre-watchdog behaviour: the merge waits
+  // for the stalled shard and the report matches a fault-free run.
+  common::ThreadPool pool(3);
+  robustness::FaultPlan plan =
+      stall_at({1}, std::chrono::milliseconds(60));
+  robustness::FaultInjector faults(plan);
+
+  ShardedDeviceConfig faulted_config = base_config(&pool);
+  faulted_config.faults = &faults;
+  ShardedDevice faulted(faulted_config, replica_factory());
+  ShardedDevice baseline(base_config(&pool), replica_factory());
+
+  const auto batch = make_batch(80, 0);
+  faulted.observe_batch(batch);
+  baseline.observe_batch(batch);
+  Report slow = faulted.end_interval();
+  Report clean = baseline.end_interval();
+  sort_by_size(slow);
+  sort_by_size(clean);
+  testing::expect_reports_equal(slow, clean);
+  for (const auto& status : slow.shards) {
+    EXPECT_FALSE(status.degraded);
+  }
+}
+
+TEST(ShardWatchdog, DestructorDrainsAnAbandonedTask) {
+  // Regression: destroying the device while a watchdog-abandoned close
+  // is still running must join the task, not free state under it
+  // (TSan/UBSan runs of this suite would flag the race).
+  common::ThreadPool pool(3);
+  robustness::FaultPlan plan =
+      stall_at({3}, std::chrono::milliseconds(200));
+  robustness::FaultInjector faults(plan);
+  ShardedDeviceConfig config = base_config(&pool);
+  config.watchdog_timeout = std::chrono::milliseconds(20);
+  config.faults = &faults;
+  {
+    ShardedDevice device(config, replica_factory());
+    device.observe_batch(make_batch(60, 0));
+    const Report report = device.end_interval();
+    ASSERT_TRUE(report.shards[3].degraded);
+  }  // destructor must block on the stalled task
+}
+
+TEST(ShardFailures, ThrowingShardTaskSurfacesAsShardErrorOnClose) {
+  // Regression for the silent-failure bug: every fan-out future is
+  // joined and the first failure is rethrown with its shard index.
+  common::ThreadPool pool(3);
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kThrow;
+  spec.schedule = {0};  // first pool submit = end_interval's shard 1
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(17).inject("pool.task", spec));
+  pool.attach_fault_injector(&faults);
+
+  ShardedDevice device(base_config(&pool), replica_factory());
+  try {
+    (void)device.end_interval();
+    FAIL() << "expected ShardError";
+  } catch (const ShardError& error) {
+    EXPECT_EQ(error.shard(), 1u);
+    EXPECT_NE(std::string(error.what()).find("shard 1"),
+              std::string::npos);
+  }
+  pool.attach_fault_injector(nullptr);
+}
+
+TEST(ShardFailures, ThrowingShardTaskSurfacesAsShardErrorOnBatch) {
+  common::ThreadPool pool(3);
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kThrow;
+  spec.probability = 1.0;
+  spec.max_fires = 1;
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(17).inject("pool.task", spec));
+  pool.attach_fault_injector(&faults);
+
+  ShardedDevice device(base_config(&pool), replica_factory());
+  EXPECT_THROW(device.observe_batch(make_batch(50, 0)), ShardError);
+  pool.attach_fault_injector(nullptr);
+}
+
+}  // namespace
+}  // namespace nd::core

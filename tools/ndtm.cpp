@@ -6,7 +6,8 @@
 //   ndtm measure --in t.pcap --algorithm multistage --flow-def dstip
 //                --threshold 100000 --interval 5 [--export reports.bin]
 //                [--shards N] [--adaptive 1] [--shard-usage 1]
-//                [--metrics[=path]]
+//                [--metrics[=path]] [--fault-plan spec] [--fault-seed N]
+//                [--watchdog-ms N] [--checkpoint path]
 //       Stream a pcap through a measurement device in fixed intervals
 //       and print (and optionally export) the heavy hitters per
 //       interval. Algorithms: sample-and-hold, multistage, netflow.
@@ -24,6 +25,16 @@
 //       and writes one JSON-lines registry snapshot per interval to
 //       metrics.jsonl (or the given path); with --export the same
 //       snapshot also rides each report as the v3 metrics trailer.
+//       --fault-plan injects deterministic chaos (grammar in
+//       robustness/fault.hpp, seeded by --fault-seed) into the pool,
+//       shards and pcap reader; --watchdog-ms bounds each shard's
+//       interval close, merging overruns as degraded instead of
+//       hanging; --checkpoint writes a crash-safe session checkpoint
+//       after every closed interval (resumable via core/checkpoint).
+//
+//       Exit codes: 0 success, 1 file/IO error, 2 bad arguments,
+//       3 decode error (malformed pcap or report), 4 runtime fault
+//       (injected fault or shard failure).
 //
 //   ndtm bounds --threshold 1000000 --capacity 100000000
 //                --oversampling 20 --buckets 1000 --depth 4
@@ -42,8 +53,10 @@
 #include "analysis/sample_hold_bounds.hpp"
 #include "baseline/sampled_netflow.hpp"
 #include "common/format.hpp"
+#include "common/state_buffer.hpp"
 #include "common/thread_pool.hpp"
 #include "core/adaptive_device.hpp"
+#include "core/checkpoint.hpp"
 #include "core/measurement_session.hpp"
 #include "core/multistage_filter.hpp"
 #include "core/sample_and_hold.hpp"
@@ -52,6 +65,7 @@
 #include "packet/flow_definition.hpp"
 #include "pcap/pcap.hpp"
 #include "reporting/record_codec.hpp"
+#include "robustness/fault.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/presets.hpp"
@@ -262,17 +276,45 @@ int cmd_measure(const Args& args) {
         std::make_unique<telemetry::JsonLinesExporter>(metrics_stream);
   }
 
+  // --fault-plan: deterministic chaos across the pipeline (grammar in
+  // robustness/fault.hpp). Parsed up front so a malformed spec is a
+  // usage error, not a mid-run surprise.
+  std::unique_ptr<robustness::FaultInjector> faults;
+  if (args.has("fault-plan")) {
+    try {
+      faults = std::make_unique<robustness::FaultInjector>(
+          robustness::parse_fault_plan(args.get("fault-plan", ""),
+                                       args.get_u64("fault-seed", 1)));
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "measure: bad --fault-plan: %s\n",
+                   error.what());
+      return 2;
+    }
+    faults->attach_telemetry(metrics);
+  }
+  const auto watchdog_ms = args.get_u64("watchdog-ms", 0);
+  if (watchdog_ms > 0 && shards <= 1) {
+    std::fprintf(stderr,
+                 "measure: --watchdog-ms needs --shards > 1 (the "
+                 "watchdog guards shard interval closes)\n");
+    return 2;
+  }
+  const std::string checkpoint_path = args.get("checkpoint", "");
+
   std::unique_ptr<common::ThreadPool> pool;  // outlives the session
   std::unique_ptr<core::MeasurementDevice> device;
   if (shards > 1) {
     pool = std::make_unique<common::ThreadPool>(std::min<std::size_t>(
         shards - 1, common::ThreadPool::default_thread_count()));
     pool->attach_telemetry(metrics);
+    pool->attach_fault_injector(faults.get());
     core::ShardedDeviceConfig sharded;
     sharded.shards = shards;
     sharded.seed = seed;
     sharded.pool = pool.get();
     sharded.metrics = metrics;
+    sharded.faults = faults.get();
+    sharded.watchdog_timeout = std::chrono::milliseconds(watchdog_ms);
     if (adaptive) sharded.adaptor = adaptor_config;
     // Split the memory budget across shards (>= 64 entries each).
     const std::size_t per_shard =
@@ -370,16 +412,51 @@ int cmd_measure(const Args& args) {
     }
   };
 
+  // Checkpoint after every closed interval: the reports are already
+  // drained, so a resume replays from the exact interval boundary.
+  auto process = [&](std::vector<core::Report> reports) {
+    const bool closed = !reports.empty();
+    handle_reports(std::move(reports));
+    if (closed && !checkpoint_path.empty()) {
+      core::save_checkpoint_file(checkpoint_path, session.checkpoint());
+    }
+  };
+
   try {
     pcap::PcapReader reader(stream);
+    reader.attach_fault_injector(faults.get());
     while (const auto record = reader.next_record()) {
       session.observe(*record);
-      handle_reports(session.drain_reports());
+      process(session.drain_reports());
     }
-    handle_reports(session.finish());
+    process(session.finish());
   } catch (const pcap::PcapError& error) {
-    std::fprintf(stderr, "pcap error: %s\n", error.what());
-    return 1;
+    std::fprintf(stderr, "decode error: %s\n", error.what());
+    return 3;
+  } catch (const reporting::CodecError& error) {
+    std::fprintf(stderr, "decode error: %s\n", error.what());
+    return 3;
+  } catch (const robustness::FaultInjectedError& error) {
+    std::fprintf(stderr, "runtime fault: %s\n", error.what());
+    return 4;
+  } catch (const core::ShardError& error) {
+    std::fprintf(stderr, "runtime fault: %s\n", error.what());
+    return 4;
+  } catch (const common::StateError& error) {
+    // Only the checkpoint path raises StateError here (e.g. the device
+    // cannot checkpoint) — a usage problem, not a runtime fault.
+    std::fprintf(stderr, "measure: --checkpoint: %s\n", error.what());
+    return 2;
+  }
+  if (faults) {
+    for (const auto& entry : faults->plan().sites()) {
+      const std::string& site = entry.first;
+      std::printf("fault %s: fired %llu of %llu occurrences\n",
+                  site.c_str(),
+                  static_cast<unsigned long long>(faults->fires(site)),
+                  static_cast<unsigned long long>(
+                      faults->occurrences(site)));
+    }
   }
   if (metrics_exporter) {
     std::printf("metrics: %llu snapshots (%zu series) -> %s\n",

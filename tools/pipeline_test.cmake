@@ -46,3 +46,58 @@ list(GET metrics_lines 0 first_snapshot)
 if(NOT first_snapshot MATCHES "nd_shard_packets_total")
   message(FATAL_ERROR "metrics snapshot is missing per-shard series")
 endif()
+
+# ---------------------------------------------------------------------
+# Exit-code contract: 2 bad arguments, 3 decode errors, 4 runtime
+# faults — each distinct and non-zero so scripts can tell them apart.
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap --algorithm no-such
+  RESULT_VARIABLE rv ERROR_QUIET OUTPUT_QUIET)
+if(NOT rv EQUAL 2)
+  message(FATAL_ERROR "bad algorithm should exit 2, got ${rv}")
+endif()
+file(WRITE ${WORKDIR}/garbage.pcap "this is not a capture file at all")
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/garbage.pcap
+  RESULT_VARIABLE rv ERROR_QUIET OUTPUT_QUIET)
+if(NOT rv EQUAL 3)
+  message(FATAL_ERROR "garbage pcap should exit 3, got ${rv}")
+endif()
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap --shards 4
+          --fault-plan pool.task:throw:at=0
+  RESULT_VARIABLE rv ERROR_QUIET OUTPUT_QUIET)
+if(NOT rv EQUAL 4)
+  message(FATAL_ERROR "injected pool fault should exit 4, got ${rv}")
+endif()
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap --fault-plan bogus
+  RESULT_VARIABLE rv ERROR_QUIET OUTPUT_QUIET)
+if(NOT rv EQUAL 2)
+  message(FATAL_ERROR "malformed fault plan should exit 2, got ${rv}")
+endif()
+
+# Chaos run that heals: a drop plan on the channel sites is harmless to
+# the CLI data path, but the injector's eagerly-registered telemetry
+# series must appear in the metrics snapshots, and a checkpoint file
+# must land after each interval.
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap
+          --algorithm multistage --flow-def dstip --shards 4
+          --watchdog-ms 5000 --threshold 100000
+          --fault-plan channel.drop:drop:p=0.5 --fault-seed 9
+          --checkpoint ${WORKDIR}/smoke.ndck
+          --metrics ${WORKDIR}/chaos_metrics.jsonl
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "chaos measure run failed: ${rv}")
+endif()
+if(NOT EXISTS ${WORKDIR}/smoke.ndck)
+  message(FATAL_ERROR "--checkpoint produced no checkpoint file")
+endif()
+file(STRINGS ${WORKDIR}/chaos_metrics.jsonl chaos_lines)
+list(GET chaos_lines 0 chaos_snapshot)
+if(NOT chaos_snapshot MATCHES "nd_fault_injected_total")
+  message(FATAL_ERROR
+          "metrics snapshot is missing the fault-injection series")
+endif()

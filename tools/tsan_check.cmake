@@ -22,6 +22,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
           --target common_tests core_tests eval_tests telemetry_tests
+          robustness_tests
   RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
   message(FATAL_ERROR "tsan_check: build failed: ${rv}")
@@ -29,10 +30,11 @@ endif()
 
 # The telemetry label covers the registry's multi-writer hot path and
 # the instrumented pool/sharded fan-out; the regex keeps the original
-# concurrency suites.
+# concurrency suites plus the robustness layer's concurrent paths
+# (injector hammering, watchdog-abandoned tasks, chaos pipeline).
 execute_process(
   COMMAND ${CMAKE_CTEST_COMMAND} --output-on-failure
-          -R "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments"
+          -R "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint"
   WORKING_DIRECTORY ${BUILD_DIR}
   RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
