@@ -28,12 +28,16 @@ MultistageFilter::MultistageFilter(const MultistageFilterConfig& config)
     }
   }
   hash::HashFamily family(config_.seed, config_.hash_kind);
-  hashes_.reserve(config_.depth);
-  stages_.reserve(config_.depth);
+  std::vector<hash::StageHash> stages;
+  stages.reserve(config_.depth);
   for (std::uint32_t d = 0; d < config_.depth; ++d) {
-    hashes_.push_back(family.make_stage(config_.buckets_per_stage));
-    stages_.emplace_back(config_.buckets_per_stage, 0);
+    stages.push_back(family.make_stage(config_.buckets_per_stage));
   }
+  hashes_ = hash::StageHashBank(std::move(stages));
+  stages_.assign(
+      static_cast<std::size_t>(config_.depth) * config_.buckets_per_stage,
+      0);
+  bucket_ring_.assign(kPrefetchDistance * config_.depth, 0);
   set_threshold(config_.threshold);
 }
 
@@ -57,29 +61,82 @@ void MultistageFilter::admit(const packet::FlowKey& key,
 
 void MultistageFilter::observe(const packet::FlowKey& key,
                                std::uint32_t bytes) {
-  observe_impl(key, key.fingerprint(), bytes);
+  observe_impl(key, key.fingerprint(), bytes,
+               memory_.hash_of(key.fingerprint()), nullptr);
 }
 
-void MultistageFilter::observe_batch(
+// Flattened: the per-packet helpers (observe_impl, bucket_all, the
+// flow-memory probe) otherwise stay out-of-line calls, and their
+// call/spill overhead plus re-loading the table base pointers each
+// packet is measurable at batch rates.
+[[gnu::flatten]] void MultistageFilter::observe_batch(
     std::span<const packet::ClassifiedPacket> batch) {
   const std::size_t n = batch.size();
+  // Distance-k prefetch pipeline (see SampleAndHold::observe_batch):
+  // tag words kPrefetchDistance ahead — the filter's common case is a
+  // shielded/filtered packet whose probe never leaves the tag array —
+  // and the home payload line one packet ahead for the hits. The stage
+  // lookups between the prefetch and the find() give the tag line ample
+  // time in flight.
+  // Each packet's placement hash is computed exactly once and carried
+  // in a small ring shared by both prefetch stages and the lookup.
+  //
+  // Without shielding every packet also reads its d stage counters at
+  // hash-scattered buckets, so the bucket indices are computed
+  // kPrefetchDistance ahead as well (into a second ring) and the
+  // counter words themselves prefetched — by the packet's turn the RMW
+  // hits cache. Bucket values and the counter update order are
+  // untouched, so results stay bit-identical. With shielding on, most
+  // packets never reach the stages, so the buckets stay lazy
+  // (observe_impl computes them only when needed). At depth 1 the
+  // counter prefetch is skipped: a single 32 KB stage row rides the
+  // cache well enough that the extra prefetch op per packet costs more
+  // than the (rare) miss it hides.
+  const bool precompute_buckets = !config_.shielding;
+  const std::size_t depth = config_.depth;
+  std::uint64_t ring[kPrefetchDistance];
+  for (std::size_t i = 0; i < std::min(kPrefetchDistance, n); ++i) {
+    ring[i] = memory_.hash_of(batch[i].fingerprint);
+    memory_.prefetch_tags_hashed(ring[i]);
+    if (precompute_buckets) {
+      std::uint64_t* row = &bucket_ring_[i * depth];
+      hashes_.bucket_all(batch[i].fingerprint, row);
+      if (depth > 1) prefetch_stage_counters(row);
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    // Pull packet i+1's flow-memory home slot toward the cache while
-    // packet i runs its stage lookups; the first access every packet
-    // makes is that find().
+    const std::size_t slot = i % kPrefetchDistance;
     if (i + 1 < n) {
-      memory_.prefetch(batch[i + 1].fingerprint);
+      memory_.prefetch_payload_hashed(ring[(i + 1) % kPrefetchDistance]);
     }
     const packet::ClassifiedPacket& packet = batch[i];
-    observe_impl(packet.key, packet.fingerprint, packet.bytes);
+    observe_impl(packet.key, packet.fingerprint, packet.bytes, ring[slot],
+                 precompute_buckets ? &bucket_ring_[slot * depth]
+                                    : nullptr);
+    // Refill slot i with packet i+k (it is done being read) and start
+    // its lines on their way.
+    if (i + kPrefetchDistance < n) {
+      const packet::ClassifiedPacket& ahead =
+          batch[i + kPrefetchDistance];
+      const std::uint64_t ahead_hash = memory_.hash_of(ahead.fingerprint);
+      ring[slot] = ahead_hash;
+      memory_.prefetch_tags_hashed(ahead_hash);
+      if (precompute_buckets) {
+        std::uint64_t* row = &bucket_ring_[slot * depth];
+        hashes_.bucket_all(ahead.fingerprint, row);
+        if (depth > 1) prefetch_stage_counters(row);
+      }
+    }
   }
 }
 
 void MultistageFilter::observe_impl(const packet::FlowKey& key,
-                                    std::uint64_t fp, std::uint32_t bytes) {
+                                    std::uint64_t fp, std::uint32_t bytes,
+                                    std::uint64_t hash,
+                                    const std::uint64_t* buckets) {
   ++packets_;
   if (tm_.enabled()) tm_.on_packet(bytes);
-  if (flowmem::FlowEntry* entry = memory_.find(key)) {
+  if (flowmem::FlowEntry* entry = memory_.find_hashed(key, hash)) {
     flowmem::FlowMemory::add_bytes(*entry, bytes);
     if (tm_.enabled()) tm_.flowmem_hits->increment();
     if (config_.shielding) {
@@ -88,26 +145,50 @@ void MultistageFilter::observe_impl(const packet::FlowKey& key,
     }
     // Without shielding the packet still feeds the stage counters (it
     // can never "pass" again — the flow is already tracked).
+    if (buckets == nullptr) {
+      hashes_.bucket_all(fp, bucket_scratch_.data());
+      buckets = bucket_scratch_.data();
+    }
     for (std::uint32_t d = 0; d < config_.depth; ++d) {
-      stages_[d][hashes_[d].bucket(fp)] += bytes;
+      stage_at(d, buckets[d]) += bytes;
     }
     counter_accesses_ += config_.depth;
     return;
   }
+  if (buckets == nullptr) {
+    hashes_.bucket_all(fp, bucket_scratch_.data());
+    buckets = bucket_scratch_.data();
+  }
   if (config_.serial) {
-    observe_serial(key, fp, bytes);
+    observe_serial(key, bytes, buckets);
   } else {
-    observe_parallel(key, fp, bytes);
+    observe_parallel(key, bytes, buckets);
   }
 }
 
 void MultistageFilter::observe_parallel(const packet::FlowKey& key,
-                                        std::uint64_t fp,
-                                        std::uint32_t bytes) {
+                                        std::uint32_t bytes,
+                                        const std::uint64_t* buckets) {
+  if (!config_.conservative_update && !tm_.enabled()) {
+    // Plain filter, telemetry off: every counter is read for the min
+    // and then incremented regardless of the outcome, so one fused
+    // pass does both — same values, same pass decision, same
+    // counter-access accounting as the two-loop path below.
+    common::ByteCount min_counter = ~common::ByteCount{0};
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      common::ByteCount& counter = stage_at(d, buckets[d]);
+      min_counter = std::min(min_counter, counter);
+      counter += bytes;
+    }
+    counter_accesses_ += 2ULL * config_.depth;
+    if (min_counter + bytes >= config_.threshold) {
+      admit(key, bytes);
+    }
+    return;
+  }
   common::ByteCount min_counter = ~common::ByteCount{0};
   for (std::uint32_t d = 0; d < config_.depth; ++d) {
-    bucket_scratch_[d] = hashes_[d].bucket(fp);
-    min_counter = std::min(min_counter, stages_[d][bucket_scratch_[d]]);
+    min_counter = std::min(min_counter, stage_at(d, buckets[d]));
   }
   counter_accesses_ += config_.depth;
 
@@ -121,7 +202,7 @@ void MultistageFilter::observe_parallel(const packet::FlowKey& key,
     // through; the ratio between consecutive stages is the Lemma 1
     // attenuation the filter delivers on this trace.
     for (std::uint32_t d = 0; d < config_.depth; ++d) {
-      if (stages_[d][bucket_scratch_[d]] + bytes >= config_.threshold) {
+      if (stage_at(d, buckets[d]) + bytes >= config_.threshold) {
         tm_stage_pass_[d]->increment();
       }
     }
@@ -136,12 +217,12 @@ void MultistageFilter::observe_parallel(const packet::FlowKey& key,
   if (config_.conservative_update) {
     // First rule: raise each counter at most to the new minimum.
     for (std::uint32_t d = 0; d < config_.depth; ++d) {
-      common::ByteCount& counter = stages_[d][bucket_scratch_[d]];
+      common::ByteCount& counter = stage_at(d, buckets[d]);
       counter = std::max(counter, new_min);
     }
   } else {
     for (std::uint32_t d = 0; d < config_.depth; ++d) {
-      stages_[d][bucket_scratch_[d]] += bytes;
+      stage_at(d, buckets[d]) += bytes;
     }
   }
   counter_accesses_ += config_.depth;
@@ -151,24 +232,23 @@ void MultistageFilter::observe_parallel(const packet::FlowKey& key,
 }
 
 void MultistageFilter::observe_serial(const packet::FlowKey& key,
-                                      std::uint64_t fp,
-                                      std::uint32_t bytes) {
+                                      std::uint32_t bytes,
+                                      const std::uint64_t* buckets) {
   if (config_.conservative_update) {
     // Second rule needs the pass decision before any update: the packet
     // passes iff every stage counter would reach T/d.
     bool would_pass = true;
     for (std::uint32_t d = 0; d < config_.depth; ++d) {
-      bucket_scratch_[d] = hashes_[d].bucket(fp);
-      if (stages_[d][bucket_scratch_[d]] + bytes >= serial_stage_threshold_) {
+      if (stage_at(d, buckets[d]) + bytes >= serial_stage_threshold_) {
         if (tm_.enabled()) tm_stage_pass_[d]->increment();
       } else {
         would_pass = false;
-        // Later stages never see the packet, but earlier ones (and this
-        // one) do; stop resolving buckets past the blocking stage.
+        // Later stages never see the packet, but earlier ones (and
+        // this one) do.
         counter_accesses_ += d + 1;
         // Update the stages the packet traversed.
         for (std::uint32_t u = 0; u <= d; ++u) {
-          stages_[u][bucket_scratch_[u]] += bytes;
+          stage_at(u, buckets[u]) += bytes;
         }
         counter_accesses_ += d + 1;
         break;
@@ -183,7 +263,7 @@ void MultistageFilter::observe_serial(const packet::FlowKey& key,
   // Plain serial filter: increment stage by stage; stop at the first
   // stage whose counter stays below T/d.
   for (std::uint32_t d = 0; d < config_.depth; ++d) {
-    common::ByteCount& counter = stages_[d][hashes_[d].bucket(fp)];
+    common::ByteCount& counter = stage_at(d, buckets[d]);
     counter += bytes;
     counter_accesses_ += 2;
     if (counter < serial_stage_threshold_) {
@@ -203,10 +283,9 @@ void MultistageFilter::save_state(common::StateWriter& out) const {
   out.put_u64(dropped_passes_);
   out.put_u32(config_.depth);
   out.put_u32(config_.buckets_per_stage);
-  for (const auto& stage : stages_) {
-    for (const common::ByteCount counter : stage) {
-      out.put_u64(counter);
-    }
+  // Row-major flat walk: byte-identical to the old per-stage nesting.
+  for (const common::ByteCount counter : stages_) {
+    out.put_u64(counter);
   }
   memory_.save_state(out);
 }
@@ -226,10 +305,8 @@ void MultistageFilter::restore_state(common::StateReader& in) {
         "multistage filter: checkpoint stage geometry does not match "
         "configuration");
   }
-  for (auto& stage : stages_) {
-    for (common::ByteCount& counter : stage) {
-      counter = in.u64();
-    }
+  for (common::ByteCount& counter : stages_) {
+    counter = in.u64();
   }
   memory_.restore_state(in);
 }
@@ -256,9 +333,7 @@ Report MultistageFilter::end_interval() {
                       config_.threshold);
 
   // "...only reinitializing stage counters" (Section 3.3.1).
-  for (auto& stage : stages_) {
-    std::fill(stage.begin(), stage.end(), 0);
-  }
+  std::fill(stages_.begin(), stages_.end(), 0);
   ++interval_;
   return report;
 }

@@ -99,21 +99,42 @@ class MultistageFilter final : public MeasurementDevice {
   /// Counter value at (stage, bucket) — exposed for tests/diagnostics.
   [[nodiscard]] common::ByteCount counter(std::uint32_t stage,
                                           std::uint64_t bucket) const {
-    return stages_[stage][bucket];
+    return stages_[stage_offset(stage) + static_cast<std::size_t>(bucket)];
   }
   [[nodiscard]] const MultistageFilterConfig& config() const {
     return config_;
   }
 
  private:
+  /// Tag-word prefetch distance for observe_batch (payload prefetch
+  /// stays at distance 1); see SampleAndHold::kPrefetchDistance.
+  static constexpr std::size_t kPrefetchDistance = 8;
+
   /// Shared scalar/batch packet path; `fp` is the caller-cached
-  /// key.fingerprint().
+  /// key.fingerprint() and `hash` the caller-cached flow-memory
+  /// placement hash (memory_.hash_of(fp)) — the batched loop computes
+  /// it once per packet for the prefetch stages and the lookup alike.
+  /// `buckets` is either the packet's precomputed stage bucket indices
+  /// (the batched loop hashes them ahead of time so the counter lines
+  /// can be prefetched) or nullptr, in which case they are computed
+  /// lazily — only if the packet actually reaches the stages.
   void observe_impl(const packet::FlowKey& key, std::uint64_t fp,
-                    std::uint32_t bytes);
-  void observe_parallel(const packet::FlowKey& key, std::uint64_t fp,
-                        std::uint32_t bytes);
-  void observe_serial(const packet::FlowKey& key, std::uint64_t fp,
-                      std::uint32_t bytes);
+                    std::uint32_t bytes, std::uint64_t hash,
+                    const std::uint64_t* buckets);
+  void observe_parallel(const packet::FlowKey& key,
+                        std::uint32_t bytes,
+                        const std::uint64_t* buckets);
+  void observe_serial(const packet::FlowKey& key, std::uint32_t bytes,
+                      const std::uint64_t* buckets);
+  /// Request the d counter words a packet will touch (one per stage row)
+  /// ahead of its turn in the batched loop.
+  void prefetch_stage_counters(const std::uint64_t* buckets) const {
+    for (std::uint32_t d = 0; d < config_.depth; ++d) {
+      __builtin_prefetch(
+          &stages_[stage_offset(d) + static_cast<std::size_t>(buckets[d])],
+          /*rw=*/1, /*locality=*/2);
+    }
+  }
   void admit(const packet::FlowKey& key, std::uint32_t bytes);
 
   MultistageFilterConfig config_;
@@ -124,10 +145,28 @@ class MultistageFilter final : public MeasurementDevice {
   std::vector<telemetry::Counter*> tm_stage_pass_;
   /// Packets shielded by an existing flow-memory entry.
   telemetry::Counter* tm_shielded_{nullptr};
-  std::vector<hash::StageHash> hashes_;
-  std::vector<std::vector<common::ByteCount>> stages_;
+  /// First index of stage d's row in the flat counter array.
+  [[nodiscard]] std::size_t stage_offset(std::uint32_t stage) const {
+    return static_cast<std::size_t>(stage) * config_.buckets_per_stage;
+  }
+  /// Counter at (stage, bucket) in the flat array.
+  [[nodiscard]] common::ByteCount& stage_at(std::uint32_t stage,
+                                            std::uint64_t bucket) {
+    return stages_[stage_offset(stage) + static_cast<std::size_t>(bucket)];
+  }
+
+  /// The d stage hashes, evaluated bank-at-a-time (interleaved
+  /// tabulation tables; see hash::StageHashBank).
+  hash::StageHashBank hashes_;
+  /// All depth stages in one contiguous row-major block (row stride =
+  /// buckets_per_stage): a counter access is a single indexed load,
+  /// not a chase through a per-stage vector header.
+  std::vector<common::ByteCount> stages_;
   /// Scratch bucket indices, sized depth (avoids per-packet allocation).
   std::vector<std::uint64_t> bucket_scratch_;
+  /// Batched-path bucket ring: kPrefetchDistance rows of depth indices,
+  /// filled when a packet's stage hashes are computed ahead of its turn.
+  std::vector<std::uint64_t> bucket_ring_;
   common::ByteCount serial_stage_threshold_{0};
   common::IntervalIndex interval_{0};
   std::uint64_t packets_{0};

@@ -21,16 +21,32 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
                              const Factory& factory)
     : route_salt_(hash::splitmix64(config.seed ^ 0x5AD0FF5E7ULL)),
       pool_(config.pool),
+      affinity_(config.shard_affinity && config.pool != nullptr &&
+                config.pool->size() > 0),
       watchdog_timeout_(config.watchdog_timeout),
       faults_(config.faults) {
   const std::uint32_t shards = std::max<std::uint32_t>(config.shards, 1);
-  shards_.reserve(shards);
+  shards_.resize(shards);
   shard_batches_.resize(shards);
   interval_packets_.assign(shards, 0);
   interval_bytes_.assign(shards, 0);
   stuck_.resize(shards);
   for (std::uint32_t s = 0; s < shards; ++s) {
-    shards_.push_back(factory(s, shard_seed(config.seed, s)));
+    const std::uint64_t seed = shard_seed(config.seed, s);
+    if (affinity_ && s > 0) {
+      // Build the replica ON the worker that will run it: with pinned
+      // workers, first-touch allocation places the shard's flow memory
+      // and stage counters on that core's NUMA node. Serialized
+      // (.get() per shard) so factories need not be thread-safe and
+      // construction order stays deterministic.
+      pool_->submit_on(worker_of(s),
+                       [this, &factory, s, seed] {
+                         shards_[s] = factory(s, seed);
+                       })
+          .get();
+    } else {
+      shards_[s] = factory(s, seed);
+    }
   }
   baseline_thresholds_.reserve(shards);
   shard_capacity_.reserve(shards);
@@ -145,7 +161,7 @@ void ShardedDevice::observe_batch(
   std::vector<std::future<void>> pending;
   pending.reserve(shards_.size() - 1);
   for (std::size_t s = 1; s < shards_.size(); ++s) {
-    pending.push_back(pool_->submit([this, s] {
+    pending.push_back(dispatch(s, [this, s] {
       shards_[s]->observe_batch(shard_batches_[s]);
     }));
   }
@@ -227,7 +243,7 @@ Report ShardedDevice::end_interval() {
     std::vector<std::future<void>> pending;
     pending.reserve(n);
     for (std::size_t s = 0; s < n; ++s) {
-      pending.push_back(pool_->submit(make_task(s)));
+      pending.push_back(dispatch(s, make_task(s)));
     }
     const auto deadline =
         std::chrono::steady_clock::now() + watchdog_timeout_;
@@ -249,7 +265,7 @@ Report ShardedDevice::end_interval() {
     std::vector<std::future<void>> pending;
     pending.reserve(n - 1);
     for (std::size_t s = 1; s < n; ++s) {
-      pending.push_back(pool_->submit(make_task(s)));
+      pending.push_back(dispatch(s, make_task(s)));
     }
     try {
       make_task(0)();

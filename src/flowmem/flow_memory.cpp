@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 namespace nd::flowmem {
 
@@ -14,38 +15,49 @@ std::size_t slot_count_for(std::size_t capacity) {
   return std::bit_ceil(wanted);
 }
 
+
 }  // namespace
 
 FlowMemory::FlowMemory(std::size_t capacity, std::uint64_t seed)
     : slots_(slot_count_for(capacity)),
+      tags_(slot_count_for(capacity) + kTagGroupWidth, 0),
+      slot_mask_(slot_count_for(capacity) - 1),
       capacity_(capacity),
       family_(seed) {}
 
 std::size_t FlowMemory::slot_of(const packet::FlowKey& key) const {
   return static_cast<std::size_t>(family_.scramble(key.fingerprint())) &
-         (slots_.size() - 1);
+         slot_mask_;
 }
 
-FlowEntry* FlowMemory::find(const packet::FlowKey& key) {
-  ++accesses_;
-  std::size_t slot = slot_of(key);
-  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
-    FlowEntry& entry = slots_[slot];
-    if (!entry.occupied) return nullptr;
-    if (entry.key == key) return &entry;
-    slot = (slot + 1) & (slots_.size() - 1);
+std::size_t FlowMemory::probe_empty(std::size_t slot) const {
+  const std::size_t mask = slot_mask_;
+  const std::uint8_t* tags = tags_.data();
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  for (;;) {
+    const std::uint64_t empty = zero_lanes(load_group(tags, slot));
+    if (empty != 0) return (slot + first_lane(empty)) & mask;
+    slot = (slot + kTagGroupWidth) & mask;
   }
-  return nullptr;
+#else
+  while (tags[slot] != 0) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+#endif
 }
 
 FlowEntry* FlowMemory::insert(const packet::FlowKey& key,
                               common::IntervalIndex interval) {
   if (used_ >= capacity_) return nullptr;
   ++accesses_;
-  std::size_t slot = slot_of(key);
-  while (slots_[slot].occupied) {
-    slot = (slot + 1) & (slots_.size() - 1);
-  }
+  const std::uint64_t hash = family_.scramble(key.fingerprint());
+  // used_ < capacity_ <= slots/2 guarantees an empty slot exists, and
+  // the first empty from the home index is exactly where classic linear
+  // probing would land — placement (and therefore checkpoints) is
+  // bit-identical to the pre-tag layout.
+  const std::size_t slot =
+      probe_empty(static_cast<std::size_t>(hash) & slot_mask_);
   FlowEntry& entry = slots_[slot];
   entry.key = key;
   entry.bytes_current = 0;
@@ -54,9 +66,14 @@ FlowEntry* FlowMemory::insert(const packet::FlowKey& key,
   entry.created_this_interval = true;
   entry.exact_this_interval = false;
   entry.occupied = true;
+  set_tag(slot, tag_of(hash));
   ++used_;
   high_water_ = std::max(high_water_, used_);
   return &entry;
+}
+
+void FlowMemory::clear_tags() {
+  std::fill(tags_.begin(), tags_.end(), std::uint8_t{0});
 }
 
 void FlowMemory::end_interval(const EndIntervalPolicy& policy) {
@@ -85,16 +102,18 @@ void FlowMemory::end_interval(const EndIntervalPolicy& policy) {
   }
 
   std::fill(slots_.begin(), slots_.end(), FlowEntry{});
+  clear_tags();
   used_ = 0;
   for (FlowEntry survivor : survivors) {
     survivor.bytes_current = 0;
     survivor.created_this_interval = false;
     survivor.exact_this_interval = true;
-    std::size_t slot = slot_of(survivor.key);
-    while (slots_[slot].occupied) {
-      slot = (slot + 1) & (slots_.size() - 1);
-    }
+    const std::uint64_t hash =
+        family_.scramble(survivor.key.fingerprint());
+    const std::size_t slot =
+        probe_empty(static_cast<std::size_t>(hash) & slot_mask_);
     slots_[slot] = survivor;
+    set_tag(slot, tag_of(hash));
     ++used_;
   }
   // The high-water mark intentionally persists across intervals.
@@ -138,6 +157,7 @@ void FlowMemory::restore_state(common::StateReader& in) {
     throw common::StateError("flow memory: inconsistent checkpoint counts");
   }
   std::fill(slots_.begin(), slots_.end(), FlowEntry{});
+  clear_tags();
   for (std::uint64_t i = 0; i < occupied; ++i) {
     const std::uint64_t slot = in.u64();
     if (slot >= slots_.size()) {
@@ -155,6 +175,11 @@ void FlowMemory::restore_state(common::StateReader& in) {
     entry.created_this_interval = (flags & 1U) != 0;
     entry.exact_this_interval = (flags & 2U) != 0;
     entry.occupied = true;
+    // The tag array is derived state: recompute it from the restored
+    // key so the checkpoint format stays byte-identical to the pre-tag
+    // layout.
+    set_tag(static_cast<std::size_t>(slot),
+            tag_of(family_.scramble(entry.key.fingerprint())));
   }
   used_ = static_cast<std::size_t>(used);
   high_water_ = static_cast<std::size_t>(high_water);

@@ -13,6 +13,18 @@
 //                   that entered late);
 //   kEarlyRemoval — like kPreserve, but entries added this interval
 //                   survive only if they counted >= R (R < T).
+//
+// Memory layout (tag-partitioned, SwissTable/F14 style): occupancy moved
+// out of the fat 64-byte payload slots into a dense parallel array of
+// 1-byte tags (0 = empty, else 0x80 | 7 hash bits), scanned a word at a
+// time (tag_probe.hpp). A probe chain of length p costs one or two
+// L1-resident tag-word loads plus payload lines ONLY for tag-matching
+// slots — in particular a negative lookup, the overwhelmingly common
+// case for shielded/filtered packets, usually touches no payload line at
+// all, where the previous layout paid a 64-byte miss per probed slot.
+// Slot placement and probe order are bit-identical to the classic
+// linear-probing layout (first empty slot from the home index), so
+// checkpoints, reports and memory-access counts are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +33,17 @@
 
 #include "common/state_buffer.hpp"
 #include "common/types.hpp"
+#include "flowmem/tag_probe.hpp"
 #include "hash/hash.hpp"
 #include "packet/flow_key.hpp"
 
 namespace nd::flowmem {
 
-struct FlowEntry {
+/// One payload slot, aligned so a probe that does touch a payload
+/// touches exactly one cache line. `occupied` is kept redundantly with
+/// the tag array for cold-path visitors (for_each, save_state) and
+/// external tests; the hot probe path never reads it.
+struct alignas(64) FlowEntry {
   packet::FlowKey key;
   /// Bytes counted during the current measurement interval.
   common::ByteCount bytes_current{0};
@@ -57,22 +74,131 @@ class FlowMemory {
   /// seeds the placement hash.
   FlowMemory(std::size_t capacity, std::uint64_t seed);
 
+  /// Placement hash for a flow fingerprint. The batched device loops
+  /// compute it once per packet and feed the same value to the prefetch
+  /// stages and to find_hashed, instead of re-scrambling at every
+  /// pipeline stage.
+  [[nodiscard]] std::uint64_t hash_of(std::uint64_t fingerprint) const {
+    return family_.scramble(fingerprint);
+  }
+
   /// Find the entry for `key`, or nullptr. Counts one memory access.
-  [[nodiscard]] FlowEntry* find(const packet::FlowKey& key);
+  [[nodiscard]] FlowEntry* find(const packet::FlowKey& key) {
+    return find_hashed(key, family_.scramble(key.fingerprint()));
+  }
+
+  /// find() with the placement hash already computed (see hash_of).
+  /// Identical results and memory-access accounting to find().
+  [[nodiscard]] FlowEntry* find_hashed(const packet::FlowKey& key,
+                                       std::uint64_t hash) {
+    ++accesses_;
+    const std::size_t mask = slot_mask_;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    const std::uint8_t tag = tag_of(hash);
+    const std::uint8_t* tags = tags_.data();
+    // Home-slot fast path: at load factor <= 1/2 most live keys sit in
+    // their home slot and most absent keys see an empty home byte, so
+    // one tag-byte compare resolves the common cases without the group
+    // scan. Results are identical to the scan below — the home lane is
+    // the scan's first candidate, and an empty home byte is its stop
+    // condition — so this is purely a shortcut, not a semantic change.
+    const std::uint8_t home_tag = tags[slot];
+    if (home_tag == tag) {
+      FlowEntry& entry = slots_[slot];
+      if (entry.key == key) return &entry;
+    } else if (home_tag == 0) {
+      return nullptr;
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    // Word-at-a-time scan: byte lane p of a little-endian load is slot
+    // slot+p, so lane masks order candidates exactly like the scalar
+    // probe would visit them. The chain is a contiguous occupied run
+    // from the home slot (the rebuild in end_interval leaves no
+    // tombstones), so the scan stops at the first empty lane; tag
+    // matches past it are stale coincidences and are discarded
+    // unchecked.
+    for (std::size_t scanned = 0; scanned <= mask;
+         scanned += kTagGroupWidth) {
+      const std::uint64_t group = load_group(tags, slot);
+      const std::uint64_t empty = zero_lanes(group);
+      std::uint64_t candidates =
+          lanes_below_first(match_lanes(group, tag), empty);
+      while (candidates != 0) {
+        FlowEntry& entry = slots_[(slot + first_lane(candidates)) & mask];
+        if (entry.key == key) return &entry;
+        candidates &= candidates - 1;  // 7-bit tag collision: next lane
+      }
+      if (empty != 0) return nullptr;
+      slot = (slot + kTagGroupWidth) & mask;
+    }
+#else
+    // Portable scalar fallback: same probe order, one tag byte at a
+    // time.
+    for (std::size_t scanned = 0; scanned <= mask; ++scanned) {
+      const std::uint8_t t = tags[slot];
+      if (t == 0) return nullptr;
+      if (t == tag) {
+        FlowEntry& entry = slots_[slot];
+        if (entry.key == key) return &entry;
+      }
+      slot = (slot + 1) & mask;
+    }
+#endif
+    return nullptr;
+  }
 
   /// Hint that the flow with this fingerprint is about to be looked up:
-  /// pulls its home slot toward the cache. Does not count as a memory
-  /// access (it is a hint, not a probe) and never changes state — the
-  /// batched device loops issue it for packet i+1 while processing
-  /// packet i.
+  /// pulls the home tag word AND the home payload line toward the
+  /// cache (a probe resolves in the home tag word for almost every
+  /// lookup, and a hit's payload is almost always the home slot). Does
+  /// not count as a memory access (it is a hint, not a probe) and never
+  /// changes state — the batched device loops issue it a short distance
+  /// ahead of the packet being processed.
   void prefetch(std::uint64_t fingerprint) const {
+    prefetch_hashed(family_.scramble(fingerprint));
+  }
+
+  /// prefetch() with the placement hash already computed (see hash_of).
+  void prefetch_hashed(std::uint64_t hash) const {
 #if defined(__GNUC__) || defined(__clang__)
-    const std::size_t slot =
-        static_cast<std::size_t>(family_.scramble(fingerprint)) &
-        (slots_.size() - 1);
-    __builtin_prefetch(&slots_[slot], 0, 1);
+    const std::size_t slot = static_cast<std::size_t>(hash) & slot_mask_;
+    __builtin_prefetch(tags_.data() + slot, 0, 1);
+    __builtin_prefetch(slots_.data() + slot, 0, 1);
 #else
-    (void)fingerprint;
+    (void)hash;
+#endif
+  }
+
+  /// Payload-line-only prefetch: the short-distance stage of a batched
+  /// loop whose long-distance stage already requested the tag word
+  /// (prefetch_tags_hashed), so re-requesting it here would be a wasted
+  /// slot in the load pipe.
+  void prefetch_payload_hashed(std::uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(
+        slots_.data() + (static_cast<std::size_t>(hash) & slot_mask_), 0, 1);
+#else
+    (void)hash;
+#endif
+  }
+
+  /// Tag-word-only prefetch: the long-distance stage of the devices'
+  /// distance-k prefetch pipeline. The 8-byte tag group is the first
+  /// (and for negative lookups the only) line a probe touches, so it is
+  /// requested many packets ahead; the fatter payload line is left to
+  /// the short-distance prefetch() to avoid evicting tags with payloads
+  /// that may never be read.
+  void prefetch_tags(std::uint64_t fingerprint) const {
+    prefetch_tags_hashed(family_.scramble(fingerprint));
+  }
+
+  /// prefetch_tags() with the placement hash already computed.
+  void prefetch_tags_hashed(std::uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(
+        tags_.data() + (static_cast<std::size_t>(hash) & slot_mask_), 0, 3);
+#else
+    (void)hash;
 #endif
   }
 
@@ -109,7 +235,9 @@ class FlowMemory {
   /// addressing makes placement a function of insertion history, so
   /// occupied entries are written with their slot index and restored in
   /// place — re-inserting them in any canonical order would change the
-  /// probe-chain layout and break bit-identical resume. restore_state
+  /// probe-chain layout and break bit-identical resume. The tag array is
+  /// derived state (recomputed from the restored keys), so the buffer
+  /// format is unchanged from the pre-tag layout. restore_state
   /// requires a FlowMemory constructed with the same capacity and seed;
   /// mismatches throw common::StateError.
   void save_state(common::StateWriter& out) const;
@@ -117,8 +245,24 @@ class FlowMemory {
 
  private:
   [[nodiscard]] std::size_t slot_of(const packet::FlowKey& key) const;
+  /// Write a tag, mirroring the first group past the end so an 8-byte
+  /// load starting at any slot index reads the wrapped chain
+  /// contiguously.
+  void set_tag(std::size_t slot, std::uint8_t tag) {
+    tags_[slot] = tag;
+    if (slot < kTagGroupWidth) tags_[slots_.size() + slot] = tag;
+  }
+  /// First empty slot at/after `slot` in probe order — exactly the slot
+  /// classic linear probing would pick for an insertion.
+  [[nodiscard]] std::size_t probe_empty(std::size_t slot) const;
+  /// Zero every tag (including the mirror).
+  void clear_tags();
 
   std::vector<FlowEntry> slots_;
+  /// Parallel occupancy/fingerprint tags, slots_.size() + kTagGroupWidth
+  /// bytes (mirrored head; see set_tag).
+  std::vector<std::uint8_t> tags_;
+  std::size_t slot_mask_;
   std::size_t capacity_;
   std::size_t used_{0};
   std::size_t high_water_{0};

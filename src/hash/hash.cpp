@@ -58,6 +58,24 @@ StageHash::StageHash(HashKind kind, common::Rng& seed_source,
                : nullptr),
       buckets_(buckets) {}
 
+StageHashBank::StageHashBank(std::vector<StageHash> stages)
+    : stages_(std::move(stages)) {
+  const std::size_t d = stages_.size();
+  if (d == 0 || d > kMaxInterleavedDepth) return;
+  for (const StageHash& stage : stages_) {
+    if (stage.tabulation() == nullptr) return;
+  }
+  interleaved_.resize(8 * 256 * d);
+  for (std::size_t s = 0; s < d; ++s) {
+    const auto& tables = stages_[s].tabulation()->tables();
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t b = 0; b < 256; ++b) {
+        interleaved_[((i << 8) | b) * d + s] = tables[i][b];
+      }
+    }
+  }
+}
+
 HashFamily::HashFamily(std::uint64_t master_seed, HashKind kind)
     : kind_(kind),
       rng_(splitmix64(master_seed)),
@@ -66,10 +84,6 @@ HashFamily::HashFamily(std::uint64_t master_seed, HashKind kind)
 
 StageHash HashFamily::make_stage(std::uint64_t buckets) {
   return StageHash(kind_, rng_, buckets);
-}
-
-std::uint64_t HashFamily::scramble(std::uint64_t key) const {
-  return splitmix64(scramble_a_ * key + scramble_b_);
 }
 
 }  // namespace nd::hash

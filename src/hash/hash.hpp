@@ -89,6 +89,12 @@ class TabulationHash {
     return h;
   }
 
+  /// Raw seeded tables (exposed so StageHashBank can re-lay them out).
+  [[nodiscard]] const std::array<std::array<std::uint64_t, 256>, 8>&
+  tables() const {
+    return tables_;
+  }
+
  private:
   std::array<std::array<std::uint64_t, 256>, 8> tables_;
 };
@@ -121,12 +127,95 @@ class StageHash {
     return tab_ != nullptr ? HashKind::kTabulation
                            : HashKind::kMultiplyShift;
   }
+  /// The backing tabulation function, or nullptr in multiply-shift
+  /// mode (exposed so StageHashBank can re-lay the tables out).
+  [[nodiscard]] const TabulationHash* tabulation() const {
+    return tab_.get();
+  }
 
  private:
   MultiplyShiftHash ms_;
   /// Set only in tabulation mode.
   std::shared_ptr<const TabulationHash> tab_;
   std::uint64_t buckets_;
+};
+
+/// A bank of stage hashes evaluated together, one packet at a time.
+///
+/// A d-stage filter in tabulation mode walks d disjoint 16 KB table
+/// sets per packet — 8*d scattered loads whose combined footprint
+/// (64 KB at d=4) blows past L1. The bank stores the SAME seeded table
+/// words interleaved by stage: cell (i, b) holds stages 0..d-1's words
+/// contiguously, so the d stages share every cache line the packet's 8
+/// byte lanes touch — 8 line streams per packet instead of 8*d. Bucket
+/// values are bit-identical to evaluating the source StageHashes one by
+/// one (same words, same reduce), verified by the hash unit tests.
+///
+/// Multiply-shift stages (and depths past kMaxInterleavedDepth, where a
+/// row would span multiple lines anyway) skip the re-layout and fall
+/// back to per-stage evaluation.
+class StageHashBank {
+ public:
+  /// Stages interleave only up to this depth: 8 words = one cache line
+  /// per (byte-lane, byte-value) cell.
+  static constexpr std::size_t kMaxInterleavedDepth = 8;
+
+  StageHashBank() = default;
+  explicit StageHashBank(std::vector<StageHash> stages);
+
+  [[nodiscard]] std::size_t depth() const { return stages_.size(); }
+  [[nodiscard]] const StageHash& stage(std::size_t s) const {
+    return stages_[s];
+  }
+
+  /// Compute every stage's bucket index for one fingerprint into
+  /// out[0..depth()-1].
+  void bucket_all(std::uint64_t key_fingerprint, std::uint64_t* out) const {
+    if (interleaved_.empty()) {
+      const std::size_t d = stages_.size();
+      for (std::size_t s = 0; s < d; ++s) {
+        out[s] = stages_[s].bucket(key_fingerprint);
+      }
+      return;
+    }
+    // Dispatch to a depth-specialised kernel: with the depth a compile
+    // time constant the per-byte-lane stage loop fully unrolls, so the
+    // common shallow filters pay no loop overhead for the interleaving.
+    switch (stages_.size()) {
+      case 1: return bucket_all_fixed<1>(key_fingerprint, out);
+      case 2: return bucket_all_fixed<2>(key_fingerprint, out);
+      case 3: return bucket_all_fixed<3>(key_fingerprint, out);
+      case 4: return bucket_all_fixed<4>(key_fingerprint, out);
+      case 5: return bucket_all_fixed<5>(key_fingerprint, out);
+      case 6: return bucket_all_fixed<6>(key_fingerprint, out);
+      case 7: return bucket_all_fixed<7>(key_fingerprint, out);
+      default: return bucket_all_fixed<8>(key_fingerprint, out);
+    }
+  }
+
+ private:
+  template <std::size_t D>
+  void bucket_all_fixed(std::uint64_t key_fingerprint,
+                        std::uint64_t* out) const {
+    std::uint64_t h[D] = {};
+    const std::uint64_t* table = interleaved_.data();
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::uint64_t* row =
+          table +
+          ((i << 8) | ((key_fingerprint >> (8 * i)) & 0xFFU)) * D;
+      for (std::size_t s = 0; s < D; ++s) {
+        h[s] ^= row[s];
+      }
+    }
+    for (std::size_t s = 0; s < D; ++s) {
+      out[s] = reduce_to_range(h[s], stages_[s].buckets());
+    }
+  }
+
+  std::vector<StageHash> stages_;
+  /// Interleaved tabulation words, ((i * 256 + b) * depth + s); empty
+  /// when the bank falls back to per-stage evaluation.
+  std::vector<std::uint64_t> interleaved_;
 };
 
 /// Derives independent stage hashes from one master seed. Each call to
@@ -139,8 +228,13 @@ class HashFamily {
 
   [[nodiscard]] StageHash make_stage(std::uint64_t buckets);
 
-  /// A raw seeded 64->64 function (used by the flow memory).
-  [[nodiscard]] std::uint64_t scramble(std::uint64_t key) const;
+  /// A raw seeded 64->64 function (used by the flow memory). Inline:
+  /// this runs once per packet in every batched hot loop (it is the
+  /// flow-memory placement hash), and as an out-of-line call its ~8
+  /// arithmetic ops cost less than the call itself.
+  [[nodiscard]] std::uint64_t scramble(std::uint64_t key) const {
+    return splitmix64(scramble_a_ * key + scramble_b_);
+  }
 
  private:
   HashKind kind_;

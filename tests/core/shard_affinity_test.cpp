@@ -1,0 +1,149 @@
+// Shard->core affinity contract: routing every shard to a fixed pinned
+// worker (and first-touch constructing the replica there) changes wall
+// clock and memory locality only — the merged reports must stay
+// bit-identical to the shared-queue pool, the inline (no pool) device,
+// and the per-packet observe path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../support/report_testing.hpp"
+#include "common/thread_pool.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "core/sharded_device.hpp"
+
+namespace nd::core {
+namespace {
+
+using nd::testing::classify_trace;
+using nd::testing::expect_reports_equal;
+
+trace::TraceConfig affinity_trace() {
+  trace::TraceConfig config;
+  config.flow_count = 800;
+  config.bytes_per_interval = 4'000'000;
+  config.num_intervals = 3;
+  config.seed = 321;
+  return config;
+}
+
+ShardedDevice::Factory filter_factory() {
+  return [](std::uint32_t, std::uint64_t seed) {
+    MultistageFilterConfig config;
+    config.flow_memory_entries = 96;
+    config.depth = 3;
+    config.buckets_per_stage = 64;
+    config.threshold = 50'000;
+    config.seed = seed;
+    return std::make_unique<MultistageFilter>(config);
+  };
+}
+
+std::vector<Report> run_batched(MeasurementDevice& device) {
+  std::vector<Report> reports;
+  for (const auto& interval : classify_trace(
+           affinity_trace(), packet::FlowDefinition::five_tuple())) {
+    device.observe_batch(interval);
+    reports.push_back(device.end_interval());
+  }
+  return reports;
+}
+
+ShardedDeviceConfig sharded_config(common::ThreadPool* pool,
+                                   bool affinity) {
+  ShardedDeviceConfig config;
+  config.shards = 4;
+  config.seed = 9;
+  config.pool = pool;
+  config.shard_affinity = affinity;
+  return config;
+}
+
+TEST(ShardAffinity, AffinityDoesNotChangeMergedReports) {
+  common::ThreadPool shared_pool(2);
+  common::ThreadPool affine_pool(2);
+  ShardedDevice shared(sharded_config(&shared_pool, false),
+                       filter_factory());
+  ShardedDevice affine(sharded_config(&affine_pool, true),
+                       filter_factory());
+  const auto shared_reports = run_batched(shared);
+  const auto affine_reports = run_batched(affine);
+  ASSERT_EQ(shared_reports.size(), affine_reports.size());
+  for (std::size_t i = 0; i < shared_reports.size(); ++i) {
+    expect_reports_equal(shared_reports[i], affine_reports[i]);
+  }
+  EXPECT_EQ(shared.packets_processed(), affine.packets_processed());
+  EXPECT_EQ(shared.memory_accesses(), affine.memory_accesses());
+}
+
+TEST(ShardAffinity, AffinityWithPinnedPoolMatchesInlineDevice) {
+  // The full production stack — pinned workers + shard affinity +
+  // first-touch construction — against no pool at all.
+  common::ThreadPoolConfig pool_config;
+  pool_config.threads = 2;
+  pool_config.pin = true;
+  common::ThreadPool pinned_pool(pool_config);
+  ShardedDevice pinned(sharded_config(&pinned_pool, true),
+                       filter_factory());
+  ShardedDevice inline_device(sharded_config(nullptr, false),
+                              filter_factory());
+  const auto pinned_reports = run_batched(pinned);
+  const auto inline_reports = run_batched(inline_device);
+  ASSERT_EQ(pinned_reports.size(), inline_reports.size());
+  for (std::size_t i = 0; i < pinned_reports.size(); ++i) {
+    expect_reports_equal(pinned_reports[i], inline_reports[i]);
+  }
+}
+
+TEST(ShardAffinity, AffinityWithoutPoolDegradesToInline) {
+  // shard_affinity with no (or an empty) pool must be a no-op, not a
+  // crash: construction and fan-out run on the caller.
+  ShardedDevice no_pool(sharded_config(nullptr, true), filter_factory());
+  common::ThreadPool empty_pool(0);
+  ShardedDevice zero_workers(sharded_config(&empty_pool, true),
+                             filter_factory());
+  const auto a = run_batched(no_pool);
+  const auto b = run_batched(zero_workers);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_reports_equal(a[i], b[i]);
+  }
+}
+
+TEST(ShardAffinity, ObservePathMatchesBatchedUnderAffinity) {
+  common::ThreadPool pool(2);
+  ShardedDevice batched(sharded_config(&pool, true), filter_factory());
+  ShardedDevice scalar(sharded_config(nullptr, false), filter_factory());
+  for (const auto& interval : classify_trace(
+           affinity_trace(), packet::FlowDefinition::five_tuple())) {
+    batched.observe_batch(interval);
+    for (const auto& packet : interval) {
+      scalar.observe(packet.key, packet.bytes);
+    }
+    expect_reports_equal(batched.end_interval(), scalar.end_interval());
+  }
+}
+
+TEST(ShardAffinity, SampleAndHoldInnerIsAffinityInvariantToo) {
+  common::ThreadPool pool(3);
+  const auto factory = [](std::uint32_t, std::uint64_t seed) {
+    SampleAndHoldConfig config;
+    config.flow_memory_entries = 128;
+    config.threshold = 50'000;
+    config.seed = seed;
+    return std::make_unique<SampleAndHold>(config);
+  };
+  ShardedDevice affine(sharded_config(&pool, true), factory);
+  ShardedDevice inline_device(sharded_config(nullptr, false), factory);
+  const auto a = run_batched(affine);
+  const auto b = run_batched(inline_device);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_reports_equal(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nd::core

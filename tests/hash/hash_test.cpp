@@ -147,6 +147,65 @@ TEST(HashFamily, MultiplyShiftKindWorks) {
   EXPECT_GT(seen.size(), 80u);
 }
 
+TEST(StageHashBank, TabulationBankMatchesPerStageBuckets) {
+  // The interleaved table layout must be a pure re-layout: every
+  // stage's bucket for every key identical to evaluating the source
+  // StageHashes one by one.
+  HashFamily family(97);
+  std::vector<StageHash> stages;
+  for (int d = 0; d < 4; ++d) {
+    stages.push_back(family.make_stage(4096));
+  }
+  const std::vector<StageHash> reference = stages;
+  StageHashBank bank(std::move(stages));
+  ASSERT_EQ(bank.depth(), 4u);
+  std::uint64_t out[4];
+  for (std::uint64_t k = 0; k < 20'000; ++k) {
+    const std::uint64_t fp = splitmix64(k);
+    bank.bucket_all(fp, out);
+    for (std::size_t d = 0; d < 4; ++d) {
+      ASSERT_EQ(out[d], reference[d].bucket(fp)) << "stage " << d;
+    }
+  }
+}
+
+TEST(StageHashBank, MultiplyShiftFallbackMatchesPerStageBuckets) {
+  HashFamily family(41, HashKind::kMultiplyShift);
+  std::vector<StageHash> stages;
+  for (int d = 0; d < 3; ++d) {
+    stages.push_back(family.make_stage(1000));
+  }
+  const std::vector<StageHash> reference = stages;
+  StageHashBank bank(std::move(stages));
+  std::uint64_t out[3];
+  for (std::uint64_t k = 0; k < 5'000; ++k) {
+    bank.bucket_all(k, out);
+    for (std::size_t d = 0; d < 3; ++d) {
+      ASSERT_EQ(out[d], reference[d].bucket(k)) << "stage " << d;
+    }
+  }
+}
+
+TEST(StageHashBank, DeepBankFallsBackAndStillMatches) {
+  // Depth past kMaxInterleavedDepth skips the interleaved layout but
+  // must produce the same buckets through the per-stage path.
+  HashFamily family(7);
+  std::vector<StageHash> stages;
+  for (std::size_t d = 0; d < StageHashBank::kMaxInterleavedDepth + 2;
+       ++d) {
+    stages.push_back(family.make_stage(64));
+  }
+  const std::vector<StageHash> reference = stages;
+  StageHashBank bank(std::move(stages));
+  std::vector<std::uint64_t> out(bank.depth());
+  for (std::uint64_t k = 0; k < 2'000; ++k) {
+    bank.bucket_all(splitmix64(k), out.data());
+    for (std::size_t d = 0; d < reference.size(); ++d) {
+      ASSERT_EQ(out[d], reference[d].bucket(splitmix64(k)));
+    }
+  }
+}
+
 class StageUniformity : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(StageUniformity, ChiSquareAcrossSeeds) {

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Cache-behaviour profile of the per-packet microbenchmarks.
+#
+# Usage: profile_cache.sh <perf_per_packet binary> [benchmark filter]
+#
+# Prefers `perf stat` (hardware cache/TLB counters, negligible overhead);
+# falls back to valgrind --tool=cachegrind (simulated, ~50x slower but
+# works in containers without perf_event access). The filter defaults to
+# the series the tag-partitioned layout targets.
+set -u
+
+BENCH="${1:?usage: profile_cache.sh <perf_per_packet binary> [filter]}"
+FILTER="${2:-BM_SampleAndHoldBatch|BM_MultistageParallelBatch|BM_FlowMemoryFind.*}"
+
+if [ ! -x "$BENCH" ]; then
+    echo "profile_cache: benchmark binary not found: $BENCH" >&2
+    exit 1
+fi
+
+run_args="--benchmark_filter=$FILTER --benchmark_min_time=0.2s"
+
+if command -v perf >/dev/null 2>&1 &&
+   perf stat -e cycles true >/dev/null 2>&1; then
+    echo "== perf stat (hardware counters) =="
+    # shellcheck disable=SC2086
+    exec perf stat \
+        -e cycles,instructions,L1-dcache-loads,L1-dcache-load-misses,LLC-loads,LLC-load-misses,dTLB-load-misses \
+        "$BENCH" $run_args
+fi
+
+if command -v valgrind >/dev/null 2>&1; then
+    echo "== cachegrind (simulated; perf unavailable) =="
+    out="$(mktemp)"
+    # shellcheck disable=SC2086
+    valgrind --tool=cachegrind --cachegrind-out-file="$out" \
+        "$BENCH" $run_args --benchmark_min_time=0.05s
+    rc=$?
+    if command -v cg_annotate >/dev/null 2>&1; then
+        cg_annotate "$out" | head -40
+    fi
+    rm -f "$out"
+    exit $rc
+fi
+
+echo "profile_cache: neither perf nor valgrind is available" >&2
+exit 1

@@ -1,7 +1,10 @@
 # Configure, build and run the concurrency tests (ThreadPool,
 # ShardedDevice, batched driver) under ThreadSanitizer in a nested build
-# tree. Driven by the `tsan_check` custom target so the instrumented
-# build never slows the tier-1 test pass:
+# tree, then run the flow-memory/pinning suites under Address- and
+# UndefinedBehaviorSanitizer as well — the tag-partitioned probe is
+# word-at-a-time pointer arithmetic, exactly what asan/ubsan are for.
+# Driven by the `tsan_check` custom target so the instrumented builds
+# never slow the tier-1 test pass:
 #
 #   cmake --build build --target tsan_check
 #
@@ -10,34 +13,57 @@ if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
   message(FATAL_ERROR "tsan_check.cmake needs -DSOURCE_DIR and -DBUILD_DIR")
 endif()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
-          -DND_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  RESULT_VARIABLE rv)
-if(NOT rv EQUAL 0)
-  message(FATAL_ERROR "tsan_check: configure failed: ${rv}")
-endif()
+# The concurrency suites plus the tag-layout / affinity suites added
+# with the cache-conscious flow memory.
+set(ND_SANITIZE_TEST_REGEX
+    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity")
 
-# Only the targets the concurrency tests need — not the whole tree.
-execute_process(
-  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
-          --target common_tests core_tests eval_tests telemetry_tests
-          robustness_tests
-  RESULT_VARIABLE rv)
-if(NOT rv EQUAL 0)
-  message(FATAL_ERROR "tsan_check: build failed: ${rv}")
-endif()
+# run_sanitized(<sanitizer> <subdir> <ctest regex>): nested instrumented
+# configure + build + ctest.
+function(run_sanitized sanitizer subdir regex)
+  set(san_build ${BUILD_DIR}/${subdir})
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${san_build}
+            -DND_SANITIZE=${sanitizer} -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan_check[${sanitizer}]: configure failed: ${rv}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${san_build} --parallel
+            --target common_tests core_tests eval_tests telemetry_tests
+            robustness_tests flowmem_tests
+    RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan_check[${sanitizer}]: build failed: ${rv}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_CTEST_COMMAND} --output-on-failure -R "${regex}"
+    WORKING_DIRECTORY ${san_build}
+    RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+            "tsan_check[${sanitizer}]: sanitized run failed: ${rv}")
+  endif()
+  message(STATUS "tsan_check[${sanitizer}]: tests clean")
+endfunction()
 
 # The telemetry label covers the registry's multi-writer hot path and
 # the instrumented pool/sharded fan-out; the regex keeps the original
 # concurrency suites plus the robustness layer's concurrent paths
-# (injector hammering, watchdog-abandoned tasks, chaos pipeline).
-execute_process(
-  COMMAND ${CMAKE_CTEST_COMMAND} --output-on-failure
-          -R "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint"
-  WORKING_DIRECTORY ${BUILD_DIR}
-  RESULT_VARIABLE rv)
-if(NOT rv EQUAL 0)
-  message(FATAL_ERROR "tsan_check: ThreadSanitizer run failed: ${rv}")
-endif()
-message(STATUS "tsan_check: concurrency tests clean under ThreadSanitizer")
+# (injector hammering, watchdog-abandoned tasks, chaos pipeline) and the
+# new tag-layout/pinning suites. `.` keeps the tsan tree at BUILD_DIR
+# itself so existing caches keep working.
+run_sanitized(thread . "${ND_SANITIZE_TEST_REGEX}")
+
+# The flow-memory probe and the pinned-pool/affinity paths again under
+# asan (OOB on the tag array, use-after-free across worker handoff) and
+# ubsan (misaligned/overflowing SWAR arithmetic).
+set(ND_FLOWMEM_TEST_REGEX
+    "TagProbe|TagLayout|FlowMemory|ShardAffinity|ThreadPoolPinning")
+run_sanitized(address asan-check "${ND_FLOWMEM_TEST_REGEX}")
+run_sanitized(undefined ubsan-check "${ND_FLOWMEM_TEST_REGEX}")
+
+message(STATUS
+        "tsan_check: concurrency + flow-memory tests clean under "
+        "thread/address/undefined sanitizers")
