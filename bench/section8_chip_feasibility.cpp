@@ -64,6 +64,30 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", table.to_string().c_str());
 
+  // The same pipeline on a commodity core: per-packet kernel ops as a
+  // function of the vector width the hot kernels dispatch at (SWAR is
+  // the scalar fallback's effective width).
+  eval::TextTable sw_table({"Software kernels", "Vector bytes",
+                            "Probe/hash/filter ops", "ns/packet",
+                            "Mpkt/s"});
+  auto add_width = [&](const char* label, std::uint32_t vector_bytes) {
+    hwmodel::SoftwareConfig sw;
+    sw.vector_bytes = vector_bytes;
+    const auto cost = hwmodel::software_cost(sw);
+    sw_table.add_row(
+        {label, std::to_string(vector_bytes),
+         std::to_string(cost.probe_ops) + "/" +
+             std::to_string(cost.hash_ops) + "/" +
+             std::to_string(cost.filter_ops),
+         common::format_fixed(cost.packet_ns, 1),
+         common::format_fixed(cost.packets_per_second / 1e6, 1)});
+  };
+  add_width("scalar (byte loop)", 1);
+  add_width("SWAR word probe", 8);
+  add_width("NEON 128-bit", 16);
+  add_width("AVX2 256-bit", 32);
+  std::printf("%s\n", sw_table.to_string().c_str());
+
   std::printf("Stage scaling rule (Section 3.2, k = 10, target <= 16 "
               "false positives):\n");
   for (const double flows : {1e5, 1e6, 1e7}) {

@@ -1,0 +1,159 @@
+#include "common/hugepage.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace nd::common {
+
+namespace {
+
+HugePageMode env_mode() {
+  const char* value = std::getenv("ND_HUGEPAGES");
+  if (value == nullptr || *value == '\0') return HugePageMode::kOff;
+  if (std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0) {
+    return HugePageMode::kOff;
+  }
+  if (std::strcmp(value, "explicit") == 0) return HugePageMode::kExplicit;
+  // "1", "transparent", anything affirmative: ask for THP.
+  return HugePageMode::kTransparent;
+}
+
+std::atomic<int> g_mode{-1};  // -1: environment not resolved yet
+
+struct StatsCells {
+  std::atomic<std::uint64_t> slabs{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> hugetlb{0};
+  std::atomic<std::uint64_t> madvise{0};
+  std::atomic<std::uint64_t> fallback{0};
+};
+StatsCells g_stats;
+
+constexpr std::size_t kSlabAlign = 64;
+
+std::size_t round_up(std::size_t value, std::size_t unit) {
+  return (value + unit - 1) / unit * unit;
+}
+
+#if defined(__linux__)
+/// mmap `bytes` with the mapping start aligned to a 2 MB boundary so a
+/// MADV_HUGEPAGE region is actually eligible for huge pages from byte
+/// zero: over-allocate by one huge page, then trim the misaligned head
+/// and tail with munmap.
+void* map_aligned(std::size_t bytes, int extra_flags) {
+  const std::size_t span = bytes + kHugePageBytes;
+  void* raw = ::mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | extra_flags, -1, 0);
+  if (raw == MAP_FAILED) return nullptr;
+  const auto base = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t aligned = round_up(base, kHugePageBytes);
+  if (aligned != base) {
+    ::munmap(raw, aligned - base);
+  }
+  const std::uintptr_t tail = aligned + bytes;
+  const std::uintptr_t span_end = base + span;
+  if (span_end > tail) {
+    ::munmap(reinterpret_cast<void*>(tail), span_end - tail);
+  }
+  return reinterpret_cast<void*>(aligned);
+}
+#endif  // __linux__
+
+}  // namespace
+
+void set_hugepage_mode(HugePageMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+HugePageMode hugepage_mode() {
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = static_cast<int>(env_mode());
+    g_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<HugePageMode>(mode);
+}
+
+HugePageStats hugepage_stats() {
+  HugePageStats stats;
+  stats.slabs = g_stats.slabs.load(std::memory_order_relaxed);
+  stats.bytes = g_stats.bytes.load(std::memory_order_relaxed);
+  stats.hugetlb_slabs = g_stats.hugetlb.load(std::memory_order_relaxed);
+  stats.madvise_slabs = g_stats.madvise.load(std::memory_order_relaxed);
+  stats.fallback_slabs = g_stats.fallback.load(std::memory_order_relaxed);
+  return stats;
+}
+
+namespace detail {
+
+void* slab_allocate(std::size_t bytes, SlabBacking& backing) {
+  backing = SlabBacking::kNew;
+  const HugePageMode mode = hugepage_mode();
+#if defined(__linux__)
+  if (mode != HugePageMode::kOff && bytes >= kHugePageBytes) {
+    const std::size_t mapped = round_up(bytes, kHugePageBytes);
+#if defined(MAP_HUGETLB)
+    if (mode == HugePageMode::kExplicit) {
+      // Explicit pool pages: all-or-nothing per mapping, fails with
+      // ENOMEM when the pool (HugePages_Total) is empty — fall through.
+      void* raw = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+      if (raw != MAP_FAILED) {
+        backing = SlabBacking::kHugeTlb;
+        g_stats.slabs.fetch_add(1, std::memory_order_relaxed);
+        g_stats.bytes.fetch_add(mapped, std::memory_order_relaxed);
+        g_stats.hugetlb.fetch_add(1, std::memory_order_relaxed);
+        return raw;
+      }
+    }
+#endif  // MAP_HUGETLB
+    if (void* raw = map_aligned(mapped, 0)) {
+      backing = SlabBacking::kMmap;
+      g_stats.slabs.fetch_add(1, std::memory_order_relaxed);
+      g_stats.bytes.fetch_add(mapped, std::memory_order_relaxed);
+#if defined(MADV_HUGEPAGE)
+      if (::madvise(raw, mapped, MADV_HUGEPAGE) == 0) {
+        g_stats.madvise.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        g_stats.fallback.fetch_add(1, std::memory_order_relaxed);
+      }
+#else
+      g_stats.fallback.fetch_add(1, std::memory_order_relaxed);
+#endif
+      return raw;
+    }
+  }
+#else
+  (void)mode;
+#endif  // __linux__
+  return ::operator new(bytes, std::align_val_t{kSlabAlign});
+}
+
+void slab_release(void* data, std::size_t bytes, SlabBacking backing) {
+  switch (backing) {
+    case SlabBacking::kNew:
+      ::operator delete(data, std::align_val_t{kSlabAlign});
+      return;
+    case SlabBacking::kMmap:
+    case SlabBacking::kHugeTlb:
+#if defined(__linux__)
+    {
+      const std::size_t mapped = round_up(bytes, kHugePageBytes);
+      ::munmap(data, mapped);
+      g_stats.slabs.fetch_sub(1, std::memory_order_relaxed);
+      g_stats.bytes.fetch_sub(mapped, std::memory_order_relaxed);
+    }
+#endif
+      return;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace nd::common

@@ -1,0 +1,146 @@
+// Hugepage-backed slabs for the flat hot arrays.
+//
+// At millions of tracked flows the flow-memory payload array alone is
+// hundreds of megabytes; with 4 KB pages a random probe walk misses the
+// dTLB roughly once per lookup, and the dTLB miss costs as much as the
+// cache miss the tag layout already removed. Backing the big flat
+// arrays — flow-memory payload slots, the parallel tag array, the stage
+// counter rows — with 2 MB pages cuts the TLB working set by 512x.
+//
+// Slab<T> is a fixed-size array (these arrays never grow: they are
+// sized once at device construction and only ever refilled) whose
+// backing store is chosen by the process-wide hugepage mode:
+//
+//   kOff          aligned operator new — the default; byte-identical
+//                 behaviour, no mmap in the loop;
+//   kTransparent  anonymous mmap, 2 MB-aligned, madvise(MADV_HUGEPAGE)
+//                 — asks the kernel for transparent huge pages where
+//                 THP is enabled, falls back to normal pages silently
+//                 where it is not;
+//   kExplicit     mmap(MAP_HUGETLB) from the reserved hugepage pool,
+//                 falling back to the transparent path (and from there
+//                 to normal pages) when the pool is empty.
+//
+// Small slabs (below one huge page) always use operator new — there is
+// nothing to win and mmap granularity would waste most of the page.
+// Every fallback is silent and changes only page size, never bytes:
+// reports, checkpoints and probe behaviour are identical under every
+// mode, which the simd/hugepage differential tests pin down.
+//
+// The mode is process-wide (set it before constructing devices —
+// `ndtm measure --hugepages` does, or export ND_HUGEPAGES=1);
+// hugepage_stats() reports what was actually obtained.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace nd::common {
+
+enum class HugePageMode : std::uint8_t { kOff, kTransparent, kExplicit };
+
+/// Set the process-wide backing mode for slabs allocated AFTER the
+/// call (live slabs keep the backing they were created with).
+void set_hugepage_mode(HugePageMode mode);
+
+/// Current mode; first call resolves the ND_HUGEPAGES environment
+/// variable (0|off, 1|transparent, explicit) unless set_hugepage_mode
+/// ran first.
+[[nodiscard]] HugePageMode hugepage_mode();
+
+struct HugePageStats {
+  std::uint64_t slabs{0};            ///< live slabs above the size floor
+  std::uint64_t bytes{0};            ///< their total payload bytes
+  std::uint64_t hugetlb_slabs{0};    ///< got explicit MAP_HUGETLB pages
+  std::uint64_t madvise_slabs{0};    ///< mapped + MADV_HUGEPAGE accepted
+  std::uint64_t fallback_slabs{0};   ///< wanted huge pages, got normal
+};
+
+/// Live accounting of slab-backed memory (big slabs only).
+[[nodiscard]] HugePageStats hugepage_stats();
+
+/// x86-64/aarch64 base huge page; also the size floor below which
+/// slabs stay on operator new.
+inline constexpr std::size_t kHugePageBytes = 2u << 20;
+
+namespace detail {
+
+enum class SlabBacking : std::uint8_t { kNew, kMmap, kHugeTlb };
+
+/// Raw storage, 64-byte aligned in every mode. Never throws on
+/// hugepage exhaustion — only on genuine out-of-memory.
+[[nodiscard]] void* slab_allocate(std::size_t bytes, SlabBacking& backing);
+void slab_release(void* data, std::size_t bytes, SlabBacking backing);
+
+}  // namespace detail
+
+/// Fixed-size, move-only array with mode-selected backing. The API is
+/// the subset of std::vector the flat hot arrays actually use, so
+/// swapping it in is a type change, not a code change.
+template <typename T>
+class Slab {
+ public:
+  Slab() = default;
+  /// Value-initializes `count` elements (zeroed for scalars, default
+  /// constructor for aggregates) — same contents as std::vector(n).
+  explicit Slab(std::size_t count) { reset(count); }
+
+  Slab(Slab&& other) noexcept { swap(other); }
+  Slab& operator=(Slab&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      swap(other);
+    }
+    return *this;
+  }
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+  ~Slab() { destroy(); }
+
+  /// Drop the current contents and value-initialize `count` fresh
+  /// elements (the vector::assign(n, {}) of the old code).
+  void reset(std::size_t count) {
+    destroy();
+    if (count == 0) return;
+    void* raw = detail::slab_allocate(count * sizeof(T), backing_);
+    data_ = static_cast<T*>(raw);
+    size_ = count;
+    std::uninitialized_value_construct_n(data_, size_);
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return data_[i];
+  }
+
+ private:
+  void destroy() {
+    if (data_ == nullptr) return;
+    std::destroy_n(data_, size_);
+    detail::slab_release(data_, size_ * sizeof(T), backing_);
+    data_ = nullptr;
+    size_ = 0;
+    backing_ = detail::SlabBacking::kNew;
+  }
+  void swap(Slab& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(backing_, other.backing_);
+  }
+
+  T* data_{nullptr};
+  std::size_t size_{0};
+  detail::SlabBacking backing_{detail::SlabBacking::kNew};
+};
+
+}  // namespace nd::common

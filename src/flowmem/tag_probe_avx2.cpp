@@ -1,0 +1,77 @@
+// AVX2 tag-probe kernels — the 32-wide version of the SWAR scan in
+// FlowMemory::find_hashed / probe_empty.
+//
+// Built WITHOUT -mavx2: every function carries [[gnu::target("avx2")]]
+// instead, so AVX2 instructions exist only inside these bodies (and the
+// intrinsics/helpers the compiler inlines into them) and never leak
+// into COMDAT copies of shared inline functions that the linker could
+// pick for the whole program. That keeps the binary safe to *start* on
+// pre-AVX2 hosts; the runtime dispatch in cpu_features guarantees these
+// bodies are only ever *entered* on hosts with AVX2.
+#include "flowmem/tag_probe_simd.hpp"
+
+#if defined(ND_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "flowmem/flow_memory.hpp"
+
+namespace nd::flowmem::simd {
+
+namespace {
+
+/// 32 tag bytes -> exact (match, empty) bit masks, one bit per lane.
+[[gnu::target("avx2"), gnu::always_inline]] inline GroupMasks masks_at(
+    const std::uint8_t* tags, std::size_t slot, std::uint8_t tag) {
+  const __m256i group = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(tags + slot));
+  const __m256i match8 =
+      _mm256_cmpeq_epi8(group, _mm256_set1_epi8(static_cast<char>(tag)));
+  const __m256i empty8 = _mm256_cmpeq_epi8(group, _mm256_setzero_si256());
+  GroupMasks out;
+  out.match = static_cast<std::uint32_t>(_mm256_movemask_epi8(match8));
+  out.empty = static_cast<std::uint32_t>(_mm256_movemask_epi8(empty8));
+  return out;
+}
+
+}  // namespace
+
+[[gnu::target("avx2")]] GroupMasks group_masks_avx2(const std::uint8_t* tags,
+                                                    std::size_t slot,
+                                                    std::uint8_t tag) {
+  return masks_at(tags, slot, tag);
+}
+
+[[gnu::target("avx2")]] FlowEntry* find_chain_avx2(
+    FlowEntry* slots, const std::uint8_t* tags, std::size_t slot_mask,
+    std::size_t slot, std::uint8_t tag, const packet::FlowKey& key) {
+  for (std::size_t scanned = 0; scanned <= slot_mask;
+       scanned += kAvx2GroupWidth) {
+    const GroupMasks g = masks_at(tags, slot, tag);
+    std::uint64_t candidates = below_first(g.match, g.empty);
+    while (candidates != 0) {
+      const std::size_t lane = first_lane_of(candidates, kAvx2StrideBits);
+      FlowEntry& entry = slots[(slot + lane) & slot_mask];
+      if (entry.key == key) return &entry;
+      candidates &= candidates - 1;  // 1 bit per lane at this width
+    }
+    if (g.empty != 0) return nullptr;
+    slot = (slot + kAvx2GroupWidth) & slot_mask;
+  }
+  return nullptr;
+}
+
+[[gnu::target("avx2")]] std::size_t probe_empty_avx2(
+    const std::uint8_t* tags, std::size_t slot_mask, std::size_t slot) {
+  for (;;) {
+    const GroupMasks g = masks_at(tags, slot, 0xFF);
+    if (g.empty != 0) {
+      return (slot + first_lane_of(g.empty, kAvx2StrideBits)) & slot_mask;
+    }
+    slot = (slot + kAvx2GroupWidth) & slot_mask;
+  }
+}
+
+}  // namespace nd::flowmem::simd
+
+#endif  // ND_HAVE_AVX2

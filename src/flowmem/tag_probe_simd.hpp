@@ -1,0 +1,203 @@
+// Vectorized tag-group kernels for the flow-memory probe.
+//
+// The tag-partitioned layout (tag_probe.hpp) was designed for exactly
+// this: the dense 1-byte tag array admits 16/32-wide group compares with
+// one vector load + one byte-equality + one movemask, where the SWAR
+// word scan covers 8 lanes per 64-bit load. Three kernel families share
+// the probe loop's shape and differ only in group width and mask
+// geometry:
+//
+//   family   width  lane stride in the 64-bit mask
+//   SWAR       8    8 bits  (haszero high-bit marks; borrow caveat)
+//   NEON      16    4 bits  (vceqq_u8 + the vshrn nibble-narrow trick)
+//   AVX2      32    1 bit   (_mm256_cmpeq_epi8 + movemask)
+//
+// Contract (proven per kernel by the simd differential suites): every
+// family visits slots in the SAME probe order, accepts the SAME entry,
+// picks the SAME empty slot for insertion, and leaves access counts and
+// checkpoint bytes untouched relative to the SWAR baseline. The SIMD
+// masks are *exact* per lane; the SWAR masks may carry false positives
+// above a true zero lane (the borrow caveat) — harmless, because a
+// candidate lane is only ever accepted after a full key compare and the
+// first empty lane is exact in all three families, but it means the raw
+// mask equality tests compare candidate sets only below the first true
+// lane, not raw words.
+//
+// Placement of code: NEON kernels are header-inline templates (NEON is
+// baseline wherever __ARM_NEON is defined, so no special codegen flags
+// are needed and the probe loop inlines into find_hashed). AVX2 kernels
+// are out-of-line [[gnu::target("avx2")]] functions in
+// tag_probe_avx2.cpp — built without -mavx2 so no AVX2 instruction can
+// leak into code that runs before the CPUID check, at the cost of one
+// (predictable) call per probe.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_features.hpp"
+#include "flowmem/tag_probe.hpp"
+
+#if defined(ND_HAVE_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace nd::packet {
+class FlowKey;
+}
+
+namespace nd::flowmem {
+
+struct FlowEntry;  // flow_memory.hpp; AVX2 kernels take it opaquely
+
+/// Widest group any compiled kernel loads; the tag array's mirror pad
+/// is this many bytes in every build so table geometry (and therefore
+/// behaviour) never depends on which kernels the toolchain emitted.
+inline constexpr std::size_t kTagMirrorPad = 32;
+
+namespace simd {
+
+/// One group's lane masks. Lane k of the group (slot home+k) owns
+/// `stride` consecutive bits starting at bit k*stride; a marked lane
+/// has at least its lowest owned bit set.
+struct GroupMasks {
+  std::uint64_t match{0};  ///< lanes whose tag equals the probe tag
+  std::uint64_t empty{0};  ///< lanes whose tag is 0
+};
+
+/// Lane index of the lowest marked lane of a nonzero mask.
+[[nodiscard]] inline constexpr std::size_t first_lane_of(
+    std::uint64_t mask, std::size_t stride_bits) {
+  return static_cast<std::size_t>(std::countr_zero(mask)) / stride_bits;
+}
+
+/// Clear every bit lane `lane` owns (advance candidate iteration).
+[[nodiscard]] inline constexpr std::uint64_t clear_lane(
+    std::uint64_t mask, std::size_t lane, std::size_t stride_bits) {
+  return mask & ~(((1ULL << stride_bits) - 1ULL) << (lane * stride_bits));
+}
+
+/// Keep only lanes strictly below the lowest marked lane of `bound`
+/// (everything when `bound` is 0). Stride-independent: match and empty
+/// lanes are disjoint, so "bits below the lowest bound bit" is exactly
+/// "lanes below the first bound lane". Same role as
+/// tag_probe.hpp::lanes_below_first, generalized past 8-bit strides.
+[[nodiscard]] inline constexpr std::uint64_t below_first(
+    std::uint64_t lanes, std::uint64_t bound) {
+  return bound == 0 ? lanes : lanes & ((bound & (~bound + 1ULL)) - 1ULL);
+}
+
+// --- SWAR (always compiled; the scalar dispatch target) --------------
+
+inline constexpr std::size_t kSwarStrideBits = 8;
+
+/// 8-wide group masks via the haszero idiom. Subject to the borrow
+/// caveat: lanes above a true marked lane may be falsely marked; the
+/// lowest marked lane is exact.
+[[nodiscard]] inline GroupMasks group_masks_swar(const std::uint8_t* tags,
+                                                std::size_t slot,
+                                                std::uint8_t tag) {
+  const std::uint64_t group = load_group(tags, slot);
+  return GroupMasks{match_lanes(group, tag), zero_lanes(group)};
+}
+
+// --- NEON (aarch64 / ARMv7-with-NEON; baseline ISA, header-inline) ---
+
+#if defined(ND_HAVE_NEON)
+
+inline constexpr std::size_t kNeonGroupWidth = 16;
+inline constexpr std::size_t kNeonStrideBits = 4;
+
+/// 16-wide exact group masks. vceqq_u8 yields 0x00/0xFF byte lanes;
+/// the vshrn-by-4 narrow folds each byte to one nibble, so lane k of
+/// the group owns nibble k of the 64-bit mask — NEON's cheap stand-in
+/// for SSE movemask.
+[[nodiscard]] inline GroupMasks group_masks_neon(const std::uint8_t* tags,
+                                                std::size_t slot,
+                                                std::uint8_t tag) {
+  const uint8x16_t group = vld1q_u8(tags + slot);
+  const uint8x16_t match = vceqq_u8(group, vdupq_n_u8(tag));
+  const uint8x16_t empty = vceqq_u8(group, vdupq_n_u8(0));
+  const uint8x8_t match_nibbles =
+      vshrn_n_u16(vreinterpretq_u16_u8(match), 4);
+  const uint8x8_t empty_nibbles =
+      vshrn_n_u16(vreinterpretq_u16_u8(empty), 4);
+  return GroupMasks{vget_lane_u64(vreinterpret_u64_u8(match_nibbles), 0),
+                    vget_lane_u64(vreinterpret_u64_u8(empty_nibbles), 0)};
+}
+
+/// The SWAR probe chain of FlowMemory::find_hashed at NEON width.
+/// Templated on the entry type so the kernel can live here while
+/// FlowEntry is still incomplete; instantiated inside FlowMemory where
+/// it is not.
+template <typename Entry, typename Key>
+[[nodiscard]] inline Entry* find_chain_neon(Entry* slots,
+                                            const std::uint8_t* tags,
+                                            std::size_t slot_mask,
+                                            std::size_t slot,
+                                            std::uint8_t tag,
+                                            const Key& key) {
+  for (std::size_t scanned = 0; scanned <= slot_mask;
+       scanned += kNeonGroupWidth) {
+    const GroupMasks g = group_masks_neon(tags, slot, tag);
+    std::uint64_t candidates = below_first(g.match, g.empty);
+    while (candidates != 0) {
+      const std::size_t lane = first_lane_of(candidates, kNeonStrideBits);
+      Entry& entry = slots[(slot + lane) & slot_mask];
+      if (entry.key == key) return &entry;
+      candidates = clear_lane(candidates, lane, kNeonStrideBits);
+    }
+    if (g.empty != 0) return nullptr;
+    slot = (slot + kNeonGroupWidth) & slot_mask;
+  }
+  return nullptr;
+}
+
+/// First empty slot at/after `slot` in probe order, NEON width.
+[[nodiscard]] inline std::size_t probe_empty_neon(const std::uint8_t* tags,
+                                                  std::size_t slot_mask,
+                                                  std::size_t slot) {
+  for (;;) {
+    const GroupMasks g = group_masks_neon(tags, slot, 0xFF);
+    if (g.empty != 0) {
+      return (slot + first_lane_of(g.empty, kNeonStrideBits)) & slot_mask;
+    }
+    slot = (slot + kNeonGroupWidth) & slot_mask;
+  }
+}
+
+#endif  // ND_HAVE_NEON
+
+// --- AVX2 (x86; runtime-dispatched, out-of-line) ---------------------
+
+#if defined(ND_HAVE_AVX2)
+
+inline constexpr std::size_t kAvx2GroupWidth = 32;
+inline constexpr std::size_t kAvx2StrideBits = 1;
+
+/// 32-wide exact group masks (bit k of each mask = lane k). Defined in
+/// tag_probe_avx2.cpp behind [[gnu::target("avx2")]]; call only when
+/// active_simd() == kAvx2.
+[[nodiscard]] GroupMasks group_masks_avx2(const std::uint8_t* tags,
+                                          std::size_t slot,
+                                          std::uint8_t tag);
+
+/// The probe chain of FlowMemory::find_hashed at AVX2 width — same
+/// probe order, same accepted entry, no access-count side effects
+/// (the caller counts, exactly as for the SWAR loop).
+[[nodiscard]] FlowEntry* find_chain_avx2(FlowEntry* slots,
+                                         const std::uint8_t* tags,
+                                         std::size_t slot_mask,
+                                         std::size_t slot, std::uint8_t tag,
+                                         const packet::FlowKey& key);
+
+/// First empty slot at/after `slot` in probe order, AVX2 width.
+[[nodiscard]] std::size_t probe_empty_avx2(const std::uint8_t* tags,
+                                           std::size_t slot_mask,
+                                           std::size_t slot);
+
+#endif  // ND_HAVE_AVX2
+
+}  // namespace simd
+}  // namespace nd::flowmem

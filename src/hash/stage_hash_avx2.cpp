@@ -1,0 +1,123 @@
+// AVX2 stage-hash kernels — 256-bit row XOR over the interleaved
+// tabulation tables and the gathered conservative-update min.
+//
+// This TU is compiled WITHOUT -mavx2; the target pragma scopes AVX2
+// codegen to exactly these bodies so nothing vectorized can leak into
+// COMDAT copies of shared inline functions (see tag_probe_avx2.cpp for
+// the full rationale). Callers dispatch through common::active_simd(),
+// so these bodies only run on hosts whose CPUID reports AVX2.
+#include "hash/stage_hash_simd.hpp"
+
+#if defined(ND_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "hash/hash.hpp"
+
+namespace nd::hash::simd {
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+namespace {
+
+/// Horizontal unsigned min of a biased (sign-flipped) 4x64 vector;
+/// returns the still-biased scalar.
+[[gnu::always_inline]] inline std::uint64_t hmin_biased(__m256i biased) {
+  const __m128i lo = _mm256_castsi256_si128(biased);
+  const __m128i hi = _mm256_extracti128_si256(biased, 1);
+  // _mm_cmpgt_epi64 on bias-flipped lanes is an unsigned compare.
+  __m128i take_hi = _mm_cmpgt_epi64(lo, hi);
+  const __m128i m2 = _mm_blendv_epi8(lo, hi, take_hi);
+  const __m128i swapped = _mm_unpackhi_epi64(m2, m2);
+  take_hi = _mm_cmpgt_epi64(m2, swapped);
+  const __m128i m1 = _mm_blendv_epi8(m2, swapped, take_hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(m1));
+}
+
+constexpr std::uint64_t kSignBit = 0x8000000000000000ULL;
+
+}  // namespace
+
+void bucket_all_avx2(const std::uint64_t* table,
+                     const std::uint64_t* bucket_counts, std::size_t d,
+                     std::uint64_t fp, std::uint64_t* out) {
+  // Row layout: d contiguous words per (byte-lane, byte-value) cell.
+  // One 256-bit accumulator per 4 stages, a 128-bit one for a pair of
+  // leftover stages, one scalar lane for an odd depth — every load is
+  // a full row segment, nothing is masked.
+  const std::size_t quads = d / 4;
+  const bool has_pair = (d & 2U) != 0;
+  const bool has_odd = (d & 1U) != 0;
+  __m256i acc4[2] = {_mm256_setzero_si256(), _mm256_setzero_si256()};
+  __m128i acc2 = _mm_setzero_si128();
+  std::uint64_t acc1 = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t* row =
+        table + ((i << 8) | ((fp >> (8 * i)) & 0xFFU)) * d;
+    for (std::size_t q = 0; q < quads; ++q) {
+      acc4[q] = _mm256_xor_si256(
+          acc4[q], _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(row + 4 * q)));
+    }
+    if (has_pair) {
+      acc2 = _mm_xor_si128(
+          acc2, _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(row + 4 * quads)));
+    }
+    if (has_odd) acc1 ^= row[d - 1];
+  }
+  std::uint64_t h[8];
+  for (std::size_t q = 0; q < quads; ++q) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(h + 4 * q), acc4[q]);
+  }
+  if (has_pair) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(h + 4 * quads), acc2);
+  }
+  if (has_odd) h[d - 1] = acc1;
+  for (std::size_t s = 0; s < d; ++s) {
+    out[s] = reduce_to_range(h[s], bucket_counts[s]);
+  }
+}
+
+std::uint64_t gather_min_u64_avx2(const std::uint64_t* counters,
+                                  const std::uint64_t* buckets,
+                                  std::uint64_t row_stride, std::size_t d) {
+  std::uint64_t best = ~std::uint64_t{0};
+  std::size_t s = 0;
+  if (d >= 4) {
+    const auto stride = static_cast<long long>(row_stride);
+    const __m256i steps =
+        _mm256_setr_epi64x(0, stride, 2 * stride, 3 * stride);
+    const __m256i bias =
+        _mm256_set1_epi64x(static_cast<long long>(kSignBit));
+    for (; s + 4 <= d; s += 4) {
+      const __m256i rows = _mm256_add_epi64(
+          steps,
+          _mm256_set1_epi64x(static_cast<long long>(s * row_stride)));
+      const __m256i idx = _mm256_add_epi64(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(buckets + s)),
+          rows);
+      const __m256i vals = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(counters), idx, 8);
+      const std::uint64_t chunk_min =
+          hmin_biased(_mm256_xor_si256(vals, bias)) ^ kSignBit;
+      best = std::min(best, chunk_min);
+    }
+  }
+  for (; s < d; ++s) {
+    best = std::min(
+        best,
+        counters[s * row_stride + static_cast<std::size_t>(buckets[s])]);
+  }
+  return best;
+}
+
+#pragma GCC pop_options
+
+}  // namespace nd::hash::simd
+
+#endif  // ND_HAVE_AVX2

@@ -1,0 +1,85 @@
+// Vectorized kernels over the stage-interleaved tabulation tables.
+//
+// StageHashBank lays the d stages' tabulation words out interleaved:
+// cell (byte-lane i, byte-value b) holds stages 0..d-1's words
+// contiguously at ((i << 8) | b) * d. Evaluating all d stage hashes for
+// one fingerprint is therefore 8 row loads XOR-accumulated into d
+// 64-bit lanes — a shape vector units eat directly: one 256-bit load
+// covers a whole row at d = 4 (the paper's depth), two cover d = 8.
+// Only the XOR accumulation vectorizes; the final Lemire reduction to
+// bucket indices stays scalar in every family so bucket values are
+// bit-identical to per-stage evaluation (the hash unit tests and the
+// simd differential suite both pin this).
+//
+// The AVX2 kernels additionally provide the batched conservative-update
+// helper: one _mm256_i64gather_epi64 pulls a packet's d stage counters
+// and an in-register unsigned min replaces the d-load scalar min loop
+// in MultistageFilter::observe_parallel.
+//
+// Placement mirrors the tag-probe kernels: NEON is header-inline
+// (baseline ISA), AVX2 is out-of-line in stage_hash_avx2.cpp behind a
+// target pragma so no AVX2 instruction exists outside runtime-dispatched
+// bodies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_features.hpp"
+
+#if defined(ND_HAVE_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace nd::hash::simd {
+
+#if defined(ND_HAVE_NEON)
+
+/// XOR-accumulate the 8 interleaved rows selected by `fp`'s bytes into
+/// h[0..d). 128-bit lanes cover stage pairs; an odd depth keeps one
+/// scalar tail lane. The caller applies reduce_to_range, so the bucket
+/// math is shared with every other family.
+inline void xor_rows_neon(const std::uint64_t* table, std::size_t d,
+                          std::uint64_t fp, std::uint64_t* h) {
+  const std::size_t pairs = d / 2;
+  uint64x2_t acc[4] = {vdupq_n_u64(0), vdupq_n_u64(0), vdupq_n_u64(0),
+                       vdupq_n_u64(0)};
+  std::uint64_t tail = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t* row =
+        table + ((i << 8) | ((fp >> (8 * i)) & 0xFFU)) * d;
+    for (std::size_t c = 0; c < pairs; ++c) {
+      acc[c] = veorq_u64(acc[c], vld1q_u64(row + 2 * c));
+    }
+    if ((d & 1U) != 0) tail ^= row[d - 1];
+  }
+  for (std::size_t c = 0; c < pairs; ++c) {
+    vst1q_u64(h + 2 * c, acc[c]);
+  }
+  if ((d & 1U) != 0) h[d - 1] = tail;
+}
+
+#endif  // ND_HAVE_NEON
+
+#if defined(ND_HAVE_AVX2)
+
+/// All d bucket indices for one fingerprint over the interleaved
+/// tables: 256-bit XOR rows + scalar Lemire reduction against
+/// bucket_counts[0..d). Bit-identical to StageHashBank's scalar
+/// bucket_all. Defined in stage_hash_avx2.cpp; call only when
+/// active_simd() == kAvx2. d must be in [1, 8].
+void bucket_all_avx2(const std::uint64_t* table,
+                     const std::uint64_t* bucket_counts, std::size_t d,
+                     std::uint64_t fp, std::uint64_t* out);
+
+/// Unsigned min of counters[s * row_stride + buckets[s]] for
+/// s in [0, d): the conservative-update read loop as one gather plus an
+/// in-register min tree (4-stage chunks; scalar remainder). Pure reads —
+/// the caller keeps its own access accounting.
+[[nodiscard]] std::uint64_t gather_min_u64_avx2(
+    const std::uint64_t* counters, const std::uint64_t* buckets,
+    std::uint64_t row_stride, std::size_t d);
+
+#endif  // ND_HAVE_AVX2
+
+}  // namespace nd::hash::simd

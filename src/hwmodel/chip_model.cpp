@@ -34,6 +34,32 @@ Feasibility analyze(const ChipConfig& chip, const LinkConfig& link) {
   return result;
 }
 
+SoftwareCost software_cost(const SoftwareConfig& sw) {
+  SoftwareCost cost;
+  const std::uint32_t width = std::max<std::uint32_t>(sw.vector_bytes, 1);
+  const auto ops_for = [width](std::uint32_t bytes) {
+    return (bytes + width - 1) / width;
+  };
+  // A tabulation row and a counter word are 8-byte quantities: even a
+  // "1-byte" scalar core loads them one word at a time, so those terms
+  // floor at 8-byte granularity.
+  const std::uint32_t word_width = std::max<std::uint32_t>(width, 8);
+  const auto word_ops_for = [word_width](std::uint32_t bytes) {
+    return (bytes + word_width - 1) / word_width;
+  };
+  const std::uint32_t row_bytes = 8 * sw.stages;  // one interleaved row
+  cost.probe_ops = ops_for(sw.probe_tag_bytes);
+  cost.hash_ops = 8 * word_ops_for(row_bytes);
+  // Conservative update: one pass for the min, one for the raise.
+  cost.filter_ops = 2 * word_ops_for(row_bytes);
+  cost.total_ops = cost.probe_ops + cost.hash_ops + cost.filter_ops;
+  cost.packet_ns =
+      static_cast<double>(cost.total_ops) * sw.op_ns + sw.line_fill_ns;
+  cost.packets_per_second =
+      cost.packet_ns > 0.0 ? 1e9 / cost.packet_ns : 0.0;
+  return cost;
+}
+
 ChipConfig paper_oc192_design() {
   ChipConfig chip;
   chip.stages = 4;

@@ -73,6 +73,45 @@ struct Feasibility {
 [[nodiscard]] Feasibility analyze(const ChipConfig& chip,
                                   const LinkConfig& link);
 
+/// Software (commodity-core) implementation of the same per-packet
+/// pipeline, parameterized by the vector width the hot kernels run at.
+/// This is the §8 feasibility argument turned around: instead of SRAM
+/// access slots, the budget is vector ops — one tag-group compare per
+/// `vector_bytes` of probe chain, one row XOR per `vector_bytes` of
+/// interleaved tabulation row, one min/update op per `vector_bytes` of
+/// stage counters — so the table shows directly how the 8->32-byte
+/// kernel widths move the per-packet cost.
+struct SoftwareConfig {
+  /// d — filter depth (counters read AND updated per packet).
+  std::uint32_t stages{4};
+  /// Expected tag bytes examined per flow-memory lookup (home group
+  /// plus the occasional chain continuation; 16 is generous at load
+  /// factor 1/2).
+  std::uint32_t probe_tag_bytes{16};
+  /// Kernel width in bytes: 8 = SWAR scalar fallback, 16 = NEON,
+  /// 32 = AVX2. (1 models a pure byte-at-a-time loop.)
+  std::uint32_t vector_bytes{8};
+  /// Cost of one kernel op (load + ALU) on the modeled core, ns.
+  double op_ns{0.4};
+  /// One payload/counter cache-line fill per packet, ns (the part no
+  /// vector width removes).
+  double line_fill_ns{1.2};
+};
+
+struct SoftwareCost {
+  /// Tag-group compares per lookup.
+  std::uint32_t probe_ops{0};
+  /// Row loads+XORs for all d stage hashes (8 tabulation byte lanes).
+  std::uint32_t hash_ops{0};
+  /// Counter min + update ops across the d stages.
+  std::uint32_t filter_ops{0};
+  std::uint32_t total_ops{0};
+  double packet_ns{0.0};
+  double packets_per_second{0.0};
+};
+
+[[nodiscard]] SoftwareCost software_cost(const SoftwareConfig& sw);
+
 /// The paper's [12] design point: 4 x 4K counters + 3,584 entries at
 /// OC-192.
 [[nodiscard]] ChipConfig paper_oc192_design();

@@ -1,0 +1,209 @@
+// Preset-driven differential tests for the SIMD dispatch layer and the
+// hugepage slab backing: full interval reports AND checkpoint bytes must
+// be bit-identical under every forced ND_SIMD level and under every
+// hugepage mode. The kernels are pure strength reductions — same probe
+// order, same accepted entries, same bucket values, same counter minima
+// — so nothing observable may move when the dispatch switch does.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../support/report_testing.hpp"
+#include "common/cpu_features.hpp"
+#include "common/hugepage.hpp"
+#include "core/multistage_filter.hpp"
+#include "core/sample_and_hold.hpp"
+#include "trace/presets.hpp"
+
+namespace nd::core {
+namespace {
+
+using common::ScopedSimdLevel;
+using common::SimdLevel;
+
+/// One device's observable history over a trace: every interval report
+/// plus the final checkpoint bytes.
+struct RunResult {
+  std::vector<Report> reports;
+  std::vector<std::uint8_t> checkpoint;
+};
+
+template <typename MakeDevice>
+RunResult run_trace(const trace::TraceConfig& trace_config,
+                    const MakeDevice& make_device, SimdLevel forced) {
+  // The guard must outlive construction: FlowMemory, StageHashBank and
+  // the gather-min switch all latch active_simd() when the device is
+  // built.
+  ScopedSimdLevel guard(forced);
+  const auto intervals = nd::testing::classify_trace(
+      trace_config, packet::FlowDefinition::five_tuple());
+  auto device = make_device();
+  RunResult result;
+  for (const auto& interval : intervals) {
+    device->observe_batch(interval);
+    result.reports.push_back(device->end_interval());
+  }
+  common::StateWriter state;
+  device->save_state(state);
+  result.checkpoint = state.bytes();
+  return result;
+}
+
+template <typename MakeDevice>
+void expect_identical_under_every_level(
+    const trace::TraceConfig& trace_config, const MakeDevice& make_device,
+    const char* device_name) {
+  const RunResult baseline =
+      run_trace(trace_config, make_device, SimdLevel::kScalar);
+  // Force every *nameable* level, exactly like ND_SIMD=...: levels the
+  // host cannot run clamp (to scalar or to the detected family), so
+  // each forced run is still a valid configuration a user can request.
+  for (const SimdLevel requested :
+       {SimdLevel::kNeon, SimdLevel::kAvx2}) {
+    SCOPED_TRACE(std::string(device_name) + " forced to " +
+                 common::simd_name(requested));
+    const RunResult forced = run_trace(trace_config, make_device, requested);
+    ASSERT_EQ(forced.reports.size(), baseline.reports.size());
+    for (std::size_t i = 0; i < baseline.reports.size(); ++i) {
+      nd::testing::expect_reports_equal(forced.reports[i],
+                                        baseline.reports[i]);
+    }
+    EXPECT_EQ(forced.checkpoint, baseline.checkpoint)
+        << "checkpoint bytes diverged";
+  }
+}
+
+std::unique_ptr<SampleAndHold> make_sample_and_hold() {
+  SampleAndHoldConfig config;
+  config.flow_memory_entries = 512;
+  config.threshold = 60'000;
+  config.preserve = flowmem::PreservePolicy::kEarlyRemoval;
+  config.seed = 77;
+  return std::make_unique<SampleAndHold>(config);
+}
+
+std::unique_ptr<MultistageFilter> make_filter(std::uint32_t depth,
+                                              bool conservative) {
+  MultistageFilterConfig config;
+  config.flow_memory_entries = 512;
+  config.depth = depth;
+  config.buckets_per_stage = 256;
+  config.threshold = 60'000;
+  config.conservative_update = conservative;
+  config.preserve = flowmem::PreservePolicy::kPreserve;
+  config.seed = 77;
+  return std::make_unique<MultistageFilter>(config);
+}
+
+TEST(SimdDifferential, SampleAndHoldReportsIdenticalUnderEveryLevel) {
+  expect_identical_under_every_level(
+      trace::scaled(trace::Presets::mag(3), 0.02), make_sample_and_hold,
+      "sample-and-hold");
+}
+
+TEST(SimdDifferential, MultistageFilterReportsIdenticalUnderEveryLevel) {
+  // depth 3, fused update: exercises the bank XOR kernels and the tag
+  // probe without the gather-min path.
+  expect_identical_under_every_level(
+      trace::scaled(trace::Presets::ind(3), 0.05),
+      [] { return make_filter(3, false); }, "filter-d3");
+}
+
+TEST(SimdDifferential, ConservativeDepth4FilterExercisesGatherMin) {
+  // depth >= 4 + conservative update is the configuration whose min
+  // loop dispatches to the AVX2 gather kernel; on non-AVX2 hosts this
+  // still pins the scalar/NEON agreement for the same shape.
+  expect_identical_under_every_level(
+      trace::scaled(trace::Presets::cos(3), 0.25),
+      [] { return make_filter(4, true); }, "filter-d4-conservative");
+}
+
+TEST(SimdDifferential, DeepConservativeFilterCoversGatherRemainder) {
+  // depth 6 = one 4-lane gather chunk + a 2-stage scalar remainder.
+  expect_identical_under_every_level(
+      trace::scaled(trace::Presets::mag(3), 0.02),
+      [] { return make_filter(6, true); }, "filter-d6-conservative");
+}
+
+// --- Hugepage modes ----------------------------------------------------
+
+class HugepageModeGuard {
+ public:
+  explicit HugepageModeGuard(common::HugePageMode mode)
+      : previous_(common::hugepage_mode()) {
+    common::set_hugepage_mode(mode);
+  }
+  ~HugepageModeGuard() { common::set_hugepage_mode(previous_); }
+  HugepageModeGuard(const HugepageModeGuard&) = delete;
+  HugepageModeGuard& operator=(const HugepageModeGuard&) = delete;
+
+ private:
+  common::HugePageMode previous_;
+};
+
+TEST(HugepageDifferential, ReportsAndCheckpointsIdenticalUnderEveryMode) {
+  // The backing store changes page size, never bytes. A big flow memory
+  // (1 << 16 entries -> a multi-megabyte payload slab) crosses the
+  // 2 MB floor so the transparent/explicit paths actually engage.
+  const auto trace_config = trace::scaled(trace::Presets::mag(3), 0.02);
+  auto make_device = [] {
+    MultistageFilterConfig config;
+    config.flow_memory_entries = 1 << 16;
+    config.depth = 4;
+    config.buckets_per_stage = 4096;
+    config.threshold = 60'000;
+    config.preserve = flowmem::PreservePolicy::kPreserve;
+    config.seed = 77;
+    return std::make_unique<MultistageFilter>(config);
+  };
+  RunResult baseline;
+  {
+    HugepageModeGuard off(common::HugePageMode::kOff);
+    baseline = run_trace(trace_config, make_device, SimdLevel::kScalar);
+  }
+  for (const common::HugePageMode mode :
+       {common::HugePageMode::kTransparent,
+        common::HugePageMode::kExplicit}) {
+    HugepageModeGuard guard(mode);
+    const RunResult huge =
+        run_trace(trace_config, make_device, SimdLevel::kScalar);
+    ASSERT_EQ(huge.reports.size(), baseline.reports.size());
+    for (std::size_t i = 0; i < baseline.reports.size(); ++i) {
+      nd::testing::expect_reports_equal(huge.reports[i],
+                                        baseline.reports[i]);
+    }
+    EXPECT_EQ(huge.checkpoint, baseline.checkpoint);
+  }
+}
+
+TEST(HugepageDifferential, StatsAccountForBigSlabsOnly) {
+  HugepageModeGuard guard(common::HugePageMode::kTransparent);
+  const auto before = common::hugepage_stats();
+  {
+    // Below the 2 MB floor: operator new, not counted.
+    common::Slab<std::uint64_t> small(1024);
+    const auto with_small = common::hugepage_stats();
+    EXPECT_EQ(with_small.slabs, before.slabs);
+    // At/above the floor: mapped and counted; released on destruction.
+    common::Slab<std::uint64_t> big((4u << 20) / sizeof(std::uint64_t));
+    const auto with_big = common::hugepage_stats();
+    EXPECT_EQ(with_big.slabs, before.slabs + 1);
+    EXPECT_EQ(with_big.bytes, before.bytes + (4u << 20));
+    EXPECT_EQ(with_big.hugetlb_slabs + with_big.madvise_slabs +
+                  with_big.fallback_slabs,
+              before.hugetlb_slabs + before.madvise_slabs +
+                  before.fallback_slabs + 1);
+    // Contents are value-initialized whatever the backing.
+    EXPECT_EQ(big[0], 0U);
+    EXPECT_EQ(big[big.size() - 1], 0U);
+  }
+  const auto after = common::hugepage_stats();
+  EXPECT_EQ(after.slabs, before.slabs);
+  EXPECT_EQ(after.bytes, before.bytes);
+}
+
+}  // namespace
+}  // namespace nd::core

@@ -58,9 +58,12 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("candidate")
     parser.add_argument(
-        "--filter", default=r"^BM_.*Batch|^BM_ShardedDevice",
+        "--filter",
+        default=(r"^BM_.*Batch|^BM_ShardedDevice"
+                 r"|^BM_TagProbeSimd|^BM_StageHashGather"),
         help="regex of benchmark names the gate applies to "
-             "(default: the batched-device and sharded series)")
+             "(default: the batched-device, sharded and SIMD-kernel "
+             "series)")
     parser.add_argument(
         "--threshold", type=float, default=5.0,
         help="max tolerated regression in percent (default 5)")

@@ -8,6 +8,7 @@
 //                [--shards N] [--adaptive 1] [--shard-usage 1]
 //                [--metrics[=path]] [--fault-plan spec] [--fault-seed N]
 //                [--watchdog-ms N] [--checkpoint path] [--pin 1]
+//                [--hugepages[=explicit]]
 //       Stream a pcap through a measurement device in fixed intervals
 //       and print (and optionally export) the heavy hitters per
 //       interval. Algorithms: sample-and-hold, multistage, netflow.
@@ -36,6 +37,12 @@
 //       bit-identical either way, and with --metrics the pool's
 //       per-task series gain a core="<cpu>" label so per-core
 //       imbalance shows up in the snapshots.
+//       --hugepages backs the flow-memory and stage-counter arrays
+//       with 2 MB pages (madvise(MADV_HUGEPAGE); =explicit tries the
+//       reserved MAP_HUGETLB pool first) and prints what was obtained;
+//       results are bit-identical with or without it. The SIMD kernel
+//       family is picked automatically per CPU — override with
+//       ND_SIMD=scalar|neon|avx2 in the environment.
 //
 //       Exit codes: 0 success, 1 file/IO error, 2 bad arguments,
 //       3 decode error (malformed pcap or report), 4 runtime fault
@@ -58,6 +65,7 @@
 #include "analysis/sample_hold_bounds.hpp"
 #include "baseline/sampled_netflow.hpp"
 #include "common/format.hpp"
+#include "common/hugepage.hpp"
 #include "common/state_buffer.hpp"
 #include "common/thread_pool.hpp"
 #include "core/adaptive_device.hpp"
@@ -306,6 +314,20 @@ int cmd_measure(const Args& args) {
   }
   const std::string checkpoint_path = args.get("checkpoint", "");
 
+  // --hugepages / --hugepages=explicit: back the flow-memory slot/tag
+  // arrays and stage counter rows with 2 MB pages (common/hugepage.hpp).
+  // Must be decided before any device is constructed — slabs latch the
+  // mode at allocation. "explicit" asks the reserved MAP_HUGETLB pool
+  // first; both fall back silently to normal pages where unavailable,
+  // changing nothing but page size.
+  const bool hugepages_on = args.has("hugepages");
+  if (hugepages_on) {
+    const std::string hugepages_arg = args.get("hugepages", "");
+    common::set_hugepage_mode(hugepages_arg == "explicit"
+                                  ? common::HugePageMode::kExplicit
+                                  : common::HugePageMode::kTransparent);
+  }
+
   const bool pin = args.get_u64("pin", 0) != 0;
   std::unique_ptr<common::ThreadPool> pool;  // outlives the session
   std::unique_ptr<core::MeasurementDevice> device;
@@ -473,6 +495,17 @@ int cmd_measure(const Args& args) {
                 static_cast<unsigned long long>(
                     metrics_exporter->lines_written()),
                 registry.size(), metrics_path.c_str());
+  }
+  if (hugepages_on) {
+    const common::HugePageStats hp = common::hugepage_stats();
+    std::printf(
+        "hugepages: %llu slabs (%s) — %llu hugetlb, %llu madvised, "
+        "%llu fell back to 4K pages\n",
+        static_cast<unsigned long long>(hp.slabs),
+        common::format_bytes(hp.bytes).c_str(),
+        static_cast<unsigned long long>(hp.hugetlb_slabs),
+        static_cast<unsigned long long>(hp.madvise_slabs),
+        static_cast<unsigned long long>(hp.fallback_slabs));
   }
   std::printf(
       "done: %llu packets (%llu unmatched by the flow pattern), %u "

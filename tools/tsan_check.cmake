@@ -14,12 +14,20 @@ if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
 endif()
 
 # The concurrency suites plus the tag-layout / affinity suites added
-# with the cache-conscious flow memory.
+# with the cache-conscious flow memory and the simd/hugepage suites
+# added with the vectorized kernels.
 set(ND_SANITIZE_TEST_REGEX
-    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity")
+    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity|Simd|Hugepage|Slab|CpuFeatures")
+
+# The dispatch-sensitive subset re-run under each forced ND_SIMD value:
+# the env override steers every device built during the test, so the
+# SWAR fallback and each vector family get their own sanitized pass
+# (unsupported families clamp to scalar — a safe, if redundant, run).
+set(ND_SIMD_FORCED_TEST_REGEX
+    "Simd|TagProbe|TagLayout|FlowMemory|Hugepage|StageHash")
 
 # run_sanitized(<sanitizer> <subdir> <ctest regex>): nested instrumented
-# configure + build + ctest.
+# configure + build + ctest, then the forced-dispatch passes.
 function(run_sanitized sanitizer subdir regex)
   set(san_build ${BUILD_DIR}/${subdir})
   execute_process(
@@ -32,7 +40,7 @@ function(run_sanitized sanitizer subdir regex)
   execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${san_build} --parallel
             --target common_tests core_tests eval_tests telemetry_tests
-            robustness_tests flowmem_tests
+            robustness_tests flowmem_tests hash_tests simd_tests
     RESULT_VARIABLE rv)
   if(NOT rv EQUAL 0)
     message(FATAL_ERROR "tsan_check[${sanitizer}]: build failed: ${rv}")
@@ -45,7 +53,23 @@ function(run_sanitized sanitizer subdir regex)
     message(FATAL_ERROR
             "tsan_check[${sanitizer}]: sanitized run failed: ${rv}")
   endif()
-  message(STATUS "tsan_check[${sanitizer}]: tests clean")
+  foreach(forced scalar avx2 neon)
+    set(ENV{ND_SIMD} ${forced})
+    execute_process(
+      COMMAND ${CMAKE_CTEST_COMMAND} --output-on-failure
+              -R "${ND_SIMD_FORCED_TEST_REGEX}"
+      WORKING_DIRECTORY ${san_build}
+      RESULT_VARIABLE rv)
+    unset(ENV{ND_SIMD})
+    if(NOT rv EQUAL 0)
+      message(FATAL_ERROR
+              "tsan_check[${sanitizer}]: ND_SIMD=${forced} run failed: "
+              "${rv}")
+    endif()
+  endforeach()
+  message(STATUS
+          "tsan_check[${sanitizer}]: tests clean (native + forced "
+          "scalar/avx2/neon dispatch)")
 endfunction()
 
 # The telemetry label covers the registry's multi-writer hot path and
@@ -60,10 +84,40 @@ run_sanitized(thread . "${ND_SANITIZE_TEST_REGEX}")
 # asan (OOB on the tag array, use-after-free across worker handoff) and
 # ubsan (misaligned/overflowing SWAR arithmetic).
 set(ND_FLOWMEM_TEST_REGEX
-    "TagProbe|TagLayout|FlowMemory|ShardAffinity|ThreadPoolPinning")
+    "TagProbe|TagLayout|FlowMemory|ShardAffinity|ThreadPoolPinning|Simd|Hugepage|Slab|CpuFeatures")
 run_sanitized(address asan-check "${ND_FLOWMEM_TEST_REGEX}")
 run_sanitized(undefined ubsan-check "${ND_FLOWMEM_TEST_REGEX}")
 
+# Fallback bit-rot check: a build with every vector kernel compiled out
+# (-DND_DISABLE_SIMD=ON) must still pass the probe/hash/simd suites —
+# the differential tests then prove the SWAR path against the scalar
+# oracle, and the clamp tests that forcing any level resolves to scalar.
+set(nosimd_build ${BUILD_DIR}/nosimd-check)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${nosimd_build}
+          -DND_DISABLE_SIMD=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "tsan_check[nosimd]: configure failed: ${rv}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${nosimd_build} --parallel
+          --target common_tests flowmem_tests hash_tests simd_tests
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "tsan_check[nosimd]: build failed: ${rv}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_CTEST_COMMAND} --output-on-failure
+          -R "${ND_SIMD_FORCED_TEST_REGEX}"
+  WORKING_DIRECTORY ${nosimd_build}
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "tsan_check[nosimd]: ND_DISABLE_SIMD run failed: ${rv}")
+endif()
+message(STATUS "tsan_check[nosimd]: scalar-only build clean")
+
 message(STATUS
-        "tsan_check: concurrency + flow-memory tests clean under "
-        "thread/address/undefined sanitizers")
+        "tsan_check: concurrency + flow-memory + simd tests clean under "
+        "thread/address/undefined sanitizers, forced dispatch levels, "
+        "and the ND_DISABLE_SIMD scalar-only build")
