@@ -3,6 +3,7 @@
 // and to the Section 8 feasibility discussion.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +26,7 @@
 #include "eval/metrics.hpp"
 #include "flowmem/flow_memory.hpp"
 #include "hash/hash.hpp"
+#include "net/frame_stream.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -567,6 +569,59 @@ BENCHMARK(BM_StageHashGather)
     ->Args({4, 0})->Args({4, 1})->Args({4, 2})
     ->Args({6, 0})->Args({6, 2})
     ->Args({8, 0})->Args({8, 1})->Args({8, 2});
+
+/// Collector-side frame parsing: a hello plus a burst of CRC-framed
+/// interval reports fed through FrameStreamParser in fixed-size chunks
+/// (the collector's read granularity). items/sec is report frames
+/// verified+delivered per second. No committed baseline yet —
+/// bench_compare.py --ignore skips the series until one lands.
+void BM_FrameStream(benchmark::State& state) {
+  struct NullEvents final : net::FrameStreamParser::Events {
+    void on_hello(const net::Hello&) override {}
+    void on_bye(const net::Bye&) override {}
+    void on_report_frame(std::span<const std::uint8_t> payload) override {
+      benchmark::DoNotOptimize(payload.data());
+    }
+    void on_resync(std::size_t) override {}
+  };
+
+  constexpr std::size_t kFrames = 16;
+  constexpr std::size_t kFlows = 64;
+  std::vector<std::uint8_t> stream =
+      net::encode_hello(net::Hello{1, 0});
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    core::Report report;
+    report.interval = static_cast<common::IntervalIndex>(f);
+    report.threshold = 100'000;
+    for (std::size_t i = 0; i < kFlows; ++i) {
+      core::ReportedFlow flow;
+      flow.key = packet::FlowKey::five_tuple(
+          0x0A000001 + static_cast<std::uint32_t>(i), 0x0A0000FF,
+          static_cast<std::uint16_t>(1000 + i), 443,
+          packet::IpProtocol::kTcp);
+      flow.estimated_bytes = 100'000 + 997 * i;
+      report.flows.push_back(flow);
+    }
+    const std::vector<std::uint8_t> frame = reporting::encode_framed(
+        report, packet::FlowKeyKind::kFiveTuple);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  net::FrameStreamParser parser;
+  NullEvents events;
+  for (auto _ : state) {
+    for (std::size_t pos = 0; pos < stream.size(); pos += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - pos);
+      parser.feed({stream.data() + pos, n}, events);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kFrames));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_FrameStream)->Arg(512)->Arg(64 * 1024);
 
 void BM_ZipfSampler(benchmark::State& state) {
   const trace::ZipfSampler sampler(100'000, 1.1);

@@ -1,0 +1,64 @@
+// Clock seam for components that sleep (retry backoff, reconnect
+// pacing): production code sleeps on the system clock, tests substitute
+// a FakeClock that only records the requested delays — so timing
+// behaviour (exponential backoff schedules, watchdog budgets) is
+// asserted exactly, with zero wall-clock cost and no flakiness under
+// sanitizers. The seam is deliberately tiny: sleeping is the only
+// operation the data path ever derives from time, so determinism never
+// depends on now().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace nd::common {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual void sleep_for(std::chrono::microseconds duration) = 0;
+};
+
+/// The real thing; a process-wide instance is enough since it carries
+/// no state.
+class SystemClock final : public Clock {
+ public:
+  void sleep_for(std::chrono::microseconds duration) override {
+    std::this_thread::sleep_for(duration);
+  }
+
+  static SystemClock& instance() {
+    static SystemClock clock;
+    return clock;
+  }
+};
+
+/// Test double: advances virtual time instantly and remembers every
+/// sleep, so a backoff test asserts the exact schedule (count and total)
+/// instead of measuring wall clock.
+class FakeClock final : public Clock {
+ public:
+  void sleep_for(std::chrono::microseconds duration) override {
+    elapsed_ += duration;
+    sleeps_.push_back(duration);
+  }
+
+  [[nodiscard]] std::chrono::microseconds elapsed() const {
+    return elapsed_;
+  }
+  [[nodiscard]] std::uint64_t sleep_count() const {
+    return sleeps_.size();
+  }
+  [[nodiscard]] const std::vector<std::chrono::microseconds>& sleeps()
+      const {
+    return sleeps_;
+  }
+
+ private:
+  std::chrono::microseconds elapsed_{0};
+  std::vector<std::chrono::microseconds> sleeps_;
+};
+
+}  // namespace nd::common

@@ -86,6 +86,36 @@ void sort_by_size(Report& report);
 /// it routes to.
 [[nodiscard]] common::ByteCount effective_threshold(const Report& report);
 
+/// The ShardStatus a non-adaptive merge derives for one member report:
+/// threshold carried forward unchanged, smoothed usage = instantaneous
+/// entries/capacity. ShardedDevice uses this for every healthy shard
+/// (its adaptor then overrides next_threshold/smoothed_usage); a fleet
+/// member (net::FleetMember) uses it to annotate the report it ships to
+/// a collector, so the two paths stay bit-identical by construction.
+[[nodiscard]] ShardStatus make_shard_status(const Report& report,
+                                            std::size_t capacity,
+                                            std::uint64_t packets,
+                                            common::ByteCount bytes);
+
+/// The bit-deterministic shard/fleet merge: combine per-member interval
+/// reports (each already annotated with its own ShardStatus entries, in
+/// member order) into one report — shards concatenated, flows
+/// concatenated in member order, threshold = max per-member status
+/// threshold, entries_used = sum. ShardedDevice::end_interval and the
+/// collector daemon's fleet-merge stage share this function, which is
+/// what makes a fleet of M devices merge bit-identically to one
+/// M-sharded device over the same partitioned traffic.
+[[nodiscard]] Report merge_member_reports(common::IntervalIndex interval,
+                                          std::span<const Report> members);
+
+/// The RSS-style flow->shard routing ShardedDevice uses, exposed so a
+/// measurement fleet can partition traffic across separate processes
+/// exactly as one sharded device would across replicas: splitmix the
+/// seeded-salted fingerprint, reduce to [0, shards).
+[[nodiscard]] std::uint32_t shard_route(std::uint64_t seed,
+                                        std::uint32_t shards,
+                                        std::uint64_t fingerprint);
+
 class MeasurementDevice {
  public:
   virtual ~MeasurementDevice() = default;

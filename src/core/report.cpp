@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hash/hash.hpp"
+
 namespace nd::core {
 
 void sort_by_size(Report& report) {
@@ -25,6 +27,56 @@ common::ByteCount effective_threshold(const Report& report) {
     max = std::max(max, shard.threshold);
   }
   return max;
+}
+
+ShardStatus make_shard_status(const Report& report, std::size_t capacity,
+                              std::uint64_t packets,
+                              common::ByteCount bytes) {
+  ShardStatus status;
+  status.threshold = report.threshold;
+  status.next_threshold = report.threshold;
+  status.entries_used = report.entries_used;
+  status.capacity = capacity;
+  status.smoothed_usage =
+      capacity == 0 ? 0.0
+                    : static_cast<double>(report.entries_used) /
+                          static_cast<double>(capacity);
+  status.packets = packets;
+  status.bytes = bytes;
+  return status;
+}
+
+Report merge_member_reports(common::IntervalIndex interval,
+                            std::span<const Report> members) {
+  Report merged;
+  merged.interval = interval;
+  std::size_t flows = 0;
+  std::size_t statuses = 0;
+  for (const Report& member : members) {
+    flows += member.flows.size();
+    statuses += member.shards.size();
+  }
+  merged.flows.reserve(flows);
+  merged.shards.reserve(statuses);
+  for (const Report& member : members) {
+    for (const ShardStatus& status : member.shards) {
+      merged.threshold = std::max(merged.threshold, status.threshold);
+      merged.entries_used += status.entries_used;
+      merged.shards.push_back(status);
+    }
+    merged.flows.insert(merged.flows.end(), member.flows.begin(),
+                        member.flows.end());
+  }
+  return merged;
+}
+
+std::uint32_t shard_route(std::uint64_t seed, std::uint32_t shards,
+                          std::uint64_t fingerprint) {
+  // splitmix the salted fingerprint so shard routing stays uncorrelated
+  // with the inner devices' stage hashes and flow-memory placement.
+  const std::uint64_t salt = hash::splitmix64(seed ^ 0x5AD0FF5E7ULL);
+  return static_cast<std::uint32_t>(hash::reduce_to_range(
+      hash::splitmix64(fingerprint ^ salt), shards));
 }
 
 }  // namespace nd::core

@@ -323,8 +323,12 @@ Report ShardedDevice::end_interval() {
       continue;
     }
     const Report& report = *slots[s];
-    status.threshold = report.threshold;
-    status.entries_used = report.entries_used;
+    // The healthy-shard status is exactly what a fleet member attaches
+    // to the report it ships to a collector (make_shard_status), so the
+    // in-process and over-the-wire merges agree bit for bit; adaptation
+    // then overrides the carried-forward threshold and usage.
+    status = make_shard_status(report, shard_capacity_[s],
+                               interval_packets_[s], interval_bytes_[s]);
     if (adaptive()) {
       const common::ByteCount previous = shards_[s]->threshold();
       const common::ByteCount next = adaptors_[s].update(
@@ -339,13 +343,6 @@ Report ShardedDevice::end_interval() {
       } else if (next < previous && tm_threshold_lowers_ != nullptr) {
         tm_threshold_lowers_->increment();
       }
-    } else {
-      status.next_threshold = status.threshold;
-      status.smoothed_usage =
-          status.capacity == 0
-              ? 0.0
-              : static_cast<double>(report.entries_used) /
-                    static_cast<double>(status.capacity);
     }
     last_thresholds_[s] = status.next_threshold;
     merged.threshold = std::max(merged.threshold, report.threshold);

@@ -1,0 +1,310 @@
+#include "net/collector.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "reporting/record_codec.hpp"
+
+namespace nd::net {
+
+/// One accepted device connection: its socket, its stream parser, and
+/// the device id its hello announced (none until then).
+struct Collector::Connection {
+  explicit Connection(Socket accepted) : socket(std::move(accepted)) {}
+  Socket socket;
+  FrameStreamParser parser;
+  bool saw_hello{false};
+  std::uint32_t device_id{0};
+};
+
+/// Routes one connection's parser events into the collector's shared
+/// state. Constructed on the stack per service() call; the loop thread
+/// already holds mutex_ while feeding the parser.
+class Collector::ConnectionEvents final : public FrameStreamParser::Events {
+ public:
+  ConnectionEvents(Collector& collector, Connection& conn)
+      : collector_(collector), conn_(conn) {}
+
+  void on_hello(const Hello& hello) override {
+    conn_.saw_hello = true;
+    conn_.device_id = hello.device_id;
+    ++collector_.stats_.hellos;
+    DeviceState& device = collector_.devices_[hello.device_id];
+    device.epoch = hello.epoch;
+    if (hello.epoch > 0) {
+      ++collector_.stats_.reconnects;
+      if (collector_.tm_reconnects_ != nullptr) {
+        collector_.tm_reconnects_->increment();
+      }
+    }
+  }
+
+  void on_bye(const Bye& bye) override {
+    ++collector_.stats_.byes;
+    collector_.devices_[bye.device_id].bye = true;
+  }
+
+  void on_report_frame(std::span<const std::uint8_t> payload) override {
+    ++collector_.stats_.frames_received;
+    if (collector_.tm_frames_ != nullptr) {
+      collector_.tm_frames_->increment();
+    }
+    if (!conn_.saw_hello) {
+      // A report with no owner cannot enter the merge; a well-behaved
+      // device always introduces itself first, so count and drop.
+      ++collector_.stats_.decode_errors;
+      if (collector_.tm_decode_errors_ != nullptr) {
+        collector_.tm_decode_errors_->increment();
+      }
+      return;
+    }
+    core::Report report;
+    try {
+      report = reporting::decode(payload);
+    } catch (const reporting::CodecError&) {
+      // The CRC passed but the payload is not a report: a sender-side
+      // corruption of the pre-framing bytes. Drop it; the device's
+      // retry loop re-sends the interval.
+      ++collector_.stats_.decode_errors;
+      if (collector_.tm_decode_errors_ != nullptr) {
+        collector_.tm_decode_errors_->increment();
+      }
+      return;
+    }
+    DeviceState& device = collector_.devices_[conn_.device_id];
+    const auto [it, inserted] =
+        device.reports.try_emplace(report.interval, std::move(report));
+    (void)it;
+    if (inserted) {
+      ++collector_.stats_.reports_ingested;
+      if (collector_.tm_reports_ != nullptr) {
+        collector_.tm_reports_->increment();
+      }
+    } else {
+      // A reconnecting device re-ships intervals it cannot prove
+      // arrived; first-copy-wins keeps the merge exactly-once.
+      ++collector_.stats_.duplicate_reports;
+      if (collector_.tm_duplicates_ != nullptr) {
+        collector_.tm_duplicates_->increment();
+      }
+    }
+  }
+
+  void on_resync(std::size_t bytes_skipped) override {
+    (void)bytes_skipped;
+    ++collector_.stats_.resyncs;
+    if (collector_.tm_resyncs_ != nullptr) {
+      collector_.tm_resyncs_->increment();
+    }
+  }
+
+ private:
+  Collector& collector_;
+  Connection& conn_;
+};
+
+Collector::Collector(const CollectorConfig& config) : config_(config) {
+  listener_ = tcp_listen(config_.port, &port_);
+  set_nonblocking(listener_.fd(), true);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw NetError("net: collector stop pipe");
+  }
+  stop_reader_ = Socket(pipe_fds[0]);
+  stop_writer_ = Socket(pipe_fds[1]);
+  if (config_.metrics != nullptr) {
+    telemetry::MetricsRegistry& registry = *config_.metrics;
+    const telemetry::Labels& labels = config_.metric_labels;
+    tm_connections_ =
+        &registry.counter("nd_net_connections_total", labels);
+    tm_frames_ = &registry.counter("nd_net_frames_total", labels);
+    tm_reports_ = &registry.counter("nd_net_reports_total", labels);
+    tm_duplicates_ =
+        &registry.counter("nd_net_duplicate_reports_total", labels);
+    tm_decode_errors_ =
+        &registry.counter("nd_net_decode_errors_total", labels);
+    tm_resyncs_ = &registry.counter("nd_net_resync_total", labels);
+    tm_reconnects_ =
+        &registry.counter("nd_net_reconnects_total", labels);
+    tm_merge_ns_ = &registry.histogram("nd_net_merge_ns", labels);
+  }
+}
+
+Collector::~Collector() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Collector::all_done_locked() const {
+  if (config_.expected_devices == 0) return false;
+  std::uint32_t done = 0;
+  for (const auto& [id, device] : devices_) {
+    if (device.bye) ++done;
+  }
+  return done >= config_.expected_devices;
+}
+
+void Collector::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN (drained) or transient failure
+    Socket accepted(fd);
+    set_nonblocking(accepted.fd(), true);
+    ++stats_.connections_accepted;
+    if (tm_connections_ != nullptr) tm_connections_->increment();
+    connections_.push_back(
+        std::make_unique<Connection>(std::move(accepted)));
+  }
+}
+
+bool Collector::service(Connection& conn) {
+  ConnectionEvents events(*this, conn);
+  std::array<std::uint8_t, 64 * 1024> buffer;
+  for (;;) {
+    const ssize_t n =
+        read_some(conn.socket.fd(), buffer.data(), buffer.size());
+    if (n > 0) {
+      stats_.bytes_received += static_cast<std::uint64_t>(n);
+      conn.parser.feed({buffer.data(), static_cast<std::size_t>(n)},
+                       events);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    // Orderly EOF or a hard error: either way the connection is done.
+    // A partial frame left in the parser is dropped — the device's
+    // channel never got a success for it and will re-send the whole
+    // interval on its next connection.
+    if (conn.parser.reset() > 0) ++stats_.partial_frames_dropped;
+    return false;
+  }
+}
+
+void Collector::close_connection(std::size_t index) {
+  ++stats_.connections_closed;
+  connections_.erase(connections_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+}
+
+bool Collector::run() {
+  const bool bounded = config_.timeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + config_.timeout;
+  std::vector<pollfd> fds;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (all_done_locked()) return true;
+      if (stop_requested_) return false;
+    }
+    int timeout_ms = -1;
+    if (bounded) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return false;
+      timeout_ms = static_cast<int>(remaining.count());
+    }
+
+    fds.clear();
+    fds.push_back(pollfd{stop_reader_.fd(), POLLIN, 0});
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& conn : connections_) {
+        fds.push_back(pollfd{conn->socket.fd(), POLLIN, 0});
+      }
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("net: collector poll failed");
+    }
+    if (ready == 0) continue;  // deadline re-checked at loop top
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      std::array<std::uint8_t, 64> drain;
+      (void)read_some(stop_reader_.fd(), drain.data(), drain.size());
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_requested_ = true;
+      continue;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if ((fds[1].revents & POLLIN) != 0) accept_ready();
+    // fds[2 + i] mirrors connections_[i]; service back-to-front so
+    // close_connection's erase never shifts an index still to visit.
+    const std::size_t watched = fds.size() - 2;
+    for (std::size_t i = watched; i-- > 0;) {
+      if (i >= connections_.size()) continue;
+      const short revents = fds[2 + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (!service(*connections_[i])) close_connection(i);
+    }
+  }
+}
+
+void Collector::start() {
+  thread_ = std::thread([this] { thread_result_ = run(); });
+}
+
+void Collector::stop() {
+  const std::uint8_t byte = 1;
+  (void)::write(stop_writer_.fd(), &byte, 1);
+}
+
+bool Collector::wait() {
+  if (thread_.joinable()) thread_.join();
+  return thread_result_;
+}
+
+std::vector<core::Report> Collector::merged_reports() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Every interval any device reported, ascending.
+  std::vector<common::IntervalIndex> intervals;
+  for (const auto& [id, device] : devices_) {
+    for (const auto& [interval, report] : device.reports) {
+      intervals.push_back(interval);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  intervals.erase(std::unique(intervals.begin(), intervals.end()),
+                  intervals.end());
+
+  std::vector<core::Report> merged;
+  merged.reserve(intervals.size());
+  for (const common::IntervalIndex interval : intervals) {
+    // Member order is ascending device id (std::map iteration), the
+    // fleet analogue of ShardedDevice's merge-in-shard-order.
+    std::vector<core::Report> members;
+    for (const auto& [id, device] : devices_) {
+      const auto it = device.reports.find(interval);
+      if (it != device.reports.end()) members.push_back(it->second);
+    }
+    const telemetry::ScopedTimer timer(tm_merge_ns_);
+    merged.push_back(core::merge_member_reports(interval, members));
+  }
+  return merged;
+}
+
+CollectorStats Collector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint32_t Collector::devices_done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t done = 0;
+  for (const auto& [id, device] : devices_) {
+    if (device.bye) ++done;
+  }
+  return done;
+}
+
+}  // namespace nd::net

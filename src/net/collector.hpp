@@ -1,0 +1,159 @@
+// The collector daemon: the management station end of the paper's
+// router -> collection link (Section 5.2), as a real TCP server.
+//
+// One poll()-driven thread owns a loopback listener and every accepted
+// device connection. Each connection runs a FrameStreamParser, so a
+// corrupted frame costs one resync — never the stream, never the
+// process. Per-device state is keyed by the hello frame's device id:
+// reconnect epochs are tracked (a device that dials again after a
+// mid-interval disconnect bumps its epoch and re-sends the interval it
+// lost), duplicate interval reports deduplicate first-copy-wins, and a
+// bye frame marks the device's capture complete.
+//
+// The fleet-merge stage is core::merge_member_reports — the exact
+// function ShardedDevice::end_interval merges with — applied per
+// interval over the member reports in ascending device-id order. That
+// shared code path is the collapse-the-distributed-system guarantee the
+// loopback suite enforces: M devices over TCP merge bit-identically to
+// one M-sharded device in process.
+//
+// Lifecycle: construct (binds and listens; port() reports the bound
+// port so tests and the CLI can use an ephemeral one), then either
+// run() on the current thread or start()/stop() with a background
+// thread. run() returns true when every expected device said bye,
+// false on stop() or timeout — the CLI maps that to its
+// transport-failure exit code.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/device.hpp"
+#include "net/frame_stream.hpp"
+#include "net/socket.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace nd::net {
+
+struct CollectorConfig {
+  /// Listen port on 127.0.0.1; 0 asks the kernel for an ephemeral port
+  /// (read it back via port()).
+  std::uint16_t port{0};
+  /// Devices that must say bye before run() declares the collection
+  /// complete. 0 means run until stop() or timeout.
+  std::uint32_t expected_devices{0};
+  /// Give up after this long (run() returns false); 0 waits forever.
+  std::chrono::milliseconds timeout{0};
+  /// Optional telemetry registry (not owned); labels tag every series.
+  telemetry::MetricsRegistry* metrics{nullptr};
+  telemetry::Labels metric_labels{};
+};
+
+struct CollectorStats {
+  std::uint64_t connections_accepted{0};
+  std::uint64_t connections_closed{0};
+  std::uint64_t hellos{0};
+  /// Hellos with epoch > 0: a device resuming after a lost connection.
+  std::uint64_t reconnects{0};
+  std::uint64_t byes{0};
+  std::uint64_t bytes_received{0};
+  /// CRC-verified NDFR frames delivered by the stream parsers.
+  std::uint64_t frames_received{0};
+  std::uint64_t reports_ingested{0};
+  /// Re-sent intervals discarded first-copy-wins (the disconnect /
+  /// reconnect path re-ships whole intervals; dedup keeps the merge
+  /// exactly-once).
+  std::uint64_t duplicate_reports{0};
+  /// Frames that passed the CRC but whose payload failed the report
+  /// codec, and report frames from a connection that never said hello.
+  std::uint64_t decode_errors{0};
+  /// Stream-parser resyncs past malformed bytes.
+  std::uint64_t resyncs{0};
+  /// Connections that closed holding an incomplete frame.
+  std::uint64_t partial_frames_dropped{0};
+};
+
+class Collector {
+ public:
+  /// Binds and listens immediately; throws NetError when the port is
+  /// taken.
+  explicit Collector(const CollectorConfig& config);
+  /// stop()s and joins a background thread if one is still running.
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// The actually-bound listen port.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Event loop on the calling thread. Returns true when every
+  /// expected device said bye; false on stop() or timeout.
+  bool run();
+
+  /// run() on a background thread / signal it to exit. wait() joins and
+  /// returns run()'s result.
+  void start();
+  void stop();
+  bool wait();
+
+  /// Per-interval fleet merge over everything ingested so far: for each
+  /// interval, member reports in ascending device-id order through
+  /// core::merge_member_reports. Ascending interval order. Safe to call
+  /// while the loop runs (snapshot under lock), but the intended use is
+  /// after run() returns.
+  [[nodiscard]] std::vector<core::Report> merged_reports() const;
+
+  [[nodiscard]] CollectorStats stats() const;
+  /// Devices that have said bye.
+  [[nodiscard]] std::uint32_t devices_done() const;
+
+ private:
+  struct Connection;
+  class ConnectionEvents;
+
+  void accept_ready();
+  /// Drain one readable connection; returns false when it closed.
+  bool service(Connection& conn);
+  void close_connection(std::size_t index);
+  [[nodiscard]] bool all_done_locked() const;
+
+  CollectorConfig config_;
+  Socket listener_;
+  std::uint16_t port_{0};
+  /// Self-pipe: stop() writes a byte, the poll loop wakes and exits.
+  Socket stop_reader_;
+  Socket stop_writer_;
+
+  struct DeviceState {
+    std::uint32_t epoch{0};
+    bool bye{false};
+    /// First-copy-wins interval reports.
+    std::map<common::IntervalIndex, core::Report> reports;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<std::uint32_t, DeviceState> devices_;
+  CollectorStats stats_;
+  bool stop_requested_{false};
+
+  std::thread thread_;
+  bool thread_result_{false};
+
+  telemetry::Counter* tm_connections_{nullptr};
+  telemetry::Counter* tm_frames_{nullptr};
+  telemetry::Counter* tm_reports_{nullptr};
+  telemetry::Counter* tm_duplicates_{nullptr};
+  telemetry::Counter* tm_decode_errors_{nullptr};
+  telemetry::Counter* tm_resyncs_{nullptr};
+  telemetry::Counter* tm_reconnects_{nullptr};
+  telemetry::Histogram* tm_merge_ns_{nullptr};
+};
+
+}  // namespace nd::net

@@ -1,0 +1,93 @@
+// FleetMember: one process's slice of a measurement fleet.
+//
+// A fleet of M separate devices reproduces one M-sharded device
+// (core::ShardedDevice) over the wire: every member applies the same
+// seeded flow->member routing (core::shard_route — identical math to
+// ShardedDevice::shard_of), runs an inner replica built from the same
+// factory and per-member seed (core::shard_seed), and annotates each
+// interval report with the same ShardStatus a healthy in-process shard
+// would carry (core::make_shard_status). The collector daemon then
+// merges member reports in member order with core::merge_member_reports
+// — the function ShardedDevice::end_interval itself uses — so the
+// fleet's merged report is bit-identical to the single-process merge by
+// construction, not by coincidence. The loopback integration suite
+// (tests/net/loopback_fleet_test.cpp) holds this equality, including
+// across injected disconnect/reconnect faults.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/sharded_device.hpp"
+#include "packet/classified_packet.hpp"
+
+namespace nd::net {
+
+class FleetMember {
+ public:
+  /// `member` in [0, fleet_size); `device` is the inner replica, built
+  /// by the caller from factory(member, core::shard_seed(seed, member))
+  /// — the exact arguments ShardedDevice hands its factory for shard
+  /// `member`.
+  FleetMember(std::uint32_t member, std::uint32_t fleet_size,
+              std::uint64_t seed,
+              std::unique_ptr<core::MeasurementDevice> device)
+      : member_(member),
+        fleet_size_(fleet_size),
+        seed_(seed),
+        device_(std::move(device)),
+        capacity_(device_->flow_memory_capacity()) {}
+
+  /// Whether this member's slice of the flow space owns `fingerprint`.
+  [[nodiscard]] bool owns(std::uint64_t fingerprint) const {
+    return core::shard_route(seed_, fleet_size_, fingerprint) == member_;
+  }
+
+  /// Feed the full packet stream; the member keeps only its own flows,
+  /// in arrival order — exactly the sub-batch ShardedDevice would have
+  /// partitioned out for shard `member`.
+  void observe_batch(std::span<const packet::ClassifiedPacket> batch) {
+    owned_.clear();
+    for (const packet::ClassifiedPacket& packet : batch) {
+      if (!owns(packet.fingerprint)) continue;
+      ++interval_packets_;
+      interval_bytes_ += packet.bytes;
+      owned_.push_back(packet);
+    }
+    device_->observe_batch(owned_);
+  }
+
+  /// Close the interval and annotate the report with this member's
+  /// ShardStatus — the report is ready to frame and ship.
+  [[nodiscard]] core::Report end_interval() {
+    core::Report report = device_->end_interval();
+    report.shards.assign(
+        1, core::make_shard_status(report, capacity_, interval_packets_,
+                                   interval_bytes_));
+    interval_packets_ = 0;
+    interval_bytes_ = 0;
+    return report;
+  }
+
+  [[nodiscard]] std::uint32_t member() const { return member_; }
+  [[nodiscard]] const core::MeasurementDevice& device() const {
+    return *device_;
+  }
+
+ private:
+  std::uint32_t member_;
+  std::uint32_t fleet_size_;
+  std::uint64_t seed_;
+  std::unique_ptr<core::MeasurementDevice> device_;
+  std::size_t capacity_;
+  std::uint64_t interval_packets_{0};
+  common::ByteCount interval_bytes_{0};
+  /// This member's sub-batch, reused across observe_batch calls.
+  std::vector<packet::ClassifiedPacket> owned_;
+};
+
+}  // namespace nd::net

@@ -1,0 +1,93 @@
+// The collection tier's stream protocol: length-delimited NDFR report
+// frames (reporting/record_codec.hpp) interleaved with two fixed-size
+// control frames on one TCP byte stream.
+//
+//   hello 'NDHI' (u32) | device id (u32) | reconnect epoch (u32) | 0 (u32)
+//   bye   'NDBY' (u32) | device id (u32) | intervals sent (u32)   | 0 (u32)
+//   data  'NDFR' (u32) | payload length (u32) | CRC32 (u32) | payload
+//
+// A device sends hello first on every (re)connection — the epoch counts
+// reconnects, so the collector can tell a resumed device from a new
+// one — ships one framed v3 report per interval, and says bye when its
+// capture ends. Everything is big-endian, matching the report codec.
+//
+// FrameStreamParser is the collector's incremental decoder: feed() it
+// whatever read() returned and it emits whole, CRC-verified events.
+// Its central obligation is the resync rule the chaos suite enforces:
+// any malformed bytes — bad magic, an absurd length prefix, a CRC
+// mismatch — are skipped to the next plausible frame boundary (the
+// next 'ND..' magic) and counted, never crashed on and never allowed
+// to desynchronize the frames that follow. That is what lets a
+// collector survive a corrupted frame in the middle of a live stream
+// and keep ingesting the rest, NetFlow's "loss rates of up to 90%"
+// problem answered with per-frame damage instead of per-stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nd::net {
+
+inline constexpr std::uint32_t kHelloMagic = 0x4E444849;  // "NDHI"
+inline constexpr std::uint32_t kByeMagic = 0x4E444259;    // "NDBY"
+inline constexpr std::size_t kControlFrameBytes = 16;
+/// Allocation bound on a report frame's payload: a length prefix above
+/// this is treated as corruption (resync), not as a 4 GB allocation.
+inline constexpr std::size_t kMaxFramePayloadBytes = 1ULL << 26;
+
+struct Hello {
+  std::uint32_t device_id{0};
+  /// 0 on the device's first connection, +1 per reconnect.
+  std::uint32_t epoch{0};
+};
+
+struct Bye {
+  std::uint32_t device_id{0};
+  /// Intervals the device closed over its lifetime (all epochs).
+  std::uint32_t intervals{0};
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const Hello& hello);
+[[nodiscard]] std::vector<std::uint8_t> encode_bye(const Bye& bye);
+
+class FrameStreamParser {
+ public:
+  /// Event sink for one connection's stream. on_report_frame hands over
+  /// the CRC-verified NDFR payload (a view into the parser's buffer,
+  /// valid only during the call); decoding it is the caller's business.
+  class Events {
+   public:
+    virtual ~Events() = default;
+    virtual void on_hello(const Hello& hello) = 0;
+    virtual void on_bye(const Bye& bye) = 0;
+    virtual void on_report_frame(std::span<const std::uint8_t> payload) = 0;
+    /// Malformed bytes were skipped to the next plausible frame
+    /// boundary. Fires once per resync decision.
+    virtual void on_resync(std::size_t bytes_skipped) = 0;
+  };
+
+  explicit FrameStreamParser(
+      std::size_t max_payload = kMaxFramePayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Consume a chunk of the byte stream, emitting every complete frame.
+  void feed(std::span<const std::uint8_t> bytes, Events& events);
+
+  /// Drop any buffered partial frame (connection closed mid-frame; the
+  /// device re-sends the whole report on its next connection). Returns
+  /// the bytes discarded.
+  std::size_t reset();
+
+  /// Bytes held waiting for the rest of a frame.
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  /// Skip past the malformed prefix to the next candidate magic.
+  std::size_t resync_skip() const;
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace nd::net

@@ -1,0 +1,119 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace nd::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_listen(std::uint16_t port, std::uint16_t* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("net: socket");
+  const int one = 1;
+  // Listener restarts (tests, daemon respawns) must not trip
+  // TIME_WAIT; data correctness never depends on the port's history.
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("net: bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) throw_errno("net: listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      throw_errno("net: getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("net: not a numeric IPv4 address: " + host);
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("net: socket");
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Socket();  // retryable: the caller's backoff policy decides
+  }
+  const int one = 1;
+  // Reports are interval-granularity and framed whole; Nagle only adds
+  // latency between a frame's header and body writes.
+  (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+  return sock;
+}
+
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("net: socketpair");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+bool write_all(int fd, std::span<const std::uint8_t> bytes,
+               std::size_t max_chunk) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    std::size_t len = bytes.size() - off;
+    if (max_chunk != 0 && len > max_chunk) len = max_chunk;
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t read_some(int fd, std::uint8_t* buffer, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, len);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("net: fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) throw_errno("net: fcntl(F_SETFL)");
+}
+
+}  // namespace nd::net

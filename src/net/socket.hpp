@@ -1,0 +1,92 @@
+// Thin POSIX socket layer for the collection tier: an RAII fd, loopback
+// TCP listen/connect, a socketpair seam for transport tests, and the
+// write-exactly loop every sender needs (partial writes and EINTR are
+// normal TCP behaviour, not errors — the fault injector exercises both
+// on purpose via the "net.short_write" site).
+//
+// Scope is deliberately small: the collector daemon and TcpTransport
+// are the only consumers, both speak IPv4 (numeric addresses, loopback
+// in every test), and everything above this file deals in whole NDFR
+// frames — so no buffering, no readiness abstraction, no address
+// resolution beyond inet_pton lives here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <sys/types.h>
+#include <utility>
+
+namespace nd::net {
+
+/// Socket-layer failures (bind/listen/connect/accept); message carries
+/// errno text. Frame-level corruption is NOT an error at this layer —
+/// the stream parser resyncs instead.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Move-only RAII file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_{-1};
+};
+
+/// Bind and listen on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+/// port — the test harness's default, so suites never collide). The
+/// actually-bound port is written to `bound_port`. Throws NetError.
+[[nodiscard]] Socket tcp_listen(std::uint16_t port,
+                                std::uint16_t* bound_port = nullptr);
+
+/// Blocking connect to a numeric IPv4 `host`:`port`. Throws NetError on
+/// a malformed address; returns an invalid Socket when the connect
+/// itself fails (refused, unreachable) — that is the retryable case the
+/// caller's backoff policy owns.
+[[nodiscard]] Socket tcp_connect(const std::string& host,
+                                 std::uint16_t port);
+
+/// A connected AF_UNIX pair: the deterministic socket seam transport
+/// tests use instead of a live listener. Throws NetError.
+[[nodiscard]] std::pair<Socket, Socket> socket_pair();
+
+/// Write all of `bytes`, looping over partial writes and EINTR, with
+/// SIGPIPE suppressed (a peer reset must surface as a return value, not
+/// a signal). Returns false on any hard error. `max_chunk` caps each
+/// underlying send() — the "net.short_write" fault site shrinks it to
+/// force the partial-write path; 0 means unbounded.
+[[nodiscard]] bool write_all(int fd, std::span<const std::uint8_t> bytes,
+                             std::size_t max_chunk = 0);
+
+/// One read() of up to `len` bytes, retrying EINTR. Returns bytes read,
+/// 0 on orderly EOF, -1 on error or would-block.
+[[nodiscard]] ssize_t read_some(int fd, std::uint8_t* buffer,
+                                std::size_t len);
+
+/// Toggle O_NONBLOCK (the collector's event loop runs every accepted
+/// connection non-blocking). Throws NetError.
+void set_nonblocking(int fd, bool on);
+
+}  // namespace nd::net

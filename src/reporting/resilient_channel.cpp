@@ -1,7 +1,6 @@
 #include "reporting/resilient_channel.hpp"
 
 #include <algorithm>
-#include <thread>
 #include <utility>
 
 namespace nd::reporting {
@@ -19,6 +18,8 @@ ResilientChannel::ResilientChannel(const ResilientChannelConfig& config)
         &registry.counter("nd_channel_corruptions_total", labels);
     tm_reorders_ = &registry.counter("nd_channel_reorders_total", labels);
     tm_abandoned_ = &registry.counter("nd_channel_abandoned_total", labels);
+    tm_transport_failures_ =
+        &registry.counter("nd_channel_transport_failures_total", labels);
   }
 }
 
@@ -28,7 +29,10 @@ void ResilientChannel::backoff(std::uint32_t retry_index) {
   ++stats_.retries;
   if (tm_retries_ != nullptr) tm_retries_->increment();
   if (config_.sleep_on_backoff) {
-    std::this_thread::sleep_for(delay);
+    common::Clock& clock = config_.clock != nullptr
+                               ? *config_.clock
+                               : common::SystemClock::instance();
+    clock.sleep_for(delay);
   }
 }
 
@@ -68,6 +72,27 @@ DeliveryOutcome ResilientChannel::send(const core::Report& report,
       if (const auto fault = config_.faults->next("channel.corrupt")) {
         robustness::corrupt_bytes(frame, fault->salt);
       }
+    }
+    if (config_.transport != nullptr) {
+      // Real wire: the frame leaves this host and CRC verification
+      // happens at the remote collector (which resyncs past a corrupted
+      // frame instead of crashing). The only failure visible here is
+      // the transport refusing the frame — retried like a drop.
+      if (!config_.transport->send_frame(frame)) {
+        ++stats_.transport_failures;
+        if (tm_transport_failures_ != nullptr) {
+          tm_transport_failures_->increment();
+        }
+        backoff(attempt);
+        continue;
+      }
+      outcome.delivered = true;
+      outcome.records_delivered = delivered.report.flows.size();
+      outcome.records_shed =
+          ordered.flows.size() - delivered.report.flows.size();
+      outcome.metrics_delivered = delivered.metrics_delivered;
+      stats_.records_shed += outcome.records_shed;
+      return outcome;
     }
     core::Report arrived;
     try {

@@ -28,15 +28,32 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "core/device.hpp"
 #include "reporting/collector.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace nd::reporting {
+
+/// The wire under ResilientChannel. The default (null) transport is the
+/// in-process loopback this class always had: the frame is decoded
+/// locally into received(). A real transport (net::TcpTransport) ships
+/// the frame bytes to a collector daemon instead; send_frame returning
+/// false means the frame did not leave this host intact (connect
+/// refused, connection lost mid-frame) and the channel's retry/backoff
+/// policy decides what happens next. Implementations own reconnecting —
+/// the channel only retries whole frames.
+class FrameTransport {
+ public:
+  virtual ~FrameTransport() = default;
+  [[nodiscard]] virtual bool send_frame(
+      std::span<const std::uint8_t> frame) = 0;
+};
 
 struct ResilientChannelConfig {
   /// Underlying CollectionChannel byte budget per interval.
@@ -49,6 +66,17 @@ struct ResilientChannelConfig {
   /// (tests and simulations, the default — determinism stays intact
   /// either way since the backoff never influences the data path).
   bool sleep_on_backoff{false};
+  /// Clock the backoff sleeps on (only consulted when sleep_on_backoff
+  /// is set). Null uses the system clock; tests substitute a
+  /// common::FakeClock so backoff schedules are asserted exactly with
+  /// zero wall-clock cost. Not owned.
+  common::Clock* clock{nullptr};
+  /// Ship frames over this wire instead of the in-process loopback.
+  /// With a transport attached, received() stays empty — reception is
+  /// the remote collector's business — and the "channel.reorder" fault
+  /// site is inert (TCP preserves order within a connection). Not
+  /// owned; must outlive the channel.
+  FrameTransport* transport{nullptr};
   /// Fault hook for the transit sites "channel.drop" (report lost),
   /// "channel.corrupt" (payload bit flip), "channel.reorder" (frame
   /// delayed past its successor). Not owned; null is zero-cost.
@@ -67,6 +95,10 @@ struct ResilientChannelStats {
   /// Frames rejected by the CRC check (and retried).
   std::uint64_t corruptions_detected{0};
   std::uint64_t reorders{0};
+  /// Frames the attached FrameTransport failed to put on the wire
+  /// (connect refused, connection lost mid-frame) — each one retried
+  /// like a drop. Always 0 for the in-process loopback.
+  std::uint64_t transport_failures{0};
   /// Records truncated by the byte budget (smallest flows, by
   /// construction — see largest-first shedding above).
   std::uint64_t records_shed{0};
@@ -130,6 +162,7 @@ class ResilientChannel {
   telemetry::Counter* tm_corruptions_{nullptr};
   telemetry::Counter* tm_reorders_{nullptr};
   telemetry::Counter* tm_abandoned_{nullptr};
+  telemetry::Counter* tm_transport_failures_{nullptr};
 };
 
 }  // namespace nd::reporting

@@ -28,6 +28,9 @@
 //   channel.reorder reporting::ResilientChannel — frame delivered late
 //   pcap.truncate   pcap::PcapReader — captured bytes truncated
 //   pcap.corrupt    pcap::PcapReader — captured byte flipped
+//   net.connect     net::TcpTransport — one connect attempt refused
+//   net.disconnect  net::TcpTransport — connection dropped mid-frame
+//   net.short_write net::TcpTransport — sends shrunk to tiny chunks
 #pragma once
 
 #include <chrono>

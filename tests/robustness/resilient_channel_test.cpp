@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "../support/report_testing.hpp"
+#include "common/clock.hpp"
 #include "core/device.hpp"
 #include "packet/flow_key.hpp"
 #include "reporting/record_codec.hpp"
@@ -116,6 +117,72 @@ TEST(ResilientChannel, PersistentDropIsAbandonedWithFullAccounting) {
   EXPECT_EQ(stats.reports_abandoned, 1u);
   // Exponential: 100 * (1 + 2 + 4).
   EXPECT_EQ(stats.backoff_us, 700u);
+  EXPECT_TRUE(channel.received().empty());
+}
+
+TEST(ResilientChannel, BackoffSleepsOnTheInjectedClockExactly) {
+  // The clock seam: with sleep_on_backoff set and a FakeClock attached,
+  // the retry loop's exponential schedule is asserted sleep by sleep —
+  // no wall-clock cost, no flakiness under sanitizers.
+  robustness::FaultSpec spec;
+  spec.kind = robustness::FaultKind::kDrop;
+  spec.probability = 1.0;
+  robustness::FaultInjector faults(
+      robustness::FaultPlan(5).inject("channel.drop", spec));
+  common::FakeClock clock;
+  ResilientChannelConfig config;
+  config.faults = &faults;
+  config.max_attempts = 4;
+  config.backoff_base = std::chrono::microseconds(1000);
+  config.sleep_on_backoff = true;
+  config.clock = &clock;
+  ResilientChannel channel(config);
+
+  EXPECT_FALSE(channel.send(make_report(0, 2)).delivered);
+  ASSERT_EQ(clock.sleep_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(clock.sleeps()[i],
+              std::chrono::microseconds(1000) * (1 << i))
+        << "retry " << i;
+  }
+  // 1 + 2 + 4 + 8 milliseconds, and the recorded stat agrees.
+  EXPECT_EQ(clock.elapsed(), std::chrono::microseconds(15'000));
+  EXPECT_EQ(channel.stats().backoff_us, 15'000u);
+}
+
+TEST(ResilientChannel, TransportFailuresRetryOnTheSameBackoffPath) {
+  // A transport that always refuses the frame: every attempt lands in
+  // transport_failures (not drops), the backoff schedule is identical
+  // to the drop path, and nothing ever reaches received() — reception
+  // belongs to the remote collector in transport mode.
+  class RefusingTransport final : public FrameTransport {
+   public:
+    bool send_frame(std::span<const std::uint8_t>) override {
+      ++calls;
+      return false;
+    }
+    std::uint64_t calls{0};
+  };
+  RefusingTransport transport;
+  common::FakeClock clock;
+  ResilientChannelConfig config;
+  config.max_attempts = 3;
+  config.backoff_base = std::chrono::microseconds(200);
+  config.sleep_on_backoff = true;
+  config.clock = &clock;
+  config.transport = &transport;
+  ResilientChannel channel(config);
+
+  const DeliveryOutcome outcome = channel.send(make_report(0, 3));
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(transport.calls, 3u);
+  const ResilientChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.transport_failures, 3u);
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(stats.reports_abandoned, 1u);
+  ASSERT_EQ(clock.sleep_count(), 3u);
+  EXPECT_EQ(clock.elapsed(), std::chrono::microseconds(200 * 7));
   EXPECT_TRUE(channel.received().empty());
 }
 

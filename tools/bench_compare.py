@@ -65,6 +65,12 @@ def main():
              "(default: the batched-device, sharded and SIMD-kernel "
              "series)")
     parser.add_argument(
+        "--ignore",
+        default=r"^BM_FrameStream",
+        help="regex of benchmark names excluded from comparison "
+             "entirely (default: series with no committed baseline "
+             "yet); empty string disables")
+    parser.add_argument(
         "--threshold", type=float, default=5.0,
         help="max tolerated regression in percent (default 5)")
     parser.add_argument(
@@ -76,10 +82,14 @@ def main():
     baseline = load_benchmarks(args.baseline)
     candidate = load_benchmarks(args.candidate)
     gate = re.compile(args.filter)
+    ignore = re.compile(args.ignore) if args.ignore else None
 
     failures = []
     rows = []
     for name in sorted(set(baseline) | set(candidate)):
+        if ignore is not None and ignore.search(name):
+            rows.append((name, "ignored (no baseline committed)", ""))
+            continue
         if name not in baseline or name not in candidate:
             side = "baseline" if name in baseline else "candidate"
             rows.append((name, f"only in {side}", ""))

@@ -44,9 +44,33 @@
 //       family is picked automatically per CPU — override with
 //       ND_SIMD=scalar|neon|avx2 in the environment.
 //
+//       --connect HOST:PORT ships every interval report to a collector
+//       daemon (see `ndtm collect`) through the resilient channel over
+//       a real TCP transport: retries with exponential backoff on
+//       connect failures and mid-frame disconnects, announces itself
+//       with --device-id (default 0), and says bye when the capture
+//       ends. --net-attempts bounds delivery attempts per report,
+//       --net-backoff-us sets the base backoff, --net-budget the
+//       per-interval byte budget. The net.* fault sites (connect,
+//       disconnect, short_write) apply when a --fault-plan names them.
+//
 //       Exit codes: 0 success, 1 file/IO error, 2 bad arguments,
 //       3 decode error (malformed pcap or report), 4 runtime fault
-//       (injected fault or shard failure).
+//       (injected fault or shard failure), 5 transport failure (a
+//       report abandoned after --net-attempts, or the final bye
+//       undeliverable).
+//
+//   ndtm collect --listen PORT --devices N [--export merged.bin]
+//                [--timeout-ms N] [--port-file path] [--metrics[=path]]
+//       The management-station end: accept device connections on
+//       127.0.0.1:PORT (0 = ephemeral; --port-file writes the bound
+//       port for harnesses), ingest framed reports with per-device
+//       sequence/reconnect tracking and first-copy-wins dedup, and
+//       when all N devices have said bye, fleet-merge each interval in
+//       device-id order — the same bit-deterministic merge a sharded
+//       device uses — printing a summary and optionally exporting the
+//       merged reports. Exit codes: 0 all devices completed, 1 IO
+//       error, 2 bad arguments, 5 timed out (or stopped) first.
 //
 //   ndtm bounds --threshold 1000000 --capacity 100000000
 //                --oversampling 20 --buckets 1000 --depth 4
@@ -75,9 +99,12 @@
 #include "core/sample_and_hold.hpp"
 #include "core/sharded_device.hpp"
 #include "eval/metrics.hpp"
+#include "net/collector.hpp"
+#include "net/transport.hpp"
 #include "packet/flow_definition.hpp"
 #include "pcap/pcap.hpp"
 #include "reporting/record_codec.hpp"
+#include "reporting/resilient_channel.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
@@ -388,6 +415,44 @@ int cmd_measure(const Args& args) {
     }
   }
 
+  // --connect HOST:PORT: ship every interval report to a collector
+  // daemon through the resilient channel over a real TCP transport. The
+  // channel keeps its retry/backoff/shed policy; the transport owns the
+  // socket and reconnects (with a bumped epoch) after any disconnect.
+  const std::string connect = args.get("connect", "");
+  std::unique_ptr<net::TcpTransport> transport;
+  std::unique_ptr<reporting::ResilientChannel> channel;
+  std::uint64_t net_reports_abandoned = 0;
+  if (!connect.empty()) {
+    const auto colon = connect.rfind(':');
+    if (colon == std::string::npos || colon + 1 == connect.size()) {
+      std::fprintf(stderr, "measure: --connect expects HOST:PORT\n");
+      return 2;
+    }
+    net::TcpTransportConfig transport_config;
+    transport_config.host = connect.substr(0, colon);
+    transport_config.port = static_cast<std::uint16_t>(
+        std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+    transport_config.device_id =
+        static_cast<std::uint32_t>(args.get_u64("device-id", 0));
+    transport_config.faults = faults.get();
+    transport_config.metrics = metrics;
+    transport = std::make_unique<net::TcpTransport>(transport_config);
+    reporting::ResilientChannelConfig channel_config;
+    channel_config.bytes_per_interval =
+        args.get_u64("net-budget", 1ULL << 22);
+    channel_config.max_attempts =
+        static_cast<std::uint32_t>(args.get_u64("net-attempts", 4));
+    channel_config.backoff_base =
+        std::chrono::microseconds(args.get_u64("net-backoff-us", 1000));
+    channel_config.sleep_on_backoff = true;
+    channel_config.transport = transport.get();
+    channel_config.faults = faults.get();
+    channel_config.metrics = metrics;
+    channel =
+        std::make_unique<reporting::ResilientChannel>(channel_config);
+  }
+
   auto handle_reports = [&](std::vector<core::Report> reports) {
     for (auto& report : reports) {
       core::sort_by_size(report);
@@ -440,6 +505,22 @@ int cmd_measure(const Args& args) {
         export_stream.write(
             reinterpret_cast<const char*>(encoded.data()),
             static_cast<std::streamsize>(encoded.size()));
+      }
+      if (channel) {
+        // The collector merges member ShardStatus entries; an unsharded
+        // device ships one synthesized status (exactly what a fleet
+        // member attaches) so thresholds and occupancy survive the
+        // merge. Sharded reports already carry theirs.
+        core::Report shipped = report;
+        if (shipped.shards.empty()) {
+          shipped.shards.assign(
+              1, core::make_shard_status(
+                     shipped, session.device().flow_memory_capacity(),
+                     0, 0));
+        }
+        const reporting::DeliveryOutcome outcome =
+            channel->send(shipped, metrics_line);
+        if (!outcome.delivered) ++net_reports_abandoned;
       }
     }
   };
@@ -513,6 +594,131 @@ int cmd_measure(const Args& args) {
       static_cast<unsigned long long>(session.packets_observed()),
       static_cast<unsigned long long>(session.packets_unclassified()),
       session.intervals_closed());
+  if (channel) {
+    const bool bye_ok = transport->send_bye(session.intervals_closed());
+    const net::TcpTransportStats& tstats = transport->stats();
+    const reporting::ResilientChannelStats& cstats = channel->stats();
+    std::printf(
+        "transport: %llu connects (%llu refused), %llu frames, %llu "
+        "disconnects, %llu reports abandoned\n",
+        static_cast<unsigned long long>(tstats.connects),
+        static_cast<unsigned long long>(tstats.connect_failures),
+        static_cast<unsigned long long>(tstats.frames_sent),
+        static_cast<unsigned long long>(tstats.disconnects),
+        static_cast<unsigned long long>(cstats.reports_abandoned));
+    if (net_reports_abandoned > 0 || !bye_ok) {
+      std::fprintf(stderr,
+                   "measure: transport failure after retries exhausted "
+                   "(%llu reports undelivered%s)\n",
+                   static_cast<unsigned long long>(net_reports_abandoned),
+                   bye_ok ? "" : ", bye undeliverable");
+      return 5;
+    }
+  }
+  return 0;
+}
+
+int cmd_collect(const Args& args) {
+  net::CollectorConfig config;
+  config.port = static_cast<std::uint16_t>(args.get_u64("listen", 0));
+  config.expected_devices =
+      static_cast<std::uint32_t>(args.get_u64("devices", 1));
+  config.timeout =
+      std::chrono::milliseconds(args.get_u64("timeout-ms", 0));
+  if (config.expected_devices == 0 && config.timeout.count() == 0) {
+    std::fprintf(stderr,
+                 "collect: --devices 0 needs --timeout-ms (nothing "
+                 "would ever stop the daemon)\n");
+    return 2;
+  }
+
+  const bool metrics_on = args.has("metrics");
+  const std::string metrics_arg = args.get("metrics", "");
+  const std::string metrics_path =
+      metrics_arg.empty() ? "collect_metrics.jsonl" : metrics_arg;
+  telemetry::MetricsRegistry registry;
+  config.metrics = metrics_on ? &registry : nullptr;
+
+  std::unique_ptr<net::Collector> collector;
+  try {
+    collector = std::make_unique<net::Collector>(config);
+  } catch (const net::NetError& error) {
+    std::fprintf(stderr, "collect: %s\n", error.what());
+    return 1;
+  }
+
+  // --port-file: publish the bound port (essential with --listen 0) so
+  // a harness can hand it to the measure processes.
+  const std::string port_file = args.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream port_stream(port_file);
+    if (!port_stream) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   port_file.c_str());
+      return 1;
+    }
+    port_stream << collector->port() << "\n";
+  }
+  std::printf("collect: listening on 127.0.0.1:%u for %u devices\n",
+              collector->port(), config.expected_devices);
+  std::fflush(stdout);
+
+  const bool complete = collector->run();
+  const net::CollectorStats stats = collector->stats();
+  const std::vector<core::Report> merged = collector->merged_reports();
+
+  std::ofstream export_stream;
+  const std::string export_path = args.get("export", "");
+  if (!export_path.empty()) {
+    export_stream.open(export_path, std::ios::binary);
+    if (!export_stream) {
+      std::fprintf(stderr, "cannot open %s for export\n",
+                   export_path.c_str());
+      return 1;
+    }
+  }
+  for (const core::Report& report : merged) {
+    std::printf("interval %u: %zu members, %zu flows, %zu entries\n",
+                report.interval, report.shards.size(),
+                report.flows.size(), report.entries_used);
+    if (export_stream.is_open() && !report.flows.empty()) {
+      const auto encoded =
+          reporting::encode(report, report.flows.front().key.kind());
+      export_stream.write(reinterpret_cast<const char*>(encoded.data()),
+                          static_cast<std::streamsize>(encoded.size()));
+    }
+  }
+  std::printf(
+      "collect: %llu connections, %llu frames (%llu resyncs, %llu "
+      "decode errors), %llu reports (%llu duplicates), %llu "
+      "reconnects, %u/%u devices done\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.resyncs),
+      static_cast<unsigned long long>(stats.decode_errors),
+      static_cast<unsigned long long>(stats.reports_ingested),
+      static_cast<unsigned long long>(stats.duplicate_reports),
+      static_cast<unsigned long long>(stats.reconnects),
+      collector->devices_done(), config.expected_devices);
+  if (metrics_on) {
+    std::ofstream metrics_stream(metrics_path);
+    if (!metrics_stream) {
+      std::fprintf(stderr, "cannot open %s for metrics\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    telemetry::JsonLinesExporter exporter(metrics_stream);
+    (void)exporter.write(registry, merged.empty()
+                                       ? 0
+                                       : merged.back().interval);
+    std::printf("metrics: %zu series -> %s\n", registry.size(),
+                metrics_path.c_str());
+  }
+  if (!complete) {
+    std::fprintf(stderr,
+                 "collect: gave up before all devices completed\n");
+    return 5;
+  }
   return 0;
 }
 
@@ -595,7 +801,8 @@ int cmd_dimension(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: ndtm <synthesize|measure|bounds|dimension> [--flags]\n"
+                 "usage: ndtm <synthesize|measure|collect|bounds|"
+                 "dimension> [--flags]\n"
                  "see the header of tools/ndtm.cpp for details\n");
     return 2;
   }
@@ -603,6 +810,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "synthesize") return cmd_synthesize(args);
   if (command == "measure") return cmd_measure(args);
+  if (command == "collect") return cmd_collect(args);
   if (command == "bounds") return cmd_bounds(args);
   if (command == "dimension") return cmd_dimension(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());

@@ -101,3 +101,63 @@ if(NOT chaos_snapshot MATCHES "nd_fault_injected_total")
   message(FATAL_ERROR
           "metrics snapshot is missing the fault-injection series")
 endif()
+
+# ---------------------------------------------------------------------
+# Distributed collection: one collector daemon, two measure processes
+# shipping reports over 127.0.0.1. Backgrounding needs a shell, so the
+# whole scenario runs under one bash -c: start `ndtm collect` on an
+# ephemeral port, wait for the port file, run both devices, then wait
+# for the collector's own exit code.
+execute_process(
+  COMMAND bash -c "\
+    set -u; \
+    rm -f '${WORKDIR}/collect.port'; \
+    '${NDTM}' collect --listen 0 --devices 2 --timeout-ms 30000 \
+      --port-file '${WORKDIR}/collect.port' \
+      --export '${WORKDIR}/fleet_merged.bin' \
+      --metrics '${WORKDIR}/collect_metrics.jsonl' \
+      > '${WORKDIR}/collect.log' 2>&1 & \
+    collect_pid=$!; \
+    for i in $(seq 1 100); do \
+      [ -s '${WORKDIR}/collect.port' ] && break; sleep 0.1; \
+    done; \
+    [ -s '${WORKDIR}/collect.port' ] || { echo 'no port file'; exit 90; }; \
+    port=$(cat '${WORKDIR}/collect.port'); \
+    '${NDTM}' measure --in '${WORKDIR}/smoke.pcap' \
+      --algorithm multistage --flow-def dstip --threshold 100000 \
+      --connect 127.0.0.1:$port --device-id 0 || exit 91; \
+    '${NDTM}' measure --in '${WORKDIR}/smoke.pcap' \
+      --algorithm multistage --flow-def dstip --threshold 100000 \
+      --connect 127.0.0.1:$port --device-id 1 || exit 92; \
+    wait $collect_pid"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "distributed collect/measure pipeline failed: ${rv}")
+endif()
+if(NOT EXISTS ${WORKDIR}/fleet_merged.bin)
+  message(FATAL_ERROR "ndtm collect produced no merged export")
+endif()
+file(STRINGS ${WORKDIR}/collect_metrics.jsonl collect_lines)
+list(GET collect_lines 0 collect_snapshot)
+if(NOT collect_snapshot MATCHES "nd_net_reports_total")
+  message(FATAL_ERROR "collector metrics snapshot is missing net series")
+endif()
+
+# Exit-code contract, networked additions: 5 = transport failure.
+# A measure pointed at a dead port abandons every report after its
+# retry budget and must say so distinctly.
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap
+          --algorithm multistage --flow-def dstip --threshold 100000
+          --connect 127.0.0.1:1 --net-attempts 2 --net-backoff-us 100
+  RESULT_VARIABLE rv ERROR_QUIET OUTPUT_QUIET)
+if(NOT rv EQUAL 5)
+  message(FATAL_ERROR "unreachable collector should exit 5, got ${rv}")
+endif()
+# A collector whose devices never finish times out with the same code.
+execute_process(
+  COMMAND ${NDTM} collect --listen 0 --devices 1 --timeout-ms 200
+  RESULT_VARIABLE rv ERROR_QUIET OUTPUT_QUIET)
+if(NOT rv EQUAL 5)
+  message(FATAL_ERROR "collector timeout should exit 5, got ${rv}")
+endif()
