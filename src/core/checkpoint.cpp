@@ -67,8 +67,15 @@ SessionCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
 }
 
 void save_checkpoint_file(const std::string& path,
-                          const SessionCheckpoint& checkpoint) {
+                          const SessionCheckpoint& checkpoint,
+                          telemetry::TraceRecorder* trace) {
+  telemetry::ScopedTraceSpan span(
+      trace, "checkpoint.save", "session",
+      telemetry::TraceArgs{
+          -1, -1, static_cast<std::int64_t>(checkpoint.intervals_closed)},
+      "bytes");
   const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  span.mutable_args().value = static_cast<std::int64_t>(bytes.size());
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

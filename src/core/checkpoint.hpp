@@ -22,6 +22,7 @@
 
 #include "common/state_buffer.hpp"
 #include "common/types.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nd::core {
 
@@ -50,8 +51,10 @@ struct SessionCheckpoint {
     std::span<const std::uint8_t> bytes);
 
 /// Atomic file save: write `path` + ".tmp", then rename into place.
+/// `trace` (optional, not owned) records a checkpoint.save span.
 void save_checkpoint_file(const std::string& path,
-                          const SessionCheckpoint& checkpoint);
+                          const SessionCheckpoint& checkpoint,
+                          telemetry::TraceRecorder* trace = nullptr);
 [[nodiscard]] SessionCheckpoint load_checkpoint_file(
     const std::string& path);
 

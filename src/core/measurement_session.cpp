@@ -34,14 +34,29 @@ void MeasurementSession::attach_telemetry(
 }
 
 void MeasurementSession::on_interval_closed(const Report& report) {
+  if (trace_ != nullptr) {
+    trace_->instant(
+        "interval.close", "session",
+        telemetry::TraceArgs{-1, -1,
+                             static_cast<std::int64_t>(report.interval),
+                             static_cast<std::int64_t>(
+                                 report.flows.size())},
+        "flows");
+  }
   if (tm_registry_ == nullptr) return;
-  tm_intervals_->increment();
-  tm_packets_->add(packets_ - tm_packets_flushed_);
-  tm_packets_flushed_ = packets_;
-  tm_unclassified_->add(unclassified_ - tm_unclassified_flushed_);
-  tm_unclassified_flushed_ = unclassified_;
-  tm_effective_threshold_->set(
-      static_cast<double>(effective_threshold(report)));
+  {
+    // One generation stamp over the whole mirror: a snapshot taken
+    // mid-close can't pair this interval's counters with the previous
+    // interval's gauge.
+    const telemetry::ScopedRegistryUpdate update(tm_registry_);
+    tm_intervals_->increment();
+    tm_packets_->add(packets_ - tm_packets_flushed_);
+    tm_packets_flushed_ = packets_;
+    tm_unclassified_->add(unclassified_ - tm_unclassified_flushed_);
+    tm_unclassified_flushed_ = unclassified_;
+    tm_effective_threshold_->set(
+        static_cast<double>(effective_threshold(report)));
+  }
   if (tm_exporter_ != nullptr) {
     tm_exporter_->write(*tm_registry_, report.interval);
   }

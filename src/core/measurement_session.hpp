@@ -18,6 +18,7 @@
 #include "packet/packet.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nd::core {
 
@@ -77,6 +78,12 @@ class MeasurementSession {
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::JsonLinesExporter* exporter = nullptr);
 
+  /// Record an interval-close span (and checkpoint-save spans via
+  /// ndtm's wiring) into `recorder`. Not owned; null detaches.
+  void attach_trace(telemetry::TraceRecorder* recorder) {
+    trace_ = recorder;
+  }
+
  private:
   void close_intervals_until(common::TimestampNs timestamp_ns);
   /// Telemetry hook, called after each interval's report is queued.
@@ -92,6 +99,7 @@ class MeasurementSession {
   common::IntervalIndex intervals_closed_{0};
   std::vector<Report> pending_;
   /// Telemetry state; null when detached.
+  telemetry::TraceRecorder* trace_{nullptr};
   telemetry::MetricsRegistry* tm_registry_{nullptr};
   telemetry::JsonLinesExporter* tm_exporter_{nullptr};
   telemetry::Counter* tm_packets_{nullptr};

@@ -24,7 +24,9 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
       affinity_(config.shard_affinity && config.pool != nullptr &&
                 config.pool->size() > 0),
       watchdog_timeout_(config.watchdog_timeout),
-      faults_(config.faults) {
+      faults_(config.faults),
+      trace_(config.trace),
+      trace_batch_sample_(config.trace_batch_sample) {
   const std::uint32_t shards = std::max<std::uint32_t>(config.shards, 1);
   shards_.resize(shards);
   shard_batches_.resize(shards);
@@ -60,6 +62,7 @@ ShardedDevice::ShardedDevice(const ShardedDeviceConfig& config,
     enable_adaptation(*config.adaptor);
   }
   if (config.metrics != nullptr) {
+    metrics_ = config.metrics;
     telemetry::MetricsRegistry& registry = *config.metrics;
     const telemetry::Labels& base = config.metric_labels;
     tm_intervals_ = &registry.counter("nd_sharded_intervals_total", base);
@@ -128,6 +131,16 @@ void ShardedDevice::observe(const packet::FlowKey& key,
 void ShardedDevice::observe_batch(
     std::span<const packet::ClassifiedPacket> batch) {
   drain_stuck();
+  // Sampled 1-in-N so the span's clock reads never dominate the batch
+  // path they measure; a null recorder short-circuits before sampling.
+  const bool traced =
+      trace_ != nullptr && trace_->sample(trace_batch_sample_);
+  telemetry::ScopedTraceSpan span(
+      traced ? trace_ : nullptr, "observe_batch", "device",
+      telemetry::TraceArgs{-1, -1,
+                           static_cast<std::int64_t>(interval_index_),
+                           static_cast<std::int64_t>(batch.size())},
+      "packets");
   if (shards_.size() == 1) {
     interval_packets_[0] += batch.size();
     for (const packet::ClassifiedPacket& packet : batch) {
@@ -199,6 +212,12 @@ Report ShardedDevice::end_interval() {
   // shard order so the merged report is deterministic.
   drain_stuck();
   const telemetry::ScopedTimer merge_timer(tm_merge_ns_);
+  telemetry::ScopedTraceSpan merge_span(
+      trace_, "shard.merge", "device",
+      telemetry::TraceArgs{-1, -1,
+                           static_cast<std::int64_t>(interval_index_),
+                           static_cast<std::int64_t>(shards_.size())},
+      "shards");
   const std::size_t n = shards_.size();
   // Heap-allocated report slots: each close task co-owns its slot, so a
   // watchdog-abandoned task writes into memory that outlives this frame
@@ -357,8 +376,12 @@ Report ShardedDevice::end_interval() {
   }
 
   // Mirror the interval tallies into the registry (interval deltas into
-  // counters, instantaneous state into gauges), then reset them.
+  // counters, instantaneous state into gauges), then reset them. The
+  // generation stamp makes the mirror atomic to snapshots: a scrape
+  // mid-mirror would otherwise pair this interval's counters with the
+  // prior interval's gauges.
   if (tm_intervals_ != nullptr) {
+    const telemetry::ScopedRegistryUpdate update(metrics_);
     tm_intervals_->increment();
     tm_effective_threshold_->set(static_cast<double>(merged.threshold));
     for (std::size_t s = 0; s < shards_.size(); ++s) {

@@ -40,6 +40,7 @@
 #include "core/threshold_adaptor.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nd::core {
 
@@ -103,6 +104,13 @@ struct ShardedDeviceConfig {
   /// close; combine with watchdog_timeout to exercise degraded merges).
   /// Not owned; null — the default — is zero-cost.
   robustness::FaultInjector* faults{nullptr};
+  /// Optional trace recorder (not owned): a span per sampled
+  /// observe_batch call and per end_interval merge. Null — the default
+  /// — costs one branch per batch.
+  telemetry::TraceRecorder* trace{nullptr};
+  /// 1-in-N decimation of observe_batch spans (the hot path must not
+  /// pay a clock read per batch); <= 1 records every batch.
+  std::uint32_t trace_batch_sample{64};
 };
 
 class ShardedDevice final : public MeasurementDevice {
@@ -249,6 +257,11 @@ class ShardedDevice final : public MeasurementDevice {
   std::chrono::milliseconds watchdog_timeout_{0};
   robustness::FaultInjector* faults_{nullptr};
   telemetry::Counter* tm_degraded_{nullptr};
+  telemetry::TraceRecorder* trace_{nullptr};
+  std::uint32_t trace_batch_sample_{64};
+  /// Registry backing the handles above; kept so the end-of-interval
+  /// mirror can publish under one generation stamp.
+  telemetry::MetricsRegistry* metrics_{nullptr};
 };
 
 /// Deterministic per-shard seed derivation (exposed for tests).

@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "reporting/record_codec.hpp"
+#include "telemetry/export.hpp"
 
 namespace nd::net {
 
@@ -65,34 +68,61 @@ class Collector::ConnectionEvents final : public FrameStreamParser::Events {
       }
       return;
     }
-    core::Report report;
-    try {
-      report = reporting::decode(payload);
-    } catch (const reporting::CodecError&) {
-      // The CRC passed but the payload is not a report: a sender-side
-      // corruption of the pre-framing bytes. Drop it; the device's
-      // retry loop re-sends the interval.
-      ++collector_.stats_.decode_errors;
-      if (collector_.tm_decode_errors_ != nullptr) {
-        collector_.tm_decode_errors_->increment();
-      }
-      return;
-    }
     DeviceState& device = collector_.devices_[conn_.device_id];
-    const auto [it, inserted] =
-        device.reports.try_emplace(report.interval, std::move(report));
+    reporting::DecodedReport decoded;
+    {
+      telemetry::ScopedTraceSpan span(
+          collector_.config_.trace, "frame.decode", "collector",
+          telemetry::TraceArgs{conn_.device_id, device.epoch, -1,
+                               static_cast<std::int64_t>(payload.size())},
+          "bytes");
+      try {
+        decoded = reporting::decode_full(payload);
+      } catch (const reporting::CodecError&) {
+        // The CRC passed but the payload is not a report: a sender-side
+        // corruption of the pre-framing bytes. Drop it; the device's
+        // retry loop re-sends the interval.
+        ++collector_.stats_.decode_errors;
+        if (collector_.tm_decode_errors_ != nullptr) {
+          collector_.tm_decode_errors_->increment();
+        }
+        return;
+      }
+      span.mutable_args().interval =
+          static_cast<std::int64_t>(decoded.report.interval);
+    }
+    const common::IntervalIndex interval = decoded.report.interval;
+    for (const core::ShardStatus& shard : decoded.report.shards) {
+      if (shard.degraded) {
+        ++device.degraded_intervals;
+        collector_.degraded_seen_ = true;
+        break;
+      }
+    }
+    const auto [it, inserted] = device.reports.try_emplace(
+        interval, std::move(decoded.report));
     (void)it;
     if (inserted) {
       ++collector_.stats_.reports_ingested;
       if (collector_.tm_reports_ != nullptr) {
         collector_.tm_reports_->increment();
       }
+      collector_.ingest_metrics_trailer(conn_.device_id,
+                                        decoded.metrics_json);
     } else {
       // A reconnecting device re-ships intervals it cannot prove
-      // arrived; first-copy-wins keeps the merge exactly-once.
+      // arrived; first-copy-wins keeps the merge exactly-once — and
+      // keeps the fleet aggregation exactly-once too (the duplicate's
+      // trailer is discarded with it).
       ++collector_.stats_.duplicate_reports;
       if (collector_.tm_duplicates_ != nullptr) {
         collector_.tm_duplicates_->increment();
+      }
+      if (collector_.config_.trace != nullptr) {
+        collector_.config_.trace->instant(
+            "report.duplicate", "collector",
+            telemetry::TraceArgs{conn_.device_id, device.epoch,
+                                 static_cast<std::int64_t>(interval)});
       }
     }
   }
@@ -134,7 +164,68 @@ Collector::Collector(const CollectorConfig& config) : config_(config) {
     tm_reconnects_ =
         &registry.counter("nd_net_reconnects_total", labels);
     tm_merge_ns_ = &registry.histogram("nd_net_merge_ns", labels);
+    aggregator_.emplace(registry);
   }
+}
+
+void Collector::ingest_metrics_trailer(std::uint32_t device_id,
+                                       const std::string& metrics_json) {
+  if (!aggregator_.has_value() || metrics_json.empty()) return;
+  // The trailer is one JSON line per snapshotted interval.
+  std::size_t begin = 0;
+  while (begin < metrics_json.size()) {
+    std::size_t end = metrics_json.find('\n', begin);
+    if (end == std::string::npos) end = metrics_json.size();
+    const std::string_view line(metrics_json.data() + begin,
+                                end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    try {
+      aggregator_->ingest(device_id, telemetry::from_json_line(line));
+    } catch (const std::invalid_argument&) {
+      // A trailer that is not our JSON is sender-side corruption of
+      // opaque bytes: count it, keep the report (it decoded fine).
+      ++stats_.decode_errors;
+      if (tm_decode_errors_ != nullptr) tm_decode_errors_->increment();
+    }
+  }
+}
+
+bool Collector::healthy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !degraded_seen_;
+}
+
+std::string Collector::status_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto uptime =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_);
+  std::string out = "collector status\n";
+  out += "uptime_ms: " + std::to_string(uptime.count()) + "\n";
+  out += "connections: " +
+         std::to_string(stats_.connections_accepted) + " accepted, " +
+         std::to_string(stats_.connections_closed) + " closed\n";
+  out += "frames: " + std::to_string(stats_.frames_received) +
+         " received, " + std::to_string(stats_.resyncs) + " resyncs, " +
+         std::to_string(stats_.decode_errors) + " decode errors\n";
+  out += "reports: " + std::to_string(stats_.reports_ingested) +
+         " ingested, " + std::to_string(stats_.duplicate_reports) +
+         " duplicates\n";
+  out += "devices:\n";
+  for (const auto& [id, device] : devices_) {
+    out += "  device " + std::to_string(id) + ": epoch " +
+           std::to_string(device.epoch) + ", " +
+           std::to_string(device.reports.size()) + " reports" +
+           (device.bye ? ", bye" : "") +
+           (device.degraded_intervals > 0
+                ? ", " + std::to_string(device.degraded_intervals) +
+                      " degraded intervals"
+                : "") +
+           "\n";
+  }
+  out += degraded_seen_ ? "health: DEGRADED\n" : "health: ok\n";
+  return out;
 }
 
 Collector::~Collector() {
@@ -288,6 +379,11 @@ std::vector<core::Report> Collector::merged_reports() const {
       if (it != device.reports.end()) members.push_back(it->second);
     }
     const telemetry::ScopedTimer timer(tm_merge_ns_);
+    telemetry::ScopedTraceSpan span(
+        config_.trace, "fleet.merge", "collector",
+        telemetry::TraceArgs{-1, -1, static_cast<std::int64_t>(interval),
+                             static_cast<std::int64_t>(members.size())},
+        "members");
     merged.push_back(core::merge_member_reports(interval, members));
   }
   return merged;

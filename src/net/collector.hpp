@@ -30,13 +30,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/device.hpp"
 #include "net/frame_stream.hpp"
 #include "net/socket.hpp"
+#include "telemetry/aggregate.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nd::net {
 
@@ -50,8 +54,16 @@ struct CollectorConfig {
   /// Give up after this long (run() returns false); 0 waits forever.
   std::chrono::milliseconds timeout{0};
   /// Optional telemetry registry (not owned); labels tag every series.
+  /// When set, each report's v3 metrics trailer is also parsed and
+  /// folded into this registry through a FleetAggregator — per-device
+  /// `device="<id>"` series plus `device="fleet"` rollups — so one
+  /// scrape of the collector shows the whole fleet.
   telemetry::MetricsRegistry* metrics{nullptr};
   telemetry::Labels metric_labels{};
+  /// Optional trace recorder (not owned): frame-decode / dedup / merge
+  /// spans, correlated with device-side spans via (device, epoch,
+  /// interval) ids.
+  telemetry::TraceRecorder* trace{nullptr};
 };
 
 struct CollectorStats {
@@ -113,6 +125,15 @@ class Collector {
   /// Devices that have said bye.
   [[nodiscard]] std::uint32_t devices_done() const;
 
+  /// Health + status for the HTTP observability plane. healthy() is
+  /// true until any ingested report carries a degraded shard; once one
+  /// does, /healthz flips (and stays flipped — a degraded interval is
+  /// lost data the scrape must surface, not a transient).
+  [[nodiscard]] bool healthy() const;
+  /// Human-readable /statusz body: uptime, per-device table (epoch,
+  /// reports, bye, degraded intervals), aggregate stats.
+  [[nodiscard]] std::string status_text() const;
+
  private:
   struct Connection;
   class ConnectionEvents;
@@ -122,6 +143,11 @@ class Collector {
   bool service(Connection& conn);
   void close_connection(std::size_t index);
   [[nodiscard]] bool all_done_locked() const;
+  /// Parse a report's v3 metrics trailer (JSON-lines snapshots) and
+  /// fold it into the fleet aggregation; malformed lines count as
+  /// decode errors without touching the report itself.
+  void ingest_metrics_trailer(std::uint32_t device_id,
+                              const std::string& metrics_json);
 
   CollectorConfig config_;
   Socket listener_;
@@ -133,6 +159,8 @@ class Collector {
   struct DeviceState {
     std::uint32_t epoch{0};
     bool bye{false};
+    /// Ingested intervals whose reports carried a degraded shard.
+    std::uint64_t degraded_intervals{0};
     /// First-copy-wins interval reports.
     std::map<common::IntervalIndex, core::Report> reports;
   };
@@ -142,6 +170,10 @@ class Collector {
   std::map<std::uint32_t, DeviceState> devices_;
   CollectorStats stats_;
   bool stop_requested_{false};
+  bool degraded_seen_{false};
+  std::optional<telemetry::FleetAggregator> aggregator_;
+  std::chrono::steady_clock::time_point started_{
+      std::chrono::steady_clock::now()};
 
   std::thread thread_;
   bool thread_result_{false};

@@ -72,6 +72,12 @@ bool TcpTransport::ensure_connected() {
   hello_pending_ = false;
   ++stats_.connects;
   if (tm_connects_ != nullptr) tm_connects_->increment();
+  if (config_.trace != nullptr) {
+    config_.trace->instant(
+        "net.connect", "transport",
+        telemetry::TraceArgs{config_.device_id,
+                             static_cast<std::int64_t>(hello.epoch), -1});
+  }
   return true;
 }
 

@@ -27,6 +27,7 @@
 #include "reporting/resilient_channel.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nd::net {
 
@@ -43,6 +44,9 @@ struct TcpTransportConfig {
   /// Optional telemetry registry (not owned); labels tag every series.
   telemetry::MetricsRegistry* metrics{nullptr};
   telemetry::Labels metric_labels{};
+  /// Optional trace recorder (not owned): an instant per (re)connect,
+  /// carrying the reconnect epoch the hello announced.
+  telemetry::TraceRecorder* trace{nullptr};
 };
 
 struct TcpTransportStats {

@@ -28,6 +28,13 @@ void ResilientChannel::backoff(std::uint32_t retry_index) {
   stats_.backoff_us += static_cast<std::uint64_t>(delay.count());
   ++stats_.retries;
   if (tm_retries_ != nullptr) tm_retries_->increment();
+  if (config_.trace != nullptr) {
+    config_.trace->instant(
+        "channel.backoff", "channel",
+        telemetry::TraceArgs{config_.trace_device, -1, -1,
+                             static_cast<std::int64_t>(delay.count())},
+        "delay_us");
+  }
   if (config_.sleep_on_backoff) {
     common::Clock& clock = config_.clock != nullptr
                                ? *config_.clock
@@ -39,6 +46,11 @@ void ResilientChannel::backoff(std::uint32_t retry_index) {
 DeliveryOutcome ResilientChannel::send(const core::Report& report,
                                        std::string_view metrics_json) {
   ++stats_.reports_sent;
+  telemetry::ScopedTraceSpan span(
+      config_.trace, "channel.send", "channel",
+      telemetry::TraceArgs{config_.trace_device, -1,
+                           static_cast<std::int64_t>(report.interval)},
+      "attempts");
   // Largest-first shedding: the channel truncates to a prefix, so
   // sorting by descending size guarantees whatever survives the budget
   // is exactly the top-K heavy hitters.
@@ -53,6 +65,7 @@ DeliveryOutcome ResilientChannel::send(const core::Report& report,
        ++attempt) {
     ++stats_.attempts;
     outcome.attempts = attempt + 1;
+    span.mutable_args().value = outcome.attempts;
 
     const std::uint64_t dropped_before = channel_.stats().reports_dropped;
     const CollectionChannel::Delivered delivered =

@@ -37,6 +37,7 @@
 #include "reporting/collector.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nd::reporting {
 
@@ -84,6 +85,12 @@ struct ResilientChannelConfig {
   /// Optional telemetry registry (not owned); labels tag every series.
   telemetry::MetricsRegistry* metrics{nullptr};
   telemetry::Labels metric_labels{};
+  /// Optional trace recorder (not owned): a span per send() and an
+  /// instant per retry backoff, correlated with the collector side via
+  /// the report's interval and `trace_device`.
+  telemetry::TraceRecorder* trace{nullptr};
+  /// Device id stamped into this channel's trace events (-1 = none).
+  std::int64_t trace_device{-1};
 };
 
 struct ResilientChannelStats {

@@ -1,0 +1,103 @@
+#include "telemetry/aggregate.hpp"
+
+#include <algorithm>
+
+namespace nd::telemetry {
+
+namespace {
+
+/// Original labels with any pre-existing `device` label stripped (the
+/// aggregator owns that dimension) — the series key and the base the
+/// device/fleet labels are appended to.
+Labels base_labels(const Labels& labels) {
+  Labels base;
+  base.reserve(labels.size());
+  for (const auto& label : labels) {
+    if (label.first != "device") base.push_back(label);
+  }
+  return base;
+}
+
+Labels with_device(Labels base, std::string device) {
+  base.emplace_back("device", std::move(device));
+  return base;
+}
+
+}  // namespace
+
+void FleetAggregator::ingest(std::uint32_t device_id,
+                             const Snapshot& snapshot) {
+  DeviceState& device = devices_[device_id];
+  const std::string id = std::to_string(device_id);
+  for (const Snapshot::Sample& sample : snapshot.samples) {
+    Labels base = base_labels(sample.labels);
+    const std::pair<std::string, Labels> key(sample.name, base);
+    SeriesState& state = device.series[key];
+    switch (sample.kind) {
+      case MetricKind::kCounter: {
+        // Cumulative in, delta out; a backwards move means the device
+        // restarted its registry — re-add from zero so the rollup
+        // stays monotonic.
+        const std::uint64_t seen = sample.counter_value;
+        const std::uint64_t delta =
+            seen >= state.counter ? seen - state.counter : seen;
+        state.counter = seen;
+        if (delta == 0) {
+          // Still register the series so a scrape shows it at 0.
+          (void)target_->counter(sample.name, with_device(base, id));
+          (void)target_->counter(sample.name,
+                                 with_device(base, "fleet"));
+          break;
+        }
+        target_->counter(sample.name, with_device(base, id)).add(delta);
+        target_->counter(sample.name, with_device(base, "fleet"))
+            .add(delta);
+        break;
+      }
+      case MetricKind::kGauge: {
+        state.gauge = sample.gauge_value;
+        target_->gauge(sample.name, with_device(base, id))
+            .set(sample.gauge_value);
+        // Fleet gauge = max of each device's latest value for this
+        // series: the "worst member" view.
+        double fleet = sample.gauge_value;
+        for (const auto& [other_id, other] : devices_) {
+          const auto it = other.series.find(key);
+          if (it != other.series.end()) {
+            fleet = std::max(fleet, it->second.gauge);
+          }
+        }
+        target_->gauge(sample.name, with_device(base, "fleet"))
+            .set(fleet);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        Histogram& mine =
+            target_->histogram(sample.name, with_device(base, id));
+        Histogram& fleet =
+            target_->histogram(sample.name, with_device(base, "fleet"));
+        for (const auto& [bound, count] : sample.histogram.buckets) {
+          std::uint64_t& last = state.histogram_buckets[bound];
+          const std::uint64_t delta =
+              count >= last ? count - last : count;
+          last = count;
+          if (delta == 0) continue;
+          const std::size_t bucket = Histogram::bucket_of_bound(bound);
+          mine.add_bucket(bucket, delta);
+          fleet.add_bucket(bucket, delta);
+        }
+        const std::uint64_t sum = sample.histogram.sum;
+        const std::uint64_t sum_delta =
+            sum >= state.histogram_sum ? sum - state.histogram_sum : sum;
+        state.histogram_sum = sum;
+        if (sum_delta != 0) {
+          mine.add_sum(sum_delta);
+          fleet.add_sum(sum_delta);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace nd::telemetry

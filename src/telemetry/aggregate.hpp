@@ -1,0 +1,72 @@
+// Fleet-wide metric aggregation: the collector receives each device's
+// interval snapshot in the v3 record-codec metrics trailer; a
+// FleetAggregator folds those snapshots into one registry so a single
+// scrape of the collector shows the whole fleet.
+//
+// Every ingested series is re-registered twice:
+//
+//   * per-device: the original labels plus `device="<id>"`, so one
+//     member's counters/gauges/histograms stay individually visible;
+//   * fleet rollup: the original labels plus `device="fleet"`, where
+//     counters and histograms SUM across devices (event totals add) and
+//     gauges take the MAX of each device's latest value (occupancy,
+//     thresholds — "worst member" is the operative fleet view; summing
+//     a ratio would be meaningless).
+//
+// Counters and histogram buckets arrive as cumulative values, so the
+// aggregator tracks the last value seen per (device, series) and feeds
+// deltas into the live Counter/Histogram handles; a value that moves
+// backwards (device restarted with a fresh registry) resets the
+// tracking and re-adds from zero, keeping rollups monotonic.
+//
+// ingest() is single-threaded (the collector's poll loop calls it under
+// its own lock); reads of the target registry (snapshot / HTTP scrape)
+// are safe concurrently, as always.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace nd::telemetry {
+
+class FleetAggregator {
+ public:
+  /// `target` (not owned) receives the per-device and rollup series; it
+  /// can be the same registry the collector's own nd_net_* series live
+  /// in, so one scrape covers daemon and fleet.
+  explicit FleetAggregator(MetricsRegistry& target) : target_(&target) {}
+
+  /// Fold one device's snapshot in. Idempotent per (device, interval)
+  /// dedup is the caller's job (the collector only ingests first-copy
+  /// reports); this method applies whatever it is given.
+  void ingest(std::uint32_t device_id, const Snapshot& snapshot);
+
+  /// Devices that have contributed at least one snapshot.
+  [[nodiscard]] std::size_t devices_seen() const {
+    return devices_.size();
+  }
+
+ private:
+  /// One series' delta-tracking state for one device.
+  struct SeriesState {
+    std::uint64_t counter{0};
+    double gauge{0.0};
+    std::uint64_t histogram_sum{0};
+    /// Cumulative count last seen per bucket upper bound.
+    std::map<std::uint64_t, std::uint64_t> histogram_buckets;
+  };
+  struct DeviceState {
+    /// Keyed by (name, original labels).
+    std::map<std::pair<std::string, Labels>, SeriesState> series;
+  };
+
+  MetricsRegistry* target_;
+  std::map<std::uint32_t, DeviceState> devices_;
+};
+
+}  // namespace nd::telemetry

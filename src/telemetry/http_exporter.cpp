@@ -1,0 +1,145 @@
+#include "telemetry/http_exporter.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+namespace nd::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(code);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterConfig config)
+    : config_(std::move(config)) {
+  listener_ = net::tcp_listen(config_.port, &port_);
+  net::set_nonblocking(listener_.fd(), true);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw net::NetError("net: http exporter stop pipe");
+  }
+  stop_reader_ = net::Socket(pipe_fds[0]);
+  stop_writer_ = net::Socket(pipe_fds[1]);
+}
+
+HttpExporter::~HttpExporter() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpExporter::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void HttpExporter::stop() {
+  const std::uint8_t byte = 1;
+  (void)::write(stop_writer_.fd(), &byte, 1);
+}
+
+void HttpExporter::run() {
+  std::array<pollfd, 2> fds;
+  for (;;) {
+    fds[0] = pollfd{stop_reader_.fd(), POLLIN, 0};
+    fds[1] = pollfd{listener_.fd(), POLLIN, 0};
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[0].revents & POLLIN) != 0) return;
+    if ((fds[1].revents & POLLIN) == 0) continue;
+    for (;;) {
+      const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN (drained) or transient failure
+      serve(net::Socket(fd));
+    }
+  }
+}
+
+void HttpExporter::serve(net::Socket client) {
+  // Requests are served synchronously: a scrape is a handful of bytes
+  // on loopback. The receive deadline stops a stalled client from
+  // wedging the server thread.
+  timeval deadline{};
+  deadline.tv_sec = 2;
+  (void)::setsockopt(client.fd(), SOL_SOCKET, SO_RCVTIMEO, &deadline,
+                     sizeof(deadline));
+  std::string request;
+  std::array<std::uint8_t, 1024> buffer;
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n =
+        net::read_some(client.fd(), buffer.data(), buffer.size());
+    if (n <= 0) break;
+    request.append(reinterpret_cast<const char*>(buffer.data()),
+                   static_cast<std::size_t>(n));
+  }
+  if (request.find("\r\n") == std::string::npos) return;
+  const std::string response = respond(request);
+  (void)net::write_all(
+      client.fd(),
+      {reinterpret_cast<const std::uint8_t*>(response.data()),
+       response.size()});
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string HttpExporter::respond(const std::string& request) const {
+  // "GET <path> HTTP/1.x" — the only request shape a scraper sends.
+  if (request.rfind("GET ", 0) != 0) {
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is served\n");
+  }
+  const std::size_t path_begin = 4;
+  const std::size_t path_end = request.find(' ', path_begin);
+  if (path_end == std::string::npos) {
+    return http_response(400, "Bad Request", "text/plain",
+                         "malformed request line\n");
+  }
+  const std::string path =
+      request.substr(path_begin, path_end - path_begin);
+  if (path == "/metrics") {
+    const std::string body =
+        config_.metrics_text ? config_.metrics_text() : std::string();
+    return http_response(
+        200, "OK", "text/plain; version=0.0.4; charset=utf-8", body);
+  }
+  if (path == "/healthz") {
+    const bool ok = !config_.healthy || config_.healthy();
+    return ok ? http_response(200, "OK", "text/plain", "ok\n")
+              : http_response(503, "Service Unavailable", "text/plain",
+                              "unhealthy\n");
+  }
+  if (path == "/statusz") {
+    const std::string body = config_.status_text
+                                 ? config_.status_text()
+                                 : std::string("no status registered\n");
+    return http_response(200, "OK", "text/plain", body);
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "serving /metrics, /healthz, /statusz\n");
+}
+
+}  // namespace nd::telemetry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace nd::telemetry {
 
@@ -108,6 +109,34 @@ Histogram& MetricsRegistry::histogram(std::string name, Labels labels) {
 Snapshot MetricsRegistry::snapshot(std::uint64_t interval) const {
   Snapshot snapshot;
   snapshot.interval = interval;
+  // Seqlock read side: retry while a guarded multi-instrument update is
+  // in flight (odd generation) or completed mid-read (generation moved).
+  // Bounded so a writer that died inside a guard can't hang snapshots;
+  // past the bound the possibly-torn read is returned — the next
+  // interval's snapshot self-heals.
+  bool read = false;
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const std::uint64_t before =
+        generation_.load(std::memory_order_acquire);
+    if ((before & 1) != 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    snapshot.samples.clear();
+    read_samples(snapshot);
+    read = true;
+    if (generation_.load(std::memory_order_acquire) == before) break;
+  }
+  if (!read) read_samples(snapshot);  // wedged writer: torn beats empty
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const Snapshot::Sample& a, const Snapshot::Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::read_samples(Snapshot& snapshot) const {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     snapshot.samples.reserve(entries_.size());
@@ -138,12 +167,6 @@ Snapshot MetricsRegistry::snapshot(std::uint64_t interval) const {
       snapshot.samples.push_back(std::move(sample));
     }
   }
-  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
-            [](const Snapshot::Sample& a, const Snapshot::Sample& b) {
-              if (a.name != b.name) return a.name < b.name;
-              return a.labels < b.labels;
-            });
-  return snapshot;
 }
 
 std::size_t MetricsRegistry::size() const {

@@ -89,6 +89,24 @@ class Histogram {
     sum_.fetch_add(value, std::memory_order_relaxed);
   }
 
+  /// Aggregation entry points (fleet rollups merge exported snapshots
+  /// back into a registry): add `count` observations to bucket `bucket`
+  /// and `delta` to the running sum, without re-deriving values.
+  void add_bucket(std::size_t bucket, std::uint64_t count) noexcept {
+    buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+        count, std::memory_order_relaxed);
+  }
+  void add_sum(std::uint64_t delta) noexcept {
+    sum_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Bucket index holding `upper_bound(b)` — the inverse of
+  /// upper_bound(), used when merging exported (bound, count) pairs.
+  [[nodiscard]] static std::size_t bucket_of_bound(
+      std::uint64_t bound) noexcept {
+    return std::bit_width(bound);
+  }
+
   /// Inclusive upper bound of bucket b (0, 1, 3, 7, ..., 2^63-1, 2^64-1).
   [[nodiscard]] static std::uint64_t upper_bound(std::size_t bucket) {
     return bucket >= 64 ? ~std::uint64_t{0}
@@ -191,7 +209,29 @@ class MetricsRegistry {
   /// Aggregate-on-read: loads every instrument once (relaxed) and
   /// returns values ordered by (name, labels). `interval` stamps the
   /// snapshot for interval-aligned exporters.
+  ///
+  /// Snapshots are generation-consistent: a writer that wraps its
+  /// related updates in begin_update()/end_update() (or
+  /// ScopedRegistryUpdate) is never observed halfway — snapshot()
+  /// retries until it reads a quiescent generation, so a counter can't
+  /// be paired with a stale gauge written in the same interval close.
   [[nodiscard]] Snapshot snapshot(std::uint64_t interval = 0) const;
+
+  /// Seqlock-style update guard for multi-instrument writes that must
+  /// appear atomically in snapshots (e.g. the per-interval counter +
+  /// gauge mirror at end_interval). One writer at a time; the guarded
+  /// section must not snapshot. Hot-path single-instrument updates do
+  /// NOT need this.
+  void begin_update() noexcept {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void end_update() noexcept {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  /// Even = quiescent, odd = an update is in flight.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] std::size_t size() const;
 
@@ -206,9 +246,30 @@ class MetricsRegistry {
   };
 
   Entry& entry_for(std::string name, Labels labels, MetricKind kind);
+  /// One unguarded pass over the entries (the seqlock read body).
+  void read_samples(Snapshot& snapshot) const;
 
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// RAII begin_update()/end_update(); a null registry costs one branch,
+/// matching the rest of the disabled-telemetry contract.
+class ScopedRegistryUpdate {
+ public:
+  explicit ScopedRegistryUpdate(MetricsRegistry* registry) noexcept
+      : registry_(registry) {
+    if (registry_ != nullptr) registry_->begin_update();
+  }
+  ~ScopedRegistryUpdate() {
+    if (registry_ != nullptr) registry_->end_update();
+  }
+  ScopedRegistryUpdate(const ScopedRegistryUpdate&) = delete;
+  ScopedRegistryUpdate& operator=(const ScopedRegistryUpdate&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
 };
 
 }  // namespace nd::telemetry

@@ -8,8 +8,10 @@
 // connection mid-frame and forces a reconnect + re-send.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,8 @@
 #include "reporting/record_codec.hpp"
 #include "reporting/resilient_channel.hpp"
 #include "robustness/fault.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/http_exporter.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace nd::net {
@@ -164,6 +168,230 @@ TEST(LoopbackFleet, FourDevicesMergeBitIdenticalToShardedDevice) {
             stats.reports_ingested);
 
   expect_bit_identical(collector.merged_reports(), reference);
+}
+
+/// Scrape client for the observability-plane tests: one GET, read to
+/// EOF (the exporter closes after each response).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  Socket socket = tcp_connect("127.0.0.1", port);
+  EXPECT_TRUE(socket.valid());
+  const std::string raw = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_TRUE(write_all(
+      socket.fd(),
+      {reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()}));
+  std::string response;
+  std::uint8_t buffer[8192];
+  for (;;) {
+    const ssize_t n = read_some(socket.fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    response.append(reinterpret_cast<const char*>(buffer),
+                    static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+/// A member that also keeps a device-side registry and ships each
+/// interval snapshot as the v3 metrics trailer — the fleet-aggregation
+/// ingest path.
+void run_member_with_metrics(
+    std::uint32_t member, std::uint16_t port,
+    const std::vector<std::vector<packet::ClassifiedPacket>>& intervals) {
+  FleetMember fleet_member(
+      member, kFleetSize, kSeed,
+      std::make_unique<core::MultistageFilter>(
+          filter_config(core::shard_seed(kSeed, member))));
+
+  TcpTransportConfig transport_config;
+  transport_config.port = port;
+  transport_config.device_id = member;
+  TcpTransport transport(transport_config);
+
+  common::FakeClock clock;
+  reporting::ResilientChannelConfig channel_config;
+  channel_config.bytes_per_interval = 1ULL << 24;
+  channel_config.sleep_on_backoff = true;
+  channel_config.clock = &clock;
+  channel_config.transport = &transport;
+  reporting::ResilientChannel channel(channel_config);
+
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& packets =
+      registry.counter("nd_member_packets_total");
+  telemetry::Gauge& entries = registry.gauge("nd_member_entries");
+  telemetry::Histogram& flows =
+      registry.histogram("nd_member_report_flows");
+  for (const auto& interval : intervals) {
+    fleet_member.observe_batch(interval);
+    const core::Report report = fleet_member.end_interval();
+    packets.add(report.shards.front().packets);
+    entries.set(
+        static_cast<double>(report.shards.front().entries_used));
+    flows.record(report.flows.size());
+    const std::string trailer =
+        telemetry::to_json_line(registry.snapshot(report.interval));
+    EXPECT_TRUE(channel.send(report, trailer).delivered)
+        << "member " << member << " interval " << report.interval;
+  }
+  EXPECT_TRUE(transport.send_bye(
+      static_cast<std::uint32_t>(intervals.size())));
+}
+
+TEST(LoopbackFleet, MetricsTrailersAggregateAndServeOverHttp) {
+  // Every member ships per-interval registry snapshots in the metrics
+  // trailer; the collector re-registers them under device="<id>" plus
+  // device="fleet" rollups, all scrapeable over the HTTP plane — and
+  // the rollups must equal what the single-process ShardedDevice
+  // reference reports for the same trace.
+  const auto intervals = classify_trace(
+      fleet_trace(), packet::FlowDefinition::five_tuple());
+  const std::vector<core::Report> reference = sharded_reference(intervals);
+
+  telemetry::MetricsRegistry registry;
+  CollectorConfig config;
+  config.expected_devices = kFleetSize;
+  config.timeout = std::chrono::milliseconds(30'000);  // hang guard
+  config.metrics = &registry;
+  Collector collector(config);
+
+  telemetry::HttpExporterConfig http_config;
+  http_config.metrics_text = [&registry] {
+    return telemetry::to_prometheus(registry.snapshot());
+  };
+  http_config.status_text = [&collector] {
+    return collector.status_text();
+  };
+  http_config.healthy = [&collector] { return collector.healthy(); };
+  telemetry::HttpExporter http(std::move(http_config));
+  http.start();
+
+  collector.start();
+  std::vector<std::thread> members;
+  for (std::uint32_t m = 0; m < kFleetSize; ++m) {
+    members.emplace_back([m, port = collector.port(), &intervals] {
+      run_member_with_metrics(m, port, intervals);
+    });
+  }
+  for (std::thread& member : members) member.join();
+  ASSERT_TRUE(collector.wait());
+
+  // Per-device series match the reference shard statuses exactly: the
+  // member's packet counter accumulates what ShardedDevice routed to
+  // that shard, its entries gauge is the shard's last entries_used.
+  std::uint64_t total_packets = 0;
+  std::size_t max_entries = 0;
+  for (std::uint32_t m = 0; m < kFleetSize; ++m) {
+    std::uint64_t shard_packets = 0;
+    for (const core::Report& report : reference) {
+      shard_packets += report.shards[m].packets;
+    }
+    total_packets += shard_packets;
+    const telemetry::Labels labels{{"device", std::to_string(m)}};
+    EXPECT_EQ(
+        registry.counter("nd_member_packets_total", labels).value(),
+        shard_packets)
+        << "device " << m;
+    const auto entries = reference.back().shards[m].entries_used;
+    max_entries = std::max(max_entries, entries);
+    EXPECT_DOUBLE_EQ(
+        registry.gauge("nd_member_entries", labels).value(),
+        static_cast<double>(entries))
+        << "device " << m;
+  }
+  // Fleet rollups: counters sum, gauges take the worst member.
+  const telemetry::Labels fleet{{"device", "fleet"}};
+  EXPECT_EQ(registry.counter("nd_member_packets_total", fleet).value(),
+            total_packets);
+  EXPECT_DOUBLE_EQ(registry.gauge("nd_member_entries", fleet).value(),
+                   static_cast<double>(max_entries));
+  EXPECT_EQ(
+      registry.histogram("nd_member_report_flows", fleet).count(),
+      static_cast<std::uint64_t>(kFleetSize * intervals.size()));
+
+  // The same values over a real HTTP scrape.
+  const std::string scrape = http_get(http.port(), "/metrics");
+  EXPECT_NE(scrape.find("HTTP/1.0 200 OK"), std::string::npos);
+  for (std::uint32_t m = 0; m < kFleetSize; ++m) {
+    EXPECT_NE(scrape.find("nd_member_packets_total{device=\"" +
+                          std::to_string(m) + "\"} "),
+              std::string::npos)
+        << "device " << m << " series missing from scrape";
+  }
+  EXPECT_NE(scrape.find("nd_member_packets_total{device=\"fleet\"} " +
+                        std::to_string(total_packets) + "\n"),
+            std::string::npos)
+      << scrape.substr(0, 2000);
+  // Healthy fleet: /healthz 200, /statusz shows every device done.
+  EXPECT_NE(http_get(http.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  const std::string status = http_get(http.port(), "/statusz");
+  EXPECT_NE(status.find("health: ok"), std::string::npos);
+  EXPECT_NE(status.find("device 0: epoch 0, 3 reports, bye"),
+            std::string::npos)
+      << status;
+}
+
+TEST(LoopbackFleet, DegradedShardFlipsHealthzSticky) {
+  // A report whose ShardStatus carries degraded=true means an interval
+  // lost flows to the watchdog; once the collector has ingested one,
+  // /healthz must answer 503 for the rest of the daemon's life.
+  telemetry::MetricsRegistry registry;
+  CollectorConfig config;
+  config.expected_devices = 1;
+  config.timeout = std::chrono::milliseconds(30'000);  // hang guard
+  config.metrics = &registry;
+  Collector collector(config);
+
+  telemetry::HttpExporterConfig http_config;
+  http_config.metrics_text = [&registry] {
+    return telemetry::to_prometheus(registry.snapshot());
+  };
+  http_config.status_text = [&collector] {
+    return collector.status_text();
+  };
+  http_config.healthy = [&collector] { return collector.healthy(); };
+  telemetry::HttpExporter http(std::move(http_config));
+  http.start();
+  collector.start();
+
+  EXPECT_TRUE(collector.healthy());
+  EXPECT_NE(http_get(http.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+
+  const auto intervals = classify_trace(
+      fleet_trace(), packet::FlowDefinition::five_tuple());
+  std::thread member([port = collector.port(), &intervals] {
+    FleetMember fleet_member(
+        0, 1, kSeed,
+        std::make_unique<core::MultistageFilter>(
+            filter_config(core::shard_seed(kSeed, 0))));
+    TcpTransportConfig transport_config;
+    transport_config.port = port;
+    TcpTransport transport(transport_config);
+    common::FakeClock clock;
+    reporting::ResilientChannelConfig channel_config;
+    channel_config.bytes_per_interval = 1ULL << 24;
+    channel_config.sleep_on_backoff = true;
+    channel_config.clock = &clock;
+    channel_config.transport = &transport;
+    reporting::ResilientChannel channel(channel_config);
+    fleet_member.observe_batch(intervals.front());
+    core::Report report = fleet_member.end_interval();
+    // The hand-crafted failure: this interval missed its watchdog.
+    report.shards.front().degraded = true;
+    EXPECT_TRUE(channel.send(report).delivered);
+    EXPECT_TRUE(transport.send_bye(1));
+  });
+  member.join();
+  ASSERT_TRUE(collector.wait());
+
+  EXPECT_FALSE(collector.healthy());
+  EXPECT_NE(http_get(http.port(), "/healthz")
+                .find("503 Service Unavailable"),
+            std::string::npos);
+  const std::string status = http_get(http.port(), "/statusz");
+  EXPECT_NE(status.find("health: DEGRADED"), std::string::npos);
+  EXPECT_NE(status.find("1 degraded intervals"), std::string::npos)
+      << status;
 }
 
 TEST(LoopbackFleet, MergeSurvivesMidIntervalDisconnectBitIdentical) {

@@ -1,0 +1,148 @@
+// The embedded HTTP observability endpoint, scraped over a real
+// loopback connection: /metrics renders the callback, /healthz flips
+// between 200 and 503 with the predicate, /statusz serves the status
+// callback, and the tiny HTTP/1.0 surface rejects everything else.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/http_exporter.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace nd::telemetry {
+namespace {
+
+/// Minimal scrape client: one request, read to EOF (the server closes).
+std::string http_request(std::uint16_t port, const std::string& raw) {
+  net::Socket socket = net::tcp_connect("127.0.0.1", port);
+  EXPECT_TRUE(socket.valid());
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(raw.data());
+  EXPECT_TRUE(net::write_all(socket.fd(), {bytes, raw.size()}));
+  std::string response;
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const ssize_t n = net::read_some(socket.fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    response.append(reinterpret_cast<const char*>(buffer),
+                    static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+TEST(HttpExporter, ServesMetricsFromTheCallback) {
+  MetricsRegistry registry;
+  registry.counter("nd_test_events_total").add(7);
+  HttpExporterConfig config;
+  config.metrics_text = [&registry] {
+    return to_prometheus(registry.snapshot());
+  };
+  HttpExporter exporter(std::move(config));
+  EXPECT_NE(exporter.port(), 0);  // ephemeral bind happened in the ctor
+  exporter.start();
+
+  const std::string response = http_get(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(
+      response.find("Content-Type: text/plain; version=0.0.4"),
+      std::string::npos);
+  EXPECT_NE(response.find("nd_test_events_total 7"), std::string::npos);
+
+  // The callback renders the live registry, not a bind-time copy.
+  registry.counter("nd_test_events_total").add(1);
+  EXPECT_NE(http_get(exporter.port(), "/metrics")
+                .find("nd_test_events_total 8"),
+            std::string::npos);
+  EXPECT_EQ(exporter.requests_served(), 2u);
+}
+
+TEST(HttpExporter, HealthzFollowsThePredicate) {
+  std::atomic<bool> healthy{true};
+  HttpExporterConfig config;
+  config.metrics_text = [] { return std::string(); };
+  config.healthy = [&healthy] { return healthy.load(); };
+  HttpExporter exporter(std::move(config));
+  exporter.start();
+
+  std::string response = http_get(exporter.port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(response), "ok\n");
+
+  healthy = false;
+  response = http_get(exporter.port(), "/healthz");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos);
+  EXPECT_EQ(body_of(response), "unhealthy\n");
+}
+
+TEST(HttpExporter, UnsetCallbacksServeSaneDefaults) {
+  HttpExporterConfig config;
+  config.metrics_text = [] { return std::string("x 1\n"); };
+  HttpExporter exporter(std::move(config));
+  exporter.start();
+  // No healthy() predicate: always healthy.
+  EXPECT_NE(http_get(exporter.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  // No status_text(): a placeholder, still 200.
+  EXPECT_NE(http_get(exporter.port(), "/statusz").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(HttpExporter, StatuszServesTheStatusCallback) {
+  HttpExporterConfig config;
+  config.metrics_text = [] { return std::string(); };
+  config.status_text = [] { return std::string("devices: 3\n"); };
+  HttpExporter exporter(std::move(config));
+  exporter.start();
+  EXPECT_EQ(body_of(http_get(exporter.port(), "/statusz")),
+            "devices: 3\n");
+}
+
+TEST(HttpExporter, RejectsUnknownPathsMethodsAndGarbage) {
+  HttpExporterConfig config;
+  config.metrics_text = [] { return std::string(); };
+  HttpExporter exporter(std::move(config));
+  exporter.start();
+  EXPECT_NE(http_get(exporter.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(http_request(exporter.port(),
+                         "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+  EXPECT_NE(http_request(exporter.port(), "garbage\r\n\r\n")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+  // A GET line with no HTTP version token is malformed.
+  EXPECT_NE(http_request(exporter.port(), "GET /metrics\r\n\r\n")
+                .find("400 Bad Request"),
+            std::string::npos);
+  // A malformed request must not wedge the loop for later scrapes.
+  EXPECT_NE(http_get(exporter.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(HttpExporter, StopIsIdempotentAndJoinsTheThread) {
+  HttpExporterConfig config;
+  config.metrics_text = [] { return std::string(); };
+  HttpExporter exporter(std::move(config));
+  exporter.start();
+  EXPECT_NE(http_get(exporter.port(), "/healthz").find("200"),
+            std::string::npos);
+  exporter.stop();
+  exporter.stop();  // second stop is a no-op; the dtor stops again
+}
+
+}  // namespace
+}  // namespace nd::telemetry

@@ -1,0 +1,116 @@
+// Prometheus exposition edge cases for the scrape path: label-value
+// escaping, empty label sets, and the byte-stability of a series'
+// identity across the device → trailer → collector → re-export chain —
+// what makes fleet dashboards line up with device dashboards.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/aggregate.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace nd::telemetry {
+namespace {
+
+TEST(PrometheusEdge, EscapesQuotesBackslashesAndNewlinesInLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .counter("nd_test_events_total",
+               Labels{{"path", "a\"b\\c\nd"}})
+      .add(1);
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find(R"(path="a\"b\\c\nd")"), std::string::npos)
+      << text;
+  // The raw control bytes must not leak into the exposition: the only
+  // newlines are the line separators.
+  EXPECT_EQ(text.find("a\"b"), std::string::npos) << text;
+}
+
+TEST(PrometheusEdge, EmptyLabelSetsRenderWithoutBraces) {
+  MetricsRegistry registry;
+  registry.counter("nd_test_events_total").add(2);
+  registry.gauge("nd_test_depth").set(1.5);
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("nd_test_events_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("nd_test_depth 1.5\n"), std::string::npos);
+  EXPECT_EQ(text.find("{}"), std::string::npos) << text;
+}
+
+TEST(PrometheusEdge, HistogramRendersCumulativeBucketsSumAndCount) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("nd_test_latency_ns");
+  histogram.record(1);
+  histogram.record(3);
+  histogram.record(3);
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE nd_test_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("nd_test_latency_ns_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  // Buckets are cumulative in the exposition even though the registry
+  // stores them sparsely.
+  EXPECT_NE(text.find("nd_test_latency_ns_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nd_test_latency_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nd_test_latency_ns_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("nd_test_latency_ns_count 3\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusEdge, TrailerToCollectorReExportIsByteStable) {
+  // Device side: an assorted registry with escaping-hostile labels.
+  MetricsRegistry device;
+  device.counter("nd_session_packets_total").add(41);
+  device
+      .counter("nd_flowmem_inserts_total", Labels{{"shard", "0"}})
+      .add(7);
+  device.gauge("nd_flowmem_occupancy", Labels{{"note", "a\"b\\c"}})
+      .set(0.25);
+  device.histogram("nd_shard_merge_ns").record(9);
+  const std::string trailer = to_json_line(device.snapshot(3));
+
+  // Two independent collectors ingest the same trailer: their scrapes
+  // must match byte for byte — series identity (name, sorted labels,
+  // escaping) is a function of the trailer alone, nothing ambient.
+  const auto scrape = [&trailer] {
+    MetricsRegistry registry;
+    FleetAggregator aggregator(registry);
+    aggregator.ingest(5, from_json_line(trailer));
+    return to_prometheus(registry.snapshot());
+  };
+  const std::string first = scrape();
+  EXPECT_EQ(first, scrape());
+
+  // Every device series appears under its device label, values intact.
+  EXPECT_NE(
+      first.find("nd_session_packets_total{device=\"5\"} 41\n"),
+      std::string::npos)
+      << first;
+  EXPECT_NE(first.find(
+                "nd_flowmem_inserts_total{device=\"5\",shard=\"0\"} 7"),
+            std::string::npos)
+      << first;
+  EXPECT_NE(
+      first.find(
+          "nd_flowmem_occupancy{device=\"5\",note=\"a\\\"b\\\\c\"} "
+          "0.25"),
+      std::string::npos)
+      << first;
+  EXPECT_NE(first.find("nd_shard_merge_ns_sum{device=\"5\"} 9"),
+            std::string::npos)
+      << first;
+
+  // Re-ingesting the identical trailer is a zero-delta round: counters
+  // and histograms are unchanged, so the scrape bytes are too.
+  MetricsRegistry registry;
+  FleetAggregator aggregator(registry);
+  aggregator.ingest(5, from_json_line(trailer));
+  const std::string before = to_prometheus(registry.snapshot());
+  aggregator.ingest(5, from_json_line(trailer));
+  EXPECT_EQ(to_prometheus(registry.snapshot()), before);
+}
+
+}  // namespace
+}  // namespace nd::telemetry

@@ -66,10 +66,10 @@ def main():
              "series)")
     parser.add_argument(
         "--ignore",
-        default=r"^BM_FrameStream",
+        default="",
         help="regex of benchmark names excluded from comparison "
-             "entirely (default: series with no committed baseline "
-             "yet); empty string disables")
+             "entirely (empty by default: every series in the "
+             "committed baseline is compared)")
     parser.add_argument(
         "--threshold", type=float, default=5.0,
         help="max tolerated regression in percent (default 5)")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Lint metric series names registered in the C++ sources.
+
+Scans every registry call site — counter("..."), gauge("..."),
+histogram("...") — and enforces the naming contract the observability
+plane exports over /metrics:
+
+  * every series matches ^nd_[a-z0-9_]+$ (the nd_ namespace, lowercase)
+  * counters end in _total (Prometheus counter convention)
+  * histograms end in a unit suffix: _ns or _bytes
+  * gauges do NOT end in _total (a gauge is not a counter)
+
+Exits non-zero with one line per violation, so it can run as a ctest
+test (label: observability) and fail the build on drift.
+
+Usage: metrics_lint.py <source-dir> [<source-dir>...]
+"""
+
+import pathlib
+import re
+import sys
+
+CALL = re.compile(
+    r'\b(counter|gauge|histogram)\s*\(\s*"([^"]*)"', re.MULTILINE
+)
+NAME = re.compile(r"^nd_[a-z0-9_]+$")
+SUFFIXES = {"histogram": ("_ns", "_bytes")}
+EXTENSIONS = {".cpp", ".hpp", ".cc", ".h"}
+
+
+def lint_text(text: str, path: str) -> list[str]:
+    problems = []
+    for match in CALL.finditer(text):
+        kind, name = match.group(1), match.group(2)
+        line = text.count("\n", 0, match.start()) + 1
+        where = f"{path}:{line}"
+        if not NAME.match(name):
+            problems.append(
+                f"{where}: {kind} '{name}' must match ^nd_[a-z0-9_]+$"
+            )
+            continue
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append(
+                f"{where}: counter '{name}' must end in _total"
+            )
+        elif kind == "gauge" and name.endswith("_total"):
+            problems.append(
+                f"{where}: gauge '{name}' must not end in _total"
+            )
+        elif kind == "histogram" and not name.endswith(
+            SUFFIXES["histogram"]
+        ):
+            problems.append(
+                f"{where}: histogram '{name}' must end in _ns or _bytes"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    problems = []
+    checked = 0
+    for root in argv[1:]:
+        for path in sorted(pathlib.Path(root).rglob("*")):
+            if path.suffix not in EXTENSIONS or not path.is_file():
+                continue
+            checked += 1
+            problems.extend(
+                lint_text(path.read_text(encoding="utf-8"), str(path))
+            )
+    for problem in problems:
+        print(problem)
+    print(
+        f"metrics_lint: {checked} files, "
+        f"{len(problems)} naming violation(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,7 +8,7 @@
 //                [--shards N] [--adaptive 1] [--shard-usage 1]
 //                [--metrics[=path]] [--fault-plan spec] [--fault-seed N]
 //                [--watchdog-ms N] [--checkpoint path] [--pin 1]
-//                [--hugepages[=explicit]]
+//                [--hugepages[=explicit]] [--http-port N] [--trace path]
 //       Stream a pcap through a measurement device in fixed intervals
 //       and print (and optionally export) the heavy hitters per
 //       interval. Algorithms: sample-and-hold, multistage, netflow.
@@ -24,8 +24,10 @@
 //       traffic (plus max/mean load-imbalance ratios) per interval.
 //       --metrics turns the zero-overhead-when-off telemetry layer on
 //       and writes one JSON-lines registry snapshot per interval to
-//       metrics.jsonl (or the given path); with --export the same
-//       snapshot also rides each report as the v3 metrics trailer.
+//       metrics.jsonl (or the given path); whenever the registry is on
+//       (--metrics or --http-port) the same snapshot rides every
+//       exported or --connect-shipped report as the v3 metrics trailer,
+//       feeding the collector's fleet aggregation.
 //       --fault-plan injects deterministic chaos (grammar in
 //       robustness/fault.hpp, seeded by --fault-seed) into the pool,
 //       shards and pcap reader; --watchdog-ms bounds each shard's
@@ -43,6 +45,19 @@
 //       results are bit-identical with or without it. The SIMD kernel
 //       family is picked automatically per CPU — override with
 //       ND_SIMD=scalar|neon|avx2 in the environment.
+//
+//       --http-port N serves the live observability plane on
+//       127.0.0.1:N (0 = ephemeral; --http-port-file publishes the
+//       bound port for harnesses): GET /metrics is the Prometheus text
+//       rendering of the registry, /healthz and /statusz report
+//       liveness. Implies the telemetry layer even without --metrics;
+//       with neither flag the packet path carries zero telemetry cost.
+//       --trace path records spans (observe_batch chunks sampled
+//       1-in-N per --trace-sample, shard merges, interval closes,
+//       checkpoint saves, channel send/backoff, transport connects)
+//       into a lock-free ring and writes a chrome://tracing /
+//       Perfetto JSON file at exit; span args carry device/epoch/
+//       interval ids that line up with the collector's --trace spans.
 //
 //       --connect HOST:PORT ships every interval report to a collector
 //       daemon (see `ndtm collect`) through the resilient channel over
@@ -62,6 +77,7 @@
 //
 //   ndtm collect --listen PORT --devices N [--export merged.bin]
 //                [--timeout-ms N] [--port-file path] [--metrics[=path]]
+//                [--http-port N] [--http-port-file path] [--trace path]
 //       The management-station end: accept device connections on
 //       127.0.0.1:PORT (0 = ephemeral; --port-file writes the bound
 //       port for harnesses), ingest framed reports with per-device
@@ -69,8 +85,16 @@
 //       when all N devices have said bye, fleet-merge each interval in
 //       device-id order — the same bit-deterministic merge a sharded
 //       device uses — printing a summary and optionally exporting the
-//       merged reports. Exit codes: 0 all devices completed, 1 IO
-//       error, 2 bad arguments, 5 timed out (or stopped) first.
+//       merged reports. While running, --http-port N serves the fleet
+//       observability plane: /metrics re-exports every member's v3
+//       metrics trailer under a device="<id>" label plus device="fleet"
+//       rollups (counters/histograms summed, gauges maxed), /healthz
+//       flips to 503 once any ingested report carries a degraded
+//       shard, /statusz renders the live device table. --trace path
+//       writes the collector-side chrome-trace spans (frame decodes,
+//       duplicate drops, fleet merges) at exit. Exit codes: 0 all
+//       devices completed, 1 IO error, 2 bad arguments, 5 timed out
+//       (or stopped) first.
 //
 //   ndtm bounds --threshold 1000000 --capacity 100000000
 //                --oversampling 20 --buckets 1000 --depth 4
@@ -107,7 +131,9 @@
 #include "reporting/resilient_channel.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/http_exporter.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "trace/presets.hpp"
 #include "trace/synthesizer.hpp"
 
@@ -162,6 +188,63 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Trace pid for `ndtm collect` exports — a constant no --device-id can
+/// collide with, so a device trace and the collector trace loaded into
+/// one viewer land on separate process rows.
+inline constexpr std::uint32_t kCollectorTracePid = 0xC011EC7;
+
+/// Publish a bound port for harnesses (--port-file / --http-port-file).
+bool write_port_file(const std::string& path, std::uint16_t port) {
+  if (path.empty()) return true;
+  std::ofstream stream(path);
+  if (!stream) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  stream << port << "\n";
+  return true;
+}
+
+/// --trace=path: drain the recorder into a chrome://tracing JSON file.
+bool write_trace_file(const std::string& path,
+                      const telemetry::TraceRecorder& recorder,
+                      std::uint32_t pid) {
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream) {
+    std::fprintf(stderr, "cannot open %s for trace\n", path.c_str());
+    return false;
+  }
+  const std::vector<telemetry::TraceEvent> events = recorder.events();
+  stream << telemetry::to_chrome_trace(events, pid);
+  std::printf("trace: %zu spans (%llu dropped) -> %s\n", events.size(),
+              static_cast<unsigned long long>(recorder.dropped()),
+              path.c_str());
+  return stream.good();
+}
+
+/// Serve the observability endpoint; exits with code 1 on a bind
+/// failure (the port is an operator input, same class as a bad path).
+std::unique_ptr<telemetry::HttpExporter> start_http_exporter(
+    const Args& args, telemetry::HttpExporterConfig config,
+    const char* command) {
+  config.port = static_cast<std::uint16_t>(args.get_u64("http-port", 0));
+  std::unique_ptr<telemetry::HttpExporter> http;
+  try {
+    http = std::make_unique<telemetry::HttpExporter>(std::move(config));
+  } catch (const net::NetError& error) {
+    std::fprintf(stderr, "%s: --http-port: %s\n", command, error.what());
+    return nullptr;
+  }
+  http->start();
+  if (!write_port_file(args.get("http-port-file", ""), http->port())) {
+    return nullptr;
+  }
+  std::printf("%s: observability http on 127.0.0.1:%u\n", command,
+              http->port());
+  std::fflush(stdout);
+  return http;
+}
 
 trace::TraceConfig preset_by_name(const std::string& name,
                                   std::uint64_t seed) {
@@ -294,15 +377,18 @@ int cmd_measure(const Args& args) {
                                      : core::multistage_adaptor();
 
   // --metrics / --metrics=path / --metrics path: turn the telemetry
-  // layer on. Off (the default) the devices are built with a null
-  // registry and the packet path carries zero telemetry cost.
+  // layer on. --http-port implies it (a scrape endpoint over an empty
+  // registry would be useless). With neither flag the devices are
+  // built with a null registry and the packet path carries zero
+  // telemetry cost.
   const bool metrics_on = args.has("metrics");
+  const bool http_on = args.has("http-port");
   const std::string metrics_arg = args.get("metrics", "");
   const std::string metrics_path =
       metrics_arg.empty() ? "metrics.jsonl" : metrics_arg;
   telemetry::MetricsRegistry registry;
   telemetry::MetricsRegistry* metrics =
-      metrics_on ? &registry : nullptr;
+      metrics_on || http_on ? &registry : nullptr;
   std::ofstream metrics_stream;
   std::unique_ptr<telemetry::JsonLinesExporter> metrics_exporter;
   if (metrics_on) {
@@ -314,6 +400,29 @@ int cmd_measure(const Args& args) {
     }
     metrics_exporter =
         std::make_unique<telemetry::JsonLinesExporter>(metrics_stream);
+  }
+  std::unique_ptr<telemetry::HttpExporter> http;
+  if (http_on) {
+    telemetry::HttpExporterConfig http_config;
+    http_config.metrics_text = [&registry] {
+      return telemetry::to_prometheus(registry.snapshot());
+    };
+    http = start_http_exporter(args, std::move(http_config), "measure");
+    if (http == nullptr) return 1;
+  }
+
+  // --trace path: span recording. Off (the default) every instrumented
+  // site holds a null recorder — one branch, no clock reads.
+  const std::string trace_path = args.get("trace", "");
+  if (args.has("trace") && trace_path.empty()) {
+    std::fprintf(stderr, "measure: --trace needs a file path\n");
+    return 2;
+  }
+  const auto device_id =
+      static_cast<std::uint32_t>(args.get_u64("device-id", 0));
+  std::unique_ptr<telemetry::TraceRecorder> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<telemetry::TraceRecorder>();
   }
 
   // --fault-plan: deterministic chaos across the pipeline (grammar in
@@ -372,6 +481,9 @@ int cmd_measure(const Args& args) {
     sharded.pool = pool.get();
     sharded.shard_affinity = pin;
     sharded.metrics = metrics;
+    sharded.trace = tracer.get();
+    sharded.trace_batch_sample =
+        static_cast<std::uint32_t>(args.get_u64("trace-sample", 64));
     sharded.faults = faults.get();
     sharded.watchdog_timeout = std::chrono::milliseconds(watchdog_ms);
     if (adaptive) sharded.adaptor = adaptor_config;
@@ -397,6 +509,7 @@ int cmd_measure(const Args& args) {
   core::MeasurementSession session(std::move(device), definition,
                                    interval);
   session.attach_telemetry(metrics);
+  session.attach_trace(tracer.get());
 
   std::ifstream stream(in, std::ios::binary);
   if (!stream) {
@@ -433,10 +546,10 @@ int cmd_measure(const Args& args) {
     transport_config.host = connect.substr(0, colon);
     transport_config.port = static_cast<std::uint16_t>(
         std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
-    transport_config.device_id =
-        static_cast<std::uint32_t>(args.get_u64("device-id", 0));
+    transport_config.device_id = device_id;
     transport_config.faults = faults.get();
     transport_config.metrics = metrics;
+    transport_config.trace = tracer.get();
     transport = std::make_unique<net::TcpTransport>(transport_config);
     reporting::ResilientChannelConfig channel_config;
     channel_config.bytes_per_interval =
@@ -449,6 +562,8 @@ int cmd_measure(const Args& args) {
     channel_config.transport = transport.get();
     channel_config.faults = faults.get();
     channel_config.metrics = metrics;
+    channel_config.trace = tracer.get();
+    channel_config.trace_device = static_cast<std::int64_t>(device_id);
     channel =
         std::make_unique<reporting::ResilientChannel>(channel_config);
   }
@@ -492,12 +607,16 @@ int cmd_measure(const Args& args) {
                     flow.exact ? "  (exact)" : "");
       }
       // One interval-aligned registry snapshot per report: a JSON line
-      // in the metrics file, and (with --export) the same line riding
-      // the encoded report as the v3 metrics trailer.
+      // in the metrics file, and the same line riding every exported or
+      // shipped report as the v3 metrics trailer — whichever flag
+      // turned the registry on, the collector's fleet plane gets fed.
       std::string metrics_line;
       if (metrics_exporter) {
         metrics_line = telemetry::to_json_line(
             metrics_exporter->write(registry, report.interval));
+      } else if (metrics != nullptr) {
+        metrics_line =
+            telemetry::to_json_line(registry.snapshot(report.interval));
       }
       if (export_stream.is_open()) {
         const auto encoded =
@@ -531,7 +650,8 @@ int cmd_measure(const Args& args) {
     const bool closed = !reports.empty();
     handle_reports(std::move(reports));
     if (closed && !checkpoint_path.empty()) {
-      core::save_checkpoint_file(checkpoint_path, session.checkpoint());
+      core::save_checkpoint_file(checkpoint_path, session.checkpoint(),
+                                 tracer.get());
     }
   };
 
@@ -594,6 +714,7 @@ int cmd_measure(const Args& args) {
       static_cast<unsigned long long>(session.packets_observed()),
       static_cast<unsigned long long>(session.packets_unclassified()),
       session.intervals_closed());
+  int exit_code = 0;
   if (channel) {
     const bool bye_ok = transport->send_bye(session.intervals_closed());
     const net::TcpTransportStats& tstats = transport->stats();
@@ -612,10 +733,15 @@ int cmd_measure(const Args& args) {
                    "(%llu reports undelivered%s)\n",
                    static_cast<unsigned long long>(net_reports_abandoned),
                    bye_ok ? "" : ", bye undeliverable");
-      return 5;
+      exit_code = 5;
     }
   }
-  return 0;
+  // The trace is written even on a transport failure — that run is
+  // exactly the one worth loading into a viewer.
+  if (tracer && !write_trace_file(trace_path, *tracer, device_id)) {
+    if (exit_code == 0) exit_code = 1;
+  }
+  return exit_code;
 }
 
 int cmd_collect(const Args& args) {
@@ -633,11 +759,26 @@ int cmd_collect(const Args& args) {
   }
 
   const bool metrics_on = args.has("metrics");
+  const bool http_on = args.has("http-port");
   const std::string metrics_arg = args.get("metrics", "");
   const std::string metrics_path =
       metrics_arg.empty() ? "collect_metrics.jsonl" : metrics_arg;
   telemetry::MetricsRegistry registry;
-  config.metrics = metrics_on ? &registry : nullptr;
+  // Either flag turns fleet aggregation on: every member's v3 metrics
+  // trailer lands in this registry under a device="<id>" label plus
+  // device="fleet" rollups.
+  config.metrics = metrics_on || http_on ? &registry : nullptr;
+
+  const std::string trace_path = args.get("trace", "");
+  if (args.has("trace") && trace_path.empty()) {
+    std::fprintf(stderr, "collect: --trace needs a file path\n");
+    return 2;
+  }
+  std::unique_ptr<telemetry::TraceRecorder> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<telemetry::TraceRecorder>();
+  }
+  config.trace = tracer.get();
 
   std::unique_ptr<net::Collector> collector;
   try {
@@ -662,6 +803,24 @@ int cmd_collect(const Args& args) {
   std::printf("collect: listening on 127.0.0.1:%u for %u devices\n",
               collector->port(), config.expected_devices);
   std::fflush(stdout);
+
+  // The observability plane serves scrapes from its own thread for as
+  // long as the daemon runs; destroyed (joined) before the collector.
+  std::unique_ptr<telemetry::HttpExporter> http;
+  if (http_on) {
+    telemetry::HttpExporterConfig http_config;
+    http_config.metrics_text = [&registry] {
+      return telemetry::to_prometheus(registry.snapshot());
+    };
+    http_config.status_text = [daemon = collector.get()] {
+      return daemon->status_text();
+    };
+    http_config.healthy = [daemon = collector.get()] {
+      return daemon->healthy();
+    };
+    http = start_http_exporter(args, std::move(http_config), "collect");
+    if (http == nullptr) return 1;
+  }
 
   const bool complete = collector->run();
   const net::CollectorStats stats = collector->stats();
@@ -714,12 +873,17 @@ int cmd_collect(const Args& args) {
     std::printf("metrics: %zu series -> %s\n", registry.size(),
                 metrics_path.c_str());
   }
+  int exit_code = 0;
   if (!complete) {
     std::fprintf(stderr,
                  "collect: gave up before all devices completed\n");
-    return 5;
+    exit_code = 5;
   }
-  return 0;
+  if (tracer &&
+      !write_trace_file(trace_path, *tracer, kCollectorTracePid)) {
+    if (exit_code == 0) exit_code = 1;
+  }
+  return exit_code;
 }
 
 int cmd_bounds(const Args& args) {

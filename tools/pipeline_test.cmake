@@ -161,3 +161,71 @@ execute_process(
 if(NOT rv EQUAL 5)
   message(FATAL_ERROR "collector timeout should exit 5, got ${rv}")
 endif()
+
+# ---------------------------------------------------------------------
+# Observability plane: the fleet again with the HTTP endpoint and trace
+# spans on. After the first device finishes, the collector's /metrics
+# is scraped over loopback (bash's /dev/tcp — no curl dependency) and
+# must already carry that device's series plus the fleet rollup; both
+# processes drop chrome-trace files at exit.
+execute_process(
+  COMMAND bash -c "\
+    set -u; \
+    rm -f '${WORKDIR}/obs.port' '${WORKDIR}/obs.http'; \
+    '${NDTM}' collect --listen 0 --devices 2 --timeout-ms 30000 \
+      --port-file '${WORKDIR}/obs.port' \
+      --http-port 0 --http-port-file '${WORKDIR}/obs.http' \
+      --trace '${WORKDIR}/collect_trace.json' \
+      --export '${WORKDIR}/obs_merged.bin' \
+      > '${WORKDIR}/obs_collect.log' 2>&1 & \
+    collect_pid=$!; \
+    for i in $(seq 1 100); do \
+      [ -s '${WORKDIR}/obs.port' ] && [ -s '${WORKDIR}/obs.http' ] && \
+        break; sleep 0.1; \
+    done; \
+    [ -s '${WORKDIR}/obs.port' ] || { echo 'no port file'; exit 90; }; \
+    [ -s '${WORKDIR}/obs.http' ] || { echo 'no http port'; exit 90; }; \
+    port=$(cat '${WORKDIR}/obs.port'); \
+    '${NDTM}' measure --in '${WORKDIR}/smoke.pcap' \
+      --algorithm multistage --flow-def dstip --threshold 100000 \
+      --connect 127.0.0.1:$port --device-id 0 \
+      --metrics '${WORKDIR}/obs_device_metrics.jsonl' \
+      --trace '${WORKDIR}/device_trace.json' || exit 91; \
+    hport=$(cat '${WORKDIR}/obs.http'); \
+    exec 3<>/dev/tcp/127.0.0.1/$hport || exit 93; \
+    printf 'GET /metrics HTTP/1.0\\r\\n\\r\\n' >&3; \
+    cat <&3 > '${WORKDIR}/obs_scrape.txt'; \
+    exec 3<&-; \
+    '${NDTM}' measure --in '${WORKDIR}/smoke.pcap' \
+      --algorithm multistage --flow-def dstip --threshold 100000 \
+      --connect 127.0.0.1:$port --device-id 1 || exit 92; \
+    wait $collect_pid"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "observability pipeline failed: ${rv}")
+endif()
+file(READ ${WORKDIR}/obs_scrape.txt obs_scrape)
+if(NOT obs_scrape MATCHES "HTTP/1.0 200 OK")
+  message(FATAL_ERROR "collector /metrics scrape was not a 200")
+endif()
+if(NOT obs_scrape MATCHES "nd_session_packets_total{device=\"0\"}")
+  message(FATAL_ERROR "scrape is missing the per-device series")
+endif()
+if(NOT obs_scrape MATCHES "device=\"fleet\"")
+  message(FATAL_ERROR "scrape is missing the fleet rollup series")
+endif()
+# Both trace files are chrome://tracing JSON arrays whose spans name
+# the two halves of the pipeline.
+file(READ ${WORKDIR}/device_trace.json device_trace)
+if(NOT device_trace MATCHES "^\\[")
+  message(FATAL_ERROR "device trace is not a JSON array")
+endif()
+if(NOT device_trace MATCHES "interval.close" OR
+   NOT device_trace MATCHES "channel.send")
+  message(FATAL_ERROR "device trace is missing pipeline spans")
+endif()
+file(READ ${WORKDIR}/collect_trace.json collect_trace)
+if(NOT collect_trace MATCHES "frame.decode" OR
+   NOT collect_trace MATCHES "fleet.merge")
+  message(FATAL_ERROR "collector trace is missing pipeline spans")
+endif()

@@ -14,10 +14,11 @@ if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
 endif()
 
 # The concurrency suites plus the tag-layout / affinity suites added
-# with the cache-conscious flow memory and the simd/hugepage suites
-# added with the vectorized kernels.
+# with the cache-conscious flow memory, the simd/hugepage suites added
+# with the vectorized kernels, and the observability plane (HTTP
+# exporter poll loop, lock-free trace ring, registry seqlock).
 set(ND_SANITIZE_TEST_REGEX
-    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity|Simd|Hugepage|Slab|CpuFeatures|FrameStream|TcpTransport|Collector|LoopbackFleet")
+    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity|Simd|Hugepage|Slab|CpuFeatures|FrameStream|TcpTransport|Collector|LoopbackFleet|HttpExporter|TraceRecorder|ChromeTrace|FleetAggregator|RegistryGeneration")
 
 # The dispatch-sensitive subset re-run under each forced ND_SIMD value:
 # the env override steers every device built during the test, so the
@@ -41,7 +42,7 @@ function(run_sanitized sanitizer subdir regex)
     COMMAND ${CMAKE_COMMAND} --build ${san_build} --parallel
             --target common_tests core_tests eval_tests telemetry_tests
             robustness_tests flowmem_tests hash_tests simd_tests
-            net_tests
+            net_tests observability_tests
     RESULT_VARIABLE rv)
   if(NOT rv EQUAL 0)
     message(FATAL_ERROR "tsan_check[${sanitizer}]: build failed: ${rv}")
