@@ -86,12 +86,19 @@ void save_checkpoint_file(const std::string& path,
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
     if (!out) {
+      // Don't leave a half-written .tmp behind: the previous checkpoint
+      // at `path` is still intact, and a stale tmp would shadow every
+      // future save attempt's failure.
+      std::error_code cleanup;
+      std::filesystem::remove(tmp, cleanup);
       throw common::StateError("checkpoint: short write to " + tmp);
     }
   }
   std::error_code error;
   std::filesystem::rename(tmp, path, error);
   if (error) {
+    std::error_code cleanup;
+    std::filesystem::remove(tmp, cleanup);
     throw common::StateError("checkpoint: cannot rename " + tmp + " to " +
                              path + ": " + error.message());
   }

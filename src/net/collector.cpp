@@ -1,5 +1,6 @@
 #include "net/collector.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -8,6 +9,8 @@
 
 #include <algorithm>
 #include <array>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
@@ -51,7 +54,7 @@ class Collector::ConnectionEvents final : public FrameStreamParser::Events {
 
   void on_bye(const Bye& bye) override {
     ++collector_.stats_.byes;
-    collector_.devices_[bye.device_id].bye = true;
+    collector_.mark_bye(bye.device_id, bye.intervals, /*journal=*/true);
   }
 
   void on_report_frame(std::span<const std::uint8_t> payload) override {
@@ -68,63 +71,8 @@ class Collector::ConnectionEvents final : public FrameStreamParser::Events {
       }
       return;
     }
-    DeviceState& device = collector_.devices_[conn_.device_id];
-    reporting::DecodedReport decoded;
-    {
-      telemetry::ScopedTraceSpan span(
-          collector_.config_.trace, "frame.decode", "collector",
-          telemetry::TraceArgs{conn_.device_id, device.epoch, -1,
-                               static_cast<std::int64_t>(payload.size())},
-          "bytes");
-      try {
-        decoded = reporting::decode_full(payload);
-      } catch (const reporting::CodecError&) {
-        // The CRC passed but the payload is not a report: a sender-side
-        // corruption of the pre-framing bytes. Drop it; the device's
-        // retry loop re-sends the interval.
-        ++collector_.stats_.decode_errors;
-        if (collector_.tm_decode_errors_ != nullptr) {
-          collector_.tm_decode_errors_->increment();
-        }
-        return;
-      }
-      span.mutable_args().interval =
-          static_cast<std::int64_t>(decoded.report.interval);
-    }
-    const common::IntervalIndex interval = decoded.report.interval;
-    for (const core::ShardStatus& shard : decoded.report.shards) {
-      if (shard.degraded) {
-        ++device.degraded_intervals;
-        collector_.degraded_seen_ = true;
-        break;
-      }
-    }
-    const auto [it, inserted] = device.reports.try_emplace(
-        interval, std::move(decoded.report));
-    (void)it;
-    if (inserted) {
-      ++collector_.stats_.reports_ingested;
-      if (collector_.tm_reports_ != nullptr) {
-        collector_.tm_reports_->increment();
-      }
-      collector_.ingest_metrics_trailer(conn_.device_id,
-                                        decoded.metrics_json);
-    } else {
-      // A reconnecting device re-ships intervals it cannot prove
-      // arrived; first-copy-wins keeps the merge exactly-once — and
-      // keeps the fleet aggregation exactly-once too (the duplicate's
-      // trailer is discarded with it).
-      ++collector_.stats_.duplicate_reports;
-      if (collector_.tm_duplicates_ != nullptr) {
-        collector_.tm_duplicates_->increment();
-      }
-      if (collector_.config_.trace != nullptr) {
-        collector_.config_.trace->instant(
-            "report.duplicate", "collector",
-            telemetry::TraceArgs{conn_.device_id, device.epoch,
-                                 static_cast<std::int64_t>(interval)});
-      }
-    }
+    collector_.ingest_report_payload(conn_.device_id, payload,
+                                     /*journal=*/true);
   }
 
   void on_resync(std::size_t bytes_skipped) override {
@@ -140,11 +88,33 @@ class Collector::ConnectionEvents final : public FrameStreamParser::Events {
   Connection& conn_;
 };
 
+/// Routes replayed journal records back into the normal ingestion path.
+class Collector::JournalReplay final : public JournalReplayEvents {
+ public:
+  explicit JournalReplay(Collector& collector) : collector_(collector) {}
+
+  void on_report(std::uint32_t device_id, std::uint32_t epoch,
+                 std::span<const std::uint8_t> payload) override {
+    DeviceState& device = collector_.devices_[device_id];
+    device.epoch = std::max(device.epoch, epoch);
+    collector_.ingest_report_payload(device_id, payload,
+                                     /*journal=*/false);
+  }
+
+  void on_bye(std::uint32_t device_id, std::uint32_t /*epoch*/,
+              std::uint32_t intervals) override {
+    collector_.mark_bye(device_id, intervals, /*journal=*/false);
+  }
+
+ private:
+  Collector& collector_;
+};
+
 Collector::Collector(const CollectorConfig& config) : config_(config) {
   listener_ = tcp_listen(config_.port, &port_);
   set_nonblocking(listener_.fd(), true);
   int pipe_fds[2];
-  if (::pipe(pipe_fds) != 0) {
+  if (::pipe2(pipe_fds, O_CLOEXEC) != 0) {
     throw NetError("net: collector stop pipe");
   }
   stop_reader_ = Socket(pipe_fds[0]);
@@ -164,7 +134,156 @@ Collector::Collector(const CollectorConfig& config) : config_(config) {
     tm_reconnects_ =
         &registry.counter("nd_net_reconnects_total", labels);
     tm_merge_ns_ = &registry.histogram("nd_net_merge_ns", labels);
+    if (!config_.journal_path.empty()) {
+      tm_journal_records_ =
+          &registry.counter("nd_journal_records_total", labels);
+      tm_journal_replayed_ =
+          &registry.counter("nd_journal_replayed_total", labels);
+      tm_journal_torn_ =
+          &registry.counter("nd_journal_torn_records_total", labels);
+      tm_journal_write_errors_ =
+          &registry.counter("nd_journal_write_errors_total", labels);
+    }
     aggregator_.emplace(registry);
+  }
+  if (!config_.journal_path.empty()) {
+    // Replay whatever a previous incarnation journaled, then open the
+    // log for appending — recovery before the listener sees a byte.
+    replay_journal_file();
+    journal_.emplace(JournalWriterConfig{config_.journal_path,
+                                         config_.journal_fsync,
+                                         config_.faults});
+  }
+}
+
+void Collector::replay_journal_file() {
+  std::ifstream in(config_.journal_path, std::ios::binary);
+  if (!in) return;  // first run: nothing to replay
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)),
+      std::istreambuf_iterator<char>());
+  telemetry::ScopedTraceSpan span(
+      config_.trace, "journal.replay", "collector", telemetry::TraceArgs{},
+      "records");
+  JournalReplay events(*this);
+  const JournalReplayStats replayed = replay_journal(bytes, events);
+  span.mutable_args().value =
+      static_cast<std::int64_t>(replayed.records);
+  stats_.journal_replayed += replayed.records;
+  stats_.journal_torn_records += replayed.torn;
+  if (tm_journal_replayed_ != nullptr) {
+    tm_journal_replayed_->add(replayed.records);
+  }
+  if (tm_journal_torn_ != nullptr) tm_journal_torn_->add(replayed.torn);
+}
+
+void Collector::ingest_report_payload(std::uint32_t device_id,
+                                      std::span<const std::uint8_t> payload,
+                                      bool journal) {
+  DeviceState& device = devices_[device_id];
+  reporting::DecodedReport decoded;
+  {
+    telemetry::ScopedTraceSpan span(
+        config_.trace, "frame.decode", "collector",
+        telemetry::TraceArgs{device_id, device.epoch, -1,
+                             static_cast<std::int64_t>(payload.size())},
+        "bytes");
+    try {
+      decoded = reporting::decode_full(payload);
+    } catch (const reporting::CodecError&) {
+      // The CRC passed but the payload is not a report: a sender-side
+      // corruption of the pre-framing bytes (or, on the replay path, a
+      // journal record damaged before its CRC was computed). Drop it;
+      // the device's retry loop re-sends the interval.
+      ++stats_.decode_errors;
+      if (tm_decode_errors_ != nullptr) {
+        tm_decode_errors_->increment();
+      }
+      return;
+    }
+    span.mutable_args().interval =
+        static_cast<std::int64_t>(decoded.report.interval);
+  }
+  const common::IntervalIndex interval = decoded.report.interval;
+  for (const core::ShardStatus& shard : decoded.report.shards) {
+    if (shard.degraded) {
+      ++device.degraded_intervals;
+      degraded_seen_ = true;
+      break;
+    }
+  }
+  const bool first_copy =
+      device.reports.find(interval) == device.reports.end();
+  if (first_copy && journal && journal_.has_value()) {
+    // Journal before merge: once this report can influence the fleet
+    // merge, it must survive a crash. Only first copies are written —
+    // a duplicate adds nothing a replay needs.
+    const std::vector<std::uint8_t> record =
+        encode_journal_report(device_id, device.epoch, payload);
+    if (journal_->append(record)) {
+      ++stats_.journal_records;
+      if (tm_journal_records_ != nullptr) {
+        tm_journal_records_->increment();
+      }
+      if (config_.trace != nullptr) {
+        config_.trace->instant(
+            "journal.append", "collector",
+            telemetry::TraceArgs{device_id, device.epoch,
+                                 static_cast<std::int64_t>(interval)});
+      }
+    } else {
+      ++stats_.journal_write_errors;
+      if (tm_journal_write_errors_ != nullptr) {
+        tm_journal_write_errors_->increment();
+      }
+    }
+  }
+  const auto [it, inserted] = device.reports.try_emplace(
+      interval, std::move(decoded.report));
+  (void)it;
+  if (inserted) {
+    ++stats_.reports_ingested;
+    if (tm_reports_ != nullptr) {
+      tm_reports_->increment();
+    }
+    ingest_metrics_trailer(device_id, decoded.metrics_json);
+  } else {
+    // A reconnecting device re-ships intervals it cannot prove
+    // arrived; first-copy-wins keeps the merge exactly-once — and
+    // keeps the fleet aggregation exactly-once too (the duplicate's
+    // trailer is discarded with it).
+    ++stats_.duplicate_reports;
+    if (tm_duplicates_ != nullptr) {
+      tm_duplicates_->increment();
+    }
+    if (config_.trace != nullptr) {
+      config_.trace->instant(
+          "report.duplicate", "collector",
+          telemetry::TraceArgs{device_id, device.epoch,
+                               static_cast<std::int64_t>(interval)});
+    }
+  }
+}
+
+void Collector::mark_bye(std::uint32_t device_id, std::uint32_t intervals,
+                         bool journal) {
+  DeviceState& device = devices_[device_id];
+  const bool first_bye = !device.bye;
+  device.bye = true;
+  if (first_bye && journal && journal_.has_value()) {
+    const std::vector<std::uint8_t> record =
+        encode_journal_bye(device_id, device.epoch, intervals);
+    if (journal_->append(record)) {
+      ++stats_.journal_records;
+      if (tm_journal_records_ != nullptr) {
+        tm_journal_records_->increment();
+      }
+    } else {
+      ++stats_.journal_write_errors;
+      if (tm_journal_write_errors_ != nullptr) {
+        tm_journal_write_errors_->increment();
+      }
+    }
   }
 }
 
@@ -212,6 +331,13 @@ std::string Collector::status_text() const {
   out += "reports: " + std::to_string(stats_.reports_ingested) +
          " ingested, " + std::to_string(stats_.duplicate_reports) +
          " duplicates\n";
+  if (journal_.has_value()) {
+    out += "journal: " + std::to_string(stats_.journal_records) +
+           " appended, " + std::to_string(stats_.journal_replayed) +
+           " replayed, " + std::to_string(stats_.journal_torn_records) +
+           " torn, " + std::to_string(stats_.journal_write_errors) +
+           " write errors\n";
+  }
   out += "devices:\n";
   for (const auto& [id, device] : devices_) {
     out += "  device " + std::to_string(id) + ": epoch " +
@@ -244,7 +370,8 @@ bool Collector::all_done_locked() const {
 
 void Collector::accept_ready() {
   for (;;) {
-    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    const int fd =
+        ::accept4(listener_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) break;  // EAGAIN (drained) or transient failure
     Socket accepted(fd);
     set_nonblocking(accepted.fd(), true);

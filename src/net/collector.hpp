@@ -35,9 +35,13 @@
 #include <thread>
 #include <vector>
 
+#include <span>
+
 #include "core/device.hpp"
 #include "net/frame_stream.hpp"
+#include "net/journal.hpp"
 #include "net/socket.hpp"
+#include "robustness/fault.hpp"
 #include "telemetry/aggregate.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -64,6 +68,17 @@ struct CollectorConfig {
   /// spans, correlated with device-side spans via (device, epoch,
   /// interval) ids.
   telemetry::TraceRecorder* trace{nullptr};
+  /// Crash-recovery journal (net/journal.hpp). Non-empty: existing
+  /// records are replayed through the normal ingestion path (dedup,
+  /// degraded scan, fleet aggregation) before the listener accepts
+  /// anything, and every newly accepted first-copy report — and every
+  /// bye — is journaled *before* it enters the merge state. A restarted
+  /// collector therefore merges bit-identically to one that never died.
+  std::string journal_path{};
+  /// fsync the journal per append (crash-durability for each report).
+  bool journal_fsync{true};
+  /// Fault hook for "journal.torn_record". Not owned.
+  robustness::FaultInjector* faults{nullptr};
 };
 
 struct CollectorStats {
@@ -88,6 +103,16 @@ struct CollectorStats {
   std::uint64_t resyncs{0};
   /// Connections that closed holding an incomplete frame.
   std::uint64_t partial_frames_dropped{0};
+  /// Records appended to the crash-recovery journal this run.
+  std::uint64_t journal_records{0};
+  /// Records replayed from the journal at startup (reports + byes;
+  /// replayed duplicates still count into duplicate_reports).
+  std::uint64_t journal_replayed{0};
+  /// Damaged journal records skipped during replay.
+  std::uint64_t journal_torn_records{0};
+  /// Journal appends that failed (write error or injected tear); the
+  /// report is still merged, it just loses crash-durability.
+  std::uint64_t journal_write_errors{0};
 };
 
 class Collector {
@@ -114,6 +139,11 @@ class Collector {
   void stop();
   bool wait();
 
+  /// Write end of the self-pipe stop() uses. A signal handler may
+  /// ::write one byte to it — that is all stop() does, and it is
+  /// async-signal-safe — so SIGINT/SIGTERM can end run() gracefully.
+  [[nodiscard]] int stop_fd() const { return stop_writer_.fd(); }
+
   /// Per-interval fleet merge over everything ingested so far: for each
   /// interval, member reports in ascending device-id order through
   /// core::merge_member_reports. Ascending interval order. Safe to call
@@ -137,6 +167,17 @@ class Collector {
  private:
   struct Connection;
   class ConnectionEvents;
+  class JournalReplay;
+
+  /// Ingest one CRC-verified report payload for `device_id` — the one
+  /// path both live frames and journal replay flow through. `journal`
+  /// is false during replay (the record is already on disk).
+  void ingest_report_payload(std::uint32_t device_id,
+                             std::span<const std::uint8_t> payload,
+                             bool journal);
+  void mark_bye(std::uint32_t device_id, std::uint32_t intervals,
+                bool journal);
+  void replay_journal_file();
 
   void accept_ready();
   /// Drain one readable connection; returns false when it closed.
@@ -168,6 +209,7 @@ class Collector {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<std::uint32_t, DeviceState> devices_;
+  std::optional<JournalWriter> journal_;
   CollectorStats stats_;
   bool stop_requested_{false};
   bool degraded_seen_{false};
@@ -186,6 +228,10 @@ class Collector {
   telemetry::Counter* tm_resyncs_{nullptr};
   telemetry::Counter* tm_reconnects_{nullptr};
   telemetry::Histogram* tm_merge_ns_{nullptr};
+  telemetry::Counter* tm_journal_records_{nullptr};
+  telemetry::Counter* tm_journal_replayed_{nullptr};
+  telemetry::Counter* tm_journal_torn_{nullptr};
+  telemetry::Counter* tm_journal_write_errors_{nullptr};
 };
 
 }  // namespace nd::net

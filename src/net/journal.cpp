@@ -1,0 +1,146 @@
+#include "net/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "net/frame_stream.hpp"
+#include "reporting/wal.hpp"
+
+namespace nd::net {
+
+namespace {
+
+/// type + device + epoch, before the per-type body.
+constexpr std::size_t kJournalPrefixBytes = 9;
+constexpr std::uint8_t kTypeReport = 0;
+constexpr std::uint8_t kTypeBye = 1;
+
+/// Journal records wrap NDFR payloads; allow their bound plus our
+/// prefix so a damaged length field cannot demand a huge allocation.
+constexpr std::size_t kMaxJournalPayload =
+    kMaxFramePayloadBytes + kJournalPrefixBytes + 16;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes,
+                      std::size_t offset) {
+  return (static_cast<std::uint32_t>(bytes[offset]) << 24) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes[offset + 3]);
+}
+
+std::vector<std::uint8_t> prefix(std::uint8_t type,
+                                 std::uint32_t device_id,
+                                 std::uint32_t epoch) {
+  std::vector<std::uint8_t> out;
+  out.push_back(type);
+  put_u32(out, device_id);
+  put_u32(out, epoch);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_journal_report(
+    std::uint32_t device_id, std::uint32_t epoch,
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out = prefix(kTypeReport, device_id, epoch);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_journal_bye(std::uint32_t device_id,
+                                             std::uint32_t epoch,
+                                             std::uint32_t intervals) {
+  std::vector<std::uint8_t> out = prefix(kTypeBye, device_id, epoch);
+  put_u32(out, intervals);
+  return out;
+}
+
+JournalReplayStats replay_journal(std::span<const std::uint8_t> bytes,
+                                  JournalReplayEvents& events) {
+  JournalReplayStats stats;
+  const reporting::wal::ScanStats scanned = reporting::wal::scan(
+      bytes, kJournalMagic, kMaxJournalPayload,
+      [&](std::span<const std::uint8_t> payload) {
+        if (payload.size() < kJournalPrefixBytes) {
+          ++stats.torn;
+          return;
+        }
+        const std::uint8_t type = payload[0];
+        const std::uint32_t device_id = get_u32(payload, 1);
+        const std::uint32_t epoch = get_u32(payload, 5);
+        const std::span<const std::uint8_t> body =
+            payload.subspan(kJournalPrefixBytes);
+        if (type == kTypeReport) {
+          ++stats.records;
+          events.on_report(device_id, epoch, body);
+        } else if (type == kTypeBye && body.size() == 4) {
+          ++stats.records;
+          events.on_bye(device_id, epoch, get_u32(body, 0));
+        } else {
+          // CRC-valid bytes that are not a journal record we know:
+          // damage written before the CRC was computed, or a future
+          // type. Recover-or-reject — skip it, keep replaying.
+          ++stats.torn;
+        }
+      });
+  stats.torn += scanned.torn;
+  return stats;
+}
+
+JournalWriter::JournalWriter(const JournalWriterConfig& config)
+    : config_(config) {
+  fd_ = ::open(config_.path.c_str(),
+               O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw JournalError("net: cannot open journal '" + config_.path + "'");
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool JournalWriter::append(std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> record =
+      reporting::wal::encode_record(kJournalMagic, payload);
+  std::span<const std::uint8_t> to_write = record;
+  bool torn = false;
+  if (config_.faults != nullptr) {
+    if (const auto decision = config_.faults->next("journal.torn_record")) {
+      torn = true;
+      to_write = to_write.first(
+          robustness::truncated_size(record.size(), decision->salt));
+    }
+  }
+  std::size_t offset = 0;
+  while (offset < to_write.size()) {
+    const ssize_t wrote =
+        ::write(fd_, to_write.data() + offset, to_write.size() - offset);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ++stats_.write_errors;
+      return false;
+    }
+    offset += static_cast<std::size_t>(wrote);
+  }
+  if (torn) {
+    ++stats_.torn_writes;
+    return false;
+  }
+  ++stats_.appended;
+  if (config_.fsync) ::fsync(fd_);
+  return true;
+}
+
+}  // namespace nd::net

@@ -1,0 +1,124 @@
+// Collector crash-recovery journal.
+//
+// A kill -9'd collector used to lose every interval it had accepted but
+// not yet exported. The journal closes that window: each accepted
+// (device, epoch, interval) report frame — and each bye — is appended
+// to an on-disk log *before* it enters the merge state, so a restarted
+// `ndtm collect --journal` replays the log through the same
+// first-copy-wins dedup and resumes with a fleet merge bit-identical to
+// an uninterrupted run (devices replaying their spools on reconnect
+// only produce duplicates the dedup already absorbs).
+//
+// On disk the journal is a stream of wal records (reporting/wal.hpp)
+// under its own magic 'NDJL', each payload:
+//
+//   type (u8: 0 = report, 1 = bye) | device id (u32) | epoch (u32) | body
+//
+// where a report's body is the raw NDFR payload bytes exactly as the
+// frame carried them (report codec v3, metrics trailer included) and a
+// bye's body is the intervals count (u32). Big-endian throughout.
+// Replay is recover-or-reject: wal::scan drops torn or corrupt records
+// and resyncs, a CRC-valid record with a malformed journal payload is
+// counted and skipped, and the report bytes themselves are validated by
+// the collector's usual decode path — damage costs exactly the damaged
+// record, never the journal.
+//
+// Fault site (robustness/fault.hpp):
+//   journal.torn_record  an append is cut mid-record (crash model);
+//                        later appends still land and replay resyncs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "robustness/fault.hpp"
+
+namespace nd::net {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4E444A4C;  // "NDJL"
+
+/// Journal payload for one accepted report frame; `payload` is the NDFR
+/// frame payload (the encoded report), stored verbatim.
+[[nodiscard]] std::vector<std::uint8_t> encode_journal_report(
+    std::uint32_t device_id, std::uint32_t epoch,
+    std::span<const std::uint8_t> payload);
+
+/// Journal payload for a device's bye.
+[[nodiscard]] std::vector<std::uint8_t> encode_journal_bye(
+    std::uint32_t device_id, std::uint32_t epoch, std::uint32_t intervals);
+
+/// Replay sink. on_report hands over the stored NDFR payload verbatim;
+/// decoding (and deduplicating) it is the caller's business, so replay
+/// flows through exactly the ingestion path live frames take.
+class JournalReplayEvents {
+ public:
+  virtual ~JournalReplayEvents() = default;
+  virtual void on_report(std::uint32_t device_id, std::uint32_t epoch,
+                         std::span<const std::uint8_t> payload) = 0;
+  virtual void on_bye(std::uint32_t device_id, std::uint32_t epoch,
+                      std::uint32_t intervals) = 0;
+};
+
+struct JournalReplayStats {
+  /// Well-formed journal records handed to the sink.
+  std::uint64_t records{0};
+  /// Damaged records skipped: torn/corrupt at the wal layer plus
+  /// CRC-valid records whose journal payload was malformed.
+  std::uint64_t torn{0};
+};
+
+/// Scan a journal byte range (typically a whole file) and replay every
+/// intact record, in file order. Free function so the fuzz tables can
+/// drive it without a Collector.
+JournalReplayStats replay_journal(std::span<const std::uint8_t> bytes,
+                                  JournalReplayEvents& events);
+
+struct JournalWriterConfig {
+  std::string path;
+  /// fsync after every append (one append per accepted report).
+  bool fsync{true};
+  /// Fault hook for "journal.torn_record". Not owned.
+  robustness::FaultInjector* faults{nullptr};
+};
+
+struct JournalWriterStats {
+  std::uint64_t appended{0};
+  std::uint64_t write_errors{0};
+  /// Appends deliberately cut mid-record by journal.torn_record.
+  std::uint64_t torn_writes{0};
+};
+
+/// Append-only journal file handle (O_APPEND | O_CLOEXEC). Throws
+/// JournalError when the file cannot be opened; append errors after
+/// that are counted, not thrown — a collector with a sick disk keeps
+/// collecting, it just loses crash-durability for the affected records.
+class JournalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JournalWriter {
+ public:
+  explicit JournalWriter(const JournalWriterConfig& config);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Append one journal payload (from encode_journal_*) as a wal
+  /// record. Returns true when the record is durably on disk.
+  bool append(std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] const JournalWriterStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& path() const { return config_.path; }
+
+ private:
+  JournalWriterConfig config_;
+  int fd_{-1};
+  JournalWriterStats stats_;
+};
+
+}  // namespace nd::net

@@ -27,7 +27,10 @@ void Socket::close() {
 }
 
 Socket tcp_listen(std::uint16_t port, std::uint16_t* bound_port) {
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  // CLOEXEC everywhere a socket is born: the soak harness forks and
+  // execs devices and collectors; a listener leaking into a child would
+  // keep the port alive past the owner's death.
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!sock.valid()) throw_errno("net: socket");
   const int one = 1;
   // Listener restarts (tests, daemon respawns) must not trip
@@ -62,7 +65,7 @@ Socket tcp_connect(const std::string& host, std::uint16_t port) {
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     throw NetError("net: not a numeric IPv4 address: " + host);
   }
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!sock.valid()) throw_errno("net: socket");
   if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
@@ -78,7 +81,7 @@ Socket tcp_connect(const std::string& host, std::uint16_t port) {
 
 std::pair<Socket, Socket> socket_pair() {
   int fds[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
     throw_errno("net: socketpair");
   }
   return {Socket(fds[0]), Socket(fds[1])};

@@ -4,22 +4,16 @@
 
 namespace nd::reporting {
 
-core::Report CollectionChannel::deliver(const core::Report& report) {
+void CollectionChannel::account_offered(const core::Report& report) {
   ++stats_.reports_offered;
   stats_.records_offered += report.flows.size();
-  const std::uint64_t offered = encoded_size(report);
-  stats_.bytes_offered += offered;
+  stats_.bytes_offered += encoded_size(report);
+}
 
-  if (faults_ != nullptr && faults_->next("channel.drop")) {
-    ++stats_.reports_dropped;
-    core::Report lost;
-    lost.interval = report.interval;
-    lost.threshold = report.threshold;
-    return lost;
-  }
-
+core::Report CollectionChannel::truncate_and_account(
+    const core::Report& report) {
   core::Report delivered = report;
-  if (offered > budget_) {
+  if (encoded_size(report) > budget_) {
     const std::uint64_t record_budget =
         budget_ > kHeaderBytes ? (budget_ - kHeaderBytes) / kRecordBytes
                                : 0;
@@ -29,6 +23,25 @@ core::Report CollectionChannel::deliver(const core::Report& report) {
   stats_.records_delivered += delivered.flows.size();
   stats_.bytes_delivered += encoded_size(delivered);
   return delivered;
+}
+
+core::Report CollectionChannel::deliver(const core::Report& report) {
+  account_offered(report);
+
+  if (faults_ != nullptr && faults_->next("channel.drop")) {
+    ++stats_.reports_dropped;
+    core::Report lost;
+    lost.interval = report.interval;
+    lost.threshold = report.threshold;
+    return lost;
+  }
+
+  return truncate_and_account(report);
+}
+
+core::Report CollectionChannel::shape(const core::Report& report) {
+  account_offered(report);
+  return truncate_and_account(report);
 }
 
 CollectionChannel::Delivered CollectionChannel::deliver(
@@ -56,6 +69,26 @@ CollectionChannel::Delivered CollectionChannel::deliver(
   }
   out.report = deliver(report);
   out.metrics_delivered = false;
+  return out;
+}
+
+CollectionChannel::Shaped CollectionChannel::shape(
+    const core::Report& report, std::string_view metrics_json) {
+  Shaped out;
+  if (!metrics_json.empty() &&
+      encoded_size(report, metrics_json.size()) <= budget_) {
+    out.report = shape(report);
+    out.metrics_fit = true;
+    const std::uint64_t trailer_bytes =
+        kTrailerLengthBytes + metrics_json.size();
+    stats_.bytes_offered += trailer_bytes;
+    stats_.bytes_delivered += trailer_bytes;
+    return out;
+  }
+  if (!metrics_json.empty()) {
+    stats_.bytes_offered += kTrailerLengthBytes + metrics_json.size();
+  }
+  out.report = shape(report);
   return out;
 }
 

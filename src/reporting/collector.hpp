@@ -57,6 +57,19 @@ class CollectionChannel {
   Delivered deliver(const core::Report& report,
                     std::string_view metrics_json);
 
+  /// Budget shaping only: exactly deliver()'s truncation and byte/record
+  /// accounting, but no "channel.drop" consultation — this report is not
+  /// in transit yet. The spool path (ResilientChannel + SpoolWal) shapes
+  /// a report once, persists the shaped frame, and consults the transit
+  /// fault sites per drain attempt on the wire copy instead.
+  core::Report shape(const core::Report& report);
+  struct Shaped {
+    core::Report report;
+    /// Whole payload (records and trailer) fit the interval budget.
+    bool metrics_fit{false};
+  };
+  Shaped shape(const core::Report& report, std::string_view metrics_json);
+
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
 
   /// Attach a fault injector (site "channel.drop": the offered report is
@@ -69,6 +82,11 @@ class CollectionChannel {
   }
 
  private:
+  /// The shared accounting halves of deliver()/shape(): count the offer,
+  /// then truncate to the byte budget and count what got through.
+  void account_offered(const core::Report& report);
+  core::Report truncate_and_account(const core::Report& report);
+
   std::uint64_t budget_;
   ChannelStats stats_;
   robustness::FaultInjector* faults_{nullptr};

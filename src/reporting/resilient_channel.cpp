@@ -6,7 +6,10 @@
 namespace nd::reporting {
 
 ResilientChannel::ResilientChannel(const ResilientChannelConfig& config)
-    : config_(config), channel_(config.bytes_per_interval) {
+    : config_(config),
+      channel_(config.bytes_per_interval),
+      jitter_rng_(config.jitter_seed),
+      prev_delay_(config.backoff_base) {
   config_.max_attempts = std::max<std::uint32_t>(config_.max_attempts, 1);
   channel_.attach_fault_injector(config_.faults);
   if (config_.metrics != nullptr) {
@@ -20,11 +23,27 @@ ResilientChannel::ResilientChannel(const ResilientChannelConfig& config)
     tm_abandoned_ = &registry.counter("nd_channel_abandoned_total", labels);
     tm_transport_failures_ =
         &registry.counter("nd_channel_transport_failures_total", labels);
+    tm_spooled_ = &registry.counter("nd_channel_spooled_total", labels);
   }
 }
 
 void ResilientChannel::backoff(std::uint32_t retry_index) {
-  const auto delay = config_.backoff_base * (1ULL << retry_index);
+  std::chrono::microseconds delay;
+  if (config_.jitter) {
+    // Decorrelated jitter: uniform in [base, min(cap, 3 * previous)].
+    // The previous delay carries across sends, so a long outage keeps
+    // spreading a fleet out instead of re-synchronizing per report.
+    const std::int64_t base = config_.backoff_base.count();
+    const std::int64_t upper = std::min<std::int64_t>(
+        config_.backoff_cap.count(), prev_delay_.count() * 3);
+    const std::uint64_t span =
+        upper > base ? static_cast<std::uint64_t>(upper - base) + 1 : 1;
+    delay = std::chrono::microseconds(
+        base + static_cast<std::int64_t>(jitter_rng_.uniform(span)));
+    prev_delay_ = delay;
+  } else {
+    delay = config_.backoff_base * (1ULL << retry_index);
+  }
   stats_.backoff_us += static_cast<std::uint64_t>(delay.count());
   ++stats_.retries;
   if (tm_retries_ != nullptr) tm_retries_->increment();
@@ -59,6 +78,10 @@ DeliveryOutcome ResilientChannel::send(const core::Report& report,
   const packet::FlowKeyKind kind = ordered.flows.empty()
                                        ? packet::FlowKeyKind::kFiveTuple
                                        : ordered.flows.front().key.kind();
+
+  if (config_.spool != nullptr && config_.transport != nullptr) {
+    return send_spooled(ordered, kind, metrics_json);
+  }
 
   DeliveryOutcome outcome;
   for (std::uint32_t attempt = 0; attempt < config_.max_attempts;
@@ -146,6 +169,93 @@ DeliveryOutcome ResilientChannel::send(const core::Report& report,
   ++stats_.reports_abandoned;
   if (tm_abandoned_ != nullptr) tm_abandoned_->increment();
   return outcome;
+}
+
+DeliveryOutcome ResilientChannel::send_spooled(
+    const core::Report& ordered, packet::FlowKeyKind kind,
+    std::string_view metrics_json) {
+  // Shape to the channel budget with deliver()'s exact accounting (no
+  // transit fault burned — the wire copy sees those per drain attempt),
+  // then persist before the first send attempt: from here on the report
+  // survives anything short of losing the spool directory.
+  const CollectionChannel::Shaped shaped =
+      channel_.shape(ordered, metrics_json);
+  const SpoolWal::AppendResult appended = config_.spool->append(
+      shaped.report, kind,
+      shaped.metrics_fit ? metrics_json : std::string_view{});
+  ++stats_.reports_spooled;
+  if (tm_spooled_ != nullptr) tm_spooled_->increment();
+
+  DeliveryOutcome outcome;
+  outcome.spooled = appended.index != SpoolWal::npos;
+  outcome.records_shed = ordered.flows.size() - shaped.report.flows.size() +
+                         appended.records_shed;
+  stats_.records_shed += outcome.records_shed;
+
+  const std::uint64_t attempts_before = stats_.attempts;
+  outcome.delivered = drain_spool();
+  outcome.attempts =
+      static_cast<std::uint32_t>(stats_.attempts - attempts_before);
+  outcome.backlog = config_.spool->backlog();
+  if (outcome.delivered) {
+    outcome.records_delivered =
+        shaped.report.flows.size() - appended.records_shed;
+    outcome.metrics_delivered = shaped.metrics_fit;
+  }
+  return outcome;
+}
+
+bool ResilientChannel::drain_spool() {
+  SpoolWal* spool = config_.spool;
+  if (spool == nullptr) return true;
+  if (config_.transport == nullptr) return spool->backlog() == 0;
+  std::uint32_t failures = 0;
+  while (spool->backlog() > 0) {
+    // Re-read the watermark every pass: a transport failure below
+    // rewinds it to zero and the replay restarts from the oldest frame.
+    const std::span<const std::uint8_t> stored =
+        spool->frame(spool->watermark());
+    ++stats_.attempts;
+
+    if (config_.faults != nullptr && config_.faults->next("channel.drop")) {
+      // The wire copy is lost in transit; the stored frame is untouched
+      // and simply retried.
+      ++stats_.drops;
+      if (tm_drops_ != nullptr) tm_drops_->increment();
+      if (++failures >= config_.max_attempts) return false;
+      backoff(failures - 1);
+      continue;
+    }
+
+    std::span<const std::uint8_t> to_send = stored;
+    std::vector<std::uint8_t> corrupted;
+    if (config_.faults != nullptr) {
+      if (const auto fault = config_.faults->next("channel.corrupt")) {
+        // Corrupt the wire copy only: the remote CRC rejects it, and
+        // the intact spooled frame is what any later replay resends.
+        corrupted.assign(stored.begin(), stored.end());
+        robustness::corrupt_bytes(corrupted, fault->salt);
+        to_send = corrupted;
+      }
+    }
+
+    if (!config_.transport->send_frame(to_send)) {
+      ++stats_.transport_failures;
+      if (tm_transport_failures_ != nullptr) {
+        tm_transport_failures_->increment();
+      }
+      // The connection died: frames sent on it may never have reached
+      // the collector's journal, so mark the whole log pending again.
+      spool->rewind();
+      if (++failures >= config_.max_attempts) return false;
+      backoff(failures - 1);
+      continue;
+    }
+
+    spool->ack();
+    failures = 0;
+  }
+  return true;
 }
 
 void ResilientChannel::flush() {

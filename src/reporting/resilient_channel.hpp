@@ -33,8 +33,10 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "core/device.hpp"
 #include "reporting/collector.hpp"
+#include "reporting/spool.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -91,6 +93,26 @@ struct ResilientChannelConfig {
   telemetry::TraceRecorder* trace{nullptr};
   /// Device id stamped into this channel's trace events (-1 = none).
   std::int64_t trace_device{-1};
+  /// Durable store-and-forward log (reporting/spool.hpp). Requires a
+  /// transport. With a spool attached, send() shapes the report to the
+  /// channel budget, appends the frame to the spool *before* the first
+  /// send attempt, then drains the spool oldest-first; a report that
+  /// outlives the retry budget stays spooled — never abandoned — and is
+  /// retried by the next send() or an explicit drain_spool(). Not
+  /// owned; must outlive the channel.
+  SpoolWal* spool{nullptr};
+  /// Opt into decorrelated-jitter backoff: each delay is drawn
+  /// uniformly from [backoff_base, min(backoff_cap, 3 x previous
+  /// delay)] (AWS "decorrelated jitter") instead of the deterministic
+  /// base * 2^retry ladder, so a fleet reconnecting after a collector
+  /// restart does not thunder in lockstep. Off by default — the exact
+  /// exponential ladder stays the contract the FakeClock tests assert.
+  bool jitter{false};
+  /// Seed for the jitter draw; distinct per device so schedules
+  /// decorrelate while staying exactly reproducible.
+  std::uint64_t jitter_seed{1};
+  /// Upper clamp on a jittered delay (ignored without `jitter`).
+  std::chrono::microseconds backoff_cap{1'000'000};
 };
 
 struct ResilientChannelStats {
@@ -110,8 +132,11 @@ struct ResilientChannelStats {
   /// construction — see largest-first shedding above).
   std::uint64_t records_shed{0};
   /// Reports given up on after max_attempts; the only unaccounted-for
-  /// loss is never silent — it lands here.
+  /// loss is never silent — it lands here. A spooled report is never
+  /// abandoned: exhaustion leaves it in the spool for a later drain.
   std::uint64_t reports_abandoned{0};
+  /// Reports appended to the spool (spool mode counts every send here).
+  std::uint64_t reports_spooled{0};
   /// Total backoff the retry loop imposed (recorded even when
   /// sleep_on_backoff is off).
   std::uint64_t backoff_us{0};
@@ -124,6 +149,12 @@ struct DeliveryOutcome {
   std::uint64_t records_delivered{0};
   std::uint64_t records_shed{0};
   bool metrics_delivered{false};
+  /// The report was durably appended to the spool before any attempt.
+  bool spooled{false};
+  /// Spooled frames still awaiting the wire after this call (0 in
+  /// non-spool mode). Non-zero with delivered == false means "not lost,
+  /// waiting" — the exit-code contract's distinction.
+  std::size_t backlog{0};
 };
 
 class ResilientChannel {
@@ -149,6 +180,16 @@ class ResilientChannel {
   /// in-order view of the measurement stream.
   [[nodiscard]] std::vector<core::Report> drain_ordered();
 
+  /// Push pending spooled frames onto the transport, oldest-first, with
+  /// at most max_attempts tries per frame; returns true when the
+  /// backlog is empty on exit. A transport failure rewinds the spool
+  /// watermark (frames sent on the dead connection may never have been
+  /// journaled), so the next drain replays the whole log and the
+  /// collector's first-copy-wins dedup absorbs the duplicates. Frames
+  /// that exhaust the attempt budget stay spooled. No-op without a
+  /// spool; called by send() in spool mode and by shutdown paths.
+  bool drain_spool();
+
   [[nodiscard]] const ResilientChannelStats& stats() const { return stats_; }
   [[nodiscard]] const ChannelStats& channel_stats() const {
     return channel_.stats();
@@ -156,6 +197,9 @@ class ResilientChannel {
 
  private:
   void backoff(std::uint32_t retry_index);
+  DeliveryOutcome send_spooled(const core::Report& ordered,
+                               packet::FlowKeyKind kind,
+                               std::string_view metrics_json);
 
   ResilientChannelConfig config_;
   CollectionChannel channel_;
@@ -164,12 +208,16 @@ class ResilientChannel {
   /// A frame delayed by "channel.reorder"; surfaces after the next
   /// successful delivery (or at flush()).
   std::optional<core::Report> limbo_;
+  /// Decorrelated-jitter state: the previous delay feeds the next draw.
+  common::Rng jitter_rng_{1};
+  std::chrono::microseconds prev_delay_{0};
   telemetry::Counter* tm_retries_{nullptr};
   telemetry::Counter* tm_drops_{nullptr};
   telemetry::Counter* tm_corruptions_{nullptr};
   telemetry::Counter* tm_reorders_{nullptr};
   telemetry::Counter* tm_abandoned_{nullptr};
   telemetry::Counter* tm_transport_failures_{nullptr};
+  telemetry::Counter* tm_spooled_{nullptr};
 };
 
 }  // namespace nd::reporting

@@ -1,0 +1,86 @@
+#include "reporting/wal.hpp"
+
+#include "hash/hash.hpp"
+
+namespace nd::reporting::wal {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes,
+                      std::size_t offset) {
+  return (static_cast<std::uint32_t>(bytes[offset]) << 24) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes[offset + 3]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_record(
+    std::uint32_t magic, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  append_record(out, magic, payload);
+  return out;
+}
+
+void append_record(std::vector<std::uint8_t>& out, std::uint32_t magic,
+                   std::span<const std::uint8_t> payload) {
+  put_u32(out, magic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, hash::crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+ScanStats scan(
+    std::span<const std::uint8_t> bytes, std::uint32_t magic,
+    std::size_t max_payload,
+    const std::function<void(std::span<const std::uint8_t>)>& sink) {
+  ScanStats stats;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < kRecordHeaderBytes ||
+        get_u32(bytes, pos) != magic) {
+      // Not a record start (damage, or the torn tail of the previous
+      // record): resync one byte forward. A magic-field flip lands
+      // here too — the damaged record is lost, its successors are not.
+      ++stats.skipped_bytes;
+      ++pos;
+      continue;
+    }
+    const std::size_t length = get_u32(bytes, pos + 4);
+    if (length > max_payload ||
+        remaining < kRecordHeaderBytes + length) {
+      // Magic matched but the record cannot be whole: either the
+      // length field is damaged or the file ends mid-payload (a crash
+      // between write() and rename/fsync). Count it torn and resync —
+      // a valid record that merely *follows* damage is still found.
+      ++stats.torn;
+      ++stats.skipped_bytes;
+      ++pos;
+      continue;
+    }
+    const std::span<const std::uint8_t> payload =
+        bytes.subspan(pos + kRecordHeaderBytes, length);
+    if (hash::crc32(payload) != get_u32(bytes, pos + 8)) {
+      ++stats.torn;
+      ++stats.skipped_bytes;
+      ++pos;
+      continue;
+    }
+    ++stats.records;
+    sink(payload);
+    pos += kRecordHeaderBytes + length;
+  }
+  return stats;
+}
+
+}  // namespace nd::reporting::wal

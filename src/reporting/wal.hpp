@@ -1,0 +1,62 @@
+// Shared on-disk record layer for the durability WALs.
+//
+// Both durable stores added for store-and-forward — the device-side
+// spool (reporting/spool.hpp) and the collector's crash-recovery
+// journal (net/journal.hpp) — persist streams of CRC-guarded records
+// with the exact layout of an NDFR frame (record_codec.hpp):
+//
+//   magic (u32) | payload length (u32) | CRC32 of payload (u32) | payload
+//
+// only the magic differs per store. This header factors the two halves
+// every WAL needs:
+//
+//   * encode_record / append_record — write one record;
+//   * scan() — recover a byte range that may end (or be damaged)
+//     anywhere: a record is surfaced only when its magic, length and
+//     CRC all check out; anything else — a torn tail from a crash
+//     mid-write, a flipped byte, interleaved garbage — is skipped by
+//     resyncing one byte at a time to the next plausible record start.
+//     Recovery therefore never crashes, never invents a record, and
+//     never yields one twice (the fuzz tables in tests/durability/
+//     hold this over every truncation prefix and byte flip).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace nd::reporting::wal {
+
+/// magic + length + CRC32, exactly reporting::kFrameHeaderBytes.
+inline constexpr std::size_t kRecordHeaderBytes = 12;
+
+/// One framed record: header followed by the payload bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_record(
+    std::uint32_t magic, std::span<const std::uint8_t> payload);
+
+/// encode_record appended to an existing buffer (segment batching).
+void append_record(std::vector<std::uint8_t>& out, std::uint32_t magic,
+                   std::span<const std::uint8_t> payload);
+
+struct ScanStats {
+  /// Records whose magic, length and CRC all verified (sink was called).
+  std::uint64_t records{0};
+  /// Positions that looked like a record start (magic matched) but were
+  /// torn or corrupt: truncated mid-payload, implausible length, or a
+  /// CRC mismatch.
+  std::uint64_t torn{0};
+  /// Bytes passed over while resyncing to the next record start.
+  std::uint64_t skipped_bytes{0};
+};
+
+/// Walk `bytes` recovering every intact record with the given magic;
+/// `sink` receives each payload (a view into `bytes`) in file order.
+/// `max_payload` rejects lengths no valid record could have (damage in
+/// the length field must not send the scanner chasing gigabytes).
+ScanStats scan(
+    std::span<const std::uint8_t> bytes, std::uint32_t magic,
+    std::size_t max_payload,
+    const std::function<void(std::span<const std::uint8_t>)>& sink);
+
+}  // namespace nd::reporting::wal

@@ -31,6 +31,10 @@
 //   net.connect     net::TcpTransport — one connect attempt refused
 //   net.disconnect  net::TcpTransport — connection dropped mid-frame
 //   net.short_write net::TcpTransport — sends shrunk to tiny chunks
+//   spool.disk_full    reporting::SpoolWal — append writes nothing
+//   spool.torn_record  reporting::SpoolWal — record cut mid-write
+//   spool.short_write  reporting::SpoolWal — record lands in 1-byte writes
+//   journal.torn_record net::JournalWriter — journal record cut mid-write
 #pragma once
 
 #include <chrono>

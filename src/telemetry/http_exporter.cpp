@@ -1,5 +1,6 @@
 #include "telemetry/http_exporter.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -38,7 +39,7 @@ HttpExporter::HttpExporter(HttpExporterConfig config)
   listener_ = net::tcp_listen(config_.port, &port_);
   net::set_nonblocking(listener_.fd(), true);
   int pipe_fds[2];
-  if (::pipe(pipe_fds) != 0) {
+  if (::pipe2(pipe_fds, O_CLOEXEC) != 0) {
     throw net::NetError("net: http exporter stop pipe");
   }
   stop_reader_ = net::Socket(pipe_fds[0]);
@@ -72,7 +73,8 @@ void HttpExporter::run() {
     if ((fds[0].revents & POLLIN) != 0) return;
     if ((fds[1].revents & POLLIN) == 0) continue;
     for (;;) {
-      const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+      const int fd =
+          ::accept4(listener_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
       if (fd < 0) break;  // EAGAIN (drained) or transient failure
       serve(net::Socket(fd));
     }

@@ -1,0 +1,246 @@
+// Kill-level chaos soak over the real ndtm binary: a two-member fleet
+// ships a synthesized capture to a journaled collector over loopback
+// while the collector is SIGKILLed and restarted between cycles (with
+// a seeded mid-interval kill delay) and the devices are SIGKILLed and
+// restarted from their checkpoints + spools. The acceptance bar is
+// total: the final collector incarnation's merged export must be
+// byte-identical to a single-process `--shards M` run of the same
+// capture, and no device may ever report a permanently dropped spool
+// frame (nd_spool_dropped_total == 0, surfaced as exit code 0 and a
+// "0 dropped" spool summary). ND_SOAK_CYCLES caps the cycles so CI
+// stays bounded (default 4: three kill/restart cycles, one clean).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef NDTM_BIN
+#error "NDTM_BIN must be defined to the ndtm binary path"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kFleetSize = 2;
+
+pid_t spawn(const std::vector<std::string>& args,
+            const std::string& log_path) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd =
+      ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  ::execv(argv[0], argv.data());
+  _exit(127);
+}
+
+/// Exit code, or 128 + signal for a killed child.
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+int run_sync(const std::vector<std::string>& args,
+             const std::string& log_path) {
+  return wait_exit(spawn(args, log_path));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Poll for the collector's --port-file and parse the bound port.
+/// Returns 0 if the collector exits before publishing — which is
+/// legitimate when a restarted incarnation replays a journal that
+/// already holds every device's bye and finishes without listening.
+int wait_port(const std::string& path, pid_t collector) {
+  for (int i = 0; i < 500; ++i) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return port;
+    int status = 0;
+    if (::waitpid(collector, &status, WNOHANG) == collector) {
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0) return 0;
+      ADD_FAILURE() << "collector died before publishing its port";
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ADD_FAILURE() << "collector never published its port";
+  return -1;
+}
+
+TEST(DurabilitySoak, KillLevelChaosLosesNothingAndMergesBitIdentically) {
+  const std::string bin = NDTM_BIN;
+  const fs::path workdir = fs::path(::testing::TempDir()) / "nd_soak";
+  fs::remove_all(workdir);
+  fs::create_directories(workdir);
+  const auto path = [&](const std::string& name) {
+    return (workdir / name).string();
+  };
+
+  int cycles = 4;
+  if (const char* env = std::getenv("ND_SOAK_CYCLES")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1 && parsed <= 10) cycles = parsed;
+  }
+
+  // A capture long enough that kills land mid-stream.
+  ASSERT_EQ(run_sync({bin, "synthesize", "--preset", "cos", "--scale",
+                      "0.3", "--intervals", "5", "--out",
+                      path("soak.pcap")},
+                     path("synthesize.log")),
+            0)
+      << slurp(path("synthesize.log"));
+
+  // The single-process reference: one M-sharded device, same seed.
+  ASSERT_EQ(run_sync({bin, "measure", "--in", path("soak.pcap"),
+                      "--algorithm", "multistage", "--flow-def", "dstip",
+                      "--threshold", "100000", "--shards",
+                      std::to_string(kFleetSize), "--export",
+                      path("reference.bin")},
+                     path("reference.log")),
+            0)
+      << slurp(path("reference.log"));
+
+  const auto device_args = [&](std::uint32_t member, int port) {
+    const std::string m = std::to_string(member);
+    return std::vector<std::string>{
+        bin, "measure", "--in", path("soak.pcap"),
+        "--algorithm", "multistage", "--flow-def", "dstip",
+        "--threshold", "100000",
+        "--fleet-size", std::to_string(kFleetSize), "--device-id", m,
+        "--connect", "127.0.0.1:" + std::to_string(port),
+        "--spool-dir", path("spool_" + m),
+        "--checkpoint", path("device_" + m + ".ndck"), "--resume",
+        "--net-attempts", "3", "--net-backoff-us", "2000",
+        // Throttle the replay to a live-capture cadence so the seeded
+        // kills land mid-stream, not after the capture already drained.
+        "--pace-ms", "120"};
+  };
+  const auto device_log = [&](std::uint32_t member, int cycle) {
+    return path("device_" + std::to_string(member) + "_cycle" +
+                std::to_string(cycle) + ".log");
+  };
+
+  // Seeded kill schedule: deterministic per ND_SOAK_CYCLES, varied per
+  // cycle, and always inside the fleet's measurement window.
+  std::uint64_t kill_seed = 0x9E3779B97F4A7C15ull;
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const bool final_cycle = cycle + 1 == cycles;
+    fs::remove(path("collect.port"));
+    const pid_t collector = spawn(
+        {bin, "collect", "--listen", "0", "--devices",
+         std::to_string(kFleetSize), "--timeout-ms", "60000",
+         "--journal", path("collect.journal"),
+         "--port-file", path("collect.port"),
+         "--export", path("merged.bin")},
+        path("collect_cycle" + std::to_string(cycle) + ".log"));
+    const int port = wait_port(path("collect.port"), collector);
+    ASSERT_NE(port, -1) << "cycle " << cycle;
+    if (port == 0) {
+      // The journal already held every device's bye: the restarted
+      // collector replayed it, exported the merge, and exited 0
+      // without listening. The fleet finished in an earlier cycle —
+      // nothing left to chaos.
+      break;
+    }
+
+    std::vector<pid_t> devices;
+    for (std::uint32_t member = 0; member < kFleetSize; ++member) {
+      devices.push_back(
+          spawn(device_args(member, port), device_log(member, cycle)));
+    }
+
+    if (!final_cycle) {
+      kill_seed = kill_seed * 6364136223846793005ull +
+                  1442695040888963407ull;
+      const int delay_ms = 40 + static_cast<int>(kill_seed % 160);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      // kill -9, no warning shot: whatever was in socket buffers or
+      // unflushed state dies with the process. The journal and spools
+      // are all that survive.
+      ::kill(collector, SIGKILL);
+      for (const pid_t device : devices) ::kill(device, SIGKILL);
+      wait_exit(collector);
+      for (const pid_t device : devices) wait_exit(device);
+      continue;
+    }
+
+    // Final cycle: every device restarts from its checkpoint, drains
+    // its spool, finishes the capture, and says bye; the collector
+    // completes the fleet and exports the merge.
+    for (std::uint32_t member = 0; member < kFleetSize; ++member) {
+      EXPECT_EQ(wait_exit(devices[member]), 0)
+          << "device " << member << " final run:\n"
+          << slurp(device_log(member, cycle));
+    }
+    EXPECT_EQ(wait_exit(collector), 0)
+        << "final collector:\n"
+        << slurp(path("collect_cycle" + std::to_string(cycle) + ".log"));
+  }
+
+  // Zero permanent loss: each device's last *completed* run (killed
+  // runs never reach the summary line) must report 0 spool drops —
+  // exit 5 would already have failed above; a dropped frame is the
+  // one loss the spool cannot hide.
+  for (std::uint32_t member = 0; member < kFleetSize; ++member) {
+    std::string summary_log;
+    for (int cycle = cycles - 1; cycle >= 0; --cycle) {
+      const std::string log = slurp(device_log(member, cycle));
+      // The startup "spool: recovered ..." line can appear in a killed
+      // run; only the end-of-run summary carries the drop counter.
+      if (log.find(" dropped,") != std::string::npos) {
+        summary_log = log;
+        break;
+      }
+    }
+    ASSERT_FALSE(summary_log.empty())
+        << "device " << member << " never completed a run";
+    EXPECT_NE(summary_log.find(" 0 dropped"), std::string::npos)
+        << "device " << member << " spool summary:\n"
+        << summary_log;
+  }
+
+  // The collapse-the-distributed-system guarantee, kill-level edition:
+  // the journal-recovered fleet merge is byte-identical to the
+  // uninterrupted single-process sharded run.
+  const std::string reference = slurp(path("reference.bin"));
+  const std::string merged = slurp(path("merged.bin"));
+  ASSERT_FALSE(reference.empty());
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged.size(), reference.size());
+  EXPECT_TRUE(merged == reference)
+      << "fleet merge diverged from the sharded reference";
+}
+
+}  // namespace

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "../support/report_testing.hpp"
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "core/device.hpp"
 #include "packet/flow_key.hpp"
 #include "reporting/record_codec.hpp"
@@ -298,6 +302,99 @@ TEST(ResilientChannel, EmptyReportDeliversCleanly) {
   EXPECT_EQ(outcome.records_delivered, 0u);
   ASSERT_EQ(channel.received().size(), 1u);
   EXPECT_EQ(channel.received()[0].interval, 9u);
+}
+
+/// Always refuses the frame: every attempt exercises the backoff path.
+class AlwaysRefusingTransport final : public FrameTransport {
+ public:
+  bool send_frame(std::span<const std::uint8_t>) override { return false; }
+};
+
+/// Replicate the decorrelated-jitter draw with a parallel Rng seeded
+/// identically: delay_i = base + uniform(min(cap, 3 * prev_delay) -
+/// base + 1), prev_0 = base, prev carried across sends.
+std::vector<std::chrono::microseconds> expected_jitter_schedule(
+    std::uint64_t seed, std::int64_t base_us, std::int64_t cap_us,
+    std::size_t count) {
+  common::Rng rng(seed);
+  std::vector<std::chrono::microseconds> schedule;
+  std::int64_t prev = base_us;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t upper = std::min<std::int64_t>(cap_us, prev * 3);
+    const std::uint64_t span =
+        upper > base_us ? static_cast<std::uint64_t>(upper - base_us) + 1
+                        : 1;
+    const std::int64_t delay =
+        base_us + static_cast<std::int64_t>(rng.uniform(span));
+    schedule.emplace_back(delay);
+    prev = delay;
+  }
+  return schedule;
+}
+
+TEST(ResilientChannel, JitterBackoffMatchesDecorrelatedScheduleExactly) {
+  // Jitter is opt-in: the default contract stays the deterministic
+  // exponential ladder the tests above pin.
+  EXPECT_FALSE(ResilientChannelConfig{}.jitter);
+
+  AlwaysRefusingTransport transport;
+  common::FakeClock clock;
+  ResilientChannelConfig config;
+  config.transport = &transport;
+  config.max_attempts = 6;
+  config.backoff_base = std::chrono::microseconds(1'000);
+  config.backoff_cap = std::chrono::microseconds(2'500);
+  config.jitter = true;
+  config.jitter_seed = 42;
+  config.sleep_on_backoff = true;
+  config.clock = &clock;
+  ResilientChannel channel(config);
+
+  EXPECT_FALSE(channel.send(make_report(0, 2)).delivered);
+
+  const std::vector<std::chrono::microseconds> expected =
+      expected_jitter_schedule(42, 1'000, 2'500, 6);
+  ASSERT_EQ(clock.sleep_count(), 6u);
+  std::uint64_t total_us = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(clock.sleeps()[i], expected[i]) << "retry " << i;
+    // Every jittered delay stays inside [base, cap].
+    EXPECT_GE(clock.sleeps()[i], std::chrono::microseconds(1'000));
+    EXPECT_LE(clock.sleeps()[i], std::chrono::microseconds(2'500));
+    total_us += static_cast<std::uint64_t>(expected[i].count());
+  }
+  EXPECT_EQ(channel.stats().backoff_us, total_us);
+}
+
+TEST(ResilientChannel, JitterStateCarriesAcrossSends) {
+  // The previous delay feeds the next draw *across* send() calls: a
+  // fleet spread out by a long outage stays spread out, instead of
+  // re-synchronizing at base on every report. The replicated schedule
+  // below is continuous over both sends — it only matches if
+  // prev_delay persists (a per-send reset would clamp draw 3's upper
+  // bound back to 3 * base).
+  AlwaysRefusingTransport transport;
+  common::FakeClock clock;
+  ResilientChannelConfig config;
+  config.transport = &transport;
+  config.max_attempts = 3;
+  config.backoff_base = std::chrono::microseconds(500);
+  config.backoff_cap = std::chrono::microseconds(100'000);
+  config.jitter = true;
+  config.jitter_seed = 7;
+  config.sleep_on_backoff = true;
+  config.clock = &clock;
+  ResilientChannel channel(config);
+
+  EXPECT_FALSE(channel.send(make_report(0, 2)).delivered);
+  EXPECT_FALSE(channel.send(make_report(1, 2)).delivered);
+
+  const std::vector<std::chrono::microseconds> expected =
+      expected_jitter_schedule(7, 500, 100'000, 6);
+  ASSERT_EQ(clock.sleep_count(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(clock.sleeps()[i], expected[i]) << "retry " << i;
+  }
 }
 
 }  // namespace

@@ -61,23 +61,73 @@
 //
 //       --connect HOST:PORT ships every interval report to a collector
 //       daemon (see `ndtm collect`) through the resilient channel over
-//       a real TCP transport: retries with exponential backoff on
-//       connect failures and mid-frame disconnects, announces itself
-//       with --device-id (default 0), and says bye when the capture
-//       ends. --net-attempts bounds delivery attempts per report,
-//       --net-backoff-us sets the base backoff, --net-budget the
-//       per-interval byte budget. The net.* fault sites (connect,
-//       disconnect, short_write) apply when a --fault-plan names them.
+//       a real TCP transport: retries with backoff on connect failures
+//       and mid-frame disconnects, announces itself with --device-id
+//       (default 0), and says bye when the capture ends. Backoff uses
+//       decorrelated jitter seeded per device so a fleet reconnecting
+//       after a collector restart spreads out (--net-jitter 0 restores
+//       the exact base*2^retry ladder). --net-attempts bounds delivery
+//       attempts per report, --net-backoff-us sets the base backoff,
+//       --net-budget the per-interval byte budget. The net.* fault
+//       sites (connect, disconnect, short_write) apply when a
+//       --fault-plan names them.
 //
-//       Exit codes: 0 success, 1 file/IO error, 2 bad arguments,
-//       3 decode error (malformed pcap or report), 4 runtime fault
-//       (injected fault or shard failure), 5 transport failure (a
-//       report abandoned after --net-attempts, or the final bye
-//       undeliverable).
+//       --spool-dir DIR (requires --connect) turns transport loss into
+//       a wait: every shaped report is appended to a CRC-guarded WAL in
+//       DIR *before* its first send attempt, recovered frames from a
+//       previous incarnation are drained on startup, and a report that
+//       outlives the retry budget stays spooled for the next run
+//       instead of being abandoned — the process then exits 0, not 5.
+//       While the backlog drains, /healthz reports degraded (503); it
+//       recovers only once every spooled report has reached the
+//       collector. --spool-max-bytes bounds the on-disk log (default
+//       64 MiB; over budget: sent frames evicted oldest-first, then
+//       smallest flows shed, and only a report that cannot fit at all
+//       is dropped — which is the one spool condition that still exits
+//       5). --spool-fsync 0 trades crash-durability for speed. The
+//       spool.* fault sites (disk_full, torn_record, short_write)
+//       apply when a --fault-plan names them.
+//
+//       --resume (requires --checkpoint) restarts from the checkpoint
+//       when the file exists (fresh start otherwise): the device state
+//       is restored, the already-accounted pcap records are skipped,
+//       and the re-fed tail reproduces the interrupted run's reports
+//       bit for bit — duplicates are the collector's first-copy-wins
+//       dedup's business.
+//
+//       --pace-ms N sleeps N milliseconds after each closed interval,
+//       throttling the pcap replay to approximate a live capture —
+//       chaos harnesses use it so kills land mid-stream instead of
+//       after a sub-millisecond replay. Default 0 (full speed); the
+//       measured results are identical either way.
+//
+//       --fleet-size M (with --device-id m < M, incompatible with
+//       --shards/--adaptive) runs this process as fleet member m: the
+//       flow space is routed with the same seeded math an M-sharded
+//       device uses and only slice m is measured, so M such processes
+//       shipping to one collector merge bit-identically to a single
+//       `--shards M` run.
+//
+//       SIGINT/SIGTERM stop the capture gracefully: the current
+//       position is checkpointed (with --checkpoint), the spool is
+//       given a final drain, metrics and trace files are written, no
+//       bye is sent (the capture is incomplete), and the process exits
+//       0 — a later --resume run continues where it left off.
+//
+//       Exit codes: 0 success (including "reports still spooled, not
+//       yet collected" — durable, not lost), 1 file/IO error, 2 bad
+//       arguments, 3 decode error (malformed pcap or report), 4
+//       runtime fault (injected fault or shard failure), 5 transport
+//       failure — only when the spool is disabled and a report was
+//       abandoned after --net-attempts (or the final bye was
+//       undeliverable), or when the spool's disk budget dropped a
+//       report outright.
 //
 //   ndtm collect --listen PORT --devices N [--export merged.bin]
 //                [--timeout-ms N] [--port-file path] [--metrics[=path]]
 //                [--http-port N] [--http-port-file path] [--trace path]
+//                [--journal path] [--journal-fsync 0|1]
+//                [--fault-plan spec] [--fault-seed N]
 //       The management-station end: accept device connections on
 //       127.0.0.1:PORT (0 = ephemeral; --port-file writes the bound
 //       port for harnesses), ingest framed reports with per-device
@@ -92,21 +142,40 @@
 //       flips to 503 once any ingested report carries a degraded
 //       shard, /statusz renders the live device table. --trace path
 //       writes the collector-side chrome-trace spans (frame decodes,
-//       duplicate drops, fleet merges) at exit. Exit codes: 0 all
-//       devices completed, 1 IO error, 2 bad arguments, 5 timed out
-//       (or stopped) first.
+//       duplicate drops, fleet merges) at exit.
+//       --journal path makes the merge state crash-durable: every
+//       first-copy report and bye is appended to a CRC-guarded journal
+//       *before* it enters the merge, and a restarted collector
+//       replays the journal through the normal ingestion path (dedup
+//       included) before accepting connections — so a collector killed
+//       mid-interval and restarted merges bit-identically to one that
+//       never died. --journal-fsync 0 trades per-record durability for
+//       speed; the journal.torn_record fault site applies when a
+//       --fault-plan names it. SIGINT/SIGTERM stop the daemon
+//       gracefully: accepted reports are already journaled, and the
+//       merged export, metrics and trace files are still written.
+//       Exit codes: 0 all devices completed, 1 IO error, 2 bad
+//       arguments, 5 timed out (or stopped) first.
 //
 //   ndtm bounds --threshold 1000000 --capacity 100000000
 //                --oversampling 20 --buckets 1000 --depth 4
 //                --flows 100000
 //       Evaluate the paper's analytical bounds for a configuration.
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "analysis/dimensioning.hpp"
 #include "analysis/multistage_bounds.hpp"
@@ -124,11 +193,14 @@
 #include "core/sharded_device.hpp"
 #include "eval/metrics.hpp"
 #include "net/collector.hpp"
+#include "net/fleet.hpp"
+#include "net/journal.hpp"
 #include "net/transport.hpp"
 #include "packet/flow_definition.hpp"
 #include "pcap/pcap.hpp"
 #include "reporting/record_codec.hpp"
 #include "reporting/resilient_channel.hpp"
+#include "reporting/spool.hpp"
 #include "robustness/fault.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/http_exporter.hpp"
@@ -194,17 +266,81 @@ class Args {
 /// one viewer land on separate process rows.
 inline constexpr std::uint32_t kCollectorTracePid = 0xC011EC7;
 
+/// Graceful SIGINT/SIGTERM: the handler only flips a flag (measure
+/// polls it between pcap records) and pokes the collector's self-pipe
+/// when one is registered — both async-signal-safe.
+volatile std::sig_atomic_t g_stop_requested = 0;
+volatile int g_collector_stop_fd = -1;
+
+void handle_stop_signal(int) {
+  g_stop_requested = 1;
+  const int fd = g_collector_stop_fd;
+  if (fd >= 0) {
+    const std::uint8_t byte = 1;
+    (void)::write(fd, &byte, 1);
+  }
+}
+
+void install_stop_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: file reads and accepts resume; the collector's poll()
+  // still wakes via the self-pipe byte the handler wrote.
+  action.sa_flags = SA_RESTART;
+  (void)::sigaction(SIGINT, &action, nullptr);
+  (void)::sigaction(SIGTERM, &action, nullptr);
+}
+
 /// Publish a bound port for harnesses (--port-file / --http-port-file).
+/// tmp+rename, so a poller never reads a half-written port.
 bool write_port_file(const std::string& path, std::uint16_t port) {
   if (path.empty()) return true;
-  std::ofstream stream(path);
-  if (!stream) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream stream(tmp, std::ios::trunc);
+    if (!stream) {
+      std::fprintf(stderr, "cannot open %s for writing\n", tmp.c_str());
+      return false;
+    }
+    stream << port << "\n";
+    if (!stream.good()) {
+      std::error_code cleanup;
+      std::filesystem::remove(tmp, cleanup);
+      std::fprintf(stderr, "short write to %s\n", tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code error;
+  std::filesystem::rename(tmp, path, error);
+  if (error) {
+    std::error_code cleanup;
+    std::filesystem::remove(tmp, cleanup);
+    std::fprintf(stderr, "cannot rename %s into place: %s\n", tmp.c_str(),
+                 error.message().c_str());
     return false;
   }
-  stream << port << "\n";
   return true;
 }
+
+/// Removes a published port file when the process leaves the scope that
+/// wrote it — normal return or exception unwind alike — so harnesses
+/// never pick up a stale port from a dead incarnation.
+class PortFileGuard {
+ public:
+  PortFileGuard() = default;
+  ~PortFileGuard() {
+    if (path_.empty()) return;
+    std::error_code discard;
+    std::filesystem::remove(path_, discard);
+  }
+  PortFileGuard(const PortFileGuard&) = delete;
+  PortFileGuard& operator=(const PortFileGuard&) = delete;
+  void arm(std::string path) { path_ = std::move(path); }
+
+ private:
+  std::string path_;
+};
 
 /// --trace=path: drain the recorder into a chrome://tracing JSON file.
 bool write_trace_file(const std::string& path,
@@ -372,6 +508,38 @@ int cmd_measure(const Args& args) {
                  "(sample-and-hold, multistage)\n");
     return 2;
   }
+  const auto device_id =
+      static_cast<std::uint32_t>(args.get_u64("device-id", 0));
+  const auto fleet_size =
+      static_cast<std::uint32_t>(args.get_u64("fleet-size", 0));
+  if (fleet_size > 0) {
+    if (device_id >= fleet_size) {
+      std::fprintf(stderr,
+                   "measure: --device-id %u is outside --fleet-size %u\n",
+                   device_id, fleet_size);
+      return 2;
+    }
+    if (shards > 1) {
+      std::fprintf(stderr,
+                   "measure: --fleet-size is one member of a fleet; it "
+                   "cannot combine with --shards\n");
+      return 2;
+    }
+    if (adaptive) {
+      std::fprintf(stderr,
+                   "measure: --fleet-size does not combine with "
+                   "--adaptive (members cannot see fleet-wide usage)\n");
+      return 2;
+    }
+  }
+  const std::string connect = args.get("connect", "");
+  const std::string spool_dir = args.get("spool-dir", "");
+  if (!spool_dir.empty() && connect.empty()) {
+    std::fprintf(stderr,
+                 "measure: --spool-dir spools reports for a collector; "
+                 "it needs --connect\n");
+    return 2;
+  }
   const core::ThresholdAdaptorConfig adaptor_config =
       algorithm == "sample-and-hold" ? core::sample_and_hold_adaptor()
                                      : core::multistage_adaptor();
@@ -401,14 +569,25 @@ int cmd_measure(const Args& args) {
     metrics_exporter =
         std::make_unique<telemetry::JsonLinesExporter>(metrics_stream);
   }
+  // Declared ahead of the HTTP exporter so /healthz can watch the
+  // spool backlog: a device still draining spooled reports is live but
+  // degraded, and the flag clears only once the backlog empties.
+  std::unique_ptr<net::TcpTransport> transport;
+  std::unique_ptr<reporting::SpoolWal> spool;
+  std::unique_ptr<reporting::ResilientChannel> channel;
   std::unique_ptr<telemetry::HttpExporter> http;
+  PortFileGuard http_port_guard;
   if (http_on) {
     telemetry::HttpExporterConfig http_config;
     http_config.metrics_text = [&registry] {
       return telemetry::to_prometheus(registry.snapshot());
     };
+    http_config.healthy = [&spool] {
+      return spool == nullptr || !spool->draining();
+    };
     http = start_http_exporter(args, std::move(http_config), "measure");
     if (http == nullptr) return 1;
+    http_port_guard.arm(args.get("http-port-file", ""));
   }
 
   // --trace path: span recording. Off (the default) every instrumented
@@ -418,8 +597,6 @@ int cmd_measure(const Args& args) {
     std::fprintf(stderr, "measure: --trace needs a file path\n");
     return 2;
   }
-  const auto device_id =
-      static_cast<std::uint32_t>(args.get_u64("device-id", 0));
   std::unique_ptr<telemetry::TraceRecorder> tracer;
   if (!trace_path.empty()) {
     tracer = std::make_unique<telemetry::TraceRecorder>();
@@ -449,6 +626,13 @@ int cmd_measure(const Args& args) {
     return 2;
   }
   const std::string checkpoint_path = args.get("checkpoint", "");
+  const bool resume_requested = args.has("resume");
+  if (resume_requested && checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "measure: --resume restarts from a checkpoint; it "
+                 "needs --checkpoint\n");
+    return 2;
+  }
 
   // --hugepages / --hugepages=explicit: back the flow-memory slot/tag
   // arrays and stage counter rows with 2 MB pages (common/hugepage.hpp).
@@ -496,6 +680,18 @@ int cmd_measure(const Args& args) {
               algorithm, threshold, per_shard, shard_seed_value, metrics,
               telemetry::Labels{{"shard", std::to_string(shard)}});
         });
+  } else if (fleet_size > 0) {
+    // One member of a --fleet-size fleet: the inner replica is built
+    // with the exact per-shard seed and memory split an M-sharded
+    // device would hand shard `device_id`, and the decorator routes the
+    // flow space with the same seeded math — so M such processes merge
+    // bit-identically to one `--shards M` run at the collector.
+    const std::size_t per_member =
+        std::max<std::size_t>(entries / fleet_size, 64);
+    device = std::make_unique<net::FleetSliceDevice>(
+        device_id, fleet_size, seed,
+        device_by_name(algorithm, threshold, per_member,
+                       core::shard_seed(seed, device_id), metrics));
   } else {
     device = device_by_name(algorithm, threshold, entries, seed, metrics);
     if (adaptive) {
@@ -506,8 +702,35 @@ int cmd_measure(const Args& args) {
   const auto interval = std::chrono::seconds(
       static_cast<long>(args.get_u64("interval", 5)));
   const packet::FlowKeyKind key_kind = definition.kind();
-  core::MeasurementSession session(std::move(device), definition,
-                                   interval);
+
+  // --resume: when the checkpoint file exists, restore the session
+  // (device state, interval clock, tallies) and remember how many pcap
+  // records it already accounted for; a missing file is a fresh start,
+  // so a restart loop needs no first-run special case.
+  std::uint64_t skip_records = 0;
+  bool resumed = false;
+  std::optional<core::MeasurementSession> session_storage;
+  if (resume_requested && std::filesystem::exists(checkpoint_path)) {
+    try {
+      const core::SessionCheckpoint loaded =
+          core::load_checkpoint_file(checkpoint_path);
+      skip_records = loaded.packets;
+      session_storage.emplace(core::MeasurementSession::resume(
+          loaded, std::move(device), definition));
+      resumed = true;
+      std::printf(
+          "resume: %s at %llu packets, %u intervals closed\n",
+          checkpoint_path.c_str(),
+          static_cast<unsigned long long>(loaded.packets),
+          loaded.intervals_closed);
+    } catch (const common::StateError& error) {
+      std::fprintf(stderr, "measure: --resume: %s\n", error.what());
+      return 1;
+    }
+  } else {
+    session_storage.emplace(std::move(device), definition, interval);
+  }
+  core::MeasurementSession& session = *session_storage;
   session.attach_telemetry(metrics);
   session.attach_trace(tracer.get());
 
@@ -532,9 +755,6 @@ int cmd_measure(const Args& args) {
   // daemon through the resilient channel over a real TCP transport. The
   // channel keeps its retry/backoff/shed policy; the transport owns the
   // socket and reconnects (with a bumped epoch) after any disconnect.
-  const std::string connect = args.get("connect", "");
-  std::unique_ptr<net::TcpTransport> transport;
-  std::unique_ptr<reporting::ResilientChannel> channel;
   std::uint64_t net_reports_abandoned = 0;
   if (!connect.empty()) {
     const auto colon = connect.rfind(':');
@@ -551,6 +771,32 @@ int cmd_measure(const Args& args) {
     transport_config.metrics = metrics;
     transport_config.trace = tracer.get();
     transport = std::make_unique<net::TcpTransport>(transport_config);
+    if (!spool_dir.empty()) {
+      reporting::SpoolWalConfig spool_config;
+      spool_config.directory = spool_dir;
+      spool_config.max_total_bytes =
+          args.get_u64("spool-max-bytes", 1ULL << 26);
+      spool_config.fsync = args.get_u64("spool-fsync", 1) != 0;
+      spool_config.faults = faults.get();
+      spool_config.metrics = metrics;
+      spool_config.trace = tracer.get();
+      spool_config.trace_device = static_cast<std::int64_t>(device_id);
+      try {
+        spool = std::make_unique<reporting::SpoolWal>(spool_config);
+      } catch (const reporting::SpoolError& error) {
+        std::fprintf(stderr, "measure: --spool-dir: %s\n", error.what());
+        return 1;
+      }
+      const reporting::SpoolWalStats& recovered = spool->stats();
+      if (recovered.recovered > 0 || recovered.torn_records > 0) {
+        std::printf(
+            "spool: recovered %llu frames (%llu torn records skipped) "
+            "from %s\n",
+            static_cast<unsigned long long>(recovered.recovered),
+            static_cast<unsigned long long>(recovered.torn_records),
+            spool_dir.c_str());
+      }
+    }
     reporting::ResilientChannelConfig channel_config;
     channel_config.bytes_per_interval =
         args.get_u64("net-budget", 1ULL << 22);
@@ -560,12 +806,24 @@ int cmd_measure(const Args& args) {
         std::chrono::microseconds(args.get_u64("net-backoff-us", 1000));
     channel_config.sleep_on_backoff = true;
     channel_config.transport = transport.get();
+    channel_config.spool = spool.get();
+    // Decorrelated jitter by default: a fleet reconnecting after a
+    // collector restart must not thunder in lockstep. Seeded per device
+    // so every schedule is still exactly reproducible.
+    channel_config.jitter = args.get_u64("net-jitter", 1) != 0;
+    channel_config.jitter_seed =
+        seed ^ (0x9E3779B97F4A7C15ULL * (device_id + 1));
     channel_config.faults = faults.get();
     channel_config.metrics = metrics;
     channel_config.trace = tracer.get();
     channel_config.trace_device = static_cast<std::int64_t>(device_id);
     channel =
         std::make_unique<reporting::ResilientChannel>(channel_config);
+    // Drain whatever a previous incarnation left spooled before the
+    // first interval even closes — the (re)connect half of
+    // store-and-forward. Failure is fine: the frames stay on disk and
+    // every later send() retries the backlog.
+    if (spool && spool->backlog() > 0) (void)channel->drain_spool();
   }
 
   auto handle_reports = [&](std::vector<core::Report> reports) {
@@ -639,13 +897,20 @@ int cmd_measure(const Args& args) {
         }
         const reporting::DeliveryOutcome outcome =
             channel->send(shipped, metrics_line);
-        if (!outcome.delivered) ++net_reports_abandoned;
+        // In spool mode an undelivered report is waiting, not lost —
+        // the only permanent spool loss is a budget drop, accounted
+        // from the spool's own stats at exit.
+        if (!spool && !outcome.delivered) ++net_reports_abandoned;
       }
     }
   };
 
   // Checkpoint after every closed interval: the reports are already
   // drained, so a resume replays from the exact interval boundary.
+  // --pace-ms then throttles the replay to a live-capture cadence —
+  // after the checkpoint, so a kill during the sleep loses nothing.
+  const auto pace =
+      std::chrono::milliseconds(args.get_u64("pace-ms", 0));
   auto process = [&](std::vector<core::Report> reports) {
     const bool closed = !reports.empty();
     handle_reports(std::move(reports));
@@ -653,16 +918,48 @@ int cmd_measure(const Args& args) {
       core::save_checkpoint_file(checkpoint_path, session.checkpoint(),
                                  tracer.get());
     }
+    if (closed && pace.count() > 0) std::this_thread::sleep_for(pace);
   };
 
+  install_stop_handlers();
+  bool fed_any = false;
+  bool stopped = false;
   try {
     pcap::PcapReader reader(stream);
     reader.attach_fault_injector(faults.get());
-    while (const auto record = reader.next_record()) {
+    // --resume: fast-forward past the records the checkpoint already
+    // accounted for (checkpoint.packets counts every observed record).
+    for (std::uint64_t skipped = 0; skipped < skip_records; ++skipped) {
+      if (!reader.next_record()) break;
+    }
+    while (!(stopped = g_stop_requested != 0)) {
+      const auto record = reader.next_record();
+      if (!record) break;
       session.observe(*record);
+      fed_any = true;
       process(session.drain_reports());
     }
-    process(session.finish());
+    if (stopped) {
+      // Graceful SIGINT/SIGTERM: do not close the in-progress interval
+      // (that would fabricate an interval boundary mid-stream) —
+      // checkpoint the exact position instead, so a --resume run
+      // continues bit-identically.
+      if (!checkpoint_path.empty()) {
+        core::save_checkpoint_file(checkpoint_path, session.checkpoint(),
+                                   tracer.get());
+      }
+      std::printf(
+          "measure: stop signal at %llu packets, %u intervals closed%s\n",
+          static_cast<unsigned long long>(session.packets_observed()),
+          session.intervals_closed(),
+          checkpoint_path.empty() ? "" : " (checkpointed)");
+    } else if (fed_any || !resumed) {
+      // A resumed run that found nothing left to feed must not re-close
+      // the trailing interval: the previous incarnation's reports are
+      // already spooled or delivered, and a fabricated empty close
+      // would disagree with them.
+      process(session.finish());
+    }
   } catch (const pcap::PcapError& error) {
     std::fprintf(stderr, "decode error: %s\n", error.what());
     return 3;
@@ -716,7 +1013,13 @@ int cmd_measure(const Args& args) {
       session.intervals_closed());
   int exit_code = 0;
   if (channel) {
-    const bool bye_ok = transport->send_bye(session.intervals_closed());
+    // Final spool drain: a collector that came back late gets the
+    // backlog now; whatever stays is durable on disk for the next run.
+    if (spool && spool->backlog() > 0) (void)channel->drain_spool();
+    // No bye after a stop signal — the capture is incomplete and the
+    // collector must keep waiting for this device's resumed run.
+    bool bye_ok = true;
+    if (!stopped) bye_ok = transport->send_bye(session.intervals_closed());
     const net::TcpTransportStats& tstats = transport->stats();
     const reporting::ResilientChannelStats& cstats = channel->stats();
     std::printf(
@@ -727,7 +1030,33 @@ int cmd_measure(const Args& args) {
         static_cast<unsigned long long>(tstats.frames_sent),
         static_cast<unsigned long long>(tstats.disconnects),
         static_cast<unsigned long long>(cstats.reports_abandoned));
-    if (net_reports_abandoned > 0 || !bye_ok) {
+    if (spool) {
+      const reporting::SpoolWalStats& sstats = spool->stats();
+      std::printf(
+          "spool: %llu appended (%llu recovered), %llu acked, %llu "
+          "flows shed, %llu dropped, %zu pending -> %s\n",
+          static_cast<unsigned long long>(sstats.appended),
+          static_cast<unsigned long long>(sstats.recovered),
+          static_cast<unsigned long long>(sstats.acked),
+          static_cast<unsigned long long>(sstats.records_shed),
+          static_cast<unsigned long long>(sstats.dropped),
+          spool->backlog(), spool->directory().c_str());
+      if (spool->backlog() > 0) {
+        std::fprintf(stderr,
+                     "measure: %zu reports spooled awaiting the "
+                     "collector (durable; the next run drains them)\n",
+                     spool->backlog());
+      }
+      if (sstats.dropped > 0) {
+        // The one loss a spool cannot prevent: the disk budget refused
+        // the report outright. Surface it with the transport-failure
+        // code — it is the same "report gone" contract.
+        std::fprintf(stderr,
+                     "measure: spool budget dropped %llu reports\n",
+                     static_cast<unsigned long long>(sstats.dropped));
+        exit_code = 5;
+      }
+    } else if (net_reports_abandoned > 0 || (!stopped && !bye_ok)) {
       std::fprintf(stderr,
                    "measure: transport failure after retries exhausted "
                    "(%llu reports undelivered%s)\n",
@@ -757,6 +1086,24 @@ int cmd_collect(const Args& args) {
                  "would ever stop the daemon)\n");
     return 2;
   }
+  // --journal: crash-durable merge state. Existing records replay
+  // through the normal ingestion path (dedup included) inside the
+  // Collector constructor, before the listener accepts anything.
+  config.journal_path = args.get("journal", "");
+  config.journal_fsync = args.get_u64("journal-fsync", 1) != 0;
+  std::unique_ptr<robustness::FaultInjector> faults;
+  if (args.has("fault-plan")) {
+    try {
+      faults = std::make_unique<robustness::FaultInjector>(
+          robustness::parse_fault_plan(args.get("fault-plan", ""),
+                                       args.get_u64("fault-seed", 1)));
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "collect: bad --fault-plan: %s\n",
+                   error.what());
+      return 2;
+    }
+  }
+  config.faults = faults.get();
 
   const bool metrics_on = args.has("metrics");
   const bool http_on = args.has("http-port");
@@ -786,19 +1133,36 @@ int cmd_collect(const Args& args) {
   } catch (const net::NetError& error) {
     std::fprintf(stderr, "collect: %s\n", error.what());
     return 1;
+  } catch (const net::JournalError& error) {
+    std::fprintf(stderr, "collect: --journal: %s\n", error.what());
+    return 1;
+  }
+  if (!config.journal_path.empty()) {
+    const net::CollectorStats replayed = collector->stats();
+    if (replayed.journal_replayed > 0 ||
+        replayed.journal_torn_records > 0) {
+      std::printf(
+          "journal: replayed %llu records (%llu torn skipped) from %s\n",
+          static_cast<unsigned long long>(replayed.journal_replayed),
+          static_cast<unsigned long long>(replayed.journal_torn_records),
+          config.journal_path.c_str());
+    }
   }
 
+  // SIGINT/SIGTERM write one byte to the collector's self-pipe — the
+  // graceful stop() path — so the merged export, metrics and trace
+  // below still run.
+  g_collector_stop_fd = collector->stop_fd();
+  install_stop_handlers();
+
   // --port-file: publish the bound port (essential with --listen 0) so
-  // a harness can hand it to the measure processes.
+  // a harness can hand it to the measure processes; removed at exit so
+  // a later poller never dials a dead incarnation's port.
   const std::string port_file = args.get("port-file", "");
+  PortFileGuard port_guard;
   if (!port_file.empty()) {
-    std::ofstream port_stream(port_file);
-    if (!port_stream) {
-      std::fprintf(stderr, "cannot open %s for writing\n",
-                   port_file.c_str());
-      return 1;
-    }
-    port_stream << collector->port() << "\n";
+    if (!write_port_file(port_file, collector->port())) return 1;
+    port_guard.arm(port_file);
   }
   std::printf("collect: listening on 127.0.0.1:%u for %u devices\n",
               collector->port(), config.expected_devices);
@@ -807,6 +1171,7 @@ int cmd_collect(const Args& args) {
   // The observability plane serves scrapes from its own thread for as
   // long as the daemon runs; destroyed (joined) before the collector.
   std::unique_ptr<telemetry::HttpExporter> http;
+  PortFileGuard http_port_guard;
   if (http_on) {
     telemetry::HttpExporterConfig http_config;
     http_config.metrics_text = [&registry] {
@@ -820,11 +1185,12 @@ int cmd_collect(const Args& args) {
     };
     http = start_http_exporter(args, std::move(http_config), "collect");
     if (http == nullptr) return 1;
+    http_port_guard.arm(args.get("http-port-file", ""));
   }
 
   const bool complete = collector->run();
   const net::CollectorStats stats = collector->stats();
-  const std::vector<core::Report> merged = collector->merged_reports();
+  std::vector<core::Report> merged = collector->merged_reports();
 
   std::ofstream export_stream;
   const std::string export_path = args.get("export", "");
@@ -836,7 +1202,10 @@ int cmd_collect(const Args& args) {
       return 1;
     }
   }
-  for (const core::Report& report : merged) {
+  for (core::Report& report : merged) {
+    // Same largest-first order a measure export writes, so a merged
+    // export is byte-comparable against a single-process --shards run.
+    core::sort_by_size(report);
     std::printf("interval %u: %zu members, %zu flows, %zu entries\n",
                 report.interval, report.shards.size(),
                 report.flows.size(), report.entries_used);
@@ -859,6 +1228,16 @@ int cmd_collect(const Args& args) {
       static_cast<unsigned long long>(stats.duplicate_reports),
       static_cast<unsigned long long>(stats.reconnects),
       collector->devices_done(), config.expected_devices);
+  if (!config.journal_path.empty()) {
+    std::printf(
+        "journal: %llu appended, %llu replayed (%llu torn, %llu write "
+        "errors) -> %s\n",
+        static_cast<unsigned long long>(stats.journal_records),
+        static_cast<unsigned long long>(stats.journal_replayed),
+        static_cast<unsigned long long>(stats.journal_torn_records),
+        static_cast<unsigned long long>(stats.journal_write_errors),
+        config.journal_path.c_str());
+  }
   if (metrics_on) {
     std::ofstream metrics_stream(metrics_path);
     if (!metrics_stream) {

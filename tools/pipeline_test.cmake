@@ -163,6 +163,92 @@ if(NOT rv EQUAL 5)
 endif()
 
 # ---------------------------------------------------------------------
+# Durable store-and-forward: the same dead port with --spool-dir flips
+# the contract. Reports wait in the WAL instead of being abandoned, the
+# process exits 0 with a pending backlog, and the segments survive on
+# disk for the next incarnation. A previous pipeline run's spool and
+# journal would short-circuit the whole scenario — start clean.
+file(REMOVE_RECURSE ${WORKDIR}/spool)
+file(REMOVE ${WORKDIR}/drain.journal)
+execute_process(
+  COMMAND ${NDTM} measure --in ${WORKDIR}/smoke.pcap
+          --algorithm multistage --flow-def dstip --threshold 100000
+          --connect 127.0.0.1:1 --net-attempts 2 --net-backoff-us 100
+          --spool-dir ${WORKDIR}/spool
+  RESULT_VARIABLE rv OUTPUT_VARIABLE spool_out ERROR_QUIET)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+          "spooled measure at a dead port should exit 0, got ${rv}")
+endif()
+if(NOT spool_out MATCHES "pending")
+  message(FATAL_ERROR "spooled measure did not report a pending backlog")
+endif()
+file(GLOB spool_segments ${WORKDIR}/spool/wal-*)
+list(LENGTH spool_segments spool_segment_count)
+if(spool_segment_count EQUAL 0)
+  message(FATAL_ERROR "--spool-dir left no WAL segment behind")
+endif()
+
+# The (re)connect half: a journaled collector comes up, the device
+# re-runs with the same spool — recovered frames drain before the first
+# interval closes, the re-measured duplicates are absorbed by
+# first-copy-wins dedup, and the run must end with nothing pending.
+execute_process(
+  COMMAND bash -c "\
+    set -u; \
+    rm -f '${WORKDIR}/drain.port'; \
+    '${NDTM}' collect --listen 0 --devices 1 --timeout-ms 30000 \
+      --journal '${WORKDIR}/drain.journal' \
+      --port-file '${WORKDIR}/drain.port' \
+      --export '${WORKDIR}/drained.bin' \
+      > '${WORKDIR}/drain_collect.log' 2>&1 & \
+    collect_pid=$!; \
+    for i in $(seq 1 100); do \
+      [ -s '${WORKDIR}/drain.port' ] && break; sleep 0.1; \
+    done; \
+    [ -s '${WORKDIR}/drain.port' ] || { echo 'no port file'; exit 90; }; \
+    port=$(cat '${WORKDIR}/drain.port'); \
+    '${NDTM}' measure --in '${WORKDIR}/smoke.pcap' \
+      --algorithm multistage --flow-def dstip --threshold 100000 \
+      --connect 127.0.0.1:$port --spool-dir '${WORKDIR}/spool' \
+      > '${WORKDIR}/drain_device.log' 2>&1 || exit 91; \
+    grep -q 'spool: recovered' '${WORKDIR}/drain_device.log' || exit 94; \
+    grep -q '0 pending' '${WORKDIR}/drain_device.log' || exit 95; \
+    wait $collect_pid"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "spool drain pipeline failed: ${rv}")
+endif()
+if(NOT EXISTS ${WORKDIR}/drained.bin)
+  message(FATAL_ERROR "journaled collector produced no merged export")
+endif()
+file(SIZE ${WORKDIR}/drain.journal drain_journal_bytes)
+if(drain_journal_bytes EQUAL 0)
+  message(FATAL_ERROR "--journal wrote an empty crash-recovery journal")
+endif()
+# A restarted collector replays that journal to completion without a
+# single connection — the journal alone carries the finished fleet.
+execute_process(
+  COMMAND ${NDTM} collect --listen 0 --devices 1 --timeout-ms 5000
+          --journal ${WORKDIR}/drain.journal
+          --export ${WORKDIR}/replayed.bin
+  RESULT_VARIABLE rv OUTPUT_VARIABLE replay_out ERROR_QUIET)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "journal-replay collector failed: ${rv}")
+endif()
+if(NOT replay_out MATCHES "replayed")
+  message(FATAL_ERROR "restarted collector did not report a replay")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/drained.bin ${WORKDIR}/replayed.bin
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+          "journal replay diverged from the live collector's export")
+endif()
+
+# ---------------------------------------------------------------------
 # Observability plane: the fleet again with the HTTP endpoint and trace
 # spans on. After the first device finishes, the collector's /metrics
 # is scraped over loopback (bash's /dev/tcp — no curl dependency) and

@@ -15,10 +15,16 @@ endif()
 
 # The concurrency suites plus the tag-layout / affinity suites added
 # with the cache-conscious flow memory, the simd/hugepage suites added
-# with the vectorized kernels, and the observability plane (HTTP
-# exporter poll loop, lock-free trace ring, registry seqlock).
+# with the vectorized kernels, the observability plane (HTTP exporter
+# poll loop, lock-free trace ring, registry seqlock), and the
+# durability layer (spool WAL, crash-recovery journal, on-disk fuzz
+# tables, and the kill-level soak over the instrumented ndtm binary).
 set(ND_SANITIZE_TEST_REGEX
-    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity|Simd|Hugepage|Slab|CpuFeatures|FrameStream|TcpTransport|Collector|LoopbackFleet|HttpExporter|TraceRecorder|ChromeTrace|FleetAggregator|RegistryGeneration")
+    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity|Simd|Hugepage|Slab|CpuFeatures|FrameStream|TcpTransport|Collector|LoopbackFleet|HttpExporter|TraceRecorder|ChromeTrace|FleetAggregator|RegistryGeneration|SpoolWal|Journal|DurabilityFuzz|DurabilitySoak")
+
+# Sanitized binaries run ~10x slower: cap the soak's kill cycles so the
+# instrumented pass stays CI-sized (still two real kill/restart cycles).
+set(ENV{ND_SOAK_CYCLES} 3)
 
 # The dispatch-sensitive subset re-run under each forced ND_SIMD value:
 # the env override steers every device built during the test, so the
@@ -42,7 +48,7 @@ function(run_sanitized sanitizer subdir regex)
     COMMAND ${CMAKE_COMMAND} --build ${san_build} --parallel
             --target common_tests core_tests eval_tests telemetry_tests
             robustness_tests flowmem_tests hash_tests simd_tests
-            net_tests observability_tests
+            net_tests observability_tests durability_tests soak_tests
     RESULT_VARIABLE rv)
   if(NOT rv EQUAL 0)
     message(FATAL_ERROR "tsan_check[${sanitizer}]: build failed: ${rv}")
@@ -84,9 +90,12 @@ run_sanitized(thread . "${ND_SANITIZE_TEST_REGEX}")
 
 # The flow-memory probe and the pinned-pool/affinity paths again under
 # asan (OOB on the tag array, use-after-free across worker handoff) and
-# ubsan (misaligned/overflowing SWAR arithmetic).
+# ubsan (misaligned/overflowing SWAR arithmetic), plus the durability
+# formats — wal scan/resync and journal replay are byte-level parsers
+# over attacker-shaped input, and the soak exercises the whole
+# fork/exec + kill + recover loop under the instrumented runtime.
 set(ND_FLOWMEM_TEST_REGEX
-    "TagProbe|TagLayout|FlowMemory|ShardAffinity|ThreadPoolPinning|Simd|Hugepage|Slab|CpuFeatures")
+    "TagProbe|TagLayout|FlowMemory|ShardAffinity|ThreadPoolPinning|Simd|Hugepage|Slab|CpuFeatures|SpoolWal|Journal|DurabilityFuzz|DurabilitySoak")
 run_sanitized(address asan-check "${ND_FLOWMEM_TEST_REGEX}")
 run_sanitized(undefined ubsan-check "${ND_FLOWMEM_TEST_REGEX}")
 
