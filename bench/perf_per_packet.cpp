@@ -7,6 +7,7 @@
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <span>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "trace/zipf.hpp"
 #include "baseline/sampled_netflow.hpp"
 #include "common/cpu_features.hpp"
+#include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/multistage_filter.hpp"
@@ -27,6 +29,9 @@
 #include "flowmem/flow_memory.hpp"
 #include "hash/hash.hpp"
 #include "net/frame_stream.hpp"
+#include "net/journal.hpp"
+#include "reporting/spool.hpp"
+#include "reporting/wal.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -573,8 +578,9 @@ BENCHMARK(BM_StageHashGather)
 /// Collector-side frame parsing: a hello plus a burst of CRC-framed
 /// interval reports fed through FrameStreamParser in fixed-size chunks
 /// (the collector's read granularity). items/sec is report frames
-/// verified+delivered per second. No committed baseline yet —
-/// bench_compare.py --ignore skips the series until one lands.
+/// verified+delivered per second. Gated against the committed
+/// baseline by bench_compare.py — CRC verification dominates, so this
+/// is the end-to-end witness for the hardware CRC dispatch.
 void BM_FrameStream(benchmark::State& state) {
   struct NullEvents final : net::FrameStreamParser::Events {
     void on_hello(const net::Hello&) override {}
@@ -622,6 +628,122 @@ void BM_FrameStream(benchmark::State& state) {
                           static_cast<std::int64_t>(stream.size()));
 }
 BENCHMARK(BM_FrameStream)->Arg(512)->Arg(64 * 1024);
+
+/// The CRC-32 kernel itself, per (buffer size, forced dispatch level):
+/// bytes/sec is the ceiling every CRC consumer (framing, WAL, journal,
+/// checkpoint) inherits. Sizes bracket the real payloads: a control
+/// frame, an MTU, an interval report burst.
+void BM_Crc32(benchmark::State& state) {
+  const common::ScopedSimdLevel forced(
+      static_cast<common::SimdLevel>(state.range(1)));
+  const auto size = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(11);
+  std::vector<std::uint8_t> data(size);
+  for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.word());
+  std::uint32_t crc = 0;
+  for (auto _ : state) {
+    crc = common::crc32(data, crc);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(size));
+  state.counters["simd_level"] = static_cast<double>(forced.applied());
+}
+BENCHMARK(BM_Crc32)
+    ->Args({64, 0})->Args({64, 2})
+    ->Args({1500, 0})->Args({1500, 2})
+    ->Args({65536, 0})->Args({65536, 2});
+
+/// Device-side spool append throughput per fsync policy: arg 0 is the
+/// group-commit batch (0 = fsync off entirely). Appended frames are
+/// acked immediately so the disk-budget eviction keeps memory and disk
+/// bounded while the bench runs.
+void BM_SpoolAppend(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "nd_bench_spool";
+  fs::remove_all(dir);
+  reporting::SpoolWalConfig config;
+  config.directory = dir.string();
+  config.max_total_bytes = 1ULL << 26;
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  config.fsync = batch != 0;
+  config.fsync_batch = batch == 0 ? 1 : batch;
+  reporting::SpoolWal spool(config);
+
+  core::Report report;
+  report.interval = 0;
+  report.threshold = 100'000;
+  for (std::size_t i = 0; i < 64; ++i) {
+    core::ReportedFlow flow;
+    flow.key = packet::FlowKey::destination_ip(
+        0x0A000001 + static_cast<std::uint32_t>(i));
+    flow.estimated_bytes = 150'000 + 991 * i;
+    report.flows.push_back(flow);
+  }
+  const std::size_t frame_size =
+      reporting::encode_framed(report, packet::FlowKeyKind::kDestinationIp)
+          .size();
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spool.append(
+        report, packet::FlowKeyKind::kDestinationIp, {}));
+    spool.ack();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame_size));
+  state.counters["fsyncs"] =
+      static_cast<double>(spool.stats().fsyncs);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SpoolAppend)->Arg(0)->Arg(1)->Arg(8)->Arg(64);
+
+/// Collector restart cost: replaying a journal of realistic report
+/// records. CRC verification dominates, so this tracks the dispatch
+/// tier the same way the frame parser does.
+void BM_JournalReplay(benchmark::State& state) {
+  struct NullEvents final : net::JournalReplayEvents {
+    void on_report(std::uint32_t, std::uint32_t,
+                   std::span<const std::uint8_t> payload) override {
+      benchmark::DoNotOptimize(payload.data());
+    }
+    void on_bye(std::uint32_t, std::uint32_t, std::uint32_t) override {}
+  };
+
+  constexpr std::size_t kRecords = 64;
+  core::Report report;
+  report.interval = 0;
+  report.threshold = 100'000;
+  for (std::size_t i = 0; i < 64; ++i) {
+    core::ReportedFlow flow;
+    flow.key = packet::FlowKey::destination_ip(
+        0x0A000001 + static_cast<std::uint32_t>(i));
+    flow.estimated_bytes = 150'000 + 991 * i;
+    report.flows.push_back(flow);
+  }
+  const std::vector<std::uint8_t> payload =
+      reporting::encode(report, packet::FlowKeyKind::kDestinationIp);
+  std::vector<std::uint8_t> journal;
+  for (std::size_t r = 0; r < kRecords; ++r) {
+    reporting::wal::append_record(
+        journal, net::kJournalMagic,
+        net::encode_journal_report(1, 0, payload));
+  }
+
+  NullEvents events;
+  for (auto _ : state) {
+    const net::JournalReplayStats stats =
+        net::replay_journal(journal, events);
+    benchmark::DoNotOptimize(stats.records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRecords));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(journal.size()));
+}
+BENCHMARK(BM_JournalReplay);
 
 void BM_ZipfSampler(benchmark::State& state) {
   const trace::ZipfSampler sampler(100'000, 1.1);

@@ -1,0 +1,165 @@
+#include "common/crc32.hpp"
+
+#include <atomic>
+
+#include "telemetry/metrics.hpp"
+
+#if defined(__aarch64__) && !defined(ND_DISABLE_SIMD) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ND_HAVE_ARM_CRC 1
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#endif
+
+namespace nd::common {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE CRC-32
+
+// Slice-by-8 tables, built at compile time (satellite: no lazily-built
+// static, no guard-variable branch per call). t[k][b] advances byte b
+// through k+1 zero bytes, so one 8-byte step is eight independent
+// lookups XORed together.
+struct Slice8Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Slice8Tables make_tables() {
+  Slice8Tables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? kPoly ^ (c >> 1) : c >> 1;
+    tables.t[0][i] = c;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = (prev >> 8) ^ tables.t[0][prev & 0xFFu];
+    }
+  }
+  return tables;
+}
+
+constexpr Slice8Tables kTables = make_tables();
+
+constexpr std::uint32_t load_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+enum ImplIndex : std::size_t { kImplSlice8 = 0, kImplPclmul = 1, kImplArmv8 = 2 };
+
+std::atomic<std::uint64_t> g_bytes[kCrc32ImplCount];
+
+#if defined(ND_HAVE_ARM_CRC)
+
+bool crc32_armv8_supported() {
+#if defined(__ARM_FEATURE_CRC32)
+  return true;  // baseline ISA includes CRC32
+#elif defined(__linux__)
+  static const bool ok = (getauxval(AT_HWCAP) & (1u << 7 /* HWCAP_CRC32 */)) != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
+
+__attribute__((target("+crc"))) std::uint32_t crc32_armv8(
+    const std::uint8_t* p, std::size_t n, std::uint32_t c) {
+  while (n >= 8) {
+    std::uint64_t word = static_cast<std::uint64_t>(load_u32le(p)) |
+                         static_cast<std::uint64_t>(load_u32le(p + 4)) << 32;
+    c = __crc32d(c, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) c = __crc32b(c, *p++);
+  return c;
+}
+
+#endif  // ND_HAVE_ARM_CRC
+
+}  // namespace
+
+namespace detail {
+
+std::uint32_t crc32_slice8(const std::uint8_t* p, std::size_t n,
+                           std::uint32_t c) {
+  while (n >= 8) {
+    c ^= load_u32le(p);
+    c = kTables.t[7][c & 0xFFu] ^ kTables.t[6][(c >> 8) & 0xFFu] ^
+        kTables.t[5][(c >> 16) & 0xFFu] ^ kTables.t[4][c >> 24] ^
+        kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+        kTables.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) c = kTables.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  return c;
+}
+
+}  // namespace detail
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed_crc) {
+  std::uint32_t state = ~seed_crc;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+#if defined(ND_HAVE_AVX2)
+  if (n >= detail::kClmulMinBytes && active_simd() == SimdLevel::kAvx2 &&
+      detail::crc32_clmul_supported()) {
+    const std::size_t folded = n & ~static_cast<std::size_t>(15);
+    state = detail::crc32_clmul(p, folded, state);
+    g_bytes[kImplPclmul].fetch_add(folded, std::memory_order_relaxed);
+    p += folded;
+    n -= folded;
+  }
+#elif defined(ND_HAVE_ARM_CRC)
+  if (n != 0 && active_simd() != SimdLevel::kScalar &&
+      crc32_armv8_supported()) {
+    state = crc32_armv8(p, n, state);
+    g_bytes[kImplArmv8].fetch_add(n, std::memory_order_relaxed);
+    n = 0;
+  }
+#endif
+  if (n != 0) {
+    state = detail::crc32_slice8(p, n, state);
+    g_bytes[kImplSlice8].fetch_add(n, std::memory_order_relaxed);
+  }
+  return ~state;
+}
+
+const char* crc32_impl_name() {
+#if defined(ND_HAVE_AVX2)
+  if (active_simd() == SimdLevel::kAvx2 && detail::crc32_clmul_supported()) {
+    return kCrc32Impls[kImplPclmul];
+  }
+#elif defined(ND_HAVE_ARM_CRC)
+  if (active_simd() != SimdLevel::kScalar && crc32_armv8_supported()) {
+    return kCrc32Impls[kImplArmv8];
+  }
+#endif
+  return kCrc32Impls[kImplSlice8];
+}
+
+std::uint64_t crc32_bytes_processed(std::size_t impl_index) {
+  if (impl_index >= kCrc32ImplCount) return 0;
+  return g_bytes[impl_index].load(std::memory_order_relaxed);
+}
+
+void sync_crc32_metrics(telemetry::MetricsRegistry& registry) {
+  for (std::size_t i = 0; i < kCrc32ImplCount; ++i) {
+    auto& counter =
+        registry.counter("nd_crc_bytes_total", {{"impl", kCrc32Impls[i]}});
+    const std::uint64_t total = crc32_bytes_processed(i);
+    const std::uint64_t seen = counter.value();
+    if (total > seen) counter.add(total - seen);
+  }
+}
+
+}  // namespace nd::common

@@ -4,7 +4,7 @@
 #include <fstream>
 #include <utility>
 
-#include "hash/hash.hpp"
+#include "common/crc32.hpp"
 
 namespace nd::core {
 
@@ -23,7 +23,7 @@ std::vector<std::uint8_t> encode_checkpoint(
   out.put_u32(static_cast<std::uint32_t>(checkpoint.device_state.size()));
   out.put_bytes(checkpoint.device_state);
   std::vector<std::uint8_t> bytes = out.take();
-  const std::uint32_t crc = hash::crc32(bytes);
+  const std::uint32_t crc = common::crc32(bytes);
   bytes.push_back(static_cast<std::uint8_t>(crc >> 24));
   bytes.push_back(static_cast<std::uint8_t>(crc >> 16));
   bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
@@ -41,7 +41,7 @@ SessionCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
       (static_cast<std::uint32_t>(bytes[body + 1]) << 16) |
       (static_cast<std::uint32_t>(bytes[body + 2]) << 8) |
       static_cast<std::uint32_t>(bytes[body + 3]);
-  if (hash::crc32(bytes.subspan(0, body)) != stored) {
+  if (common::crc32(bytes.subspan(0, body)) != stored) {
     throw common::StateError("checkpoint: CRC mismatch (corrupt or torn)");
   }
   common::StateReader in(bytes.subspan(0, body));

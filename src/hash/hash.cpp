@@ -11,27 +11,6 @@ std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
   return h;
 }
 
-std::uint32_t crc32(std::span<const std::uint8_t> bytes,
-                    std::uint32_t seed_crc) {
-  // Table-driven reflected CRC-32; the table is built once, lazily.
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = ~seed_crc;
-  for (const std::uint8_t b : bytes) {
-    crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
-  }
-  return ~crc;
-}
-
 MultiplyShiftHash::MultiplyShiftHash(common::Rng& seed_source)
     : a_(seed_source.word() | 1ULL), b_(seed_source.word()) {}
 

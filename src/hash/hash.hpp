@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/cpu_features.hpp"
+#include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "hash/stage_hash_simd.hpp"
 
@@ -47,9 +48,13 @@ namespace nd::hash {
 /// detected and re-requested instead of silently mis-decoded; detects
 /// all single-byte errors, which is what the chaos suite's bit-flip
 /// tables rely on. `seed_crc` chains incremental computations (pass the
-/// previous return value; 0 starts fresh).
-[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes,
-                                  std::uint32_t seed_crc = 0);
+/// previous return value; 0 starts fresh). Delegates to the
+/// dispatch-layered kernel in common/crc32 (constexpr slice-by-8 /
+/// PCLMULQDQ / ARMv8 CRC — bit-identical across tiers).
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                         std::uint32_t seed_crc = 0) {
+  return common::crc32(bytes, seed_crc);
+}
 
 /// Map a 64-bit hash uniformly onto [0, range) without modulo bias
 /// (Lemire's multiply-high reduction).

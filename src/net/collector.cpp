@@ -150,10 +150,15 @@ Collector::Collector(const CollectorConfig& config) : config_(config) {
     // Replay whatever a previous incarnation journaled, then open the
     // log for appending — recovery before the listener sees a byte.
     replay_journal_file();
-    journal_.emplace(JournalWriterConfig{config_.journal_path,
-                                         config_.journal_fsync,
-                                         config_.faults});
+    journal_.emplace(
+        JournalWriterConfig{.path = config_.journal_path,
+                            .fsync = config_.journal_fsync,
+                            .fsync_batch = config_.journal_fsync_batch,
+                            .faults = config_.faults,
+                            .metrics = config_.metrics,
+                            .metric_labels = config_.metric_labels});
   }
+  ingest_buffer_.resize(64 * 1024);
 }
 
 void Collector::replay_journal_file() {
@@ -218,9 +223,9 @@ void Collector::ingest_report_payload(std::uint32_t device_id,
     // Journal before merge: once this report can influence the fleet
     // merge, it must survive a crash. Only first copies are written —
     // a duplicate adds nothing a replay needs.
-    const std::vector<std::uint8_t> record =
-        encode_journal_report(device_id, device.epoch, payload);
-    if (journal_->append(record)) {
+    encode_journal_report_into(journal_scratch_, device_id, device.epoch,
+                               payload);
+    if (journal_->append(journal_scratch_)) {
       ++stats_.journal_records;
       if (tm_journal_records_ != nullptr) {
         tm_journal_records_->increment();
@@ -384,14 +389,29 @@ void Collector::accept_ready() {
 
 bool Collector::service(Connection& conn) {
   ConnectionEvents events(*this, conn);
-  std::array<std::uint8_t, 64 * 1024> buffer;
+  std::size_t drained = 0;
   for (;;) {
-    const ssize_t n =
-        read_some(conn.socket.fd(), buffer.data(), buffer.size());
+    const ssize_t n = read_some(conn.socket.fd(), ingest_buffer_.data(),
+                                ingest_buffer_.size());
     if (n > 0) {
       stats_.bytes_received += static_cast<std::uint64_t>(n);
-      conn.parser.feed({buffer.data(), static_cast<std::size_t>(n)},
-                       events);
+      drained += static_cast<std::size_t>(n);
+      conn.parser.feed(
+          {ingest_buffer_.data(), static_cast<std::size_t>(n)}, events);
+      // Fairness cap first: a device blasting its spool backlog must
+      // yield to the other connections once the per-wake budget is
+      // spent, even when the kernel hands the bytes over in sub-buffer
+      // reads (anything still queued survives to the next poll wake).
+      if (config_.max_drain_bytes_per_wake != 0 &&
+          drained >= config_.max_drain_bytes_per_wake) {
+        ++stats_.drain_cap_hits;
+        return true;
+      }
+      // A short read means the socket buffer is empty: stop here
+      // instead of paying one more read() just to see EAGAIN.
+      if (static_cast<std::size_t>(n) < ingest_buffer_.size()) {
+        return true;
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
@@ -410,6 +430,19 @@ void Collector::close_connection(std::size_t index) {
                      static_cast<std::ptrdiff_t>(index));
 }
 
+void Collector::drain_remaining_locked() {
+  // Every device said bye, but a connection cut earlier may still hold
+  // queued bytes and an unread EOF — e.g. the strict prefix a
+  // mid-frame disconnect left on the wire. service() stops at a short
+  // read, so that EOF can be pending a poll wake that will never come.
+  // Sweep the survivors once (non-blocking throughout) so the
+  // partial-frame accounting is deterministic instead of a race
+  // between the last bye and the dead connection's wake.
+  for (std::size_t i = connections_.size(); i-- > 0;) {
+    if (!service(*connections_[i])) close_connection(i);
+  }
+}
+
 bool Collector::run() {
   const bool bounded = config_.timeout.count() > 0;
   const auto deadline = std::chrono::steady_clock::now() + config_.timeout;
@@ -417,7 +450,10 @@ bool Collector::run() {
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (all_done_locked()) return true;
+      if (all_done_locked()) {
+        drain_remaining_locked();
+        return true;
+      }
       if (stop_requested_) return false;
     }
     int timeout_ms = -1;

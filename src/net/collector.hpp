@@ -77,6 +77,13 @@ struct CollectorConfig {
   std::string journal_path{};
   /// fsync the journal per append (crash-durability for each report).
   bool journal_fsync{true};
+  /// Group commit: fsync the journal once per this many appends (see
+  /// JournalWriterConfig::fsync_batch for the crash-window contract).
+  std::uint32_t journal_fsync_batch{1};
+  /// Fairness cap: bytes drained from one connection per poll wake
+  /// before yielding to the other connections (a device blasting its
+  /// spool backlog must not starve its peers). 0 = unlimited.
+  std::size_t max_drain_bytes_per_wake{256 * 1024};
   /// Fault hook for "journal.torn_record". Not owned.
   robustness::FaultInjector* faults{nullptr};
 };
@@ -103,6 +110,10 @@ struct CollectorStats {
   std::uint64_t resyncs{0};
   /// Connections that closed holding an incomplete frame.
   std::uint64_t partial_frames_dropped{0};
+  /// Poll wakes where one connection spent its max_drain_bytes_per_wake
+  /// budget and yielded its turn (fairness, not failure — anything
+  /// still queued is re-served on the next wake).
+  std::uint64_t drain_cap_hits{0};
   /// Records appended to the crash-recovery journal this run.
   std::uint64_t journal_records{0};
   /// Records replayed from the journal at startup (reports + byes;
@@ -183,6 +194,10 @@ class Collector {
   /// Drain one readable connection; returns false when it closed.
   bool service(Connection& conn);
   void close_connection(std::size_t index);
+  /// Final sweep at the all-devices-done exit: consume any bytes and
+  /// EOFs still queued on surviving connections so stats (partial
+  /// frames in particular) don't depend on poll-wake timing.
+  void drain_remaining_locked();
   [[nodiscard]] bool all_done_locked() const;
   /// Parse a report's v3 metrics trailer (JSON-lines snapshots) and
   /// fold it into the fleet aggregation; malformed lines count as
@@ -210,6 +225,12 @@ class Collector {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<std::uint32_t, DeviceState> devices_;
   std::optional<JournalWriter> journal_;
+  /// Reusable ingest read buffer (service()) — one 64 KiB block per
+  /// collector instead of per poll wake on the stack.
+  std::vector<std::uint8_t> ingest_buffer_;
+  /// Reusable journal-record scratch: journaling a frame allocates
+  /// nothing in steady state.
+  std::vector<std::uint8_t> journal_scratch_;
   CollectorStats stats_;
   bool stop_requested_{false};
   bool degraded_seen_{false};

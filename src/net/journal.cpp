@@ -53,9 +53,20 @@ std::vector<std::uint8_t> prefix(std::uint8_t type,
 std::vector<std::uint8_t> encode_journal_report(
     std::uint32_t device_id, std::uint32_t epoch,
     std::span<const std::uint8_t> payload) {
-  std::vector<std::uint8_t> out = prefix(kTypeReport, device_id, epoch);
-  out.insert(out.end(), payload.begin(), payload.end());
+  std::vector<std::uint8_t> out;
+  encode_journal_report_into(out, device_id, epoch, payload);
   return out;
+}
+
+void encode_journal_report_into(std::vector<std::uint8_t>& out,
+                                std::uint32_t device_id, std::uint32_t epoch,
+                                std::span<const std::uint8_t> payload) {
+  out.clear();
+  out.reserve(kJournalPrefixBytes + payload.size());
+  out.push_back(kTypeReport);
+  put_u32(out, device_id);
+  put_u32(out, epoch);
+  out.insert(out.end(), payload.begin(), payload.end());
 }
 
 std::vector<std::uint8_t> encode_journal_bye(std::uint32_t device_id,
@@ -100,20 +111,37 @@ JournalReplayStats replay_journal(std::span<const std::uint8_t> bytes,
 
 JournalWriter::JournalWriter(const JournalWriterConfig& config)
     : config_(config) {
+  config_.fsync_batch = std::max<std::uint32_t>(config_.fsync_batch, 1);
   fd_ = ::open(config_.path.c_str(),
                O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     throw JournalError("net: cannot open journal '" + config_.path + "'");
   }
+  if (config_.metrics != nullptr) {
+    tm_fsyncs_ = &config_.metrics->counter("nd_journal_fsync_total",
+                                           config_.metric_labels);
+  }
 }
 
 JournalWriter::~JournalWriter() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    sync();
+    ::close(fd_);
+  }
+}
+
+void JournalWriter::sync() {
+  if (fd_ < 0 || !config_.fsync || unsynced_ == 0) return;
+  ::fsync(fd_);
+  unsynced_ = 0;
+  ++stats_.fsyncs;
+  if (tm_fsyncs_ != nullptr) tm_fsyncs_->increment();
 }
 
 bool JournalWriter::append(std::span<const std::uint8_t> payload) {
-  const std::vector<std::uint8_t> record =
-      reporting::wal::encode_record(kJournalMagic, payload);
+  scratch_.clear();
+  reporting::wal::append_record(scratch_, kJournalMagic, payload);
+  const std::span<const std::uint8_t> record = scratch_;
   std::span<const std::uint8_t> to_write = record;
   bool torn = false;
   if (config_.faults != nullptr) {
@@ -139,7 +167,9 @@ bool JournalWriter::append(std::span<const std::uint8_t> payload) {
     return false;
   }
   ++stats_.appended;
-  if (config_.fsync) ::fsync(fd_);
+  // Group commit: the fsync lands once per batch; sync() or the
+  // destructor flush a partial batch.
+  if (config_.fsync && ++unsynced_ >= config_.fsync_batch) sync();
   return true;
 }
 

@@ -104,6 +104,41 @@ bool write_all(int fd, std::span<const std::uint8_t> bytes,
   return true;
 }
 
+bool writev_all(int fd, std::span<const std::uint8_t> head,
+                std::span<const std::uint8_t> body) {
+  iovec iov[2];
+  iov[0].iov_base = const_cast<std::uint8_t*>(head.data());
+  iov[0].iov_len = head.size();
+  iov[1].iov_base = const_cast<std::uint8_t*>(body.data());
+  iov[1].iov_len = body.size();
+  std::size_t idx = 0;
+  while (idx < 2 && iov[idx].iov_len == 0) ++idx;
+  while (idx < 2) {
+    msghdr msg{};
+    msg.msg_iov = &iov[idx];
+    msg.msg_iovlen = 2 - idx;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    // Consume n bytes across the (at most two) segments; a partial
+    // write resumes mid-segment on the next sendmsg.
+    std::size_t left = static_cast<std::size_t>(n);
+    while (idx < 2 && left > 0) {
+      const std::size_t take =
+          left < iov[idx].iov_len ? left : iov[idx].iov_len;
+      iov[idx].iov_base =
+          static_cast<std::uint8_t*>(iov[idx].iov_base) + take;
+      iov[idx].iov_len -= take;
+      left -= take;
+      if (iov[idx].iov_len == 0) ++idx;
+    }
+    while (idx < 2 && iov[idx].iov_len == 0) ++idx;
+  }
+  return true;
+}
+
 ssize_t read_some(int fd, std::uint8_t* buffer, std::size_t len) {
   for (;;) {
     const ssize_t n = ::read(fd, buffer, len);

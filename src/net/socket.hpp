@@ -80,6 +80,14 @@ class Socket {
 [[nodiscard]] bool write_all(int fd, std::span<const std::uint8_t> bytes,
                              std::size_t max_chunk = 0);
 
+/// Scatter-gather write_all: both spans go out in one sendmsg() when
+/// the kernel accepts them whole, looping over partial writes and EINTR
+/// with SIGPIPE suppressed. This is the zero-copy framing seam — a
+/// 12-byte NDFR header and its payload hit the wire without ever being
+/// assembled into one buffer. Returns false on any hard error.
+[[nodiscard]] bool writev_all(int fd, std::span<const std::uint8_t> head,
+                              std::span<const std::uint8_t> body);
+
 /// One read() of up to `len` bytes, retrying EINTR. Returns bytes read,
 /// 0 on orderly EOF, -1 on error or would-block.
 [[nodiscard]] ssize_t read_some(int fd, std::uint8_t* buffer,

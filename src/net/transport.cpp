@@ -90,17 +90,28 @@ bool TcpTransport::write_frame(std::span<const std::uint8_t> bytes,
 }
 
 bool TcpTransport::send_frame(std::span<const std::uint8_t> frame) {
+  return send_frame_parts(frame, {});
+}
+
+bool TcpTransport::send_frame_parts(std::span<const std::uint8_t> header,
+                                    std::span<const std::uint8_t> payload) {
   if (!ensure_connected()) return false;
 
+  const std::size_t total = header.size() + payload.size();
   std::size_t max_chunk = 0;
   if (config_.faults != nullptr) {
     if (const auto fault = config_.faults->next("net.disconnect")) {
       // Cut the connection mid-frame: ship a strict prefix so the
       // collector is left holding a partial frame, then close. The
-      // prefix length is salt-derived, so seeded plans replay exactly.
-      const std::size_t prefix =
-          robustness::truncated_size(frame.size(), fault->salt);
-      (void)write_all(socket_.fd(), frame.first(prefix));
+      // prefix length is salt-derived, so seeded plans replay exactly
+      // whether the frame arrived whole or as header + payload parts.
+      const std::size_t prefix = robustness::truncated_size(total, fault->salt);
+      const std::size_t head_part =
+          prefix < header.size() ? prefix : header.size();
+      (void)write_all(socket_.fd(), header.first(head_part));
+      if (prefix > head_part) {
+        (void)write_all(socket_.fd(), payload.first(prefix - head_part));
+      }
       socket_.close();
       hello_pending_ = true;
       ++stats_.disconnects;
@@ -113,13 +124,27 @@ bool TcpTransport::send_frame(std::span<const std::uint8_t> frame) {
     }
   }
 
-  if (!write_frame(frame, max_chunk)) {
+  bool ok;
+  if (max_chunk != 0) {
+    // Forced tiny chunks: sequential write_all per part keeps the
+    // partial-write path exercised end to end (the frame still arrives
+    // whole — TCP short writes must be invisible to the collector).
+    ok = write_all(socket_.fd(), header, max_chunk) &&
+         (payload.empty() || write_all(socket_.fd(), payload, max_chunk));
+  } else if (payload.empty()) {
+    ok = write_all(socket_.fd(), header);
+  } else {
+    ok = writev_all(socket_.fd(), header, payload);
+  }
+  if (!ok) {
     ++stats_.disconnects;
     if (tm_disconnects_ != nullptr) tm_disconnects_->increment();
     socket_.close();
     hello_pending_ = true;
     return false;
   }
+  stats_.bytes_sent += total;
+  if (tm_bytes_ != nullptr) tm_bytes_->add(total);
   ++stats_.frames_sent;
   if (tm_frames_ != nullptr) tm_frames_->increment();
   return true;

@@ -79,6 +79,15 @@ class TcpTransport final : public reporting::FrameTransport {
   [[nodiscard]] bool send_frame(
       std::span<const std::uint8_t> frame) override;
 
+  /// Zero-copy framing path: header + payload go out in one sendmsg()
+  /// scatter-gather write, so the payload is never copied behind the
+  /// header. Same fault sites and failure semantics as send_frame()
+  /// (the net.disconnect prefix cut and net.short_write chunking span
+  /// both parts, so the chaos surface is identical).
+  [[nodiscard]] bool send_frame_parts(
+      std::span<const std::uint8_t> header,
+      std::span<const std::uint8_t> payload) override;
+
   /// Best-effort bye control frame (no fault sites — saying goodbye is
   /// not part of the chaos surface). False when the connection is down
   /// and could not be re-established.

@@ -1,6 +1,8 @@
 #include "reporting/record_codec.hpp"
 
-#include "hash/hash.hpp"
+#include <algorithm>
+
+#include "common/crc32.hpp"
 
 namespace nd::reporting {
 
@@ -50,17 +52,20 @@ std::size_t encoded_size(const core::Report& report,
               : kTrailerLengthBytes + metrics_json_bytes);
 }
 
-std::vector<std::uint8_t> encode(const core::Report& report,
-                                 packet::FlowKeyKind kind,
-                                 std::string_view metrics_json) {
+namespace {
+
+/// Append the encoded report to `out` (shared by the allocating and
+/// scratch-reusing entry points; also lets encode_framed_into encode
+/// straight after its reserved header bytes).
+void encode_append(std::vector<std::uint8_t>& out, const core::Report& report,
+                   packet::FlowKeyKind kind, std::string_view metrics_json) {
   if (report.shards.size() > kMaxShards) {
     throw CodecError("reporting: too many shards for the wire format");
   }
   if (metrics_json.size() > 0xFFFFFFFFULL) {
     throw CodecError("reporting: metrics trailer too large");
   }
-  std::vector<std::uint8_t> out;
-  out.reserve(encoded_size(report, metrics_json.size()));
+  out.reserve(out.size() + encoded_size(report, metrics_json.size()));
   put_u32(out, kMagic);
   put_u16(out, kVersion);
   out.push_back(static_cast<std::uint8_t>(kind));
@@ -105,7 +110,22 @@ std::vector<std::uint8_t> encode(const core::Report& report,
     put_u32(out, static_cast<std::uint32_t>(metrics_json.size()));
     out.insert(out.end(), metrics_json.begin(), metrics_json.end());
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const core::Report& report,
+                                 packet::FlowKeyKind kind,
+                                 std::string_view metrics_json) {
+  std::vector<std::uint8_t> out;
+  encode_append(out, report, kind, metrics_json);
   return out;
+}
+
+void encode_into(std::vector<std::uint8_t>& out, const core::Report& report,
+                 packet::FlowKeyKind kind, std::string_view metrics_json) {
+  out.clear();
+  encode_append(out, report, kind, metrics_json);
 }
 
 DecodedReport decode_full(std::span<const std::uint8_t> data) {
@@ -220,15 +240,45 @@ std::vector<std::uint8_t> frame_payload(
   out.reserve(kFrameHeaderBytes + payload.size());
   put_u32(out, kFrameMagic);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  put_u32(out, hash::crc32(payload));
+  put_u32(out, common::crc32(payload));
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
+}
+
+std::array<std::uint8_t, kFrameHeaderBytes> frame_header(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() > 0xFFFFFFFFULL) {
+    throw CodecError("reporting: payload too large to frame");
+  }
+  std::array<std::uint8_t, kFrameHeaderBytes> header;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = common::crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(kFrameMagic >> (24 - 8 * i));
+    header[4 + i] = static_cast<std::uint8_t>(length >> (24 - 8 * i));
+    header[8 + i] = static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+  return header;
 }
 
 std::vector<std::uint8_t> encode_framed(const core::Report& report,
                                         packet::FlowKeyKind kind,
                                         std::string_view metrics_json) {
-  return frame_payload(encode(report, kind, metrics_json));
+  std::vector<std::uint8_t> out;
+  encode_framed_into(out, report, kind, metrics_json);
+  return out;
+}
+
+void encode_framed_into(std::vector<std::uint8_t>& out,
+                        const core::Report& report, packet::FlowKeyKind kind,
+                        std::string_view metrics_json) {
+  out.clear();
+  out.resize(kFrameHeaderBytes);
+  encode_append(out, report, kind, metrics_json);
+  const std::span<const std::uint8_t> payload{out.data() + kFrameHeaderBytes,
+                                              out.size() - kFrameHeaderBytes};
+  const auto header = frame_header(payload);
+  std::copy(header.begin(), header.end(), out.begin());
 }
 
 std::span<const std::uint8_t> unframe(std::span<const std::uint8_t> frame) {
@@ -244,7 +294,7 @@ std::span<const std::uint8_t> unframe(std::span<const std::uint8_t> frame) {
   }
   const std::span<const std::uint8_t> payload =
       frame.subspan(kFrameHeaderBytes);
-  if (hash::crc32(payload) != get_u32(frame, 8)) {
+  if (common::crc32(payload) != get_u32(frame, 8)) {
     throw CodecError("reporting: frame CRC mismatch (corrupt payload)");
   }
   return payload;

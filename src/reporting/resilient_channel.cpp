@@ -101,20 +101,34 @@ DeliveryOutcome ResilientChannel::send(const core::Report& report,
       continue;
     }
 
-    std::vector<std::uint8_t> frame = encode_framed(
-        delivered.report, kind,
-        delivered.metrics_delivered ? metrics_json : std::string_view{});
+    const std::string_view trailer =
+        delivered.metrics_delivered ? metrics_json : std::string_view{};
+    std::optional<robustness::FaultDecision> corrupt;
     if (config_.faults != nullptr) {
-      if (const auto fault = config_.faults->next("channel.corrupt")) {
-        robustness::corrupt_bytes(frame, fault->salt);
-      }
+      corrupt = config_.faults->next("channel.corrupt");
     }
     if (config_.transport != nullptr) {
       // Real wire: the frame leaves this host and CRC verification
       // happens at the remote collector (which resyncs past a corrupted
       // frame instead of crashing). The only failure visible here is
       // the transport refusing the frame — retried like a drop.
-      if (!config_.transport->send_frame(frame)) {
+      //
+      // Fast path: encode the payload once into scratch and hand the
+      // 12-byte header + payload to the transport as two spans — the
+      // scatter-gather write means the payload is never copied behind
+      // the header. The corrupt fault takes the assembling slow path,
+      // since it must flip bits in a contiguous mutable frame.
+      bool sent;
+      if (corrupt) {
+        encode_framed_into(scratch_frame_, delivered.report, kind, trailer);
+        robustness::corrupt_bytes(scratch_frame_, corrupt->salt);
+        sent = config_.transport->send_frame(scratch_frame_);
+      } else {
+        encode_into(scratch_payload_, delivered.report, kind, trailer);
+        const auto header = frame_header(scratch_payload_);
+        sent = config_.transport->send_frame_parts(header, scratch_payload_);
+      }
+      if (!sent) {
         ++stats_.transport_failures;
         if (tm_transport_failures_ != nullptr) {
           tm_transport_failures_->increment();
@@ -130,9 +144,13 @@ DeliveryOutcome ResilientChannel::send(const core::Report& report,
       stats_.records_shed += outcome.records_shed;
       return outcome;
     }
+    encode_framed_into(scratch_frame_, delivered.report, kind, trailer);
+    if (corrupt) {
+      robustness::corrupt_bytes(scratch_frame_, corrupt->salt);
+    }
     core::Report arrived;
     try {
-      arrived = decode_framed(frame).report;
+      arrived = decode_framed(scratch_frame_).report;
     } catch (const CodecError&) {
       // The CRC caught the corruption; the collector re-requests the
       // interval instead of ingesting garbage.

@@ -56,6 +56,20 @@ class FrameTransport {
   virtual ~FrameTransport() = default;
   [[nodiscard]] virtual bool send_frame(
       std::span<const std::uint8_t> frame) = 0;
+  /// Scatter-gather variant: `header` and `payload` are one logical
+  /// frame (header immediately followed by payload on the wire). The
+  /// default assembles and delegates to send_frame(), so in-process
+  /// fakes stay one-method; net::TcpTransport overrides it with a
+  /// sendmsg() that never copies the payload behind the header.
+  [[nodiscard]] virtual bool send_frame_parts(
+      std::span<const std::uint8_t> header,
+      std::span<const std::uint8_t> payload) {
+    std::vector<std::uint8_t> frame;
+    frame.reserve(header.size() + payload.size());
+    frame.insert(frame.end(), header.begin(), header.end());
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return send_frame(frame);
+  }
 };
 
 struct ResilientChannelConfig {
@@ -208,6 +222,11 @@ class ResilientChannel {
   /// A frame delayed by "channel.reorder"; surfaces after the next
   /// successful delivery (or at flush()).
   std::optional<core::Report> limbo_;
+  /// Reusable encode scratch: the payload (and, on slow paths that need
+  /// a contiguous mutable frame, the whole frame) for the interval in
+  /// flight. Steady-state sends allocate nothing.
+  std::vector<std::uint8_t> scratch_payload_;
+  std::vector<std::uint8_t> scratch_frame_;
   /// Decorrelated-jitter state: the previous delay feeds the next draw.
   common::Rng jitter_rng_{1};
   std::chrono::microseconds prev_delay_{0};

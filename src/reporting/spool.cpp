@@ -42,6 +42,7 @@ std::vector<std::uint8_t> read_file_bytes(const fs::path& path) {
 }  // namespace
 
 SpoolWal::SpoolWal(const SpoolWalConfig& config) : config_(config) {
+  config_.fsync_batch = std::max<std::uint32_t>(config_.fsync_batch, 1);
   if (config_.metrics != nullptr) {
     auto& m = *config_.metrics;
     const auto& l = config_.metric_labels;
@@ -52,6 +53,7 @@ SpoolWal::SpoolWal(const SpoolWalConfig& config) : config_(config) {
     tm_shed_ = &m.counter("nd_spool_shed_records_total", l);
     tm_evicted_ = &m.counter("nd_spool_evicted_total", l);
     tm_write_errors_ = &m.counter("nd_spool_write_errors_total", l);
+    tm_fsyncs_ = &m.counter("nd_spool_fsync_total", l);
     tm_backlog_ = &m.gauge("nd_spool_backlog_frames", l);
     tm_disk_bytes_ = &m.gauge("nd_spool_disk_bytes", l);
   }
@@ -59,7 +61,18 @@ SpoolWal::SpoolWal(const SpoolWalConfig& config) : config_(config) {
 }
 
 SpoolWal::~SpoolWal() {
-  if (active_fd_ >= 0) ::close(active_fd_);
+  if (active_fd_ >= 0) {
+    sync();
+    ::close(active_fd_);
+  }
+}
+
+void SpoolWal::sync() {
+  if (active_fd_ < 0 || !config_.fsync || unsynced_ == 0) return;
+  ::fsync(active_fd_);
+  unsynced_ = 0;
+  ++stats_.fsyncs;
+  if (tm_fsyncs_ != nullptr) tm_fsyncs_->increment();
 }
 
 void SpoolWal::recover() {
@@ -182,6 +195,9 @@ void SpoolWal::open_active_segment(std::uint64_t seq) {
 
 void SpoolWal::rotate_active_segment() {
   if (active_fd_ >= 0) {
+    // Flush any partial group-commit batch before the rename finalizes
+    // the segment: a closed .seg must hold everything it claims to.
+    sync();
     ::close(active_fd_);
     active_fd_ = -1;
   }
@@ -258,7 +274,9 @@ bool SpoolWal::write_record(std::span<const std::uint8_t> record) {
     ++stats_.torn_writes;
     return false;
   }
-  if (config_.fsync) ::fsync(active_fd_);
+  // Group commit: the fsync lands once per batch; sync(), rotation and
+  // the destructor flush a partial batch.
+  if (config_.fsync && ++unsynced_ >= config_.fsync_batch) sync();
   return true;
 }
 
@@ -312,8 +330,8 @@ SpoolWal::AppendResult SpoolWal::append(const core::Report& report,
     result.records_shed = shed;
   }
 
-  std::vector<std::uint8_t> frame_bytes =
-      encode_framed(shaped, kind, trailer);
+  std::vector<std::uint8_t> frame_bytes;
+  encode_framed_into(frame_bytes, shaped, kind, trailer);
   span.mutable_args().value =
       static_cast<std::int64_t>(frame_bytes.size());
 

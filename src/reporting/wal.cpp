@@ -1,6 +1,6 @@
 #include "reporting/wal.hpp"
 
-#include "hash/hash.hpp"
+#include "common/crc32.hpp"
 
 namespace nd::reporting::wal {
 
@@ -35,7 +35,7 @@ void append_record(std::vector<std::uint8_t>& out, std::uint32_t magic,
                    std::span<const std::uint8_t> payload) {
   put_u32(out, magic);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  put_u32(out, hash::crc32(payload));
+  put_u32(out, common::crc32(payload));
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
@@ -70,7 +70,7 @@ ScanStats scan(
     }
     const std::span<const std::uint8_t> payload =
         bytes.subspan(pos + kRecordHeaderBytes, length);
-    if (hash::crc32(payload) != get_u32(bytes, pos + 8)) {
+    if (common::crc32(payload) != get_u32(bytes, pos + 8)) {
       ++stats.torn;
       ++stats.skipped_bytes;
       ++pos;

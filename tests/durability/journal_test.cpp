@@ -148,6 +148,51 @@ TEST(Journal, MalformedPayloadIsRejectedNotCrashed) {
   EXPECT_TRUE(events.byes.empty());
 }
 
+TEST(Journal, GroupCommitBatchesFsyncsAndFlushesOnSyncAndClose) {
+  JournalWriterConfig config;
+  config.path = fresh_path("group_commit.wal");
+  config.fsync_batch = 3;
+  telemetry::MetricsRegistry registry;
+  config.metrics = &registry;
+  {
+    JournalWriter writer(config);
+    for (std::uint32_t i = 0; i < 7; ++i) {
+      const std::vector<std::uint8_t> payload = {
+          static_cast<std::uint8_t>(i), 2, 3};
+      ASSERT_TRUE(writer.append(encode_journal_report(1, 0, payload)));
+    }
+    // 7 appends / batch of 3 = 2 full batches; 1 record pending.
+    EXPECT_EQ(writer.stats().appended, 7u);
+    EXPECT_EQ(writer.stats().fsyncs, 2u);
+    writer.sync();
+    EXPECT_EQ(writer.stats().fsyncs, 3u);
+    writer.sync();  // nothing pending: no extra fsync
+    EXPECT_EQ(writer.stats().fsyncs, 3u);
+    EXPECT_EQ(registry.counter("nd_journal_fsync_total").value(), 3u);
+    ASSERT_TRUE(writer.append(encode_journal_bye(1, 0, 7)));
+    // Destructor flushes the final partial batch before close.
+  }
+  std::ifstream in(config.path, std::ios::binary);
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)),
+      std::istreambuf_iterator<char>());
+  RecordedEvents events;
+  const JournalReplayStats stats = replay_journal(bytes, events);
+  EXPECT_EQ(stats.records, 8u);
+  EXPECT_EQ(stats.torn, 0u);
+}
+
+TEST(Journal, FsyncBatchDefaultsToPerAppend) {
+  JournalWriterConfig config;
+  config.path = fresh_path("batch_default.wal");
+  JournalWriter writer(config);
+  const std::vector<std::uint8_t> payload = {1};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer.append(encode_journal_report(1, 0, payload)));
+  }
+  EXPECT_EQ(writer.stats().fsyncs, 4u);
+}
+
 TEST(Journal, WriterTornFaultCostsOnlyTheTornRecord) {
   robustness::FaultSpec spec;
   spec.kind = robustness::FaultKind::kTruncate;

@@ -155,6 +155,72 @@ TEST(SpoolWal, RotationFinalizesSegmentsAndRecoveryFindsAll) {
   }
 }
 
+TEST(SpoolWal, GroupCommitBatchesFsyncsAndFlushesOnSyncAndClose) {
+  SpoolWalConfig config;
+  config.directory = fresh_dir("group_commit");
+  config.fsync_batch = 4;
+  telemetry::MetricsRegistry registry;
+  config.metrics = &registry;
+  {
+    SpoolWal spool(config);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      const SpoolWal::AppendResult result = spool.append(
+          make_report(i, 4), packet::FlowKeyKind::kFiveTuple, {});
+      EXPECT_TRUE(result.durable);
+    }
+    // 10 appends / batch of 4 = 2 full batches; 2 records pending.
+    EXPECT_EQ(spool.stats().fsyncs, 2u);
+    spool.sync();
+    EXPECT_EQ(spool.stats().fsyncs, 3u);
+    spool.sync();  // nothing pending: no extra fsync
+    EXPECT_EQ(spool.stats().fsyncs, 3u);
+    EXPECT_EQ(registry.counter("nd_spool_fsync_total").value(), 3u);
+    spool.append(make_report(10, 4), packet::FlowKeyKind::kFiveTuple, {});
+    // Destructor flushes the final partial batch.
+  }
+  SpoolWal spool(config);
+  EXPECT_EQ(spool.stats().recovered, 11u);
+  EXPECT_EQ(spool.stats().torn_records, 0u);
+}
+
+TEST(SpoolWal, GroupCommitFlushesBeforeRotationFinalizesSegment) {
+  SpoolWalConfig config;
+  config.directory = fresh_dir("group_commit_rotate");
+  config.max_segment_bytes = 1;  // every append rotates
+  config.fsync_batch = 100;      // far larger than the appends below
+  {
+    SpoolWal spool(config);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      spool.append(make_report(i, 4), packet::FlowKeyKind::kFiveTuple, {});
+    }
+    // Each rotation flushed the batch before the rename: a closed .seg
+    // must hold everything it claims to.
+    EXPECT_GE(spool.stats().fsyncs, 2u);
+  }
+  SpoolWal spool(config);
+  EXPECT_EQ(spool.stats().recovered, 3u);
+}
+
+TEST(SpoolWal, FsyncBatchOneKeepsPerAppendDurability) {
+  SpoolWalConfig config;
+  config.directory = fresh_dir("batch_one");
+  {
+    SpoolWal spool(config);  // fsync_batch defaults to 1
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      spool.append(make_report(i, 4), packet::FlowKeyKind::kFiveTuple, {});
+    }
+    EXPECT_EQ(spool.stats().fsyncs, 5u);
+  }
+  SpoolWalConfig off = config;
+  off.directory = fresh_dir("fsync_off");
+  off.fsync = false;
+  off.fsync_batch = 4;  // ignored when fsync is off
+  SpoolWal spool(off);
+  spool.append(make_report(0, 4), packet::FlowKeyKind::kFiveTuple, {});
+  spool.sync();
+  EXPECT_EQ(spool.stats().fsyncs, 0u);
+}
+
 TEST(SpoolWal, TornTailCostsExactlyTheLastRecord) {
   SpoolWalConfig config;
   config.directory = fresh_dir("torn_tail");

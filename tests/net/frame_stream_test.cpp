@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cpu_features.hpp"
 #include "core/device.hpp"
 #include "packet/flow_key.hpp"
 #include "reporting/record_codec.hpp"
@@ -183,6 +184,41 @@ TEST(FrameStream, ResetDropsBufferedPartialFrame) {
   feed_all(parser, frame, events);
   EXPECT_EQ(events.payloads.size(), 1u);
   EXPECT_TRUE(events.resyncs.empty());
+}
+
+TEST(FrameStream, HardwareCrcFramesParseUnderEveryDispatchTier) {
+  // A frame encoded with the hardware CRC kernel must verify (and a
+  // corrupted one must resync) no matter which tier the *parser's*
+  // process runs — the wire format cannot depend on the sender's CPU.
+  const common::SimdLevel tiers[] = {common::SimdLevel::kAvx2,
+                                     common::SimdLevel::kNeon,
+                                     common::SimdLevel::kScalar};
+  std::vector<std::uint8_t> hw_frame1, hw_frame2;
+  {
+    common::ScopedSimdLevel forced(common::SimdLevel::kAvx2);
+    // 600 flows: the payload is far past the 64-byte hardware-kernel
+    // threshold, so the frame CRC really comes from the wide path.
+    hw_frame1 = report_frame(0, 600);
+    hw_frame2 = report_frame(1, 600);
+  }
+  for (const common::SimdLevel tier : tiers) {
+    common::ScopedSimdLevel forced(tier);
+    std::vector<std::uint8_t> stream = hw_frame1;
+    std::vector<std::uint8_t> bad = hw_frame1;
+    bad[bad.size() / 2] ^= 0x40;  // mid-payload flip
+    stream.insert(stream.end(), bad.begin(), bad.end());
+    stream.insert(stream.end(), hw_frame2.begin(), hw_frame2.end());
+
+    FrameStreamParser parser;
+    RecordingEvents events;
+    feed_all(parser, stream, events);
+
+    ASSERT_EQ(events.payloads.size(), 2u)
+        << "parser tier=" << common::simd_name(forced.applied());
+    EXPECT_EQ(reporting::decode(events.payloads[0]).interval, 0u);
+    EXPECT_EQ(reporting::decode(events.payloads[1]).interval, 1u);
+    EXPECT_GE(events.resyncs.size(), 1u);
+  }
 }
 
 TEST(FrameStream, InterleavedControlAndDataAcrossSplitBoundary) {

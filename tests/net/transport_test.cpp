@@ -151,6 +151,94 @@ TEST(TcpTransport, ShortWriteFaultStillDeliversWholeFrame) {
   EXPECT_EQ(events.resyncs, 0u);
 }
 
+TEST(TcpTransport, SendFramePartsDeliversHeaderPlusPayloadWhole) {
+  // The zero-copy path: a 12-byte header span plus the payload span go
+  // out in one scatter-gather write, and the receiver cannot tell the
+  // difference from a contiguous frame.
+  auto [ours, theirs] = socket_pair();
+  TcpTransportConfig config;
+  config.device_id = 12;
+  TcpTransport transport(config, std::move(ours));
+
+  const core::Report report = make_report(3, 4);
+  std::vector<std::uint8_t> payload;
+  reporting::encode_into(payload, report, packet::FlowKeyKind::kFiveTuple);
+  const auto header = reporting::frame_header(payload);
+  ASSERT_TRUE(transport.send_frame_parts(header, payload));
+  EXPECT_EQ(transport.stats().frames_sent, 1u);
+  // bytes_sent covers the connect-time hello too.
+  EXPECT_EQ(transport.stats().bytes_sent,
+            kControlFrameBytes + header.size() + payload.size());
+
+  const std::vector<std::uint8_t> wire = read_exact(
+      theirs.fd(), kControlFrameBytes + header.size() + payload.size());
+  FrameStreamParser parser;
+  CountingEvents events;
+  parser.feed(wire, events);
+  EXPECT_EQ(events.hellos.size(), 1u);
+  EXPECT_EQ(events.reports, 1u);
+  EXPECT_EQ(events.resyncs, 0u);
+
+  // And the parts must be byte-identical to the assembled encoding —
+  // the wire format does not depend on which send path was taken.
+  std::vector<std::uint8_t> assembled = reporting::encode_framed(
+      report, packet::FlowKeyKind::kFiveTuple);
+  std::vector<std::uint8_t> parts(header.begin(), header.end());
+  parts.insert(parts.end(), payload.begin(), payload.end());
+  EXPECT_EQ(parts, assembled);
+}
+
+TEST(TcpTransport, SendFramePartsShortWriteStillDeliversWhole) {
+  robustness::FaultInjector faults(
+      site_schedule("net.short_write", {0}));
+  auto [ours, theirs] = socket_pair();
+  TcpTransportConfig config;
+  config.device_id = 13;
+  config.faults = &faults;
+  TcpTransport transport(config, std::move(ours));
+
+  std::vector<std::uint8_t> payload;
+  reporting::encode_into(payload, make_report(0, 3),
+                         packet::FlowKeyKind::kFiveTuple);
+  const auto header = reporting::frame_header(payload);
+  ASSERT_TRUE(transport.send_frame_parts(header, payload));
+  EXPECT_EQ(transport.stats().short_writes, 1u);
+
+  const std::vector<std::uint8_t> wire = read_exact(
+      theirs.fd(), kControlFrameBytes + header.size() + payload.size());
+  FrameStreamParser parser;
+  CountingEvents events;
+  parser.feed(wire, events);
+  EXPECT_EQ(events.reports, 1u);
+  EXPECT_EQ(events.resyncs, 0u);
+}
+
+TEST(TcpTransport, SendFramePartsDisconnectCutsAcrossBothParts) {
+  robustness::FaultInjector faults(
+      site_schedule("net.disconnect", {0}));
+  auto [ours, theirs] = socket_pair();
+  TcpTransportConfig config;
+  config.device_id = 14;
+  config.faults = &faults;
+  TcpTransport transport(config, std::move(ours));
+
+  std::vector<std::uint8_t> payload;
+  reporting::encode_into(payload, make_report(0, 3),
+                         packet::FlowKeyKind::kFiveTuple);
+  const auto header = reporting::frame_header(payload);
+  EXPECT_FALSE(transport.send_frame_parts(header, payload));
+  EXPECT_FALSE(transport.connected());
+  EXPECT_EQ(transport.stats().disconnects, 1u);
+
+  // Strict prefix of header+payload on the wire, then EOF — the same
+  // contract the contiguous path honors.
+  const std::vector<std::uint8_t> wire = read_exact(
+      theirs.fd(), kControlFrameBytes + header.size() + payload.size());
+  EXPECT_GE(wire.size(), kControlFrameBytes);
+  EXPECT_LT(wire.size(),
+            kControlFrameBytes + header.size() + payload.size());
+}
+
 TEST(TcpTransport, DisconnectFaultCutsMidFrameAndReportsFailure) {
   robustness::FaultInjector faults(
       site_schedule("net.disconnect", {0}));
@@ -339,6 +427,38 @@ TEST(Collector, ReconnectEpochsAreTracked) {
   EXPECT_EQ(stats.partial_frames_dropped, 1u);
   EXPECT_EQ(stats.reports_ingested, 1u);
   EXPECT_EQ(stats.duplicate_reports, 0u);
+}
+
+TEST(Collector, BurstDrainFairnessCapYieldsWithoutLoss) {
+  // A device blasting a large backlog must trip the per-wake drain cap
+  // (so peers are not starved) and still lose nothing: the capped
+  // bytes stay queued in the kernel for the next poll wake.
+  CollectorConfig config;
+  config.expected_devices = 1;
+  config.max_drain_bytes_per_wake = 16 * 1024;
+  Collector collector(config);
+  collector.start();
+
+  Socket conn = tcp_connect("127.0.0.1", collector.port());
+  ASSERT_TRUE(conn.valid());
+  ASSERT_TRUE(write_all(conn.fd(), encode_hello(Hello{21, 0})));
+  constexpr std::size_t kBurst = 64;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    // ~16 KiB per frame, ~1 MiB total: the kernel queue far outruns
+    // the ingest buffer, so some wake must read it full and trip the
+    // cap (decode work on the single collector thread guarantees the
+    // writer gets ahead).
+    ASSERT_TRUE(write_all(
+        conn.fd(), framed(static_cast<common::IntervalIndex>(i), 600)));
+  }
+  ASSERT_TRUE(write_all(conn.fd(), encode_bye(Bye{21, kBurst})));
+  EXPECT_TRUE(collector.wait());
+
+  const CollectorStats stats = collector.stats();
+  EXPECT_EQ(stats.reports_ingested, kBurst);
+  EXPECT_EQ(stats.resyncs, 0u);
+  EXPECT_EQ(stats.partial_frames_dropped, 0u);
+  EXPECT_GE(stats.drain_cap_hits, 1u);
 }
 
 TEST(Collector, TimeoutReturnsFalseWhenDevicesNeverFinish) {

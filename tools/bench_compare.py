@@ -60,10 +60,12 @@ def main():
     parser.add_argument(
         "--filter",
         default=(r"^BM_.*Batch|^BM_ShardedDevice"
-                 r"|^BM_TagProbeSimd|^BM_StageHashGather"),
+                 r"|^BM_TagProbeSimd|^BM_StageHashGather"
+                 r"|^BM_Crc32|^BM_FrameStream"
+                 r"|^BM_SpoolAppend|^BM_JournalReplay"),
         help="regex of benchmark names the gate applies to "
-             "(default: the batched-device, sharded and SIMD-kernel "
-             "series)")
+             "(default: the batched-device, sharded, SIMD-kernel "
+             "and collection data-plane series)")
     parser.add_argument(
         "--ignore",
         default="",

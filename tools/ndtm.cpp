@@ -84,9 +84,13 @@
 //       64 MiB; over budget: sent frames evicted oldest-first, then
 //       smallest flows shed, and only a report that cannot fit at all
 //       is dropped — which is the one spool condition that still exits
-//       5). --spool-fsync 0 trades crash-durability for speed. The
-//       spool.* fault sites (disk_full, torn_record, short_write)
-//       apply when a --fault-plan names them.
+//       5). --spool-fsync 0 trades crash-durability for speed;
+//       --spool-fsync-batch N group-commits instead, fsyncing once per
+//       N appends (partial batches flush on rotation and shutdown, so
+//       only a power cut mid-batch can lose the last N-1 records — and
+//       those are re-sent from memory on drain). The spool.* fault
+//       sites (disk_full, torn_record, short_write) apply when a
+//       --fault-plan names them.
 //
 //       --resume (requires --checkpoint) restarts from the checkpoint
 //       when the file exists (fresh start otherwise): the device state
@@ -127,6 +131,7 @@
 //                [--timeout-ms N] [--port-file path] [--metrics[=path]]
 //                [--http-port N] [--http-port-file path] [--trace path]
 //                [--journal path] [--journal-fsync 0|1]
+//                [--journal-fsync-batch N]
 //                [--fault-plan spec] [--fault-seed N]
 //       The management-station end: accept device connections on
 //       127.0.0.1:PORT (0 = ephemeral; --port-file writes the bound
@@ -150,7 +155,10 @@
 //       included) before accepting connections — so a collector killed
 //       mid-interval and restarted merges bit-identically to one that
 //       never died. --journal-fsync 0 trades per-record durability for
-//       speed; the journal.torn_record fault site applies when a
+//       speed; --journal-fsync-batch N group-commits, fsyncing once
+//       per N appends (a crash mid-batch loses at most N-1 records,
+//       which devices re-send from their spools and dedup absorbs);
+//       the journal.torn_record fault site applies when a
 //       --fault-plan names it. SIGINT/SIGTERM stop the daemon
 //       gracefully: accepted reports are already journaled, and the
 //       merged export, metrics and trace files are still written.
@@ -181,6 +189,7 @@
 #include "analysis/multistage_bounds.hpp"
 #include "analysis/sample_hold_bounds.hpp"
 #include "baseline/sampled_netflow.hpp"
+#include "common/crc32.hpp"
 #include "common/format.hpp"
 #include "common/hugepage.hpp"
 #include "common/state_buffer.hpp"
@@ -580,6 +589,9 @@ int cmd_measure(const Args& args) {
   if (http_on) {
     telemetry::HttpExporterConfig http_config;
     http_config.metrics_text = [&registry] {
+      // Fold the process-global CRC byte counters into this scrape —
+      // nd_crc_bytes_total{impl=...} shows which kernel tier is live.
+      common::sync_crc32_metrics(registry);
       return telemetry::to_prometheus(registry.snapshot());
     };
     http_config.healthy = [&spool] {
@@ -777,6 +789,8 @@ int cmd_measure(const Args& args) {
       spool_config.max_total_bytes =
           args.get_u64("spool-max-bytes", 1ULL << 26);
       spool_config.fsync = args.get_u64("spool-fsync", 1) != 0;
+      spool_config.fsync_batch = static_cast<std::uint32_t>(
+          args.get_u64("spool-fsync-batch", 1));
       spool_config.faults = faults.get();
       spool_config.metrics = metrics;
       spool_config.trace = tracer.get();
@@ -869,6 +883,7 @@ int cmd_measure(const Args& args) {
       // shipped report as the v3 metrics trailer — whichever flag
       // turned the registry on, the collector's fleet plane gets fed.
       std::string metrics_line;
+      if (metrics != nullptr) common::sync_crc32_metrics(registry);
       if (metrics_exporter) {
         metrics_line = telemetry::to_json_line(
             metrics_exporter->write(registry, report.interval));
@@ -1091,6 +1106,8 @@ int cmd_collect(const Args& args) {
   // Collector constructor, before the listener accepts anything.
   config.journal_path = args.get("journal", "");
   config.journal_fsync = args.get_u64("journal-fsync", 1) != 0;
+  config.journal_fsync_batch = static_cast<std::uint32_t>(
+      args.get_u64("journal-fsync-batch", 1));
   std::unique_ptr<robustness::FaultInjector> faults;
   if (args.has("fault-plan")) {
     try {
@@ -1175,6 +1192,7 @@ int cmd_collect(const Args& args) {
   if (http_on) {
     telemetry::HttpExporterConfig http_config;
     http_config.metrics_text = [&registry] {
+      common::sync_crc32_metrics(registry);
       return telemetry::to_prometheus(registry.snapshot());
     };
     http_config.status_text = [daemon = collector.get()] {
@@ -1246,6 +1264,7 @@ int cmd_collect(const Args& args) {
       return 1;
     }
     telemetry::JsonLinesExporter exporter(metrics_stream);
+    common::sync_crc32_metrics(registry);
     (void)exporter.write(registry, merged.empty()
                                        ? 0
                                        : merged.back().interval);

@@ -16,7 +16,7 @@
 set -u
 
 BENCH="${1:?usage: profile_cache.sh <perf_per_packet binary> [filter]}"
-FILTER="${2:-BM_SampleAndHoldBatch|BM_MultistageParallelBatch|BM_FlowMemoryFind.*|BM_TagProbeSimd.*|BM_StageHashGather.*}"
+FILTER="${2:-BM_SampleAndHoldBatch|BM_MultistageParallelBatch|BM_FlowMemoryFind.*|BM_TagProbeSimd.*|BM_StageHashGather.*|BM_Crc32.*|BM_FrameStream.*}"
 
 if [ ! -x "$BENCH" ]; then
     echo "profile_cache: benchmark binary not found: $BENCH" >&2

@@ -20,7 +20,7 @@ endif()
 # durability layer (spool WAL, crash-recovery journal, on-disk fuzz
 # tables, and the kill-level soak over the instrumented ndtm binary).
 set(ND_SANITIZE_TEST_REGEX
-    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity|Simd|Hugepage|Slab|CpuFeatures|FrameStream|TcpTransport|Collector|LoopbackFleet|HttpExporter|TraceRecorder|ChromeTrace|FleetAggregator|RegistryGeneration|SpoolWal|Journal|DurabilityFuzz|DurabilitySoak")
+    "ThreadPool|Sharded|BatchEquivalence|DriverParallel|MetricsRegistry|Instruments|FaultInjector|ResilientChannel|ShardWatchdog|ShardFailures|Chaos|Checkpoint|TagProbe|TagLayout|FlowMemory|ShardAffinity|Simd|Hugepage|Slab|CpuFeatures|Crc32|FrameStream|TcpTransport|Collector|LoopbackFleet|HttpExporter|TraceRecorder|ChromeTrace|FleetAggregator|RegistryGeneration|SpoolWal|Journal|DurabilityFuzz|DurabilitySoak")
 
 # Sanitized binaries run ~10x slower: cap the soak's kill cycles so the
 # instrumented pass stays CI-sized (still two real kill/restart cycles).
@@ -31,7 +31,7 @@ set(ENV{ND_SOAK_CYCLES} 3)
 # SWAR fallback and each vector family get their own sanitized pass
 # (unsupported families clamp to scalar — a safe, if redundant, run).
 set(ND_SIMD_FORCED_TEST_REGEX
-    "Simd|TagProbe|TagLayout|FlowMemory|Hugepage|StageHash")
+    "Simd|TagProbe|TagLayout|FlowMemory|Hugepage|StageHash|Crc32")
 
 # run_sanitized(<sanitizer> <subdir> <ctest regex>): nested instrumented
 # configure + build + ctest, then the forced-dispatch passes.
@@ -95,7 +95,7 @@ run_sanitized(thread . "${ND_SANITIZE_TEST_REGEX}")
 # over attacker-shaped input, and the soak exercises the whole
 # fork/exec + kill + recover loop under the instrumented runtime.
 set(ND_FLOWMEM_TEST_REGEX
-    "TagProbe|TagLayout|FlowMemory|ShardAffinity|ThreadPoolPinning|Simd|Hugepage|Slab|CpuFeatures|SpoolWal|Journal|DurabilityFuzz|DurabilitySoak")
+    "TagProbe|TagLayout|FlowMemory|ShardAffinity|ThreadPoolPinning|Simd|Hugepage|Slab|CpuFeatures|Crc32|SpoolWal|Journal|DurabilityFuzz|DurabilitySoak")
 run_sanitized(address asan-check "${ND_FLOWMEM_TEST_REGEX}")
 run_sanitized(undefined ubsan-check "${ND_FLOWMEM_TEST_REGEX}")
 
